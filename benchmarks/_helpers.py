@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure) as text.
+``emit`` both prints it (visible with ``pytest -s``) and writes it under
+``benchmarks/results/`` so the artifacts survive output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print ``text`` and persist it as ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+def series_table(title: str, columns: dict[str, list]) -> str:
+    """Small helper to render named series (a text stand-in for a plot)."""
+    from repro.utils.tables import format_table
+
+    headers = list(columns)
+    length = len(next(iter(columns.values())))
+    rows = [[columns[h][k] for h in headers] for k in range(length)]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,51 @@
+"""E5 — Figure 8 (headline): speedup and efficiency, SPMD vs MPMD.
+
+Both test programs, partition sizes 16/32/64, measured on the simulated
+CM-5 with the realistic hardware-fidelity layer. The paper's claims that
+must reproduce: MPMD speedups exceed SPMD's for both programs, the gap
+widens with system size, and efficiency decays more slowly for MPMD.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.comparison import sweep_system_sizes
+from repro.analysis.reports import comparison_table
+from repro.machine.presets import cm5
+from repro.programs import complex_matmul_program, strassen_program
+
+SIZES = (16, 32, 64)
+
+
+def run_program(mdg):
+    return sweep_system_sizes(mdg, cm5(64), SIZES)
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("complex_matmul", lambda: complex_matmul_program(64)),
+        ("strassen", lambda: strassen_program(128)),
+    ],
+)
+def test_fig8(benchmark, name, factory):
+    bundle = factory()
+    rows = benchmark.pedantic(run_program, args=(bundle.mdg,), rounds=1)
+    emit(
+        f"fig8_{name}",
+        comparison_table(
+            rows, title=f"Figure 8 — SPMD vs MPMD: {bundle.name} on the CM-5"
+        ),
+    )
+
+    # --- the paper's qualitative claims ---------------------------------
+    for row in rows:
+        assert row.mpmd_speedup > row.spmd_speedup, row
+        assert row.mpmd_efficiency > row.spmd_efficiency, row
+    advantages = [r.mpmd_advantage for r in rows]
+    assert advantages == sorted(advantages), (
+        "MPMD's advantage must grow with system size"
+    )
+    # Speedups monotone in p for MPMD (the paper's curves rise).
+    mpmd_speedups = [r.mpmd_speedup for r in rows]
+    assert mpmd_speedups == sorted(mpmd_speedups)

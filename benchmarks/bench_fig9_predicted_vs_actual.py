@@ -1,0 +1,48 @@
+"""E6 — Figure 9: predicted vs actual execution times (normalized).
+
+The cost models drive the allocator; the simulated machine deviates from
+them (contention, curvature, jitter). Figure 9's claim is that predictions
+stay close to reality — the paper shows points within roughly +/-15% of
+the measured times. We emit the normalized predictions for both programs,
+both styles, all three partition sizes.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.comparison import predicted_vs_measured
+from repro.analysis.reports import prediction_table
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.presets import cm5
+from repro.programs import complex_matmul_program, strassen_program
+
+SIZES = (16, 32, 64)
+
+
+def run_experiment():
+    points = []
+    for bundle in (complex_matmul_program(64), strassen_program(128)):
+        for p in SIZES:
+            points.extend(
+                predicted_vs_measured(
+                    bundle.mdg, cm5(p), HardwareFidelity.cm5_like()
+                )
+            )
+    return points
+
+
+def test_fig9(benchmark):
+    points = benchmark.pedantic(run_experiment, rounds=1)
+    emit(
+        "fig9_predicted_vs_actual",
+        prediction_table(
+            points,
+            title="Figure 9 — predicted vs actual execution times "
+            "(normalized to actual)",
+        ),
+    )
+    for point in points:
+        assert 0.80 <= point.normalized_prediction <= 1.25, point
+    # The two quantities must be "fairly close" on average too.
+    mean = sum(p.normalized_prediction for p in points) / len(points)
+    assert 0.9 <= mean <= 1.15

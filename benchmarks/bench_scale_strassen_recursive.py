@@ -1,0 +1,69 @@
+"""P2 — scale: multi-level Strassen through the whole pipeline.
+
+The paper stops at one Strassen level (33 loops); the recursive builder
+produces ~250-node MDGs at level 2. This bench pushes those through
+scheduling, codegen and simulation (allocation via the fast greedy
+heuristic — the convex solve at this size is benchmarked separately in
+P1) and asserts the machinery stays correct at scale: valid schedule,
+deadlock-free program, simulated makespan within the schedule's bound.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.allocation.baselines import greedy_critical_path_allocation
+from repro.codegen.mpmd import generate_mpmd_program
+from repro.graph.metrics import parallelism_profile
+from repro.machine.presets import cm5
+from repro.programs import strassen_program, strassen_recursive_program
+from repro.scheduling.psa import prioritized_schedule
+from repro.sim.engine import MachineSimulator
+from repro.utils.tables import format_table
+
+
+def run_experiment():
+    machine = cm5(64)
+    rows = []
+    for bundle in (
+        strassen_program(128),
+        strassen_recursive_program(128, 1),
+        strassen_recursive_program(128, 2),
+    ):
+        mdg = bundle.mdg.normalized()
+        profile = parallelism_profile(mdg)
+        allocation = greedy_critical_path_allocation(mdg, machine, max_rounds=200)
+        schedule = prioritized_schedule(mdg, allocation.processors, machine)
+        schedule.validate(schedule.info["weights"])
+        program = generate_mpmd_program(schedule, machine)
+        sim = MachineSimulator().run(program, record_trace=False)
+        rows.append(
+            (
+                bundle.name,
+                mdg.n_nodes,
+                f"{profile.average_parallelism:.2f}",
+                f"{schedule.makespan:.4f}",
+                f"{sim.makespan:.4f}",
+                program.n_instructions,
+            )
+        )
+    return rows
+
+
+def test_recursive_strassen_scale(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1)
+    emit(
+        "scale_strassen_recursive",
+        format_table(
+            ["program", "nodes", "avg parallelism", "T_sched (s)",
+             "T_sim (s)", "instructions"],
+            rows,
+            title="P2 — multi-level Strassen through the full pipeline "
+            "(greedy allocation, 64-node CM-5)",
+        ),
+    )
+    # Deeper recursion exposes more functional parallelism.
+    parallelism = [float(r[2]) for r in rows]
+    assert parallelism[2] > parallelism[1]
+    # Simulation never exceeds the schedule's conservative prediction.
+    for row in rows:
+        assert float(row[4]) <= float(row[3]) * (1 + 1e-9), row

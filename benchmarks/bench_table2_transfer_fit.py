@@ -1,0 +1,83 @@
+"""E3 — Table 2 + Figure 5: data-transfer calibration.
+
+Times array redistributions on the simulated CM-5 by running tiny 2-node
+MPMD programs under the hardware-fidelity layer, pulls the send/receive
+processing times out of the execution trace, refits the five message
+constants by non-negative least squares, and compares them against the
+paper's Table 2. Figure 5's actual-vs-predicted transfer-cost curves are
+emitted for both the 1D and 2D patterns.
+
+The measurement/fit machinery lives in ``repro.analysis.calibration``
+(also exposed via ``paradigm-mdg experiment table2``).
+"""
+
+import pytest
+
+from _helpers import emit, series_table
+from repro.analysis.calibration import refit_table2
+from repro.costs.transfer import TransferCostModel, TransferKind
+from repro.machine.presets import CM5_TRANSFER
+
+
+def test_table2_parameters(benchmark):
+    _samples, fit = benchmark.pedantic(refit_table2, rounds=1)
+    from repro.utils.tables import format_table
+
+    rows = [
+        ("t_ss (us)", CM5_TRANSFER.t_ss * 1e6, fit.parameters.t_ss * 1e6),
+        ("t_ps (ns)", CM5_TRANSFER.t_ps * 1e9, fit.parameters.t_ps * 1e9),
+        ("t_sr (us)", CM5_TRANSFER.t_sr * 1e6, fit.parameters.t_sr * 1e6),
+        ("t_pr (ns)", CM5_TRANSFER.t_pr * 1e9, fit.parameters.t_pr * 1e9),
+        ("t_n (ns)", CM5_TRANSFER.t_n * 1e9, fit.parameters.t_n * 1e9),
+    ]
+    emit(
+        "table2_transfer_fit",
+        format_table(
+            ["parameter", "paper (Table 2)", "refit on simulated CM-5"],
+            rows,
+            title="Table 2 — message-passing constants",
+            float_format="{:.2f}",
+        ),
+    )
+    # Start-ups inflate slightly under serialization; stay within 40%.
+    assert fit.parameters.t_ss == pytest.approx(CM5_TRANSFER.t_ss, rel=0.4)
+    assert fit.parameters.t_sr == pytest.approx(CM5_TRANSFER.t_sr, rel=0.4)
+    assert fit.parameters.t_ps == pytest.approx(CM5_TRANSFER.t_ps, rel=0.2)
+    assert fit.parameters.t_pr == pytest.approx(CM5_TRANSFER.t_pr, rel=0.2)
+    assert fit.rms_relative_error < 0.25
+
+
+def test_fig5_actual_vs_predicted(benchmark):
+    samples, fit = benchmark.pedantic(refit_table2, rounds=1)
+    fitted_model = TransferCostModel(fit.parameters)
+    for kind, slug in ((TransferKind.ROW2ROW, "1d"), (TransferKind.ROW2COL, "2d")):
+        rows = [
+            s
+            for s in samples
+            if s.transfer.kind == kind and s.transfer.length_bytes == 32768.0
+        ]
+        columns = {
+            "p_send": [s.p_i for s in rows],
+            "p_recv": [s.p_j for s in rows],
+            "actual total (ms)": [
+                f"{1e3 * (s.send_time + s.receive_time):.3f}" for s in rows
+            ],
+            "predicted (ms)": [
+                f"{1e3 * (fitted_model.send_cost(s.transfer, s.p_i, s.p_j) + fitted_model.receive_cost(s.transfer, s.p_i, s.p_j)):.3f}"
+                for s in rows
+            ],
+        }
+        emit(
+            f"fig5_transfer_{slug}",
+            series_table(
+                f"Figure 5 — actual vs predicted {slug.upper()} transfer cost "
+                "(64x64 doubles)",
+                columns,
+            ),
+        )
+        for s in rows:
+            actual = s.send_time + s.receive_time
+            predicted = fitted_model.send_cost(
+                s.transfer, s.p_i, s.p_j
+            ) + fitted_model.receive_cost(s.transfer, s.p_i, s.p_j)
+            assert 0.6 <= predicted / actual <= 1.5

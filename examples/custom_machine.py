@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Calibrate a machine from measurements, then compile for it.
+
+Reproduces the paper's training-sets methodology (Section 4) end to end:
+
+1. "measure" kernel timings on an unknown machine (here: the simulator's
+   ground truth plus noise, standing in for a real testbed);
+2. fit the Amdahl (alpha, tau) and Table 2 message constants by linear
+   regression — the exact procedure behind the paper's Tables 1 and 2;
+3. build a MachineParameters from the fit and compile the reduction-tree
+   workload for it, comparing against the CM-5 preset.
+
+Run:  python examples/custom_machine.py
+"""
+
+import numpy as np
+
+from repro.costs import (
+    AmdahlProcessingCost,
+    ArrayTransfer,
+    TransferCostModel,
+    TransferCostParameters,
+    TransferKind,
+    fit_amdahl,
+    fit_transfer_parameters,
+)
+from repro.costs.fitting import TransferTimingSample
+from repro.machine import MachineParameters
+from repro.machine.presets import cm5
+from repro.pipeline import compile_mdg
+from repro.programs import reduction_tree_program
+from repro.utils.tables import format_table
+
+
+def measure_unknown_machine(rng: np.random.Generator):
+    """Pretend timings from a machine we have no spec sheet for."""
+    secret_kernel = AmdahlProcessingCost(alpha=0.09, tau=0.2)
+    secret_transfer = TransferCostParameters(
+        t_ss=250e-6, t_ps=40e-9, t_sr=180e-6, t_pr=35e-9, t_n=0.0
+    )
+    procs = [1, 2, 4, 8, 16, 32]
+    kernel_times = [
+        secret_kernel.cost(p) * float(1 + rng.normal(0, 0.02)) for p in procs
+    ]
+    model = TransferCostModel(secret_transfer)
+    samples = []
+    for kind in (TransferKind.ROW2ROW, TransferKind.ROW2COL):
+        for length in (8192.0, 32768.0, 131072.0):
+            transfer = ArrayTransfer(length, kind)
+            for pi, pj in [(1, 1), (2, 4), (4, 2), (8, 8), (4, 16)]:
+                noise = lambda: float(1 + rng.normal(0, 0.02))  # noqa: E731
+                samples.append(
+                    TransferTimingSample(
+                        transfer=transfer,
+                        p_i=pi,
+                        p_j=pj,
+                        send_time=model.send_cost(transfer, pi, pj) * noise(),
+                        receive_time=model.receive_cost(transfer, pi, pj) * noise(),
+                    )
+                )
+    return procs, kernel_times, samples, secret_kernel, secret_transfer
+
+
+def main() -> None:
+    rng = np.random.default_rng(1994)
+    procs, kernel_times, samples, true_kernel, true_transfer = (
+        measure_unknown_machine(rng)
+    )
+
+    kernel_fit = fit_amdahl(procs, kernel_times, name="mystery-kernel")
+    transfer_fit = fit_transfer_parameters(samples)
+
+    print(format_table(
+        ["parameter", "true", "fitted"],
+        [
+            ("alpha", true_kernel.alpha, kernel_fit.alpha),
+            ("tau (s)", true_kernel.tau, kernel_fit.tau),
+            ("t_ss (s)", true_transfer.t_ss, transfer_fit.parameters.t_ss),
+            ("t_ps (s)", true_transfer.t_ps, transfer_fit.parameters.t_ps),
+            ("t_sr (s)", true_transfer.t_sr, transfer_fit.parameters.t_sr),
+            ("t_pr (s)", true_transfer.t_pr, transfer_fit.parameters.t_pr),
+        ],
+        title="training-sets calibration (2% measurement noise)",
+        float_format="{:.4g}",
+    ))
+    print(f"kernel fit RMS error   : {kernel_fit.rms_relative_error:.1%}")
+    print(f"transfer fit RMS error : {transfer_fit.rms_relative_error:.1%}\n")
+
+    calibrated = MachineParameters(
+        name="calibrated", processors=32, transfer=transfer_fit.parameters
+    )
+    workload = reduction_tree_program(levels=3, n=64).mdg
+
+    rows = []
+    for machine in (calibrated, cm5(32)):
+        result = compile_mdg(workload, machine)
+        rows.append(
+            (machine.name, result.phi, result.predicted_makespan,
+             max(result.schedule.allocation().values()))
+        )
+    print(format_table(
+        ["machine", "Phi (s)", "T_psa (s)", "largest group"],
+        rows,
+        title="reduction tree (8 leaves) compiled per machine",
+    ))
+    print("\nthe cheaper-startup calibrated machine tolerates wider groups;")
+    print("the CM-5's 778 us send start-up pushes the allocator to narrower ones.")
+
+
+if __name__ == "__main__":
+    main()

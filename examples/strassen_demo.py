@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's second evaluation program: Strassen matrix multiply (128x128).
+
+Strassen's one-level recursion turns one 128x128 product into seven 64x64
+products plus eighteen 64x64 add/sub loops — a 33-loop MDG with far more
+functional parallelism than Complex Matrix Multiply, which is exactly why
+the paper picked it. This demo:
+
+1. prints the allocation and schedule the convex program + PSA produce on
+   a 32-node CM-5 (compare Figure 7's style);
+2. shows the Theorem 3 optimality certificate for that schedule;
+3. verifies numerically that the distributed Strassen execution equals
+   the classical A @ B.
+
+Run:  python examples/strassen_demo.py
+"""
+
+import numpy as np
+
+from repro.machine.presets import cm5
+from repro.pipeline import compile_mdg, measure
+from repro.programs import strassen_program
+from repro.programs.strassen import strassen_reference_product
+from repro.runtime import ValueExecutor, verify_against_reference
+from repro.scheduling.bounds import verify_theorem1, verify_theorem3
+from repro.utils.tables import format_table
+from repro.viz.gantt import schedule_gantt
+
+
+def main() -> None:
+    machine = cm5(32)
+    bundle = strassen_program(128)
+    print(f"program: {bundle.name} — {bundle.mdg.n_nodes} loops "
+          f"({bundle.info['loops']} computational), blocks of "
+          f"{bundle.info['block']}x{bundle.info['block']}\n")
+
+    result = compile_mdg(bundle.mdg, machine)
+    allocation = result.schedule.allocation()
+    rows = [
+        (name, allocation[name])
+        for name in sorted(allocation)
+        if name.startswith("P")  # the seven Strassen products
+    ]
+    print(format_table(["product loop", "processors"], rows,
+                       title=f"allocation of the 7 products on {machine.name} (p=32)"))
+    print()
+    print(f"Phi (convex optimum)   : {result.phi:.4g} s")
+    print(f"T_psa (PSA schedule)   : {result.predicted_makespan:.4g} s "
+          f"({100 * (result.predicted_makespan - result.phi) / result.phi:+.1f}%)")
+    print(f"simulated (ideal hw)   : {measure(result).makespan:.4g} s")
+    print()
+
+    r1 = verify_theorem1(result.schedule, machine)
+    r3 = verify_theorem3(result.schedule, machine, result.phi)
+    print(f"Theorem 1 bound: T_psa <= {r1.factor:.2f} x lower bound "
+          f"-> holds: {r1.holds} (tightness {r1.tightness:.2f})")
+    print(f"Theorem 3 bound: T_psa <= {r3.factor:.2f} x Phi "
+          f"-> holds: {r3.holds} (tightness {r3.tightness:.3f})")
+    print()
+    print(schedule_gantt(result.schedule, width=68))
+    print()
+
+    # --- numerical check on a small instance -----------------------------
+    small = strassen_program(32)
+    report = ValueExecutor(small.app).run(
+        {name: 2 for name in small.app.computational_nodes()}
+    )
+    verify_against_reference(small.app, report)
+    c = np.block(
+        [
+            [report.outputs["C11"], report.outputs["C12"]],
+            [report.outputs["C21"], report.outputs["C22"]],
+        ]
+    )
+    assert np.allclose(c, strassen_reference_product(small))
+    print("value run: distributed Strassen equals the classical product A @ B")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""paradigm-mdg: convex-programming allocation + prioritized scheduling of
+macro dataflow graphs on distributed-memory multicomputers.
+
+A full reproduction of Ramaswamy, Sapatnekar & Banerjee, *"A Convex
+Programming Approach for Exploiting Data and Functional Parallelism on
+Distributed Memory Multicomputers"*, ICPP 1994 — the mixed task/data
+parallelism compiler path of the PARADIGM project.
+
+Quickstart
+----------
+>>> from repro import compile_mdg, measure, cm5
+>>> from repro.programs import complex_matmul_program
+>>> bundle = complex_matmul_program(64)
+>>> result = compile_mdg(bundle.mdg, cm5(32))
+>>> result.predicted_makespan <= measure(result).makespan * 1.5
+True
+
+The top-level namespace re-exports the most used entry points; the
+subpackages hold the full API:
+
+===================  =====================================================
+``repro.graph``      the MDG data structure, generators, serialization
+``repro.costs``      posynomial algebra, Amdahl + transfer cost models
+``repro.machine``    machine presets (CM-5) and hardware fidelity
+``repro.allocation`` the convex program, rounding, baselines, oracle
+``repro.scheduling`` the PSA, schedule invariants, Theorem 1–3 checks
+``repro.codegen``    MPMD/SPMD program generation
+``repro.sim``        the discrete-event machine simulator
+``repro.runtime``    value-carrying execution with real NumPy blocks
+``repro.programs``   ComplexMM, Strassen, FFT-2D, synthetic workloads
+``repro.frontend``   loop-nest DSL -> MDG lowering
+``repro.analysis``   Figure 8 / Figure 9 / Table 3 experiment drivers
+===================  =====================================================
+"""
+
+from repro._version import __version__
+from repro.allocation import (
+    Allocation,
+    ConvexSolverOptions,
+    solve_allocation,
+    optimal_processor_bound,
+)
+from repro.costs import (
+    AmdahlProcessingCost,
+    ArrayTransfer,
+    MDGCostModel,
+    Posynomial,
+    TransferCostParameters,
+    TransferKind,
+)
+from repro.graph import MDG
+from repro.machine import HardwareFidelity, MachineParameters, cm5
+from repro.pipeline import (
+    BundleExecution,
+    CompilationResult,
+    compile_mdg,
+    compile_spmd,
+    execute_bundle,
+    measure,
+)
+from repro.scheduling import PSAOptions, Schedule, prioritized_schedule
+from repro.sim import MachineSimulator
+
+__all__ = [
+    "__version__",
+    "MDG",
+    "Posynomial",
+    "AmdahlProcessingCost",
+    "ArrayTransfer",
+    "TransferKind",
+    "TransferCostParameters",
+    "MDGCostModel",
+    "MachineParameters",
+    "HardwareFidelity",
+    "cm5",
+    "Allocation",
+    "ConvexSolverOptions",
+    "solve_allocation",
+    "optimal_processor_bound",
+    "Schedule",
+    "PSAOptions",
+    "prioritized_schedule",
+    "CompilationResult",
+    "BundleExecution",
+    "compile_mdg",
+    "compile_spmd",
+    "execute_bundle",
+    "measure",
+    "MachineSimulator",
+]

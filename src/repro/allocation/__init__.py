@@ -1,0 +1,59 @@
+"""Processor allocation (Section 2 of the paper).
+
+Given an MDG and a ``p``-processor machine, choose a continuous processor
+count ``p_i`` in ``[1, p]`` for every node minimizing
+
+    Phi = max(A_p, C_p)
+
+the larger of the average finish time and the critical-path time. With
+posynomial cost models this is a convex program after the
+geometric-programming change of variables ``x_i = ln p_i``; we solve it to
+global optimality with analytic gradients on top of ``scipy.optimize``.
+
+The package also provides the power-of-two rounding and processor-bounding
+steps (Section 3, steps 1–2), the Corollary 1 optimal bound chooser,
+baseline allocators (SPMD, serial, critical-path greedy heuristic) and an
+exhaustive oracle for validating the solver on small graphs.
+"""
+
+from repro.allocation.result import Allocation
+from repro.allocation.variables import VariableLayout
+from repro.allocation.formulation import ConvexAllocationProblem
+from repro.allocation.solver import ConvexSolverOptions, solve_allocation
+from repro.allocation.rounding import (
+    round_allocation,
+    bound_allocation,
+    optimal_processor_bound,
+    theorem3_factor,
+    theorem1_factor,
+    theorem2_factor,
+)
+from repro.allocation.baselines import (
+    spmd_allocation,
+    serial_allocation,
+    uniform_allocation,
+    greedy_critical_path_allocation,
+)
+from repro.allocation.exhaustive import exhaustive_best_allocation
+from repro.allocation.certificate import KKTCertificate, certify_allocation
+
+__all__ = [
+    "Allocation",
+    "VariableLayout",
+    "ConvexAllocationProblem",
+    "ConvexSolverOptions",
+    "solve_allocation",
+    "round_allocation",
+    "bound_allocation",
+    "optimal_processor_bound",
+    "theorem3_factor",
+    "theorem1_factor",
+    "theorem2_factor",
+    "spmd_allocation",
+    "serial_allocation",
+    "uniform_allocation",
+    "greedy_critical_path_allocation",
+    "exhaustive_best_allocation",
+    "KKTCertificate",
+    "certify_allocation",
+]

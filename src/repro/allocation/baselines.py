@@ -1,0 +1,139 @@
+"""Baseline allocators the paper (and our ablations) compare against.
+
+* :func:`spmd_allocation` — every node on all ``p`` processors: the SPMD
+  execution style of Figure 8's comparison.
+* :func:`serial_allocation` — every node on one processor (pure functional
+  parallelism).
+* :func:`uniform_allocation` — every node on ``p / w`` processors where
+  ``w`` is the MDG's maximum antichain width estimate (a folklore rule of
+  thumb).
+* :func:`greedy_critical_path_allocation` — the profile-driven heuristic in
+  the spirit of the authors' earlier work (reference [6]): repeatedly
+  double the allocation of the node on the current critical path while
+  doing so lowers ``max(A_p, C_p)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.allocation.result import Allocation
+from repro.costs.node_weights import MDGCostModel
+from repro.graph.analysis import node_levels
+from repro.graph.mdg import MDG
+from repro.machine.parameters import MachineParameters
+from repro.utils.intmath import prev_power_of_two
+
+__all__ = [
+    "spmd_allocation",
+    "serial_allocation",
+    "uniform_allocation",
+    "greedy_critical_path_allocation",
+]
+
+
+def _finish(mdg: MDG, machine: MachineParameters, processors: dict[str, int]) -> Allocation:
+    cost_model = MDGCostModel(mdg, machine.transfer_model())
+    return Allocation(
+        processors={k: float(v) for k, v in processors.items()},
+        phi=None,
+        average_finish_time=cost_model.average_finish_time(
+            processors, machine.processors
+        ),
+        critical_path_time=cost_model.critical_path_time(processors),
+        info={"machine": machine.name, "total_processors": machine.processors},
+    )
+
+
+def spmd_allocation(mdg: MDG, machine: MachineParameters) -> Allocation:
+    """All nodes use all ``p`` processors (pure data parallelism)."""
+    mdg = mdg.normalized()
+    return _finish(
+        mdg, machine, {name: machine.processors for name in mdg.node_names()}
+    )
+
+
+def serial_allocation(mdg: MDG, machine: MachineParameters) -> Allocation:
+    """All nodes use one processor (pure functional parallelism)."""
+    mdg = mdg.normalized()
+    return _finish(mdg, machine, {name: 1 for name in mdg.node_names()})
+
+
+def uniform_allocation(mdg: MDG, machine: MachineParameters) -> Allocation:
+    """Every node gets ``p / width`` processors (power-of-two floor).
+
+    ``width`` is the largest number of nodes sharing a topological level —
+    a cheap antichain-width proxy.
+    """
+    mdg = mdg.normalized()
+    levels = node_levels(mdg)
+    width = max(Counter(levels.values()).values())
+    share = max(1, machine.processors // max(width, 1))
+    share = prev_power_of_two(share)
+    return _finish(mdg, machine, {name: share for name in mdg.node_names()})
+
+
+def greedy_critical_path_allocation(
+    mdg: MDG,
+    machine: MachineParameters,
+    max_rounds: int | None = None,
+) -> Allocation:
+    """Iterative doubling heuristic (prior-work [6] flavour).
+
+    Start with one processor per node. Each round, double the allocation
+    of the node that most improves ``(max(A_p, C_p), sum_i y_i)``
+    *lexicographically*: the secondary sum-of-finish-times term lets the
+    search cross plateaus where several parallel critical paths are tied
+    (a diamond/fan MDG needs both branches widened before the makespan
+    bound moves). Stops when no doubling improves either component.
+    Produces power-of-two allocations by construction.
+    """
+    mdg = mdg.normalized()
+    cost_model = MDGCostModel(mdg, machine.transfer_model())
+    p = machine.processors
+    processors: dict[str, int] = {name: 1 for name in mdg.node_names()}
+
+    def objective(alloc: dict[str, int]) -> tuple[float, float]:
+        finish = cost_model.finish_times(alloc)
+        return (
+            max(
+                cost_model.average_finish_time(alloc, p),
+                max(finish.values()),
+            ),
+            sum(finish.values()),
+        )
+
+    def improves(candidate: tuple[float, float], incumbent: tuple[float, float]) -> bool:
+        primary_tol = 1e-12 * max(1.0, incumbent[0])
+        if candidate[0] < incumbent[0] - primary_tol:
+            return True
+        if candidate[0] > incumbent[0] + primary_tol:
+            return False
+        return candidate[1] < incumbent[1] - 1e-12 * max(1.0, incumbent[1])
+
+    current = objective(processors)
+    rounds = 0
+    limit = max_rounds if max_rounds is not None else 4 * len(processors) * max(
+        1, p.bit_length()
+    )
+    while rounds < limit:
+        rounds += 1
+        best_node: str | None = None
+        best_value = current
+        for name in mdg.node_names():
+            if processors[name] * 2 > p:
+                continue
+            trial = dict(processors)
+            trial[name] *= 2
+            value = objective(trial)
+            if improves(value, best_value):
+                best_value = value
+                best_node = name
+        if best_node is None:
+            break
+        processors[best_node] *= 2
+        current = best_value
+
+    result = _finish(mdg, machine, processors)
+    result.info["rounds"] = rounds
+    return result

@@ -1,0 +1,151 @@
+"""KKT optimality certificates for allocation solutions.
+
+Because the (log-transformed) allocation problem is convex, the KKT
+conditions are sufficient for *global* optimality. Given a solution
+point, this module finds non-negative multipliers for the active
+constraints by non-negative least squares and reports the stationarity
+residual — a machine-checkable certificate that the solver really hit
+the optimum, independent of the solver's own convergence claims.
+
+This is what lets the library honestly say it uses "exact methods": the
+paper's central improvement over heuristic allocation (its reference [6]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.allocation.formulation import ConvexAllocationProblem
+from repro.allocation.result import Allocation
+from repro.errors import SolverError
+
+__all__ = ["KKTCertificate", "certify_allocation"]
+
+
+@dataclass(frozen=True)
+class KKTCertificate:
+    """Evidence that a point satisfies the KKT conditions.
+
+    Attributes
+    ----------
+    stationarity_residual:
+        ``|| grad f + sum(lambda_i * grad g_i) ||`` over the active set,
+        relative to ``|| grad f ||``. Near zero at an optimum.
+    max_violation:
+        Largest constraint violation at the point (<= 0 means feasible,
+        small positive values are solver tolerance).
+    n_active:
+        Number of active constraints (including bounds).
+    phi:
+        Objective value at the certified point, in seconds.
+    """
+
+    stationarity_residual: float
+    max_violation: float
+    n_active: int
+    phi: float
+
+    def is_optimal(
+        self, stationarity_tol: float = 1e-4, feasibility_tol: float = 1e-6
+    ) -> bool:
+        """True when the point is (numerically) a global optimum."""
+        return (
+            self.stationarity_residual <= stationarity_tol
+            and self.max_violation <= feasibility_tol
+        )
+
+
+def _active_constraint_gradients(
+    problem: ConvexAllocationProblem, z: np.ndarray, activity_tol: float
+) -> list[np.ndarray]:
+    """Gradients of every constraint active at ``z`` (including bounds)."""
+    columns: list[np.ndarray] = []
+
+    values = problem.constraint_values(z)
+    jacobian = problem.constraint_jacobian(z)
+    scale = max(1.0, float(np.abs(values).max(initial=0.0)))
+    for row in range(values.shape[0]):
+        if values[row] >= -activity_tol * scale:
+            columns.append(jacobian[row])
+
+    linear = problem.linear_constraint()
+    if linear is not None:
+        matrix = np.asarray(linear.A)
+        lin_values = matrix @ z
+        for row in range(matrix.shape[0]):
+            if lin_values[row] >= -activity_tol:
+                columns.append(matrix[row])
+
+    bounds = problem.bounds()
+    for k in range(problem.n_vars):
+        if z[k] <= bounds.lb[k] + activity_tol:
+            grad = np.zeros(problem.n_vars)
+            grad[k] = -1.0  # lb - z <= 0
+            columns.append(grad)
+        if np.isfinite(bounds.ub[k]) and z[k] >= bounds.ub[k] - activity_tol:
+            grad = np.zeros(problem.n_vars)
+            grad[k] = 1.0  # z - ub <= 0
+            columns.append(grad)
+    return columns
+
+
+def certify_allocation(
+    problem: ConvexAllocationProblem,
+    allocation: Allocation,
+    activity_tol: float = 1e-5,
+) -> KKTCertificate:
+    """Build a KKT certificate for ``allocation`` on ``problem``.
+
+    Reconstructs the solver point from the allocation's processor counts
+    (the ``y``/``phi`` block is recomputed by the feasible forward
+    recursion, which is exact at an optimum), then solves the NNLS
+    stationarity system over the active constraints.
+    """
+    import math
+
+    layout = problem.layout
+    z = problem.initial_point(1.0)
+    for name in layout.node_names:
+        p_i = allocation.processors.get(name)
+        if p_i is None:
+            raise SolverError(f"allocation missing node {name!r}")
+        z[layout.x_index(name)] = math.log(max(p_i, 1.0))
+    for edge in layout.max_edges:
+        z[layout.m_index(edge)] = max(
+            z[layout.x_index(edge[0])], z[layout.x_index(edge[1])]
+        )
+    # Tight y/phi from the forward recursion at this x.
+    xlog = z[: layout.n_log_vars]
+    finish: dict[str, float] = {}
+    for name in problem.mdg.topological_order():
+        best = 0.0
+        for edge in problem.mdg.in_edges(name):
+            best = max(
+                best,
+                finish[edge.source]
+                + problem._D[(edge.source, edge.target)].value(xlog),
+            )
+        finish[name] = best + problem._T[name].value(xlog)
+        z[layout.y_index(name)] = finish[name]
+    z[layout.phi_index] = max(
+        problem._A.value(xlog),
+        max((finish[t] for t in problem.mdg.sinks()), default=0.0),
+    )
+
+    grad_f = problem.objective_gradient(z)
+    columns = _active_constraint_gradients(problem, z, activity_tol)
+    if columns:
+        matrix = np.column_stack(columns)
+        _multipliers, residual = nnls(matrix, -grad_f)
+    else:
+        residual = float(np.linalg.norm(grad_f))
+    grad_norm = float(np.linalg.norm(grad_f))
+    return KKTCertificate(
+        stationarity_residual=residual / max(grad_norm, 1e-30),
+        max_violation=problem.max_violation(z),
+        n_active=len(columns),
+        phi=problem.phi_seconds(z),
+    )

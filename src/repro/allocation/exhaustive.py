@@ -1,0 +1,85 @@
+"""Exhaustive power-of-two allocation search (testing oracle).
+
+Enumerates every assignment of power-of-two processor counts to the
+non-dummy nodes and returns the one minimizing the exact
+``max(A_p, C_p)``. Exponential in the node count — guarded by an explicit
+limit — but invaluable for validating the convex solver: the continuous
+optimum ``Phi`` must lower-bound every enumerated value.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.allocation.result import Allocation
+from repro.costs.node_weights import MDGCostModel
+from repro.errors import AllocationError
+from repro.graph.mdg import MDG
+from repro.machine.parameters import MachineParameters
+from repro.utils.intmath import powers_of_two_upto
+
+__all__ = ["exhaustive_best_allocation"]
+
+
+def exhaustive_best_allocation(
+    mdg: MDG,
+    machine: MachineParameters,
+    max_combinations: int = 2_000_000,
+) -> Allocation:
+    """The best power-of-two allocation by brute force.
+
+    Dummy (zero-weight) nodes are pinned to one processor. Raises
+    :class:`AllocationError` if the search space exceeds
+    ``max_combinations``.
+    """
+    mdg = mdg.normalized()
+    cost_model = MDGCostModel(mdg, machine.transfer_model())
+    p = machine.processors
+    choices = powers_of_two_upto(p)
+
+    free_nodes: list[str] = []
+    pinned: dict[str, int] = {}
+    for name in mdg.node_names():
+        node = mdg.node(name)
+        has_transfers = any(e.transfers for e in mdg.in_edges(name)) or any(
+            e.transfers for e in mdg.out_edges(name)
+        )
+        if node.is_dummy and not has_transfers:
+            pinned[name] = 1
+        else:
+            free_nodes.append(name)
+
+    total = len(choices) ** len(free_nodes)
+    if total > max_combinations:
+        raise AllocationError(
+            f"exhaustive search would enumerate {total} allocations "
+            f"(> {max_combinations}); use the convex solver instead"
+        )
+
+    best_alloc: dict[str, int] | None = None
+    best_value = float("inf")
+    best_a = best_c = 0.0
+    for combo in itertools.product(choices, repeat=len(free_nodes)):
+        alloc = dict(pinned)
+        alloc.update(zip(free_nodes, combo))
+        a = cost_model.average_finish_time(alloc, p)
+        c = cost_model.critical_path_time(alloc)
+        value = max(a, c)
+        if value < best_value:
+            best_value = value
+            best_alloc = alloc
+            best_a, best_c = a, c
+
+    assert best_alloc is not None  # total >= 1 always
+    return Allocation(
+        processors={k: float(v) for k, v in best_alloc.items()},
+        phi=best_value,
+        average_finish_time=best_a,
+        critical_path_time=best_c,
+        info={
+            "method": "exhaustive",
+            "combinations": total,
+            "machine": machine.name,
+            "total_processors": p,
+        },
+    )

@@ -1,0 +1,84 @@
+"""The result object produced by every allocator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import AllocationError
+
+__all__ = ["Allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A processor assignment for every MDG node.
+
+    Attributes
+    ----------
+    processors:
+        Node name to processor count. Continuous (solver output) or
+        integral (after rounding).
+    phi:
+        The optimizer's objective value ``Phi = max(A_p, C_p)`` in seconds,
+        when produced by the convex solver; ``None`` for baselines.
+    average_finish_time / critical_path_time:
+        The two components of the bound, evaluated *numerically* (exact
+        ``max``, no relaxation) for these processor counts.
+    info:
+        Free-form diagnostics (solver status, iterations, method, ...).
+    """
+
+    processors: dict[str, float]
+    phi: float | None = None
+    average_finish_time: float | None = None
+    critical_path_time: float | None = None
+    info: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise AllocationError("allocation must cover at least one node")
+        for name, value in self.processors.items():
+            if value <= 0:
+                raise AllocationError(
+                    f"allocation for node {name!r} must be positive, got {value!r}"
+                )
+
+    @property
+    def is_integral(self) -> bool:
+        return all(float(v).is_integer() for v in self.processors.values())
+
+    @property
+    def makespan_lower_bound(self) -> float | None:
+        """``max(A_p, C_p)`` when both components are known."""
+        if self.average_finish_time is None or self.critical_path_time is None:
+            return None
+        return max(self.average_finish_time, self.critical_path_time)
+
+    def as_integer(self) -> dict[str, int]:
+        """Processor counts as ints; raises if any is fractional."""
+        if not self.is_integral:
+            fractional = {
+                k: v for k, v in self.processors.items() if not float(v).is_integer()
+            }
+            raise AllocationError(
+                f"allocation is not integral: {sorted(fractional)[:5]!r}..."
+            )
+        return {k: int(v) for k, v in self.processors.items()}
+
+    def max_processors(self) -> float:
+        return max(self.processors.values())
+
+    def with_processors(
+        self, processors: Mapping[str, float], **info: Any
+    ) -> "Allocation":
+        """A copy with different processor counts (used by rounding)."""
+        merged = dict(self.info)
+        merged.update(info)
+        return Allocation(
+            processors=dict(processors),
+            phi=self.phi,
+            average_finish_time=None,
+            critical_path_time=None,
+            info=merged,
+        )

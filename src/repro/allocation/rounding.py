@@ -1,0 +1,109 @@
+"""Rounding and bounding (Section 3 steps 1–2) and the Section 5 factors.
+
+The PSA first rounds the continuous allocation to powers of two (worst
+case ×4/3 up or ×2/3 down per node — Theorem 2's constants), then clips
+every node to the processor bound ``PB`` chosen by Corollary 1: the power
+of two minimizing the Theorem 3 factor
+
+    (1 + p / (p - PB + 1)) * (3/2)^2 * (p/PB)^2
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.errors import AllocationError
+from repro.utils.intmath import is_power_of_two, powers_of_two_upto, round_to_power_of_two
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "round_allocation",
+    "bound_allocation",
+    "optimal_processor_bound",
+    "theorem1_factor",
+    "theorem2_factor",
+    "theorem3_factor",
+]
+
+
+def round_allocation(processors: Mapping[str, float]) -> dict[str, int]:
+    """Round every node's count to the nearest power of two (PSA step 1)."""
+    out: dict[str, int] = {}
+    for name, value in processors.items():
+        if value < 1.0:
+            if value < 1.0 - 1e-9:
+                raise AllocationError(
+                    f"node {name!r} allocated {value!r} < 1 processor"
+                )
+            value = 1.0
+        out[name] = round_to_power_of_two(float(value))
+    return out
+
+
+def bound_allocation(
+    processors: Mapping[str, int], processor_bound: int
+) -> dict[str, int]:
+    """Clip every node to at most ``processor_bound`` (PSA step 2).
+
+    ``processor_bound`` must be a power of two — otherwise a second
+    rounding pass could push nodes back above the bound (Section 3).
+    """
+    processor_bound = check_integer("processor_bound", processor_bound, minimum=1)
+    if not is_power_of_two(processor_bound):
+        raise AllocationError(
+            f"processor bound must be a power of two, got {processor_bound}"
+        )
+    out: dict[str, int] = {}
+    for name, value in processors.items():
+        value = check_integer(f"processors[{name!r}]", value, minimum=1)
+        if not is_power_of_two(value):
+            raise AllocationError(
+                f"node {name!r} has non-power-of-two count {value}; round first"
+            )
+        out[name] = min(value, processor_bound)
+    return out
+
+
+def theorem1_factor(total_processors: int, processor_bound: int) -> float:
+    """The PSA-vs-optimal factor ``1 + p / (p - PB + 1)`` of Theorem 1."""
+    p = check_integer("total_processors", total_processors, minimum=1)
+    pb = check_integer("processor_bound", processor_bound, minimum=1)
+    if pb > p:
+        raise AllocationError(f"processor bound {pb} exceeds machine size {p}")
+    return 1.0 + p / (p - pb + 1.0)
+
+
+def theorem2_factor(total_processors: int, processor_bound: int) -> float:
+    """The rounding+bounding factor ``(3/2)^2 * (p/PB)^2`` of Theorem 2."""
+    p = check_integer("total_processors", total_processors, minimum=1)
+    pb = check_integer("processor_bound", processor_bound, minimum=1)
+    if pb > p:
+        raise AllocationError(f"processor bound {pb} exceeds machine size {p}")
+    return (1.5**2) * (p / pb) ** 2
+
+
+def theorem3_factor(total_processors: int, processor_bound: int) -> float:
+    """The end-to-end bound of Theorem 3 (product of Theorems 1 and 2)."""
+    return theorem1_factor(total_processors, processor_bound) * theorem2_factor(
+        total_processors, processor_bound
+    )
+
+
+def optimal_processor_bound(total_processors: int) -> int:
+    """Corollary 1: the power of two minimizing the Theorem 3 factor.
+
+    Ties (which cannot occur for power-of-two ``p`` but could for odd
+    sizes) break toward the *larger* bound, which wastes less parallelism
+    within a node.
+    """
+    p = check_integer("total_processors", total_processors, minimum=1)
+    candidates = powers_of_two_upto(p)
+    best_pb = candidates[0]
+    best_value = math.inf
+    for pb in candidates:
+        value = theorem3_factor(p, pb)
+        if value <= best_value:
+            best_value = value
+            best_pb = pb
+    return best_pb

@@ -1,0 +1,89 @@
+"""Variable layout for the convex allocation program.
+
+The optimization vector ``z`` is laid out as::
+
+    z = [ x_1 .. x_n | m_1 .. m_k | y_1 .. y_n | phi ]
+
+where ``x_i = ln p_i`` are the log processor counts, ``m_e = ln`` of the
+auxiliary ``max(p_u, p_v)`` variable of each 1D-transfer edge ``e`` (the
+geometric-programming epigraph variable), ``y_i`` are node finish times
+(in scaled seconds, *not* logs — they enter the constraints linearly) and
+``phi`` is the objective epigraph variable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.graph.mdg import MDG
+
+__all__ = ["VariableLayout"]
+
+
+class VariableLayout:
+    """Index bookkeeping between MDG entities and the solver vector."""
+
+    #: Prefixes for generated variable names (used inside posynomials).
+    PROC_PREFIX = "P@"
+    MAX_PREFIX = "M@"
+
+    def __init__(self, mdg: MDG, max_edges: list[tuple[str, str]]):
+        self.node_names: list[str] = mdg.node_names()
+        self.max_edges: list[tuple[str, str]] = list(max_edges)
+        n, k = len(self.node_names), len(self.max_edges)
+        if n == 0:
+            raise AllocationError("cannot lay out variables for an empty MDG")
+        self.n_nodes = n
+        self.n_max = k
+        self.n_vars = 2 * n + k + 1
+
+        self._proc_index = {name: i for i, name in enumerate(self.node_names)}
+        self._max_index = {edge: n + j for j, edge in enumerate(self.max_edges)}
+        self._y_offset = n + k
+        self.phi_index = 2 * n + k
+
+        #: Variable names for the posynomial ``compile`` order: the first
+        #: ``n + k`` entries of ``z`` (the log-space block).
+        self.log_variable_order: list[str] = [
+            self.proc_var(name) for name in self.node_names
+        ] + [self.max_var(edge) for edge in self.max_edges]
+
+    # ----- name generation ----------------------------------------------
+
+    def proc_var(self, node: str) -> str:
+        """Posynomial variable name for node ``node``'s processor count."""
+        return f"{self.PROC_PREFIX}{node}"
+
+    def max_var(self, edge: tuple[str, str]) -> str:
+        """Posynomial variable name for edge ``edge``'s max variable."""
+        return f"{self.MAX_PREFIX}{edge[0]}->{edge[1]}"
+
+    def proc_var_map(self) -> dict[str, str]:
+        return {name: self.proc_var(name) for name in self.node_names}
+
+    def max_var_map(self) -> dict[tuple[str, str], str]:
+        return {edge: self.max_var(edge) for edge in self.max_edges}
+
+    # ----- index lookup ----------------------------------------------------
+
+    def x_index(self, node: str) -> int:
+        """Index of ``ln p_node`` in ``z``."""
+        try:
+            return self._proc_index[node]
+        except KeyError as exc:
+            raise AllocationError(f"unknown node {node!r}") from exc
+
+    def m_index(self, edge: tuple[str, str]) -> int:
+        """Index of the edge's auxiliary log-max variable in ``z``."""
+        try:
+            return self._max_index[edge]
+        except KeyError as exc:
+            raise AllocationError(f"edge {edge!r} has no max variable") from exc
+
+    def y_index(self, node: str) -> int:
+        """Index of node's finish-time variable in ``z``."""
+        return self._y_offset + self.x_index(node)
+
+    @property
+    def n_log_vars(self) -> int:
+        """Size of the leading log-space block (``n + k``)."""
+        return self.n_nodes + self.n_max

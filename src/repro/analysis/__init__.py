@@ -1,0 +1,55 @@
+"""Experiment drivers and metrics for the paper's evaluation section."""
+
+from repro.analysis.metrics import (
+    serial_time,
+    speedup,
+    efficiency,
+    relative_deviation,
+)
+from repro.analysis.comparison import (
+    StyleComparison,
+    compare_spmd_mpmd,
+    sweep_system_sizes,
+    predicted_vs_measured,
+    phi_vs_tpsa,
+)
+from repro.analysis.reports import (
+    comparison_table,
+    deviation_table,
+    prediction_table,
+)
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    communication_sensitivity,
+    sensitivity_table,
+)
+from repro.analysis.calibration import (
+    Table1Refit,
+    measure_kernel_times,
+    measure_transfer_components,
+    refit_table1,
+    refit_table2,
+)
+
+__all__ = [
+    "serial_time",
+    "speedup",
+    "efficiency",
+    "relative_deviation",
+    "StyleComparison",
+    "compare_spmd_mpmd",
+    "sweep_system_sizes",
+    "predicted_vs_measured",
+    "phi_vs_tpsa",
+    "comparison_table",
+    "deviation_table",
+    "prediction_table",
+    "SensitivityPoint",
+    "communication_sensitivity",
+    "sensitivity_table",
+    "Table1Refit",
+    "measure_kernel_times",
+    "measure_transfer_components",
+    "refit_table1",
+    "refit_table2",
+]

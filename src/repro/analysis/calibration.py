@@ -1,0 +1,148 @@
+"""Measure-and-refit drivers for the Table 1 / Table 2 calibrations.
+
+The benchmarks and the CLI share this logic: time kernels and
+redistributions on the *simulated* CM-5 (hardware-fidelity layer on, so
+measurements genuinely deviate from the analytic model), then recover the
+cost-model parameters exactly the way the paper's training-sets procedure
+does. See ``benchmarks/bench_table1_processing_fit.py`` and
+``bench_table2_transfer_fit.py`` for the assertions against the paper's
+published constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.program import ComputeOp, MPMDProgram, RecvOp, SendOp
+from repro.costs.fitting import (
+    AmdahlFit,
+    TransferFit,
+    TransferTimingSample,
+    fit_amdahl,
+    fit_transfer_parameters,
+)
+from repro.costs.processing import ProcessingCostModel
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.presets import cm5
+from repro.sim.engine import MachineSimulator
+
+__all__ = [
+    "measure_kernel_times",
+    "measure_transfer_components",
+    "refit_table1",
+    "refit_table2",
+    "Table1Refit",
+]
+
+DEFAULT_PROCS = (1, 2, 4, 8, 16, 32, 64)
+DEFAULT_CONFIGS = ((1, 1), (2, 2), (2, 8), (8, 2), (4, 4), (8, 8), (4, 16), (16, 16))
+DEFAULT_LENGTHS = (8192.0, 32768.0, 131072.0)
+
+
+def measure_kernel_times(
+    model: ProcessingCostModel,
+    fidelity: HardwareFidelity,
+    procs=DEFAULT_PROCS,
+) -> list[float]:
+    """Simulated wall time of one kernel at each processor count."""
+    simulator = MachineSimulator(fidelity)
+    times = []
+    for p in procs:
+        program = MPMDProgram(total_processors=p)
+        serial_floor = model.cost(1.0e15)
+        op = ComputeOp(
+            node="kernel",
+            cost=model.cost(p),
+            parallel_cost=max(model.cost(p) - serial_floor, 0.0),
+        )
+        for q in range(p):
+            program.streams[q] = [op]
+        program.info["allocation"] = {"kernel": p}
+        times.append(simulator.run(program, record_trace=False).makespan)
+    return times
+
+
+def measure_transfer_components(
+    transfer: ArrayTransfer,
+    p_i: int,
+    p_j: int,
+    fidelity: HardwareFidelity,
+) -> tuple[float, float]:
+    """Simulated (send_time, receive_time) of one group-to-group transfer."""
+    machine = cm5(p_i + p_j)
+    model = machine.transfer_model()
+    s_start, s_byte = model.send_cost_components(transfer, p_i, p_j)
+    r_start, r_byte = model.receive_cost_components(transfer, p_i, p_j)
+
+    program = MPMDProgram(total_processors=p_i + p_j)
+    send = SendOp("src", "dst", s_start, s_byte, transfer.length_bytes / p_i)
+    recv = RecvOp("src", "dst", r_start, r_byte, 0.0, transfer.length_bytes / p_j)
+    for q in range(p_i):
+        program.streams[q] = [ComputeOp("src", 0.0), send]
+    for q in range(p_i, p_i + p_j):
+        program.streams[q] = [recv, ComputeOp("dst", 0.0)]
+    program.senders[("src", "dst")] = tuple(range(p_i))
+    program.receivers[("src", "dst")] = tuple(range(p_i, p_i + p_j))
+    program.info["allocation"] = {"src": p_i, "dst": p_j}
+
+    result = MachineSimulator(fidelity).run(program)
+    send_times = [e.duration for e in result.trace if e.kind == "send"]
+    recv_times = [e.duration for e in result.trace if e.kind == "recv"]
+    return max(send_times), max(recv_times)
+
+
+@dataclass(frozen=True)
+class Table1Refit:
+    """Refit results for the two Table 1 kernels."""
+
+    matadd: AmdahlFit
+    matmul: AmdahlFit
+    processors: tuple[int, ...]
+    measured_add: tuple[float, ...]
+    measured_mul: tuple[float, ...]
+
+
+def refit_table1(
+    fidelity: HardwareFidelity | None = None, procs=DEFAULT_PROCS
+) -> Table1Refit:
+    """Re-run the Table 1 calibration on the simulated CM-5."""
+    from repro.programs.common import table1_matadd, table1_matmul
+
+    fidelity = fidelity or HardwareFidelity.cm5_like()
+    add_times = measure_kernel_times(table1_matadd(64), fidelity, procs)
+    mul_times = measure_kernel_times(table1_matmul(64), fidelity, procs)
+    return Table1Refit(
+        matadd=fit_amdahl(procs, add_times, name="Matrix Addition (64x64)"),
+        matmul=fit_amdahl(procs, mul_times, name="Matrix Multiply (64x64)"),
+        processors=tuple(procs),
+        measured_add=tuple(add_times),
+        measured_mul=tuple(mul_times),
+    )
+
+
+def refit_table2(
+    fidelity: HardwareFidelity | None = None,
+    configs=DEFAULT_CONFIGS,
+    lengths=DEFAULT_LENGTHS,
+) -> tuple[list[TransferTimingSample], TransferFit]:
+    """Re-run the Table 2 calibration on the simulated CM-5."""
+    fidelity = fidelity or HardwareFidelity.cm5_like()
+    samples: list[TransferTimingSample] = []
+    for kind in (TransferKind.ROW2ROW, TransferKind.ROW2COL):
+        for length in lengths:
+            transfer = ArrayTransfer(length, kind)
+            for p_i, p_j in configs:
+                send_time, recv_time = measure_transfer_components(
+                    transfer, p_i, p_j, fidelity
+                )
+                samples.append(
+                    TransferTimingSample(
+                        transfer=transfer,
+                        p_i=p_i,
+                        p_j=p_j,
+                        send_time=send_time,
+                        receive_time=recv_time,
+                    )
+                )
+    return samples, fit_transfer_parameters(samples)

@@ -1,0 +1,158 @@
+"""Experiment drivers: SPMD vs MPMD, predicted vs measured, Phi vs T_psa.
+
+These functions implement the paper's Section 6 methodology directly so
+the benchmarks (and curious users) can regenerate Figure 8, Figure 9 and
+Table 3 with one call each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import efficiency, relative_deviation, speedup
+from repro.graph.mdg import MDG
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.parameters import MachineParameters
+from repro.pipeline import compile_mdg, compile_spmd, measure
+
+__all__ = [
+    "StyleComparison",
+    "compare_spmd_mpmd",
+    "sweep_system_sizes",
+    "predicted_vs_measured",
+    "phi_vs_tpsa",
+]
+
+
+@dataclass(frozen=True)
+class StyleComparison:
+    """One Figure 8 data point: both styles on one system size."""
+
+    program: str
+    processors: int
+    spmd_predicted: float
+    spmd_measured: float
+    mpmd_predicted: float
+    mpmd_measured: float
+    spmd_speedup: float
+    mpmd_speedup: float
+    spmd_efficiency: float
+    mpmd_efficiency: float
+    phi: float
+
+    @property
+    def mpmd_advantage(self) -> float:
+        """Measured SPMD time over measured MPMD time (>1 = MPMD wins)."""
+        return self.spmd_measured / self.mpmd_measured
+
+
+def compare_spmd_mpmd(
+    mdg: MDG,
+    machine: MachineParameters,
+    fidelity: HardwareFidelity | None = None,
+) -> StyleComparison:
+    """Compile and measure both styles on one machine configuration."""
+    fidelity = fidelity or HardwareFidelity.cm5_like()
+    normalized = mdg.normalized()
+
+    mpmd = compile_mdg(normalized, machine)
+    spmd = compile_spmd(normalized, machine)
+    mpmd_measured = measure(mpmd, fidelity, record_trace=False).makespan
+    spmd_measured = measure(spmd, fidelity, record_trace=False).makespan
+
+    return StyleComparison(
+        program=normalized.name,
+        processors=machine.processors,
+        spmd_predicted=spmd.predicted_makespan,
+        spmd_measured=spmd_measured,
+        mpmd_predicted=mpmd.predicted_makespan,
+        mpmd_measured=mpmd_measured,
+        spmd_speedup=speedup(normalized, spmd_measured),
+        mpmd_speedup=speedup(normalized, mpmd_measured),
+        spmd_efficiency=efficiency(normalized, spmd_measured, machine.processors),
+        mpmd_efficiency=efficiency(normalized, mpmd_measured, machine.processors),
+        phi=mpmd.phi if mpmd.phi is not None else float("nan"),
+    )
+
+
+def sweep_system_sizes(
+    mdg: MDG,
+    machine: MachineParameters,
+    sizes: tuple[int, ...] = (16, 32, 64),
+    fidelity: HardwareFidelity | None = None,
+) -> list[StyleComparison]:
+    """Figure 8's sweep: the comparison at each partition size."""
+    return [
+        compare_spmd_mpmd(mdg, machine.with_processors(p), fidelity) for p in sizes
+    ]
+
+
+@dataclass(frozen=True)
+class PredictionPoint:
+    """One Figure 9 data point."""
+
+    program: str
+    processors: int
+    style: str
+    predicted: float
+    measured: float
+
+    @property
+    def normalized_prediction(self) -> float:
+        """Predicted over measured — Figure 9 normalizes to actual times."""
+        return self.predicted / self.measured
+
+
+def predicted_vs_measured(
+    mdg: MDG,
+    machine: MachineParameters,
+    fidelity: HardwareFidelity | None = None,
+    styles: tuple[str, ...] = ("MPMD", "SPMD"),
+) -> list[PredictionPoint]:
+    """Model accuracy check (Figure 9) for the requested styles."""
+    fidelity = fidelity or HardwareFidelity.cm5_like()
+    normalized = mdg.normalized()
+    out: list[PredictionPoint] = []
+    for style in styles:
+        compiled = (
+            compile_mdg(normalized, machine)
+            if style == "MPMD"
+            else compile_spmd(normalized, machine)
+        )
+        measured = measure(compiled, fidelity, record_trace=False).makespan
+        out.append(
+            PredictionPoint(
+                program=normalized.name,
+                processors=machine.processors,
+                style=style,
+                predicted=compiled.predicted_makespan,
+                measured=measured,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class DeviationPoint:
+    """One Table 3 row: the convex optimum vs the realized PSA time."""
+
+    program: str
+    processors: int
+    phi: float
+    t_psa: float
+
+    @property
+    def percent_change(self) -> float:
+        return 100.0 * relative_deviation(self.phi, self.t_psa)
+
+
+def phi_vs_tpsa(mdg: MDG, machine: MachineParameters) -> DeviationPoint:
+    """Table 3's measurement for one program and system size."""
+    compiled = compile_mdg(mdg.normalized(), machine)
+    assert compiled.phi is not None
+    return DeviationPoint(
+        program=compiled.mdg.name,
+        processors=machine.processors,
+        phi=compiled.phi,
+        t_psa=compiled.predicted_makespan,
+    )

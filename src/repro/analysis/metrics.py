@@ -1,0 +1,41 @@
+"""Speedup and efficiency metrics (Figure 8's axes).
+
+Speedups are computed against the single-processor execution time: the sum
+of every loop's serial processing cost. A one-processor run keeps all data
+local, so no transfer costs enter the base time — matching how the paper's
+speedups exceed neither ``p`` nor the loops' aggregate parallelizability.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.graph.mdg import MDG
+
+__all__ = ["serial_time", "speedup", "efficiency", "relative_deviation"]
+
+
+def serial_time(mdg: MDG) -> float:
+    """Single-processor execution time: ``sum_i t_i^C(1)``."""
+    return sum(node.processing.cost(1.0) for node in mdg.nodes())
+
+
+def speedup(mdg: MDG, parallel_time: float) -> float:
+    """``T_serial / T_parallel``."""
+    if parallel_time <= 0:
+        raise ValidationError(f"parallel time must be > 0, got {parallel_time!r}")
+    return serial_time(mdg) / parallel_time
+
+
+def efficiency(mdg: MDG, parallel_time: float, processors: int) -> float:
+    """``speedup / p``."""
+    if processors < 1:
+        raise ValidationError(f"processors must be >= 1, got {processors}")
+    return speedup(mdg, parallel_time) / processors
+
+
+def relative_deviation(predicted: float, actual: float) -> float:
+    """``(actual - predicted) / predicted`` — Table 3's "percent change"
+    convention (positive when the realized time exceeds the prediction)."""
+    if predicted <= 0:
+        raise ValidationError(f"predicted time must be > 0, got {predicted!r}")
+    return (actual - predicted) / predicted

@@ -1,0 +1,77 @@
+"""Tabular report rendering for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.comparison import (
+    DeviationPoint,
+    PredictionPoint,
+    StyleComparison,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["comparison_table", "prediction_table", "deviation_table"]
+
+
+def comparison_table(rows: Sequence[StyleComparison], title: str = "") -> str:
+    """Figure 8 as a table: speedup and efficiency per style and size."""
+    return format_table(
+        [
+            "program",
+            "p",
+            "SPMD time (s)",
+            "MPMD time (s)",
+            "SPMD speedup",
+            "MPMD speedup",
+            "SPMD eff",
+            "MPMD eff",
+            "MPMD/SPMD",
+        ],
+        [
+            (
+                r.program,
+                r.processors,
+                r.spmd_measured,
+                r.mpmd_measured,
+                r.spmd_speedup,
+                r.mpmd_speedup,
+                r.spmd_efficiency,
+                r.mpmd_efficiency,
+                r.mpmd_advantage,
+            )
+            for r in rows
+        ],
+        title=title or "SPMD vs MPMD (Figure 8)",
+    )
+
+
+def prediction_table(rows: Sequence[PredictionPoint], title: str = "") -> str:
+    """Figure 9 as a table: predicted/measured per style and size."""
+    return format_table(
+        ["program", "p", "style", "predicted (s)", "measured (s)", "pred/meas"],
+        [
+            (
+                r.program,
+                r.processors,
+                r.style,
+                r.predicted,
+                r.measured,
+                r.normalized_prediction,
+            )
+            for r in rows
+        ],
+        title=title or "Predicted vs measured (Figure 9)",
+    )
+
+
+def deviation_table(rows: Sequence[DeviationPoint], title: str = "") -> str:
+    """Table 3: Phi vs T_psa with the percent-change column."""
+    return format_table(
+        ["program", "p", "Phi (s)", "T_psa (s)", "percent change"],
+        [
+            (r.program, r.processors, r.phi, r.t_psa, f"{r.percent_change:+.1f}%")
+            for r in rows
+        ],
+        title=title or "Deviation of T_psa from Phi (Table 3)",
+    )

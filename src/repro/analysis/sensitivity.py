@@ -1,0 +1,83 @@
+"""Sensitivity of the compilation result to machine parameters.
+
+The paper calibrates one machine and compiles for it; a natural question
+for adopters is how robust the allocation decisions are to calibration
+error or to porting. :func:`communication_sensitivity` recompiles a
+workload across a sweep of communication-cost multipliers, recording how
+the optimum ``Phi``, the realized ``T_psa``, and the allocation's
+*shape* (total processor-time, widest group) respond — the data behind
+statements like "start-ups would have to triple before the allocator
+changes its mind about the product loops".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graph.mdg import MDG
+from repro.machine.parameters import MachineParameters
+from repro.pipeline import compile_mdg
+from repro.utils.tables import format_table
+
+__all__ = ["SensitivityPoint", "communication_sensitivity", "sensitivity_table"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Compilation outcome at one communication-cost multiplier."""
+
+    factor: float
+    phi: float
+    t_psa: float
+    widest_group: int
+    mean_group: float
+    allocation: dict[str, int]
+
+
+def communication_sensitivity(
+    mdg: MDG,
+    machine: MachineParameters,
+    factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+) -> list[SensitivityPoint]:
+    """Recompile ``mdg`` with the machine's transfer constants scaled by
+    each factor; returns one point per factor, in the given order."""
+    points: list[SensitivityPoint] = []
+    for factor in factors:
+        scaled = machine.with_transfer(machine.transfer.scaled(factor))
+        result = compile_mdg(mdg, scaled)
+        allocation = {
+            name: width
+            for name, width in result.schedule.allocation().items()
+            if not result.mdg.node(name).is_dummy
+        }
+        widths = list(allocation.values())
+        points.append(
+            SensitivityPoint(
+                factor=factor,
+                phi=float(result.phi),
+                t_psa=result.predicted_makespan,
+                widest_group=max(widths),
+                mean_group=sum(widths) / len(widths),
+                allocation=allocation,
+            )
+        )
+    return points
+
+
+def sensitivity_table(points: Sequence[SensitivityPoint], title: str = "") -> str:
+    """Render a sweep as a report table."""
+    return format_table(
+        ["comm x", "Phi (s)", "T_psa (s)", "widest group", "mean group"],
+        [
+            (
+                f"{p.factor:g}",
+                p.phi,
+                p.t_psa,
+                p.widest_group,
+                f"{p.mean_group:.2f}",
+            )
+            for p in points
+        ],
+        title=title or "communication-cost sensitivity",
+    )

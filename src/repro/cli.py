@@ -1,0 +1,331 @@
+"""Command-line interface: ``paradigm-mdg`` / ``python -m repro``.
+
+Subcommands
+-----------
+``compile``     allocate + schedule a built-in program, print/export Gantts
+``simulate``    compile then run on the simulated machine
+``experiment``  regenerate fig8 / fig9 / table1 / table2 / table3, or run
+                a communication-cost sensitivity sweep
+``export-dot``  emit a program's MDG as Graphviz DOT
+``trace``       simulate and export a Chrome/Perfetto trace
+``solve``       allocate an MDG loaded from a JSON file
+``info``        list built-in machines and programs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro._version import __version__
+from repro.analysis.comparison import (
+    phi_vs_tpsa,
+    predicted_vs_measured,
+    sweep_system_sizes,
+)
+from repro.analysis.reports import comparison_table, deviation_table, prediction_table
+from repro.graph.serialization import load_mdg
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.presets import PRESETS
+from repro.pipeline import compile_mdg, compile_spmd, measure
+from repro.programs import (
+    complex_matmul_program,
+    fft2d_program,
+    jacobi_program,
+    pipeline_program,
+    reduction_tree_program,
+    strassen_program,
+)
+from repro.programs.common import ProgramBundle
+from repro.utils.tables import format_table
+from repro.viz.gantt import schedule_gantt, trace_gantt
+
+__all__ = ["main", "build_parser"]
+
+PROGRAMS: dict[str, Callable[[int], ProgramBundle]] = {
+    "complex": complex_matmul_program,
+    "strassen": strassen_program,
+    "fft2d": fft2d_program,
+    "reduction": lambda n: reduction_tree_program(3, n),
+    "pipeline": lambda n: pipeline_program(4, n),
+    "jacobi": lambda n: jacobi_program(6, n),
+}
+
+DEFAULT_SIZES = {
+    "complex": 64,
+    "strassen": 128,
+    "fft2d": 64,
+    "reduction": 64,
+    "pipeline": 64,
+    "jacobi": 64,
+}
+
+
+def _machine(args: argparse.Namespace):
+    factory = PRESETS.get(args.machine)
+    if factory is None:
+        raise SystemExit(f"unknown machine {args.machine!r}; try: {sorted(PRESETS)}")
+    return factory(args.processors)
+
+
+def _bundle(args: argparse.Namespace) -> ProgramBundle:
+    factory = PROGRAMS.get(args.program)
+    if factory is None:
+        raise SystemExit(f"unknown program {args.program!r}; try: {sorted(PROGRAMS)}")
+    n = args.n if args.n is not None else DEFAULT_SIZES[args.program]
+    return factory(n)
+
+
+def _fidelity(name: str) -> HardwareFidelity:
+    if name == "ideal":
+        return HardwareFidelity.ideal()
+    if name == "cm5":
+        return HardwareFidelity.cm5_like()
+    raise SystemExit(f"unknown fidelity {name!r}; try: ideal, cm5")
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    print(f"paradigm-mdg {__version__}")
+    print("machines:", ", ".join(sorted(PRESETS)))
+    print("programs:", ", ".join(sorted(PROGRAMS)))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    bundle = _bundle(args)
+    machine = _machine(args)
+    result = (
+        compile_spmd(bundle.mdg, machine)
+        if args.spmd
+        else compile_mdg(bundle.mdg, machine)
+    )
+    print(f"{result.style} compilation of {bundle.name} on {machine.name} "
+          f"(p={machine.processors})")
+    if result.phi is not None:
+        print(f"Phi (convex optimum) : {result.phi:.6g} s")
+    print(f"predicted makespan   : {result.predicted_makespan:.6g} s")
+    rows = [
+        (name, count)
+        for name, count in sorted(result.schedule.allocation().items())
+        if not result.mdg.node(name).is_dummy
+    ]
+    print(format_table(["node", "processors"], rows, title="allocation"))
+    print(schedule_gantt(result.schedule, width=args.width))
+    if args.svg:
+        from repro.viz.svg import save_schedule_svg
+
+        save_schedule_svg(result.schedule, args.svg)
+        print(f"wrote SVG Gantt to {args.svg}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    bundle = _bundle(args)
+    machine = _machine(args)
+    result = (
+        compile_spmd(bundle.mdg, machine)
+        if args.spmd
+        else compile_mdg(bundle.mdg, machine)
+    )
+    sim = measure(result, _fidelity(args.fidelity))
+    print(f"{result.style} {bundle.name} on {machine.name} (p={machine.processors})")
+    print(f"predicted : {result.predicted_makespan:.6g} s")
+    print(f"measured  : {sim.makespan:.6g} s "
+          f"({100 * sim.makespan / result.predicted_makespan:.1f}% of predicted)")
+    if args.gantt:
+        print(trace_gantt(sim.trace, machine.processors, width=args.width))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    bundle = _bundle(args)
+    machine = _machine(args)
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    if args.which == "fig8":
+        rows = sweep_system_sizes(bundle.mdg, machine, sizes)
+        print(comparison_table(rows))
+    elif args.which == "fig9":
+        points = []
+        for p in sizes:
+            points.extend(predicted_vs_measured(bundle.mdg, machine.with_processors(p)))
+        print(prediction_table(points))
+    elif args.which == "table3":
+        rows = [phi_vs_tpsa(bundle.mdg, machine.with_processors(p)) for p in sizes]
+        print(deviation_table(rows))
+    elif args.which == "table1":
+        from repro.analysis.calibration import refit_table1
+
+        refit = refit_table1()
+        rows = [
+            (fit.model.name, f"{100 * fit.alpha:.1f}%", f"{1e3 * fit.tau:.2f}",
+             f"{100 * fit.rms_relative_error:.1f}%")
+            for fit in (refit.matadd, refit.matmul)
+        ]
+        print(format_table(
+            ["node name", "alpha (refit)", "tau ms (refit)", "RMS err"],
+            rows,
+            title="Table 1 refit on the simulated CM-5 "
+            "(paper: 6.7%/3.73ms, 12.1%/298.47ms)",
+        ))
+    elif args.which == "table2":
+        from repro.analysis.calibration import refit_table2
+        from repro.machine.presets import CM5_TRANSFER
+
+        _samples, fit = refit_table2()
+        rows = [
+            ("t_ss (us)", CM5_TRANSFER.t_ss * 1e6, fit.parameters.t_ss * 1e6),
+            ("t_ps (ns)", CM5_TRANSFER.t_ps * 1e9, fit.parameters.t_ps * 1e9),
+            ("t_sr (us)", CM5_TRANSFER.t_sr * 1e6, fit.parameters.t_sr * 1e6),
+            ("t_pr (ns)", CM5_TRANSFER.t_pr * 1e9, fit.parameters.t_pr * 1e9),
+            ("t_n (ns)", CM5_TRANSFER.t_n * 1e9, fit.parameters.t_n * 1e9),
+        ]
+        print(format_table(
+            ["parameter", "paper", "refit"], rows,
+            title="Table 2 refit on the simulated CM-5",
+            float_format="{:.2f}",
+        ))
+    elif args.which == "sensitivity":
+        from repro.analysis.sensitivity import (
+            communication_sensitivity,
+            sensitivity_table,
+        )
+
+        points = communication_sensitivity(bundle.mdg, machine)
+        print(sensitivity_table(
+            points,
+            title=f"communication-cost sensitivity: {bundle.name} on "
+            f"{machine.name} (p={machine.processors})",
+        ))
+    else:  # pragma: no cover - argparse choices guard this
+        raise SystemExit(f"unknown experiment {args.which!r}")
+    return 0
+
+
+def cmd_export_dot(args: argparse.Namespace) -> int:
+    from repro.graph.dot import mdg_to_dot
+    from repro.pipeline import compile_mdg as _compile
+
+    bundle = _bundle(args)
+    mdg = bundle.mdg.normalized()
+    allocation = None
+    if args.allocated:
+        machine = _machine(args)
+        allocation = _compile(mdg, machine).schedule.allocation()
+    text = mdg_to_dot(mdg, allocation=allocation)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.chrome_trace import save_chrome_trace
+
+    bundle = _bundle(args)
+    machine = _machine(args)
+    result = (
+        compile_spmd(bundle.mdg, machine)
+        if args.spmd
+        else compile_mdg(bundle.mdg, machine)
+    )
+    sim = measure(result, _fidelity(args.fidelity))
+    save_chrome_trace(sim.trace, args.output, machine_name=machine.name)
+    print(
+        f"simulated {bundle.name} ({result.style}) in {sim.makespan:.6g} s; "
+        f"wrote Chrome trace to {args.output} "
+        "(open in chrome://tracing or Perfetto)"
+    )
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    mdg = load_mdg(args.mdg)
+    machine = _machine(args)
+    from repro.allocation import solve_allocation
+
+    allocation = solve_allocation(mdg.normalized(), machine)
+    print(f"Phi = {allocation.phi:.6g} s on {machine.name} (p={machine.processors})")
+    rows = sorted(allocation.processors.items())
+    print(format_table(["node", "processors (continuous)"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="paradigm-mdg",
+        description="Mixed data/functional parallelism via convex programming "
+        "(ICPP 1994 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list machines and programs").set_defaults(
+        func=cmd_info
+    )
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--program", default="complex", help="built-in program name")
+        p.add_argument("--n", type=int, default=None, help="matrix size")
+        p.add_argument("--machine", default="cm5", help="machine preset")
+        p.add_argument("--processors", "-p", type=int, default=64)
+        p.add_argument("--width", type=int, default=72, help="gantt width")
+
+    p_compile = sub.add_parser("compile", help="allocate + schedule + show Gantt")
+    common(p_compile)
+    p_compile.add_argument("--spmd", action="store_true", help="SPMD baseline")
+    p_compile.add_argument("--svg", default=None, help="also write an SVG Gantt")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_sim = sub.add_parser("simulate", help="compile then run on the simulator")
+    common(p_sim)
+    p_sim.add_argument("--spmd", action="store_true")
+    p_sim.add_argument("--fidelity", default="cm5", help="ideal | cm5")
+    p_sim.add_argument("--gantt", action="store_true", help="print the trace Gantt")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument(
+        "which",
+        choices=["fig8", "fig9", "table1", "table2", "table3", "sensitivity"],
+    )
+    common(p_exp)
+    p_exp.add_argument("--sizes", default="16,32,64")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_dot = sub.add_parser("export-dot", help="emit a program's MDG as DOT")
+    common(p_dot)
+    p_dot.add_argument("--allocated", action="store_true",
+                       help="annotate nodes with the compiled allocation")
+    p_dot.add_argument("--output", "-o", default=None, help="output file")
+    p_dot.set_defaults(func=cmd_export_dot)
+
+    p_trace = sub.add_parser(
+        "trace", help="simulate and export a Chrome/Perfetto trace"
+    )
+    common(p_trace)
+    p_trace.add_argument("--spmd", action="store_true")
+    p_trace.add_argument("--fidelity", default="cm5", help="ideal | cm5")
+    p_trace.add_argument("--output", "-o", default="trace.json")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_solve = sub.add_parser("solve", help="allocate an MDG from a JSON file")
+    p_solve.add_argument("mdg", help="path to an MDG JSON file")
+    p_solve.add_argument("--machine", default="cm5")
+    p_solve.add_argument("--processors", "-p", type=int, default=64)
+    p_solve.set_defaults(func=cmd_solve)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

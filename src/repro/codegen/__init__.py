@@ -1,0 +1,42 @@
+"""MPMD / SPMD program generation (Section 1.2, steps 4–5).
+
+Given a schedule, emit one instruction stream per physical processor —
+receives, a compute, and sends for every node the processor participates
+in, in schedule order. This is the *Multiple Program Multiple Data* style
+the paper contrasts with SPMD: different processors get genuinely
+different programs.
+"""
+
+from repro.codegen.program import (
+    ComputeOp,
+    SendOp,
+    RecvOp,
+    Instruction,
+    MPMDProgram,
+)
+from repro.codegen.mpmd import generate_mpmd_program
+from repro.codegen.spmd import generate_spmd_program
+from repro.codegen.pretty import format_program, format_processor_stream, program_summary
+from repro.codegen.datapar import (
+    CommStep,
+    IntraNodePlan,
+    plan_node,
+    estimate_intra_comm_time,
+)
+
+__all__ = [
+    "ComputeOp",
+    "SendOp",
+    "RecvOp",
+    "Instruction",
+    "MPMDProgram",
+    "generate_mpmd_program",
+    "generate_spmd_program",
+    "format_program",
+    "format_processor_stream",
+    "program_summary",
+    "CommStep",
+    "IntraNodePlan",
+    "plan_node",
+    "estimate_intra_comm_time",
+]

@@ -1,0 +1,165 @@
+"""Intra-node data-parallel plans (Section 1.2, step 4).
+
+The PARADIGM compiler's step 4 "partitions computations and generates
+communication" *inside* each data-parallel loop. In the paper's cost
+model that machinery is folded into the Amdahl serial fraction; this
+module makes it explicit: for a kernel and a group size it derives the
+per-rank iteration bounds and the intra-node communication pattern
+(allgather for a multiply's second operand, halo exchange for a stencil,
+nothing for elementwise loops), and estimates the communication time —
+which lets tests check that the measured serial fractions of Table 1 are
+*physically plausible* for the kernels they describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costs.transfer import TransferCostParameters
+from repro.errors import CodegenError
+from repro.runtime.kernels import (
+    Assemble2x2,
+    ColTransform,
+    Extract,
+    JacobiSweep,
+    Kernel,
+    MatAdd,
+    MatInit,
+    MatMul,
+    MatSub,
+    RowTransform,
+)
+from repro.utils.validation import check_integer
+
+__all__ = ["CommStep", "IntraNodePlan", "plan_node", "estimate_intra_comm_time"]
+
+
+@dataclass(frozen=True)
+class CommStep:
+    """One intra-node collective or exchange.
+
+    ``pattern`` is one of ``"allgather"``, ``"halo"``, ``"gather"``;
+    ``bytes_per_rank`` is what each participating rank *sends* in the
+    step; ``messages_per_rank`` how many point-to-point messages that
+    takes under a ring/neighbour implementation.
+    """
+
+    pattern: str
+    bytes_per_rank: float
+    messages_per_rank: int
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class IntraNodePlan:
+    """The data-parallel execution plan of one node at one group size."""
+
+    kernel_type: str
+    group: int
+    rank_rows: tuple[tuple[int, int], ...]  # output rows per rank
+    comm_steps: tuple[CommStep, ...] = field(default_factory=tuple)
+
+    @property
+    def total_comm_bytes(self) -> float:
+        """Bytes on the intra-node wire, summed over ranks and steps."""
+        return sum(s.bytes_per_rank * self.group for s in self.comm_steps)
+
+    @property
+    def is_communication_free(self) -> bool:
+        return not self.comm_steps
+
+    def balanced(self) -> bool:
+        """True when rank row counts differ by at most one."""
+        sizes = [r1 - r0 for r0, r1 in self.rank_rows]
+        return max(sizes) - min(sizes) <= 1
+
+
+def _rank_rows(kernel: Kernel, group: int) -> tuple[tuple[int, int], ...]:
+    dist = kernel.output_distribution(group)
+    return tuple(
+        (dist.region(rank)[0], dist.region(rank)[1]) for rank in range(group)
+    )
+
+
+def plan_node(kernel: Kernel, group: int) -> IntraNodePlan:
+    """Derive the intra-node plan for ``kernel`` on ``group`` ranks."""
+    group = check_integer("group", group, minimum=1)
+    rank_rows = _rank_rows(kernel, group)
+    steps: list[CommStep] = []
+
+    if isinstance(kernel, MatMul):
+        if group > 1:
+            # Ring allgather of the row-blocked B operand: each rank sends
+            # its block around the ring, group-1 hops.
+            block_bytes = 8.0 * kernel.inner * kernel.cols / group
+            steps.append(
+                CommStep(
+                    pattern="allgather",
+                    bytes_per_rank=block_bytes * (group - 1),
+                    messages_per_rank=group - 1,
+                    description="ring allgather of the B operand",
+                )
+            )
+    elif isinstance(kernel, JacobiSweep):
+        if group > 1:
+            row_bytes = 8.0 * kernel.cols
+            # Interior ranks exchange two halo rows; edge ranks one.
+            steps.append(
+                CommStep(
+                    pattern="halo",
+                    bytes_per_rank=2.0 * row_bytes * (group - 1) / group,
+                    messages_per_rank=2,
+                    description="north/south halo row exchange",
+                )
+            )
+    elif isinstance(kernel, (Extract, Assemble2x2)):
+        if group > 1:
+            # Block plumbing re-gathers rows that live on other ranks; on
+            # average a fraction (group-1)/group of the output moves.
+            out_bytes = 8.0 * kernel.rows * kernel.cols / group
+            steps.append(
+                CommStep(
+                    pattern="gather",
+                    bytes_per_rank=out_bytes * (group - 1) / group,
+                    messages_per_rank=min(group - 1, 2),
+                    description="block row regather",
+                )
+            )
+    elif isinstance(
+        kernel, (MatAdd, MatSub, MatInit, RowTransform, ColTransform)
+    ):
+        pass  # embarrassingly parallel at matching layouts
+    else:
+        raise CodegenError(
+            f"no intra-node plan rule for kernel type {type(kernel).__name__}"
+        )
+
+    return IntraNodePlan(
+        kernel_type=type(kernel).__name__,
+        group=group,
+        rank_rows=rank_rows,
+        comm_steps=tuple(steps),
+    )
+
+
+def estimate_intra_comm_time(
+    plan: IntraNodePlan, parameters: TransferCostParameters
+) -> float:
+    """Per-rank intra-node communication time under the machine constants.
+
+    Each message costs a send start-up plus per-byte send and receive
+    handling (the ring partner receives concurrently, so one direction's
+    start-up dominates the critical path).
+    """
+    total = 0.0
+    for step in plan.comm_steps:
+        per_message_bytes = (
+            step.bytes_per_rank / step.messages_per_rank
+            if step.messages_per_rank
+            else 0.0
+        )
+        total += step.messages_per_rank * (
+            parameters.t_ss
+            + per_message_bytes * (parameters.t_ps + parameters.t_pr)
+        )
+    return total

@@ -1,0 +1,122 @@
+"""Generate an MPMD program from a schedule (Section 1.2, step 5).
+
+For every node, each participating processor executes: one receive per
+incoming edge, the compute slice, one send per outgoing edge. Edges with
+no data transfers become zero-byte synchronization messages — precedence
+across processor groups still has to be enforced by *something* on a real
+distributed-memory machine, and a zero-length message is exactly what the
+PARADIGM runtime would use.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.program import ComputeOp, Instruction, MPMDProgram, RecvOp, SendOp
+from repro.costs.node_weights import MDGCostModel
+from repro.errors import CodegenError
+from repro.graph.mdg import MDG
+from repro.machine.parameters import MachineParameters
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["generate_mpmd_program"]
+
+#: Processor count standing in for "infinitely many" when estimating the
+#: serial floor of a compute cost (the part that never parallelizes).
+_SERIAL_FLOOR_P = 1.0e15
+
+
+def _compute_op(mdg: MDG, name: str, width: int) -> ComputeOp:
+    model = mdg.node(name).processing
+    cost = model.cost(width)
+    serial_floor = model.cost(_SERIAL_FLOOR_P)
+    parallel = max(cost - serial_floor, 0.0)
+    return ComputeOp(node=name, cost=cost, parallel_cost=parallel)
+
+
+def generate_mpmd_program(
+    schedule: Schedule,
+    machine: MachineParameters,
+) -> MPMDProgram:
+    """Lower ``schedule`` to per-processor instruction streams.
+
+    The schedule must be complete. Instruction order per processor is by
+    node start time (ties broken by topological position), receives before
+    compute before sends within a node — matching how the schedule's
+    weights were assembled.
+    """
+    if not schedule.is_complete:
+        raise CodegenError("cannot generate code from an incomplete schedule")
+    mdg = schedule.mdg
+    transfer_model = MDGCostModel(mdg, machine.transfer_model()).transfer_model
+    allocation = schedule.allocation()
+
+    topo_position = {name: k for k, name in enumerate(mdg.topological_order())}
+    program = MPMDProgram(total_processors=schedule.total_processors)
+
+    # Register group membership per edge for message matching.
+    for edge in mdg.edges():
+        program.senders[(edge.source, edge.target)] = schedule.entry(
+            edge.source
+        ).processors
+        program.receivers[(edge.source, edge.target)] = schedule.entry(
+            edge.target
+        ).processors
+
+    node_order = sorted(
+        schedule.entries.values(), key=lambda e: (e.start, topo_position[e.name])
+    )
+    for entry in node_order:
+        name = entry.name
+        width = entry.width
+        ops: list[Instruction] = []
+        for in_edge in mdg.in_edges(name):
+            p_m = allocation[in_edge.source]
+            startup = byte = delay = received = 0.0
+            for t in in_edge.transfers:
+                s, b = transfer_model.receive_cost_components(t, p_m, width)
+                startup += s
+                byte += b
+                # Edge weight in the analytic model is the *sum* of the
+                # transfers' network components; keep the program consistent.
+                delay += transfer_model.network_cost(t, p_m, width)
+                received += t.length_bytes / width
+            ops.append(
+                RecvOp(
+                    source=in_edge.source,
+                    target=name,
+                    startup_cost=startup,
+                    byte_cost=byte,
+                    network_delay=delay,
+                    bytes_received=received,
+                )
+            )
+        ops.append(_compute_op(mdg, name, width))
+        for out_edge in mdg.out_edges(name):
+            p_n = allocation[out_edge.target]
+            startup = byte = sent = 0.0
+            for t in out_edge.transfers:
+                s, b = transfer_model.send_cost_components(t, width, p_n)
+                startup += s
+                byte += b
+                sent += t.length_bytes / width
+            ops.append(
+                SendOp(
+                    source=name,
+                    target=out_edge.target,
+                    startup_cost=startup,
+                    byte_cost=byte,
+                    bytes_sent=sent,
+                )
+            )
+        for proc in entry.processors:
+            program.streams.setdefault(proc, []).extend(ops)
+
+    program.info.update(
+        {
+            "mdg": mdg.name,
+            "machine": machine.name,
+            "style": "MPMD",
+            "allocation": allocation,
+        }
+    )
+    program.validate()
+    return program

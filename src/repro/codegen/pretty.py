@@ -1,0 +1,107 @@
+"""Human-readable listings of generated MPMD programs.
+
+Section 1.2 step 5 of the paper: "create an executable program for each
+processor in the target system. The program created can be very different
+for each processor." This module renders exactly that — a per-processor
+listing of the generated instruction streams — so users can *see* the
+MPMD-ness (and the SPMD degenerate case, where every listing is equal).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.program import ComputeOp, MPMDProgram, RecvOp, SendOp
+from repro.errors import CodegenError
+
+__all__ = ["format_program", "format_processor_stream", "program_summary"]
+
+
+def _format_op(op) -> str:
+    if isinstance(op, RecvOp):
+        cost = op.startup_cost + op.byte_cost
+        return (
+            f"RECV  {op.source:>12} -> {op.target:<12} "
+            f"({op.bytes_received:>9.0f} B, {1e6 * cost:8.1f} us)"
+        )
+    if isinstance(op, SendOp):
+        cost = op.startup_cost + op.byte_cost
+        return (
+            f"SEND  {op.source:>12} -> {op.target:<12} "
+            f"({op.bytes_sent:>9.0f} B, {1e6 * cost:8.1f} us)"
+        )
+    if isinstance(op, ComputeOp):
+        return f"EXEC  {op.node:<28} ({1e6 * op.cost:8.1f} us)"
+    raise CodegenError(f"unknown instruction {op!r}")
+
+
+def format_processor_stream(program: MPMDProgram, processor: int) -> str:
+    """The listing for one processor."""
+    stream = program.stream(processor)
+    lines = [f"processor {processor}: {len(stream)} instructions"]
+    for index, op in enumerate(stream):
+        lines.append(f"  [{index:3}] {_format_op(op)}")
+    return "\n".join(lines)
+
+
+def format_program(program: MPMDProgram, max_processors: int | None = None) -> str:
+    """Listings for every (or the first ``max_processors``) processors.
+
+    Identical consecutive streams are collapsed into one listing with a
+    processor range — SPMD programs print once instead of ``p`` times.
+    """
+    procs = sorted(program.streams)
+    if max_processors is not None:
+        procs = procs[:max_processors]
+    blocks: list[str] = [
+        f"{program.info.get('style', 'MPMD')} program for "
+        f"{program.info.get('mdg', '?')} on {program.total_processors} processors",
+        "",
+    ]
+    index = 0
+    while index < len(procs):
+        start = index
+        stream = program.streams[procs[index]]
+        while (
+            index + 1 < len(procs)
+            and program.streams[procs[index + 1]] == stream
+        ):
+            index += 1
+        if start == index:
+            blocks.append(format_processor_stream(program, procs[start]))
+        else:
+            body = format_processor_stream(program, procs[start]).splitlines()
+            body[0] = (
+                f"processors {procs[start]}..{procs[index]} (identical): "
+                f"{len(stream)} instructions"
+            )
+            blocks.append("\n".join(body))
+        blocks.append("")
+        index += 1
+    return "\n".join(blocks).rstrip() + "\n"
+
+
+def program_summary(program: MPMDProgram) -> dict[str, float]:
+    """Aggregate statistics of a program (for reports and tests)."""
+    n_compute = n_send = n_recv = 0
+    bytes_sent = 0.0
+    compute_seconds = 0.0
+    message_seconds = 0.0
+    for _proc, op in program.instructions():
+        if isinstance(op, ComputeOp):
+            n_compute += 1
+            compute_seconds += op.cost
+        elif isinstance(op, SendOp):
+            n_send += 1
+            bytes_sent += op.bytes_sent
+            message_seconds += op.startup_cost + op.byte_cost
+        elif isinstance(op, RecvOp):
+            n_recv += 1
+            message_seconds += op.startup_cost + op.byte_cost
+    return {
+        "instructions": float(program.n_instructions),
+        "computes": float(n_compute),
+        "sends": float(n_send),
+        "receives": float(n_recv),
+        "bytes_sent": bytes_sent,
+        "compute_seconds": compute_seconds,
+        "message_seconds": message_seconds,
+    }

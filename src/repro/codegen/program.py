@@ -1,0 +1,158 @@
+"""The MPMD program intermediate representation.
+
+A program is one ordered instruction stream per physical processor. Three
+instruction kinds exist, mirroring what the PARADIGM compiler would emit
+around each loop nest:
+
+* :class:`RecvOp` — process the messages arriving over one MDG edge
+  (blocking: cannot complete before the matching sends and the network
+  delay).
+* :class:`ComputeOp` — the data-parallel loop body itself.
+* :class:`SendOp` — post the messages for one outgoing MDG edge.
+
+Costs are attached at generation time from the analytic model; the
+simulator replays them (plus any hardware-fidelity deviations). Start-up
+and per-byte parts are kept separate because they behave differently under
+contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.errors import CodegenError
+
+__all__ = ["ComputeOp", "SendOp", "RecvOp", "Instruction", "MPMDProgram"]
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    """Execute node ``node``'s loop body slice on this processor.
+
+    ``cost`` is the full ``t^C``; ``parallel_cost`` is the portion that
+    shrank with the processor count (the part hardware curvature scales).
+    """
+
+    node: str
+    cost: float
+    parallel_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cost < 0 or self.parallel_cost < 0:
+            raise CodegenError(f"negative cost on compute of {self.node!r}")
+        if self.parallel_cost > self.cost * (1 + 1e-9):
+            raise CodegenError(
+                f"parallel_cost exceeds total cost on compute of {self.node!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SendOp:
+    """Post the messages of MDG edge ``(source, target)`` from this processor."""
+
+    source: str
+    target: str
+    startup_cost: float
+    byte_cost: float
+    bytes_sent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.startup_cost < 0 or self.byte_cost < 0 or self.bytes_sent < 0:
+            raise CodegenError(
+                f"negative cost on send {self.source!r}->{self.target!r}"
+            )
+
+    @property
+    def edge(self) -> tuple[str, str]:
+        return (self.source, self.target)
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    """Process the messages of MDG edge ``(source, target)`` on this processor.
+
+    ``network_delay`` is ``t^D`` for the edge — the earliest the data can
+    be touched after the last matching send completes.
+    """
+
+    source: str
+    target: str
+    startup_cost: float
+    byte_cost: float
+    network_delay: float = 0.0
+    bytes_received: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.startup_cost, self.byte_cost, self.network_delay, self.bytes_received
+        ) < 0:
+            raise CodegenError(
+                f"negative cost on recv {self.source!r}->{self.target!r}"
+            )
+
+    @property
+    def edge(self) -> tuple[str, str]:
+        return (self.source, self.target)
+
+
+Instruction = Union[ComputeOp, SendOp, RecvOp]
+
+
+@dataclass
+class MPMDProgram:
+    """One instruction stream per processor, plus bookkeeping.
+
+    ``senders``/``receivers`` record which processors participate in each
+    edge's transfer — the simulator uses them for message matching, and
+    they double as a consistency check (an edge with receivers but no
+    senders would deadlock).
+    """
+
+    total_processors: int
+    streams: dict[int, list[Instruction]] = field(default_factory=dict)
+    senders: dict[tuple[str, str], tuple[int, ...]] = field(default_factory=dict)
+    receivers: dict[tuple[str, str], tuple[int, ...]] = field(default_factory=dict)
+    info: dict = field(default_factory=dict)
+
+    def stream(self, processor: int) -> list[Instruction]:
+        """Processor ``processor``'s instruction list (empty if unused)."""
+        if not 0 <= processor < self.total_processors:
+            raise CodegenError(
+                f"processor {processor} out of range [0, {self.total_processors})"
+            )
+        return self.streams.get(processor, [])
+
+    def instructions(self) -> Iterator[tuple[int, Instruction]]:
+        """All (processor, instruction) pairs, processor-major."""
+        for proc in sorted(self.streams):
+            for op in self.streams[proc]:
+                yield proc, op
+
+    @property
+    def n_instructions(self) -> int:
+        return sum(len(s) for s in self.streams.values())
+
+    def validate(self) -> None:
+        """Check message-matching consistency; raise CodegenError on failure."""
+        send_edges = {
+            op.edge for _, op in self.instructions() if isinstance(op, SendOp)
+        }
+        recv_edges = {
+            op.edge for _, op in self.instructions() if isinstance(op, RecvOp)
+        }
+        if send_edges != recv_edges:
+            raise CodegenError(
+                f"unmatched transfers: sends only {sorted(send_edges - recv_edges)}, "
+                f"receives only {sorted(recv_edges - send_edges)}"
+            )
+        for edge in send_edges:
+            if not self.senders.get(edge) or not self.receivers.get(edge):
+                raise CodegenError(f"edge {edge!r} missing sender/receiver registry")
+
+    def __repr__(self) -> str:
+        return (
+            f"MPMDProgram(p={self.total_processors}, "
+            f"instructions={self.n_instructions}, "
+            f"edges={len(self.senders)})"
+        )

@@ -1,0 +1,70 @@
+"""Cost models of the paper (Section 4) and the posynomial algebra behind them.
+
+The allocation formulation is a convex program only because every cost is a
+*posynomial* in the processor counts (Lemmas 1 and 2 of the paper). This
+package provides:
+
+* :mod:`repro.costs.posynomial` — an exact symbolic posynomial algebra with
+  evaluation and log-space (geometric-programming) value/gradient.
+* :mod:`repro.costs.processing` — the Amdahl processing-cost model (Eq. 1).
+* :mod:`repro.costs.transfer` — 1D and 2D data-transfer cost models
+  (Eqs. 2 and 3) for block-distributed two-dimensional arrays.
+* :mod:`repro.costs.node_weights` — assembly of node weights
+  ``T_i = sum(t^R) + t^C + sum(t^S)``, edge weights ``t^D``, and the
+  ``A_p``/``C_p`` bounds.
+* :mod:`repro.costs.fitting` — training-sets regression to recover the
+  model parameters from timing measurements (Tables 1 and 2).
+"""
+
+from repro.costs.posynomial import Monomial, Posynomial, CompiledPosynomial
+from repro.costs.processing import (
+    AmdahlProcessingCost,
+    GeneralPosynomialProcessingCost,
+    ProcessingCostModel,
+    ZeroProcessingCost,
+)
+from repro.costs.transfer import (
+    TransferKind,
+    TransferCostParameters,
+    ArrayTransfer,
+    TransferCostModel,
+)
+from repro.costs.node_weights import MDGCostModel, BoundWeights
+from repro.costs.extensions import (
+    ScaledProcessingCost,
+    SumProcessingCost,
+    CommunicationAwareCost,
+    optimal_processors,
+)
+from repro.costs.fitting import (
+    fit_amdahl,
+    fit_transfer_parameters,
+    AmdahlFit,
+    TransferFit,
+    TransferTimingSample,
+)
+
+__all__ = [
+    "Monomial",
+    "Posynomial",
+    "CompiledPosynomial",
+    "AmdahlProcessingCost",
+    "GeneralPosynomialProcessingCost",
+    "ProcessingCostModel",
+    "ZeroProcessingCost",
+    "TransferKind",
+    "TransferCostParameters",
+    "ArrayTransfer",
+    "TransferCostModel",
+    "MDGCostModel",
+    "BoundWeights",
+    "ScaledProcessingCost",
+    "SumProcessingCost",
+    "CommunicationAwareCost",
+    "optimal_processors",
+    "fit_amdahl",
+    "fit_transfer_parameters",
+    "AmdahlFit",
+    "TransferFit",
+    "TransferTimingSample",
+]

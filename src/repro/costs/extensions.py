@@ -1,0 +1,156 @@
+"""Processing-cost model combinators.
+
+The paper notes the serial fraction "need not necessarily be a constant"
+— any form keeping ``t^C`` and ``t^C * p`` posynomial works. These
+combinators build such forms from existing models without leaving the
+cone:
+
+* :class:`ScaledProcessingCost` — the same loop on a different problem
+  size or a faster core (multiply by a positive constant).
+* :class:`SumProcessingCost` — a node that fuses several loop bodies
+  (costs add; common when coarsening MDGs).
+* :class:`CommunicationAwareCost` — Amdahl plus an explicit intra-loop
+  communication term ``c * p^gamma`` (gamma >= 0), the "alpha grows with
+  p" effect; gives the cost curve a genuine interior optimum processor
+  count, which :func:`optimal_processors` finds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.costs.posynomial import Posynomial
+from repro.costs.processing import AmdahlProcessingCost, ProcessingCostModel
+from repro.errors import CostModelError
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "ScaledProcessingCost",
+    "SumProcessingCost",
+    "CommunicationAwareCost",
+    "optimal_processors",
+]
+
+
+@dataclass(frozen=True)
+class ScaledProcessingCost(ProcessingCostModel):
+    """``factor * base`` — a constant multiple of another model."""
+
+    base: ProcessingCostModel
+    factor: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, ProcessingCostModel):
+            raise CostModelError(f"base must be a ProcessingCostModel, got {self.base!r}")
+        object.__setattr__(self, "factor", check_positive("factor", self.factor))
+
+    def cost(self, processors: float) -> float:
+        return self.factor * self.base.cost(processors)
+
+    def posynomial(self, variable: str) -> Posynomial:
+        inner = self.base.posynomial(variable)
+        if inner.is_zero():
+            return inner
+        return inner * self.factor
+
+
+@dataclass(frozen=True)
+class SumProcessingCost(ProcessingCostModel):
+    """The fusion of several loop bodies into one MDG node."""
+
+    parts: tuple[ProcessingCostModel, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+        if not self.parts:
+            raise CostModelError("SumProcessingCost needs at least one part")
+        for part in self.parts:
+            if not isinstance(part, ProcessingCostModel):
+                raise CostModelError(
+                    f"parts must be ProcessingCostModel, got {part!r}"
+                )
+
+    def cost(self, processors: float) -> float:
+        return sum(part.cost(processors) for part in self.parts)
+
+    def posynomial(self, variable: str) -> Posynomial:
+        out = Posynomial.zero()
+        for part in self.parts:
+            out = out + part.posynomial(variable)
+        return out
+
+
+@dataclass(frozen=True)
+class CommunicationAwareCost(ProcessingCostModel):
+    """Amdahl plus an intra-loop communication term ``c * p^gamma``.
+
+    ``t(p) = (alpha + (1-alpha)/p) * tau + comm_coefficient * p^gamma``.
+    Still a posynomial (and so is ``t * p``), so the convex formulation
+    accepts it unchanged — but unlike pure Amdahl, adding processors
+    eventually *hurts*, which is how real data-parallel loops behave.
+    """
+
+    amdahl: AmdahlProcessingCost
+    comm_coefficient: float
+    gamma: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.amdahl, AmdahlProcessingCost):
+            raise CostModelError("amdahl must be an AmdahlProcessingCost")
+        object.__setattr__(
+            self,
+            "comm_coefficient",
+            check_non_negative("comm_coefficient", self.comm_coefficient),
+        )
+        gamma = check_non_negative("gamma", self.gamma)
+        if gamma == 0.0:
+            raise CostModelError("gamma must be > 0 (use plain Amdahl otherwise)")
+        object.__setattr__(self, "gamma", gamma)
+
+    def cost(self, processors: float) -> float:
+        return (
+            self.amdahl.cost(processors)
+            + self.comm_coefficient * processors**self.gamma
+        )
+
+    def posynomial(self, variable: str) -> Posynomial:
+        out = self.amdahl.posynomial(variable)
+        if self.comm_coefficient > 0.0:
+            out = out + Posynomial.monomial(
+                self.comm_coefficient, {variable: self.gamma}
+            )
+        return out
+
+    def optimal_processors_unbounded(self) -> float:
+        """The interior minimizer of ``t(p)`` (may exceed any machine).
+
+        Solves ``d/dp [ (1-alpha) tau / p + c p^gamma ] = 0``:
+        ``p* = ((1-alpha) tau / (c gamma))^(1/(gamma+1))``.
+        """
+        if self.comm_coefficient == 0.0:
+            return math.inf
+        numerator = (1.0 - self.amdahl.alpha) * self.amdahl.tau
+        if numerator == 0.0:
+            return 1.0
+        return (numerator / (self.comm_coefficient * self.gamma)) ** (
+            1.0 / (self.gamma + 1.0)
+        )
+
+
+def optimal_processors(model: ProcessingCostModel, maximum: int) -> int:
+    """The integer processor count in [1, maximum] minimizing ``t(p)``.
+
+    Exhaustive over the (small) integer range — robust for any model.
+    """
+    if maximum < 1:
+        raise CostModelError(f"maximum must be >= 1, got {maximum}")
+    best_p, best_cost = 1, model.cost(1)
+    for p in range(2, maximum + 1):
+        c = model.cost(p)
+        if c < best_cost:
+            best_p, best_cost = p, c
+    return best_p

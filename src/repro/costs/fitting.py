@@ -1,0 +1,182 @@
+"""Training-sets parameter estimation (Section 4, Tables 1 and 2).
+
+The paper follows Balasundaram et al.'s *training sets* approach: run
+measurement kernels on the target machine, then recover the cost-model
+parameters by linear regression. Both fits here are linear least squares
+because the models are linear in their parameters:
+
+* Amdahl: ``t(p) = a + b/p`` with ``a = alpha*tau`` and ``b = (1-alpha)*tau``.
+* Transfer: each timing sample contributes rows whose regressors are the
+  known coefficients of ``(t_ss, t_ps, t_sr, t_pr, t_n)`` in Eqs. 2–3;
+  non-negative least squares keeps the recovered constants physical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.costs.processing import AmdahlProcessingCost
+from repro.costs.transfer import ArrayTransfer, TransferCostParameters
+from repro.errors import CostModelError
+
+__all__ = [
+    "AmdahlFit",
+    "fit_amdahl",
+    "TransferTimingSample",
+    "TransferFit",
+    "fit_transfer_parameters",
+]
+
+
+@dataclass(frozen=True)
+class AmdahlFit:
+    """Result of fitting Eq. 1 to processing-time measurements."""
+
+    model: AmdahlProcessingCost
+    processors: tuple[float, ...]
+    measured: tuple[float, ...]
+    predicted: tuple[float, ...]
+    rms_relative_error: float
+
+    @property
+    def alpha(self) -> float:
+        return self.model.alpha
+
+    @property
+    def tau(self) -> float:
+        return self.model.tau
+
+
+def fit_amdahl(
+    processors: Sequence[float],
+    times: Sequence[float],
+    name: str = "",
+) -> AmdahlFit:
+    """Fit ``(alpha, tau)`` of Amdahl's law to ``(p, t)`` measurements.
+
+    Requires at least two distinct processor counts. ``alpha`` is clamped
+    to [0, 1] (measurement noise can push the unconstrained estimate
+    slightly outside).
+    """
+    p = np.asarray(processors, dtype=float)
+    t = np.asarray(times, dtype=float)
+    if p.shape != t.shape or p.ndim != 1:
+        raise CostModelError("processors and times must be 1-D arrays of equal length")
+    if p.size < 2 or np.unique(p).size < 2:
+        raise CostModelError("need measurements at >= 2 distinct processor counts")
+    if np.any(p <= 0) or np.any(t <= 0):
+        raise CostModelError("processor counts and times must be positive")
+
+    design = np.column_stack([np.ones_like(p), 1.0 / p])
+    (a, b), *_ = np.linalg.lstsq(design, t, rcond=None)
+    tau = a + b
+    if tau <= 0:
+        raise CostModelError(f"fit produced non-positive tau = {tau!r}")
+    alpha = min(max(a / tau, 0.0), 1.0)
+    model = AmdahlProcessingCost(alpha=alpha, tau=tau, name=name)
+    predicted = np.array([model.cost(v) for v in p])
+    rms = float(np.sqrt(np.mean(((predicted - t) / t) ** 2)))
+    return AmdahlFit(
+        model=model,
+        processors=tuple(p.tolist()),
+        measured=tuple(t.tolist()),
+        predicted=tuple(predicted.tolist()),
+        rms_relative_error=rms,
+    )
+
+
+@dataclass(frozen=True)
+class TransferTimingSample:
+    """One measured redistribution: component times for a single array.
+
+    ``network_time`` may be zero/omitted — on the CM-5 the network delay is
+    absorbed into the receive (Section 4), which is exactly why the paper's
+    fitted ``t_n`` is 0.
+    """
+
+    transfer: ArrayTransfer
+    p_i: float
+    p_j: float
+    send_time: float
+    receive_time: float
+    network_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.p_i <= 0 or self.p_j <= 0:
+            raise CostModelError(
+                f"processor counts must be positive, got ({self.p_i}, {self.p_j})"
+            )
+        for field_name in ("send_time", "receive_time", "network_time"):
+            if getattr(self, field_name) < 0:
+                raise CostModelError(f"{field_name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class TransferFit:
+    """Result of fitting the Table 2 constants."""
+
+    parameters: TransferCostParameters
+    rms_relative_error: float
+    n_samples: int
+
+
+def _sample_rows(sample: TransferTimingSample) -> tuple[list[list[float]], list[float]]:
+    """Regressor rows ((t_ss, t_ps, t_sr, t_pr, t_n) coefficients) and targets."""
+    L = sample.transfer.length_bytes
+    pi, pj = sample.p_i, sample.p_j
+    if sample.transfer.kind.is_1d:
+        send_row = [max(pi, pj) / pi, L / pi, 0.0, 0.0, 0.0]
+        recv_row = [0.0, 0.0, max(pi, pj) / pj, L / pj, 0.0]
+        net_row = [0.0, 0.0, 0.0, 0.0, L / max(pi, pj)]
+    else:
+        send_row = [pj, L / pi, 0.0, 0.0, 0.0]
+        recv_row = [0.0, 0.0, pi, L / pj, 0.0]
+        net_row = [0.0, 0.0, 0.0, 0.0, L / (pi * pj)]
+    rows = [send_row, recv_row, net_row]
+    targets = [sample.send_time, sample.receive_time, sample.network_time]
+    return rows, targets
+
+
+def fit_transfer_parameters(
+    samples: Sequence[TransferTimingSample],
+) -> TransferFit:
+    """Recover ``(t_ss, t_ps, t_sr, t_pr, t_n)`` from timing samples.
+
+    Uses non-negative least squares; needs samples spanning at least two
+    message sizes or processor configurations per component so the
+    start-up and per-byte terms are separable.
+    """
+    if len(samples) < 2:
+        raise CostModelError("need at least 2 transfer timing samples")
+    rows: list[list[float]] = []
+    targets: list[float] = []
+    for sample in samples:
+        r, y = _sample_rows(sample)
+        rows.extend(r)
+        targets.extend(y)
+    design = np.asarray(rows, dtype=float)
+    y = np.asarray(targets, dtype=float)
+    solution, _residual_norm = nnls(design, y)
+    params = TransferCostParameters(
+        t_ss=float(solution[0]),
+        t_ps=float(solution[1]),
+        t_sr=float(solution[2]),
+        t_pr=float(solution[3]),
+        t_n=float(solution[4]),
+    )
+    predicted = design @ solution
+    mask = y > 0
+    if mask.any():
+        rms = float(
+            np.sqrt(np.mean(((predicted[mask] - y[mask]) / y[mask]) ** 2))
+        )
+    else:
+        rms = float(np.sqrt(np.mean((predicted - y) ** 2)))
+    if math.isnan(rms):
+        raise CostModelError("transfer fit produced NaN residuals")
+    return TransferFit(parameters=params, rms_relative_error=rms, n_samples=len(samples))

@@ -1,0 +1,251 @@
+"""Assembly of MDG node and edge weights from the cost models.
+
+Section 1.1 of the paper defines the weight of node ``i`` as
+
+    T_i = sum_{m in PRED_i} t^R_mi  +  t^C_i  +  sum_{n in SUCC_i} t^S_in
+
+(receive components of incoming transfers, the processing cost, and send
+components of outgoing transfers), and the weight of edge ``(m, i)`` as the
+network component ``t^D_mi``. All of these depend on the processor
+allocation, so :class:`MDGCostModel` evaluates them for any allocation —
+continuous (during optimization) or integral (during scheduling) — and also
+emits their posynomial forms for the convex formulation.
+
+It likewise computes the two lower bounds the allocation objective is the
+max of: the average finish time ``A_p`` and the critical-path time ``C_p``
+(Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.costs.posynomial import Posynomial
+from repro.costs.transfer import TransferCostModel
+from repro.errors import CostModelError
+from repro.utils.validation import check_integer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker (graph uses costs)
+    from repro.graph.mdg import MDG, MDGEdge
+
+__all__ = ["MDGCostModel", "BoundWeights"]
+
+
+def _check_allocation(mdg: "MDG", allocation: Mapping[str, float]) -> None:
+    missing = [name for name in mdg.node_names() if name not in allocation]
+    if missing:
+        raise CostModelError(f"allocation missing nodes {missing!r}")
+    for name in mdg.node_names():
+        if allocation[name] <= 0:
+            raise CostModelError(
+                f"allocation for node {name!r} must be > 0, got {allocation[name]!r}"
+            )
+
+
+class MDGCostModel:
+    """Evaluates node weights, edge weights, ``A_p`` and ``C_p`` for an MDG.
+
+    Parameters
+    ----------
+    mdg:
+        The macro dataflow graph. Must be a valid DAG.
+    transfer_model:
+        The machine's data-transfer cost model (Eqs. 2–3 with the machine's
+        message constants).
+    """
+
+    def __init__(self, mdg: "MDG", transfer_model: TransferCostModel):
+        mdg.validate()
+        self.mdg = mdg
+        self.transfer_model = transfer_model
+
+    # ----- numeric weights ----------------------------------------------
+
+    def processing_cost(self, name: str, processors: float) -> float:
+        """``t^C_i`` on ``processors``."""
+        return self.mdg.node(name).processing.cost(processors)
+
+    def node_weight(self, name: str, allocation: Mapping[str, float]) -> float:
+        """``T_i`` under ``allocation`` (receive + compute + send)."""
+        p_i = allocation[name]
+        total = self.processing_cost(name, p_i)
+        for edge in self.mdg.in_edges(name):
+            p_m = allocation[edge.source]
+            total += self.transfer_model.edge_receive_cost(edge.transfers, p_m, p_i)
+        for edge in self.mdg.out_edges(name):
+            p_n = allocation[edge.target]
+            total += self.transfer_model.edge_send_cost(edge.transfers, p_i, p_n)
+        return total
+
+    def edge_weight(self, edge: "MDGEdge", allocation: Mapping[str, float]) -> float:
+        """``t^D_mi`` (network delay) under ``allocation``."""
+        return self.transfer_model.edge_network_cost(
+            edge.transfers, allocation[edge.source], allocation[edge.target]
+        )
+
+    # ----- aggregate quantities -----------------------------------------
+
+    def processor_time_area(self, allocation: Mapping[str, float]) -> float:
+        """``sum_i T_i * p_i`` — the minimum processor-time area (Section 2)."""
+        _check_allocation(self.mdg, allocation)
+        return sum(
+            self.node_weight(name, allocation) * allocation[name]
+            for name in self.mdg.node_names()
+        )
+
+    def average_finish_time(
+        self, allocation: Mapping[str, float], total_processors: int
+    ) -> float:
+        """``A_p = (1/p) * sum_i T_i * p_i``."""
+        total_processors = check_integer(
+            "total_processors", total_processors, minimum=1
+        )
+        return self.processor_time_area(allocation) / total_processors
+
+    def critical_path_time(self, allocation: Mapping[str, float]) -> float:
+        """``C_p = y_n``: the weighted critical path under ``allocation``."""
+        _check_allocation(self.mdg, allocation)
+        finish = self.finish_times(allocation)
+        return max(finish.values())
+
+    def critical_path_nodes(self, allocation: Mapping[str, float]) -> list[str]:
+        """The node sequence realizing ``C_p``."""
+        from repro.graph.analysis import critical_path
+
+        _check_allocation(self.mdg, allocation)
+        _, path = critical_path(
+            self.mdg,
+            node_weight=lambda n: self.node_weight(n, allocation),
+            edge_weight=lambda e: self.edge_weight(e, allocation),
+        )
+        return path
+
+    def finish_times(self, allocation: Mapping[str, float]) -> dict[str, float]:
+        """The paper's ``y_i`` recursion for every node."""
+        from repro.graph.analysis import longest_path_lengths
+
+        _check_allocation(self.mdg, allocation)
+        return longest_path_lengths(
+            self.mdg,
+            node_weight=lambda n: self.node_weight(n, allocation),
+            edge_weight=lambda e: self.edge_weight(e, allocation),
+        )
+
+    def makespan_lower_bound(
+        self, allocation: Mapping[str, float], total_processors: int
+    ) -> float:
+        """``max(A_p, C_p)`` — no schedule of this allocation can beat it."""
+        return max(
+            self.average_finish_time(allocation, total_processors),
+            self.critical_path_time(allocation),
+        )
+
+    def bind(self, allocation: Mapping[str, float]) -> "BoundWeights":
+        """Freeze an allocation into constant-time weight lookups."""
+        _check_allocation(self.mdg, allocation)
+        node_weights = {
+            name: self.node_weight(name, allocation) for name in self.mdg.node_names()
+        }
+        edge_weights = {
+            (e.source, e.target): self.edge_weight(e, allocation)
+            for e in self.mdg.edges()
+        }
+        return BoundWeights(self.mdg, dict(allocation), node_weights, edge_weights)
+
+    # ----- posynomial forms (for the convex formulation) -----------------
+
+    def node_weight_posynomial(
+        self,
+        name: str,
+        proc_var: Mapping[str, str],
+        max_var: Mapping[tuple[str, str], str],
+    ) -> Posynomial:
+        """``T_i`` as a posynomial.
+
+        ``proc_var[node]`` names the processor variable of each node;
+        ``max_var[(u, v)]`` names the auxiliary max(p_u, p_v) variable of
+        each edge (only consulted for 1D transfers).
+        """
+        p_i = proc_var[name]
+        out = self.mdg.node(name).processing.posynomial(p_i)
+        for edge in self.mdg.in_edges(name):
+            p_m = proc_var[edge.source]
+            mx = max_var.get((edge.source, edge.target), "")
+            for t in edge.transfers:
+                out = out + self.transfer_model.receive_posynomial(t, p_m, p_i, mx)
+        for edge in self.mdg.out_edges(name):
+            p_n = proc_var[edge.target]
+            mx = max_var.get((edge.source, edge.target), "")
+            for t in edge.transfers:
+                out = out + self.transfer_model.send_posynomial(t, p_i, p_n, mx)
+        return out
+
+    def edge_weight_posynomial(
+        self, edge: "MDGEdge", proc_var: Mapping[str, str]
+    ) -> Posynomial:
+        """``t^D`` as a posynomial (geometric-mean relaxation for 1D)."""
+        out = Posynomial.zero()
+        for t in edge.transfers:
+            out = out + self.transfer_model.network_posynomial(
+                t, proc_var[edge.source], proc_var[edge.target]
+            )
+        return out
+
+    def edges_needing_max_var(self) -> list["MDGEdge"]:
+        """Edges whose posynomial form references an aux max variable.
+
+        Only edges carrying 1D transfers with non-zero start-up costs need
+        one; skipping the rest keeps the optimization problem small.
+        """
+        params = self.transfer_model.parameters
+        if params.t_ss == 0.0 and params.t_sr == 0.0:
+            return []
+        return [
+            e
+            for e in self.mdg.edges()
+            if any(t.kind.is_1d for t in e.transfers)
+        ]
+
+
+class BoundWeights:
+    """Node/edge weights frozen for a specific allocation.
+
+    The scheduler queries these in its inner loop, so they are
+    precomputed dictionaries rather than repeated model evaluations.
+    """
+
+    def __init__(
+        self,
+        mdg: "MDG",
+        allocation: dict[str, float],
+        node_weights: dict[str, float],
+        edge_weights: dict[tuple[str, str], float],
+    ):
+        self.mdg = mdg
+        self.allocation = allocation
+        self._node_weights = node_weights
+        self._edge_weights = edge_weights
+
+    def node_weight(self, name: str) -> float:
+        return self._node_weights[name]
+
+    def edge_weight(self, source: str, target: str) -> float:
+        return self._edge_weights[(source, target)]
+
+    def finish_times(self) -> dict[str, float]:
+        from repro.graph.analysis import longest_path_lengths
+
+        return longest_path_lengths(
+            self.mdg,
+            node_weight=self.node_weight,
+            edge_weight=lambda e: self.edge_weight(e.source, e.target),
+        )
+
+    def critical_path_time(self) -> float:
+        return max(self.finish_times().values())
+
+    def processor_time_area(self) -> float:
+        return sum(
+            self._node_weights[name] * self.allocation[name]
+            for name in self.mdg.node_names()
+        )

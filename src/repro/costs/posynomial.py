@@ -1,0 +1,459 @@
+"""Exact posynomial algebra with the geometric-programming log transform.
+
+A *monomial* is ``c * prod_j v_j^(a_j)`` with coefficient ``c > 0`` and
+arbitrary real exponents ``a_j``. A *posynomial* is a finite sum of
+monomials. Posynomials are closed under addition, multiplication, positive
+scalar multiplication, non-negative integer powers, and division by a
+monomial — and, crucially for the paper's allocation formulation, the
+substitution ``v_j = exp(x_j)`` turns a posynomial into a sum of
+exponentials of affine functions of ``x``, which is smooth and convex.
+
+This module implements the algebra symbolically (dict of exponent vectors
+to coefficients), plus a :class:`CompiledPosynomial` form that packs the
+terms into NumPy arrays for fast repeated evaluation of values and
+gradients in log-space inside the solver.
+
+Example
+-------
+>>> p = Posynomial.variable("p1")
+>>> cost = 2.0 / p + 0.5 * p        # posynomial: 2*p1^-1 + 0.5*p1
+>>> cost.evaluate({"p1": 2.0})
+1.75
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import PosynomialError
+
+__all__ = ["Monomial", "Posynomial", "CompiledPosynomial"]
+
+# An exponent signature: sorted tuple of (variable name, exponent), with
+# zero exponents dropped. Hashable, so it can key the term dict.
+_ExpKey = tuple[tuple[str, float], ...]
+
+_COEF_EPSILON = 0.0  # coefficients must be strictly positive
+
+
+def _make_key(exponents: Mapping[str, float]) -> _ExpKey:
+    return tuple(sorted((v, float(e)) for v, e in exponents.items() if e != 0.0))
+
+
+class Monomial:
+    """A single posynomial term ``c * prod v^a`` with ``c > 0``.
+
+    Immutable. Supports multiplication, division and arbitrary real powers
+    (all of which keep monomials inside the monomial cone).
+    """
+
+    __slots__ = ("coefficient", "_exponents")
+
+    def __init__(self, coefficient: float, exponents: Mapping[str, float] | None = None):
+        coefficient = float(coefficient)
+        if not math.isfinite(coefficient) or coefficient <= _COEF_EPSILON:
+            raise PosynomialError(
+                f"monomial coefficient must be finite and > 0, got {coefficient!r}"
+            )
+        self.coefficient = coefficient
+        exps = {} if exponents is None else dict(exponents)
+        for v, e in exps.items():
+            if not isinstance(v, str):
+                raise PosynomialError(f"variable names must be str, got {v!r}")
+            if not math.isfinite(float(e)):
+                raise PosynomialError(f"exponent for {v} must be finite, got {e!r}")
+        self._exponents: dict[str, float] = {
+            v: float(e) for v, e in exps.items() if float(e) != 0.0
+        }
+
+    @property
+    def exponents(self) -> dict[str, float]:
+        """Copy of the exponent map (zero exponents omitted)."""
+        return dict(self._exponents)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self._exponents)
+
+    def degree(self, variable: str) -> float:
+        """Exponent of ``variable`` in this monomial (0 if absent)."""
+        return self._exponents.get(variable, 0.0)
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        result = self.coefficient
+        for v, e in self._exponents.items():
+            try:
+                base = float(values[v])
+            except KeyError as exc:
+                raise PosynomialError(f"no value supplied for variable {v!r}") from exc
+            if base <= 0.0:
+                raise PosynomialError(
+                    f"posynomial variables must be positive; {v}={base!r}"
+                )
+            result *= base**e
+        return result
+
+    def __mul__(self, other: "Monomial | float | int") -> "Monomial":
+        if isinstance(other, Monomial):
+            exps = dict(self._exponents)
+            for v, e in other._exponents.items():
+                exps[v] = exps.get(v, 0.0) + e
+            return Monomial(self.coefficient * other.coefficient, exps)
+        if isinstance(other, (int, float)):
+            return Monomial(self.coefficient * float(other), self._exponents)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Monomial | float | int") -> "Monomial":
+        if isinstance(other, Monomial):
+            return self * other**-1.0
+        if isinstance(other, (int, float)):
+            if float(other) <= 0.0:
+                raise PosynomialError(f"cannot divide monomial by {other!r}")
+            return Monomial(self.coefficient / float(other), self._exponents)
+        return NotImplemented
+
+    def __pow__(self, power: float) -> "Monomial":
+        power = float(power)
+        if not math.isfinite(power):
+            raise PosynomialError(f"monomial power must be finite, got {power!r}")
+        return Monomial(
+            self.coefficient**power,
+            {v: e * power for v, e in self._exponents.items()},
+        )
+
+    def as_posynomial(self) -> "Posynomial":
+        return Posynomial([self])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        return (
+            math.isclose(self.coefficient, other.coefficient, rel_tol=1e-12, abs_tol=0.0)
+            and self._exponents == other._exponents
+        )
+
+    def __hash__(self) -> int:
+        return hash((round(self.coefficient, 15), _make_key(self._exponents)))
+
+    def __repr__(self) -> str:
+        parts = [f"{self.coefficient:g}"]
+        for v, e in sorted(self._exponents.items()):
+            parts.append(f"{v}^{e:g}" if e != 1.0 else v)
+        return "*".join(parts)
+
+
+class Posynomial:
+    """A sum of :class:`Monomial` terms with like terms combined.
+
+    Immutable. Arithmetic (`+`, `*`, `**` with non-negative integer
+    exponents, `/` by monomials and scalars) stays inside the posynomial
+    cone; subtraction is deliberately unsupported and raises
+    :class:`~repro.errors.PosynomialError` via ``__sub__``.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Iterable[Monomial] = ()):  # noqa: D107
+        combined: dict[_ExpKey, float] = {}
+        keys_exps: dict[_ExpKey, dict[str, float]] = {}
+        for term in terms:
+            if not isinstance(term, Monomial):
+                raise PosynomialError(f"expected Monomial, got {type(term).__name__}")
+            key = _make_key(term._exponents)
+            combined[key] = combined.get(key, 0.0) + term.coefficient
+            keys_exps[key] = term._exponents
+        self._terms: dict[_ExpKey, Monomial] = {
+            key: Monomial(coef, keys_exps[key]) for key, coef in combined.items()
+        }
+
+    # ----- constructors -------------------------------------------------
+
+    @staticmethod
+    def constant(value: float) -> "Posynomial":
+        """The constant posynomial ``value`` (must be > 0)."""
+        return Posynomial([Monomial(value)])
+
+    @staticmethod
+    def zero() -> "Posynomial":
+        """The empty posynomial (evaluates to 0; additive identity)."""
+        return Posynomial()
+
+    @staticmethod
+    def variable(name: str) -> "Posynomial":
+        """The posynomial consisting of the single variable ``name``."""
+        return Posynomial([Monomial(1.0, {name: 1.0})])
+
+    @staticmethod
+    def monomial(coefficient: float, exponents: Mapping[str, float]) -> "Posynomial":
+        return Posynomial([Monomial(coefficient, exponents)])
+
+    # ----- structure ----------------------------------------------------
+
+    @property
+    def terms(self) -> tuple[Monomial, ...]:
+        """The monomial terms in a deterministic (sorted-key) order."""
+        return tuple(self._terms[k] for k in sorted(self._terms))
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[Monomial]:
+        return iter(self.terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        return len(self._terms) == 0 or (
+            len(self._terms) == 1 and next(iter(self._terms)) == ()
+        )
+
+    def is_monomial(self) -> bool:
+        return len(self._terms) == 1
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for term in self._terms.values():
+            out |= term.variables()
+        return frozenset(out)
+
+    def constant_value(self) -> float:
+        """Value if constant; raises otherwise."""
+        if not self.is_constant():
+            raise PosynomialError(f"{self!r} is not constant")
+        return self.evaluate({})
+
+    # ----- arithmetic ---------------------------------------------------
+
+    def __add__(self, other: "Posynomial | Monomial | float | int") -> "Posynomial":
+        if isinstance(other, Posynomial):
+            return Posynomial(list(self._terms.values()) + list(other._terms.values()))
+        if isinstance(other, Monomial):
+            return Posynomial(list(self._terms.values()) + [other])
+        if isinstance(other, (int, float)):
+            if float(other) == 0.0:
+                return self
+            return self + Posynomial.constant(float(other))
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "Posynomial":
+        raise PosynomialError(
+            "subtraction leaves the posynomial cone; restructure the model instead"
+        )
+
+    def __mul__(self, other: "Posynomial | Monomial | float | int") -> "Posynomial":
+        if isinstance(other, Monomial):
+            other = other.as_posynomial()
+        if isinstance(other, Posynomial):
+            products = [
+                a * b for a in self._terms.values() for b in other._terms.values()
+            ]
+            return Posynomial(products)
+        if isinstance(other, (int, float)):
+            scale = float(other)
+            if scale <= 0.0:
+                raise PosynomialError(f"cannot scale posynomial by {scale!r}")
+            return Posynomial([t * scale for t in self._terms.values()])
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Monomial | Posynomial | float | int") -> "Posynomial":
+        if isinstance(other, Posynomial):
+            if not other.is_monomial():
+                raise PosynomialError(
+                    "posynomials may only be divided by monomials"
+                )
+            other = other.terms[0]
+        if isinstance(other, Monomial):
+            inv = other**-1.0
+            return Posynomial([t * inv for t in self._terms.values()])
+        if isinstance(other, (int, float)):
+            if float(other) <= 0.0:
+                raise PosynomialError(f"cannot divide posynomial by {other!r}")
+            return self * (1.0 / float(other))
+        return NotImplemented
+
+    def __rtruediv__(self, other: float | int) -> "Posynomial":
+        # scalar / monomial-posynomial
+        if isinstance(other, (int, float)):
+            if not self.is_monomial():
+                raise PosynomialError("cannot invert a non-monomial posynomial")
+            return Posynomial([(self.terms[0] ** -1.0) * float(other)])
+        return NotImplemented
+
+    def __pow__(self, power: int | float) -> "Posynomial":
+        if self.is_monomial():
+            return Posynomial([self.terms[0] ** float(power)])
+        if isinstance(power, float) and not power.is_integer():
+            raise PosynomialError(
+                "non-monomial posynomials only support non-negative integer powers"
+            )
+        power = int(power)
+        if power < 0:
+            raise PosynomialError("negative powers require a monomial")
+        result = Posynomial.constant(1.0)
+        for _ in range(power):
+            result = result * self
+        return result
+
+    def substitute(self, assignments: Mapping[str, "Posynomial | float"]) -> "Posynomial":
+        """Substitute monomial posynomials (or positive scalars) for variables.
+
+        Substituting a monomial for a variable keeps the result a
+        posynomial for arbitrary (possibly negative) exponents; a general
+        posynomial substitution is only valid when the variable appears
+        with non-negative integer exponents, and is rejected otherwise.
+        """
+        result_terms: list[Monomial] = []
+        for term in self._terms.values():
+            acc = Posynomial.constant(term.coefficient)
+            for v, e in term._exponents.items():
+                if v in assignments:
+                    repl = assignments[v]
+                    if isinstance(repl, (int, float)):
+                        repl = Posynomial.constant(float(repl))
+                    if repl.is_monomial():
+                        acc = acc * Posynomial([repl.terms[0] ** e])
+                    else:
+                        if e < 0 or (isinstance(e, float) and not float(e).is_integer()):
+                            raise PosynomialError(
+                                f"cannot substitute a non-monomial posynomial for "
+                                f"{v} raised to {e}"
+                            )
+                        acc = acc * repl ** int(e)
+                else:
+                    acc = acc * Posynomial.monomial(1.0, {v: e})
+            result_terms.extend(acc._terms.values())
+        return Posynomial(result_terms)
+
+    # ----- evaluation ---------------------------------------------------
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """Evaluate at positive variable values."""
+        return sum(t.evaluate(values) for t in self._terms.values())
+
+    def evaluate_log(self, log_values: Mapping[str, float]) -> float:
+        """Evaluate with variables given as logs: ``v_j = exp(x_j)``."""
+        total = 0.0
+        for term in self._terms.values():
+            expo = math.log(term.coefficient)
+            for v, e in term._exponents.items():
+                try:
+                    expo += e * float(log_values[v])
+                except KeyError as exc:
+                    raise PosynomialError(f"no value supplied for variable {v!r}") from exc
+            total += math.exp(expo)
+        return total
+
+    def compile(self, variable_order: Iterable[str]) -> "CompiledPosynomial":
+        """Pack terms into arrays for fast repeated log-space evaluation.
+
+        ``variable_order`` fixes the meaning of positions in the solver's
+        ``x`` vector; variables of this posynomial not present in the order
+        raise an error (silently dropping one would corrupt gradients).
+        """
+        order = list(variable_order)
+        index = {v: i for i, v in enumerate(order)}
+        missing = self.variables() - set(index)
+        if missing:
+            raise PosynomialError(
+                f"variables {sorted(missing)} missing from compile order"
+            )
+        terms = self.terms
+        coeffs = np.array([t.coefficient for t in terms], dtype=float)
+        exps = np.zeros((len(terms), len(order)), dtype=float)
+        for k, term in enumerate(terms):
+            for v, e in term._exponents.items():
+                exps[k, index[v]] = e
+        return CompiledPosynomial(coeffs, exps, tuple(order))
+
+    # ----- comparison / display ----------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Monomial):
+            other = other.as_posynomial()
+        if not isinstance(other, Posynomial):
+            return NotImplemented
+        if set(self._terms) != set(other._terms):
+            return False
+        return all(self._terms[k] == other._terms[k] for k in self._terms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms))
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        return " + ".join(repr(t) for t in self.terms)
+
+
+class CompiledPosynomial:
+    """Array-packed posynomial for fast log-space value/gradient evaluation.
+
+    With ``x`` the vector of log-variables, the posynomial value is
+    ``f(x) = sum_k c_k * exp(A_k . x)`` and its gradient is
+    ``grad f(x) = A^T (c * exp(A x))`` — both computed in one pass.
+    ``f`` is convex in ``x`` (sum of exponentials of affine functions), the
+    fact the allocation solver builds on.
+    """
+
+    __slots__ = ("coefficients", "exponents", "variable_order", "_log_coeffs")
+
+    def __init__(
+        self,
+        coefficients: np.ndarray,
+        exponents: np.ndarray,
+        variable_order: tuple[str, ...],
+    ):
+        self.coefficients = np.asarray(coefficients, dtype=float)
+        self.exponents = np.asarray(exponents, dtype=float)
+        if self.exponents.ndim != 2 or self.exponents.shape[0] != self.coefficients.shape[0]:
+            raise PosynomialError("exponent matrix shape mismatch")
+        if self.exponents.shape[1] != len(variable_order):
+            raise PosynomialError("variable order length mismatch")
+        if np.any(self.coefficients <= 0.0):
+            raise PosynomialError("compiled coefficients must be positive")
+        self.variable_order = tuple(variable_order)
+        self._log_coeffs = np.log(self.coefficients)
+
+    @property
+    def n_terms(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    def value(self, x: np.ndarray) -> float:
+        """``f(x)`` for log-variables ``x`` (ordered per ``variable_order``)."""
+        if self.n_terms == 0:
+            return 0.0
+        return float(np.exp(self._log_coeffs + self.exponents @ np.asarray(x, float)).sum())
+
+    def value_and_gradient(self, x: np.ndarray) -> tuple[float, np.ndarray]:
+        """``(f(x), grad f(x))`` in one pass."""
+        n_vars = len(self.variable_order)
+        if self.n_terms == 0:
+            return 0.0, np.zeros(n_vars)
+        term_values = np.exp(self._log_coeffs + self.exponents @ np.asarray(x, float))
+        return float(term_values.sum()), self.exponents.T @ term_values
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.value_and_gradient(x)[1]
+
+    def hessian(self, x: np.ndarray) -> np.ndarray:
+        """``hess f(x) = A^T diag(c * exp(Ax)) A`` (positive semidefinite)."""
+        n_vars = len(self.variable_order)
+        if self.n_terms == 0:
+            return np.zeros((n_vars, n_vars))
+        term_values = np.exp(self._log_coeffs + self.exponents @ np.asarray(x, float))
+        return (self.exponents.T * term_values) @ self.exponents
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPosynomial(n_terms={self.n_terms}, "
+            f"n_vars={len(self.variable_order)})"
+        )

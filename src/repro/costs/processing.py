@@ -1,0 +1,179 @@
+"""Processing-cost models (Section 4, Eq. 1 of the paper).
+
+The paper models the execution time of the loop nest at node ``i`` on
+``p_i`` processors with Amdahl's law::
+
+    t_i^C(p_i) = (alpha_i + (1 - alpha_i) / p_i) * tau_i
+
+where ``tau_i`` is the single-processor execution time and ``alpha_i`` the
+serial fraction. Both ``t^C`` and ``t^C * p`` are posynomials in ``p``
+(Lemma 1), which is what admits the convex-programming allocation.
+
+The module also provides :class:`GeneralPosynomialProcessingCost` so users
+can plug in richer calibrated models (e.g. with a communication term that
+grows with ``p``), as the paper anticipates: "the value of the parameter
+alpha_i need not necessarily be a constant ... as long as it assumes a form
+that ensures both t_i^C and t_i^C * p_i are posynomial functions".
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.costs.posynomial import Posynomial
+from repro.errors import CostModelError
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "ProcessingCostModel",
+    "AmdahlProcessingCost",
+    "GeneralPosynomialProcessingCost",
+    "ZeroProcessingCost",
+]
+
+
+class ProcessingCostModel(ABC):
+    """Interface every node processing-cost model must implement.
+
+    Implementations must guarantee that :meth:`posynomial` times the
+    processor variable is again a posynomial (the Lemma 1 condition); the
+    library checks this at MDG validation time.
+    """
+
+    @abstractmethod
+    def cost(self, processors: float) -> float:
+        """Execution time on ``processors`` (a positive real; the
+        continuous relaxation used by the allocator feeds fractional
+        values here)."""
+
+    @abstractmethod
+    def posynomial(self, variable: str) -> Posynomial:
+        """The cost as a posynomial in the named processor variable."""
+
+    def serial_time(self) -> float:
+        """Execution time on a single processor."""
+        return self.cost(1.0)
+
+    def speedup(self, processors: float) -> float:
+        """``t(1) / t(p)``."""
+        return self.serial_time() / self.cost(processors)
+
+    def efficiency(self, processors: float) -> float:
+        """``speedup / p`` — the quantity Figure 1 of the paper plots."""
+        return self.speedup(processors) / processors
+
+
+@dataclass(frozen=True)
+class AmdahlProcessingCost(ProcessingCostModel):
+    """Amdahl's-law processing cost ``(alpha + (1 - alpha)/p) * tau``.
+
+    Parameters
+    ----------
+    alpha:
+        Serial fraction in [0, 1]. Table 1 of the paper: 6.7% for a 64x64
+        matrix addition, 12.1% for a 64x64 matrix multiplication on the CM-5.
+    tau:
+        Single-processor execution time in seconds (3.73 ms and 298.47 ms
+        respectively in Table 1).
+    name:
+        Optional label used in reports.
+    """
+
+    alpha: float
+    tau: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alpha", check_probability("alpha", self.alpha))
+        object.__setattr__(self, "tau", check_positive("tau", self.tau))
+
+    def cost(self, processors: float) -> float:
+        if processors <= 0.0 or math.isnan(processors):
+            raise CostModelError(f"processors must be > 0, got {processors!r}")
+        return (self.alpha + (1.0 - self.alpha) / processors) * self.tau
+
+    def posynomial(self, variable: str) -> Posynomial:
+        terms = Posynomial.zero()
+        if self.alpha > 0.0:
+            terms = terms + Posynomial.constant(self.alpha * self.tau)
+        if self.alpha < 1.0:
+            terms = terms + Posynomial.monomial(
+                (1.0 - self.alpha) * self.tau, {variable: -1.0}
+            )
+        return terms
+
+    def saturation_speedup(self) -> float:
+        """Asymptotic speedup ``1/alpha`` (infinite for alpha = 0)."""
+        return math.inf if self.alpha == 0.0 else 1.0 / self.alpha
+
+
+@dataclass(frozen=True)
+class GeneralPosynomialProcessingCost(ProcessingCostModel):
+    """A processing cost given directly as a posynomial in one variable.
+
+    The stored posynomial uses the placeholder variable ``"p"``; it is
+    renamed to the node's own variable on demand. Construction rejects
+    posynomials whose product with ``p`` is not a posynomial — with our
+    representation that is automatic (any posynomial times a monomial is a
+    posynomial), so the only check needed is that exactly the placeholder
+    variable appears.
+    """
+
+    expression: Posynomial
+    name: str = ""
+    _PLACEHOLDER: str = field(default="p", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        variables = self.expression.variables()
+        if variables - {self._PLACEHOLDER}:
+            raise CostModelError(
+                "processing cost posynomial must use only the variable 'p', "
+                f"got {sorted(variables)}"
+            )
+        if self.expression.is_zero():
+            raise CostModelError("processing cost posynomial must be non-zero")
+
+    def cost(self, processors: float) -> float:
+        if processors <= 0.0 or math.isnan(processors):
+            raise CostModelError(f"processors must be > 0, got {processors!r}")
+        return self.expression.evaluate({self._PLACEHOLDER: processors})
+
+    def posynomial(self, variable: str) -> Posynomial:
+        if variable == self._PLACEHOLDER:
+            return self.expression
+        return self.expression.substitute(
+            {self._PLACEHOLDER: Posynomial.variable(variable)}
+        )
+
+
+class ZeroProcessingCost(ProcessingCostModel):
+    """A free node (used for dummy START/STOP nodes).
+
+    Evaluates to zero everywhere and contributes no posynomial terms.
+    """
+
+    def cost(self, processors: float) -> float:  # noqa: ARG002
+        return 0.0
+
+    def posynomial(self, variable: str) -> Posynomial:  # noqa: ARG002
+        return Posynomial.zero()
+
+    def serial_time(self) -> float:
+        return 0.0
+
+    def speedup(self, processors: float) -> float:  # noqa: ARG002
+        return 1.0
+
+    def efficiency(self, processors: float) -> float:
+        return 1.0 / processors
+
+    def __repr__(self) -> str:
+        return "ZeroProcessingCost()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ZeroProcessingCost)
+
+    def __hash__(self) -> int:
+        return hash("ZeroProcessingCost")

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish structural problems (bad graphs), modelling
+problems (non-posynomial costs), numerical problems (solver failures) and
+execution problems (deadlocked simulations).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "ValidationError",
+    "CostModelError",
+    "PosynomialError",
+    "AllocationError",
+    "SolverError",
+    "InfeasibleError",
+    "SchedulingError",
+    "CodegenError",
+    "SimulationError",
+    "DeadlockError",
+    "DistributionError",
+    "FrontendError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """A macro dataflow graph is structurally invalid."""
+
+
+class CycleError(GraphError):
+    """A graph that must be acyclic contains a cycle."""
+
+
+class ValidationError(ReproError):
+    """An argument failed validation (wrong range, type or shape)."""
+
+
+class CostModelError(ReproError):
+    """A cost model is inconsistent or was given invalid parameters."""
+
+
+class PosynomialError(CostModelError):
+    """An operation would leave the posynomial cone (e.g. subtraction)."""
+
+
+class AllocationError(ReproError):
+    """Processor allocation failed or produced an invalid assignment."""
+
+
+class SolverError(AllocationError):
+    """The convex-programming solver did not converge to a solution."""
+
+
+class InfeasibleError(SolverError):
+    """The allocation problem has no feasible solution."""
+
+
+class SchedulingError(ReproError):
+    """Schedule construction failed or a schedule violates an invariant."""
+
+
+class CodegenError(ReproError):
+    """MPMD/SPMD program generation failed."""
+
+
+class SimulationError(ReproError):
+    """The machine simulator reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulated program can make no further progress."""
+
+
+class DistributionError(ReproError):
+    """A data distribution or redistribution map is invalid."""
+
+
+class FrontendError(ReproError):
+    """The loop-nest frontend could not lower a program to an MDG."""

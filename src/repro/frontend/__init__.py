@@ -1,0 +1,25 @@
+"""Loop-nest frontend: from a sequential program sketch to an MDG.
+
+The paper defers "identification of the nodes and edges to be used in the
+MDG" to future work (Section 1.2, step 1, citing Girkar &
+Polychronopoulos). This package implements the regular-program core of
+that step: a tiny IR of loop nests over named 2-D arrays, last-writer
+flow-dependence analysis, and lowering of loop kinds to the Table 1 cost
+models — so users can write the *program*, not the graph.
+"""
+
+from repro.frontend.ir import ArrayDecl, LoopNest, LoopProgram
+from repro.frontend.dependence import flow_dependences
+from repro.frontend.lowering import lower_to_mdg, KIND_REGISTRY
+from repro.frontend.appgen import build_app_graph, compile_loop_program
+
+__all__ = [
+    "ArrayDecl",
+    "LoopNest",
+    "LoopProgram",
+    "flow_dependences",
+    "lower_to_mdg",
+    "KIND_REGISTRY",
+    "build_app_graph",
+    "compile_loop_program",
+]

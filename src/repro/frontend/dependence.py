@@ -1,0 +1,57 @@
+"""Flow-dependence analysis on loop programs.
+
+Last-writer tracking over the sequential loop order yields the true (RAW)
+dependences; those are exactly the MDG's precedence edges, each carrying
+the read array. Output dependences (WAW) add ordering edges without data
+transfer — a later rewrite of an array must still wait for the earlier
+writer on a machine with a single logical copy per array version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FrontendError
+from repro.frontend.ir import LoopProgram
+
+__all__ = ["Dependence", "flow_dependences"]
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence edge between loops."""
+
+    source: str
+    target: str
+    array: str  # the flowing array ("" for pure ordering edges)
+    kind: str  # "flow" | "output"
+
+
+def flow_dependences(program: LoopProgram) -> list[Dependence]:
+    """All flow and output dependences of ``program``, in program order."""
+    program.validate()
+    last_writer: dict[str, str] = {}
+    out: list[Dependence] = []
+    for loop in program.loops:
+        seen_sources: set[tuple[str, str]] = set()
+        for array in loop.reads:
+            writer = last_writer.get(array)
+            if writer is None:  # validate() already rejects this
+                raise FrontendError(
+                    f"loop {loop.name!r} reads unwritten array {array!r}"
+                )
+            key = (writer, array)
+            if key not in seen_sources:
+                out.append(
+                    Dependence(source=writer, target=loop.name, array=array, kind="flow")
+                )
+                seen_sources.add(key)
+        previous_writer = last_writer.get(loop.writes)
+        if previous_writer is not None and previous_writer != loop.name:
+            out.append(
+                Dependence(
+                    source=previous_writer, target=loop.name, array="", kind="output"
+                )
+            )
+        last_writer[loop.writes] = loop.name
+    return out

@@ -1,0 +1,130 @@
+"""The frontend's intermediate representation.
+
+A :class:`LoopProgram` is an ordered list of loop nests, each reading some
+named arrays and writing exactly one — the "regular computations" realm
+the paper's cost models target. Array shapes are declared up front so
+lowering can size the transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FrontendError
+from repro.utils.validation import check_integer
+
+__all__ = ["ArrayDecl", "LoopNest", "LoopProgram"]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A named 2-D array with element size in bytes (default: float64)."""
+
+    name: str
+    rows: int
+    cols: int
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FrontendError("array name must be non-empty")
+        object.__setattr__(self, "rows", check_integer("rows", self.rows, minimum=1))
+        object.__setattr__(self, "cols", check_integer("cols", self.cols, minimum=1))
+        object.__setattr__(
+            self,
+            "element_bytes",
+            check_integer("element_bytes", self.element_bytes, minimum=1),
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rows * self.cols * self.element_bytes
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """One loop nest: reads arrays, writes one array, has a *kind*.
+
+    ``kind`` selects the cost model during lowering (see
+    :data:`repro.frontend.lowering.KIND_REGISTRY`); ``column_access`` marks
+    reads the loop wants column-blocked, which lowers to 2D transfers.
+    """
+
+    name: str
+    kind: str
+    writes: str
+    reads: tuple[str, ...] = ()
+    column_access: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FrontendError("loop name must be non-empty")
+        object.__setattr__(self, "reads", tuple(self.reads))
+        object.__setattr__(self, "column_access", frozenset(self.column_access))
+        unknown_cols = self.column_access - set(self.reads)
+        if unknown_cols:
+            raise FrontendError(
+                f"loop {self.name!r}: column_access names non-read arrays "
+                f"{sorted(unknown_cols)}"
+            )
+        if self.writes in self.reads:
+            # In-place updates would need anti-dependence handling the
+            # paper's regular model does not cover.
+            raise FrontendError(
+                f"loop {self.name!r} reads and writes {self.writes!r}; "
+                "use a fresh output array"
+            )
+
+
+@dataclass
+class LoopProgram:
+    """An ordered sequence of loop nests over declared arrays."""
+
+    name: str
+    arrays: dict[str, ArrayDecl] = field(default_factory=dict)
+    loops: list[LoopNest] = field(default_factory=list)
+
+    def declare(self, name: str, rows: int, cols: int, element_bytes: int = 8) -> "LoopProgram":
+        if name in self.arrays:
+            raise FrontendError(f"array {name!r} declared twice")
+        self.arrays[name] = ArrayDecl(name, rows, cols, element_bytes)
+        return self
+
+    def loop(
+        self,
+        name: str,
+        kind: str,
+        writes: str,
+        reads: tuple[str, ...] = (),
+        column_access: frozenset[str] | set[str] = frozenset(),
+    ) -> "LoopProgram":
+        """Append a loop nest (fluent: returns self)."""
+        if any(existing.name == name for existing in self.loops):
+            raise FrontendError(f"loop {name!r} declared twice")
+        for array in (writes, *reads):
+            if array not in self.arrays:
+                raise FrontendError(
+                    f"loop {name!r} references undeclared array {array!r}"
+                )
+        self.loops.append(
+            LoopNest(
+                name=name,
+                kind=kind,
+                writes=writes,
+                reads=tuple(reads),
+                column_access=frozenset(column_access),
+            )
+        )
+        return self
+
+    def validate(self) -> None:
+        """Every read must have a prior writer (no uninitialized input)."""
+        written: set[str] = set()
+        for loop in self.loops:
+            for array in loop.reads:
+                if array not in written:
+                    raise FrontendError(
+                        f"loop {loop.name!r} reads {array!r} before any loop "
+                        "writes it"
+                    )
+            written.add(loop.writes)

@@ -1,0 +1,75 @@
+"""Lowering a loop program to an MDG with cost models and transfers.
+
+``KIND_REGISTRY`` maps a loop kind to a cost-model factory parameterized
+by the written array's dimensions; flow dependences become edges carrying
+an :class:`~repro.costs.transfer.ArrayTransfer` sized from the array
+declaration, 1D by default and 2D when the consuming loop declared
+``column_access`` for that array.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.costs.processing import ProcessingCostModel
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.errors import FrontendError
+from repro.frontend.dependence import flow_dependences
+from repro.frontend.ir import LoopProgram
+from repro.graph.mdg import MDG
+from repro.programs.common import default_matinit, table1_matadd, table1_matmul
+
+__all__ = ["KIND_REGISTRY", "lower_to_mdg"]
+
+#: Loop kind -> factory(rows, cols) -> ProcessingCostModel. The built-in
+#: kinds use the Table 1 models at the geometric-mean dimension (square
+#: arrays simply use their size). Users may register custom kinds.
+KIND_REGISTRY: dict[str, Callable[[int, int], ProcessingCostModel]] = {
+    "matinit": lambda rows, cols: default_matinit(max(rows, cols)),
+    "matadd": lambda rows, cols: table1_matadd(max(rows, cols)),
+    "matsub": lambda rows, cols: table1_matadd(max(rows, cols)),
+    "matmul": lambda rows, cols: table1_matmul(max(rows, cols)),
+    "transform": lambda rows, cols: table1_matmul(max(rows, cols)),
+}
+
+
+def lower_to_mdg(program: LoopProgram) -> MDG:
+    """Build the MDG for ``program`` (cost models + dependence edges).
+
+    Raises :class:`~repro.errors.FrontendError` for unknown loop kinds so
+    silent mis-modelling cannot happen.
+    """
+    program.validate()
+    mdg = MDG(program.name)
+    for loop in program.loops:
+        factory = KIND_REGISTRY.get(loop.kind)
+        if factory is None:
+            raise FrontendError(
+                f"loop {loop.name!r} has unknown kind {loop.kind!r}; "
+                f"known kinds: {sorted(KIND_REGISTRY)}"
+            )
+        decl = program.arrays[loop.writes]
+        mdg.add_node(loop.name, factory(decl.rows, decl.cols), f"{loop.kind} loop")
+
+    # Group dependences by edge: one MDG edge may carry several arrays.
+    per_edge: dict[tuple[str, str], list[ArrayTransfer]] = {}
+    loops_by_name = {loop.name: loop for loop in program.loops}
+    for dep in flow_dependences(program):
+        key = (dep.source, dep.target)
+        per_edge.setdefault(key, [])
+        if dep.kind == "flow":
+            consumer = loops_by_name[dep.target]
+            kind = (
+                TransferKind.ROW2COL
+                if dep.array in consumer.column_access
+                else TransferKind.ROW2ROW
+            )
+            decl = program.arrays[dep.array]
+            per_edge[key].append(
+                ArrayTransfer(
+                    length_bytes=float(decl.total_bytes), kind=kind, label=dep.array
+                )
+            )
+    for (source, target), transfers in per_edge.items():
+        mdg.add_edge(source, target, transfers)
+    return mdg

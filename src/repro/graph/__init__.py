@@ -1,0 +1,62 @@
+"""Macro Dataflow Graph (MDG) representation and utilities.
+
+An MDG (Section 1.1 of the paper) is a weighted DAG whose nodes are the
+loop nests of a program and whose edges are precedence constraints carrying
+data transfers. Node and edge *weights* are not stored on the graph — they
+are functions of the processor allocation, provided by
+:class:`repro.costs.MDGCostModel` — so the same MDG can be evaluated under
+any machine model or allocation.
+"""
+
+from repro.graph.mdg import MDG, MDGNode, MDGEdge, START_NAME, STOP_NAME
+from repro.graph.analysis import (
+    critical_path,
+    longest_path_lengths,
+    node_levels,
+    transitive_reduction,
+)
+from repro.graph.generators import (
+    chain_mdg,
+    fork_join_mdg,
+    diamond_mdg,
+    layered_random_mdg,
+    series_parallel_mdg,
+    random_mdg,
+    paper_example_mdg,
+)
+from repro.graph.serialization import mdg_to_dict, mdg_from_dict, save_mdg, load_mdg
+from repro.graph.dot import mdg_to_dot
+from repro.graph.builders import MDGBuilder, amdahl
+from repro.graph.metrics import ParallelismProfile, parallelism_profile
+from repro.graph.coarsen import CoarseningResult, coarsen_mdg, expand_allocation
+
+__all__ = [
+    "MDG",
+    "MDGNode",
+    "MDGEdge",
+    "START_NAME",
+    "STOP_NAME",
+    "critical_path",
+    "longest_path_lengths",
+    "node_levels",
+    "transitive_reduction",
+    "chain_mdg",
+    "fork_join_mdg",
+    "diamond_mdg",
+    "layered_random_mdg",
+    "series_parallel_mdg",
+    "random_mdg",
+    "paper_example_mdg",
+    "mdg_to_dict",
+    "mdg_from_dict",
+    "save_mdg",
+    "load_mdg",
+    "mdg_to_dot",
+    "MDGBuilder",
+    "amdahl",
+    "ParallelismProfile",
+    "parallelism_profile",
+    "CoarseningResult",
+    "coarsen_mdg",
+    "expand_allocation",
+]

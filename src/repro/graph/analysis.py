@@ -1,0 +1,140 @@
+"""Structural analyses on MDGs: critical paths, levels, reductions.
+
+Weights are supplied as callables so the same analysis serves the
+continuous allocator (posynomial evaluations), the rounded allocation, and
+unit-weight structural queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import GraphError
+from repro.graph.mdg import MDG, MDGEdge
+
+__all__ = [
+    "critical_path",
+    "longest_path_lengths",
+    "node_levels",
+    "transitive_reduction",
+]
+
+NodeWeightFn = Callable[[str], float]
+EdgeWeightFn = Callable[[MDGEdge], float]
+
+
+def _unit_node(_name: str) -> float:
+    return 1.0
+
+
+def _zero_edge(_edge: MDGEdge) -> float:
+    return 0.0
+
+
+def longest_path_lengths(
+    mdg: MDG,
+    node_weight: NodeWeightFn = _unit_node,
+    edge_weight: EdgeWeightFn = _zero_edge,
+) -> dict[str, float]:
+    """Longest weighted path *ending* at each node, inclusive of the node.
+
+    This is exactly the paper's finish-time recursion
+    ``y_i = max_m(y_m + t^D_mi) + T_i`` with ``node_weight`` playing ``T``
+    and ``edge_weight`` playing ``t^D``.
+    """
+    finish: dict[str, float] = {}
+    for name in mdg.topological_order():
+        best = 0.0
+        for edge in mdg.in_edges(name):
+            candidate = finish[edge.source] + edge_weight(edge)
+            if candidate > best:
+                best = candidate
+        finish[name] = best + node_weight(name)
+    return finish
+
+
+def critical_path(
+    mdg: MDG,
+    node_weight: NodeWeightFn = _unit_node,
+    edge_weight: EdgeWeightFn = _zero_edge,
+) -> tuple[float, list[str]]:
+    """The longest weighted path through the MDG and its length.
+
+    Returns ``(length, node_names)``; ties broken toward the
+    lexicographically smallest predecessor so results are deterministic.
+    """
+    finish = longest_path_lengths(mdg, node_weight, edge_weight)
+    if not finish:
+        raise GraphError("cannot compute critical path of an empty MDG")
+    # Endpoint of the critical path: max finish time, smallest name on ties.
+    end = min(
+        (name for name in finish),
+        key=lambda n: (-finish[n], n),
+    )
+    path = [end]
+    current = end
+    while True:
+        preds = mdg.in_edges(current)
+        if not preds:
+            break
+        target_value = finish[current] - node_weight(current)
+        chosen = None
+        for edge in sorted(preds, key=lambda e: e.source):
+            if abs(finish[edge.source] + edge_weight(edge) - target_value) <= 1e-9 * max(
+                1.0, abs(target_value)
+            ):
+                chosen = edge.source
+                break
+        if chosen is None:
+            # Numerical slack: fall back to the best predecessor.
+            chosen = max(
+                preds, key=lambda e: (finish[e.source] + edge_weight(e), e.source)
+            ).source
+        path.append(chosen)
+        current = chosen
+    path.reverse()
+    return finish[end], path
+
+
+def node_levels(mdg: MDG) -> dict[str, int]:
+    """Topological level of each node (longest hop count from any source)."""
+    levels: dict[str, int] = {}
+    for name in mdg.topological_order():
+        preds = mdg.predecessors(name)
+        levels[name] = 0 if not preds else 1 + max(levels[m] for m in preds)
+    return levels
+
+
+def transitive_reduction(mdg: MDG) -> MDG:
+    """Remove edges implied by longer paths.
+
+    Edges carrying data transfers are *never* removed (they are semantic,
+    not just precedence); only bare precedence edges that are redundant
+    disappear. Useful for cleaning machine-generated MDGs.
+    """
+    order = mdg.topological_order()
+    position = {name: k for k, name in enumerate(order)}
+
+    # reachable[u] = set of nodes reachable from u via paths of length >= 1
+    reachable: dict[str, set[str]] = {name: set() for name in order}
+    for name in reversed(order):
+        for succ in mdg.successors(name):
+            reachable[name].add(succ)
+            reachable[name] |= reachable[succ]
+
+    out = MDG(mdg.name)
+    for node in mdg.nodes():
+        out.add_node(node.name, node.processing, node.description)
+    for edge in sorted(mdg.edges(), key=lambda e: (position[e.source], e.target)):
+        if edge.transfers:
+            out.add_edge(edge.source, edge.target, edge.transfers)
+            continue
+        # Redundant iff target reachable from source through an intermediate.
+        redundant = any(
+            edge.target in reachable[mid]
+            for mid in mdg.successors(edge.source)
+            if mid != edge.target
+        )
+        if not redundant:
+            out.add_edge(edge.source, edge.target)
+    return out

@@ -1,0 +1,108 @@
+"""Fluent MDG construction.
+
+``MDGBuilder`` reads better than interleaved ``add_node``/``add_edge``
+calls when writing graphs by hand, validates as it goes, and supports
+declaring a node together with the edges that feed it — the common
+pattern in dataflow-style programs::
+
+    mdg = (
+        MDGBuilder("demo")
+        .node("a", amdahl(0.1, 1.0))
+        .node("b", amdahl(0.1, 2.0))
+        .node("c", amdahl(0.1, 0.5), after=["a", "b"], transfer=one_array)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.costs.processing import AmdahlProcessingCost, ProcessingCostModel
+from repro.costs.transfer import ArrayTransfer
+from repro.errors import GraphError
+from repro.graph.mdg import MDG
+
+__all__ = ["MDGBuilder", "amdahl"]
+
+
+def amdahl(alpha: float, tau: float, name: str = "") -> AmdahlProcessingCost:
+    """Shorthand for the Eq. 1 cost model."""
+    return AmdahlProcessingCost(alpha=alpha, tau=tau, name=name)
+
+
+class MDGBuilder:
+    """Incremental, validating MDG constructor (fluent interface)."""
+
+    def __init__(self, name: str = "mdg"):
+        self._mdg = MDG(name)
+        self._built = False
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise GraphError("builder already produced its MDG; create a new one")
+
+    def node(
+        self,
+        name: str,
+        processing: ProcessingCostModel,
+        *,
+        after: Sequence[str] = (),
+        transfer: ArrayTransfer | Iterable[ArrayTransfer] | None = None,
+        description: str = "",
+    ) -> "MDGBuilder":
+        """Add a node, optionally with incoming edges from ``after``.
+
+        ``transfer`` (a single transfer or an iterable) is attached to
+        *each* incoming edge; use :meth:`edge` for per-edge control.
+        """
+        self._check_open()
+        self._mdg.add_node(name, processing, description)
+        if transfer is None:
+            transfers: tuple[ArrayTransfer, ...] = ()
+        elif isinstance(transfer, ArrayTransfer):
+            transfers = (transfer,)
+        else:
+            transfers = tuple(transfer)
+        for pred in after:
+            self._mdg.add_edge(pred, name, transfers)
+        return self
+
+    def edge(
+        self,
+        source: str,
+        target: str,
+        transfers: Iterable[ArrayTransfer] = (),
+    ) -> "MDGBuilder":
+        """Add an explicit edge (both endpoints must already exist)."""
+        self._check_open()
+        self._mdg.add_edge(source, target, transfers)
+        return self
+
+    def chain(
+        self,
+        names: Sequence[str],
+        processing: ProcessingCostModel,
+        transfers: Iterable[ArrayTransfer] = (),
+    ) -> "MDGBuilder":
+        """Add a linear chain of identically-costed nodes."""
+        self._check_open()
+        transfers = tuple(transfers)
+        previous: str | None = None
+        for name in names:
+            self._mdg.add_node(name, processing)
+            if previous is not None:
+                self._mdg.add_edge(previous, name, transfers)
+            previous = name
+        return self
+
+    def build(self, normalize: bool = False) -> MDG:
+        """Validate and return the MDG (optionally normalized).
+
+        The builder is single-use: further mutation raises, preventing
+        accidental aliasing of a graph that is already being compiled.
+        """
+        self._check_open()
+        self._mdg.validate()
+        self._built = True
+        return self._mdg.normalized() if normalize else self._mdg

@@ -1,0 +1,56 @@
+"""Graphviz DOT export for MDGs.
+
+Produces plain-text DOT so graphs can be inspected with any Graphviz
+install; the library itself has no rendering dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.graph.mdg import MDG
+
+__all__ = ["mdg_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def mdg_to_dot(
+    mdg: MDG,
+    allocation: Mapping[str, int] | None = None,
+    node_label: Callable[[str], str] | None = None,
+) -> str:
+    """Render ``mdg`` as a DOT digraph.
+
+    If ``allocation`` is given, each node label shows its processor count;
+    dummy START/STOP nodes are drawn as points. ``node_label`` overrides
+    the default label entirely.
+    """
+    lines = [f'digraph "{_escape(mdg.name)}" {{', "  rankdir=TB;"]
+    for node in mdg.nodes():
+        attrs = []
+        if node.is_dummy:
+            attrs.append("shape=point")
+        else:
+            if node_label is not None:
+                label = node_label(node.name)
+            else:
+                label = node.name
+                if allocation is not None and node.name in allocation:
+                    label += f"\\np={allocation[node.name]}"
+            attrs.append(f'label="{_escape(label)}"')
+            attrs.append("shape=box")
+        lines.append(f'  "{_escape(node.name)}" [{", ".join(attrs)}];')
+    for edge in mdg.edges():
+        attrs = []
+        if edge.transfers:
+            total = edge.total_bytes
+            attrs.append(f'label="{total:g} B"')
+        attr_text = f' [{", ".join(attrs)}]' if attrs else ""
+        lines.append(
+            f'  "{_escape(edge.source)}" -> "{_escape(edge.target)}"{attr_text};'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

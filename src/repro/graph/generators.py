@@ -1,0 +1,244 @@
+"""Random and structured MDG generators for tests and benchmarks.
+
+All generators take an explicit seed (or ``numpy.random.Generator``) and
+are fully deterministic. Node processing costs are Amdahl models with
+parameters drawn from ranges typical of the paper's kernels; edges carry
+1D/2D transfers of plausible array sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.processing import AmdahlProcessingCost, ProcessingCostModel
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.errors import ValidationError
+from repro.graph.mdg import MDG
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = [
+    "chain_mdg",
+    "fork_join_mdg",
+    "diamond_mdg",
+    "layered_random_mdg",
+    "series_parallel_mdg",
+    "random_mdg",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _random_processing(rng: np.random.Generator) -> ProcessingCostModel:
+    alpha = float(rng.uniform(0.01, 0.3))
+    tau = float(rng.uniform(0.005, 0.5))
+    return AmdahlProcessingCost(alpha=alpha, tau=tau)
+
+
+def _random_transfers(
+    rng: np.random.Generator, transfer_probability: float
+) -> tuple[ArrayTransfer, ...]:
+    if rng.uniform() >= transfer_probability:
+        return ()
+    kinds = list(TransferKind)
+    kind = kinds[int(rng.integers(len(kinds)))]
+    length = float(rng.choice([8192.0, 32768.0, 131072.0]))
+    return (ArrayTransfer(length_bytes=length, kind=kind),)
+
+
+def chain_mdg(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    transfer_probability: float = 1.0,
+) -> MDG:
+    """A linear chain of ``n`` nodes — no functional parallelism at all."""
+    n = check_integer("n", n, minimum=1)
+    rng = _rng(seed)
+    mdg = MDG(f"chain_{n}")
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        mdg.add_node(name, _random_processing(rng))
+    for a, b in zip(names, names[1:]):
+        mdg.add_edge(a, b, _random_transfers(rng, transfer_probability))
+    return mdg
+
+
+def fork_join_mdg(
+    width: int,
+    seed: int | np.random.Generator | None = 0,
+    transfer_probability: float = 1.0,
+) -> MDG:
+    """A FORK node, ``width`` independent branches, then a JOIN node.
+
+    The maximal-functional-parallelism shape (the Figure 1 example is the
+    ``width=2`` case plus a root).
+    """
+    width = check_integer("width", width, minimum=1)
+    rng = _rng(seed)
+    mdg = MDG(f"forkjoin_{width}")
+    mdg.add_node("fork", _random_processing(rng))
+    mdg.add_node("join", _random_processing(rng))
+    for i in range(width):
+        name = f"branch{i}"
+        mdg.add_node(name, _random_processing(rng))
+        mdg.add_edge("fork", name, _random_transfers(rng, transfer_probability))
+        mdg.add_edge(name, "join", _random_transfers(rng, transfer_probability))
+    return mdg
+
+
+def diamond_mdg(
+    depth: int,
+    seed: int | np.random.Generator | None = 0,
+    transfer_probability: float = 1.0,
+) -> MDG:
+    """Stacked diamonds: fork-join pairs chained ``depth`` times."""
+    depth = check_integer("depth", depth, minimum=1)
+    rng = _rng(seed)
+    mdg = MDG(f"diamond_{depth}")
+    prev = "top"
+    mdg.add_node(prev, _random_processing(rng))
+    for d in range(depth):
+        left, right, bottom = f"l{d}", f"r{d}", f"b{d}"
+        for name in (left, right, bottom):
+            mdg.add_node(name, _random_processing(rng))
+        mdg.add_edge(prev, left, _random_transfers(rng, transfer_probability))
+        mdg.add_edge(prev, right, _random_transfers(rng, transfer_probability))
+        mdg.add_edge(left, bottom, _random_transfers(rng, transfer_probability))
+        mdg.add_edge(right, bottom, _random_transfers(rng, transfer_probability))
+        prev = bottom
+    return mdg
+
+
+def layered_random_mdg(
+    n_layers: int,
+    layer_width: int,
+    seed: int | np.random.Generator | None = 0,
+    edge_probability: float = 0.5,
+    transfer_probability: float = 0.7,
+) -> MDG:
+    """Random layered DAG: edges only between consecutive layers.
+
+    Every node is guaranteed at least one predecessor in the previous
+    layer (so no spurious extra sources beyond layer 0).
+    """
+    n_layers = check_integer("n_layers", n_layers, minimum=1)
+    layer_width = check_integer("layer_width", layer_width, minimum=1)
+    edge_probability = check_probability("edge_probability", edge_probability)
+    rng = _rng(seed)
+    mdg = MDG(f"layered_{n_layers}x{layer_width}")
+    layers: list[list[str]] = []
+    for layer in range(n_layers):
+        names = [f"L{layer}_{i}" for i in range(layer_width)]
+        for name in names:
+            mdg.add_node(name, _random_processing(rng))
+        layers.append(names)
+    for above, below in zip(layers, layers[1:]):
+        for target in below:
+            preds = [u for u in above if rng.uniform() < edge_probability]
+            if not preds:
+                preds = [above[int(rng.integers(len(above)))]]
+            for u in preds:
+                mdg.add_edge(u, target, _random_transfers(rng, transfer_probability))
+    return mdg
+
+
+def series_parallel_mdg(
+    n_operations: int,
+    seed: int | np.random.Generator | None = 0,
+    transfer_probability: float = 0.7,
+) -> MDG:
+    """Recursive series-parallel DAG with ``n_operations`` interior nodes.
+
+    Built by repeatedly replacing a random edge with either a series node
+    or two parallel nodes — the class of graphs Prasanna & Agarwal's
+    methods (reference [8] of the paper) are restricted to, useful for
+    head-to-head allocator comparisons.
+    """
+    n_operations = check_integer("n_operations", n_operations, minimum=1)
+    rng = _rng(seed)
+    mdg = MDG(f"sp_{n_operations}")
+    mdg.add_node("src", _random_processing(rng))
+    mdg.add_node("dst", _random_processing(rng))
+    edges: list[tuple[str, str]] = [("src", "dst")]
+    mdg.add_edge("src", "dst", _random_transfers(rng, transfer_probability))
+    counter = 0
+    while counter < n_operations:
+        u, v = edges[int(rng.integers(len(edges)))]
+        series = bool(rng.uniform() < 0.5)
+        if series:
+            mid = f"s{counter}"
+            mdg.add_node(mid, _random_processing(rng))
+            if not mdg.has_edge(u, mid):
+                mdg.add_edge(u, mid, _random_transfers(rng, transfer_probability))
+            if not mdg.has_edge(mid, v):
+                mdg.add_edge(mid, v, _random_transfers(rng, transfer_probability))
+            edges.append((u, mid))
+            edges.append((mid, v))
+            counter += 1
+        else:
+            mid = f"q{counter}"
+            mdg.add_node(mid, _random_processing(rng))
+            if not mdg.has_edge(u, mid):
+                mdg.add_edge(u, mid, _random_transfers(rng, transfer_probability))
+            if not mdg.has_edge(mid, v):
+                mdg.add_edge(mid, v, _random_transfers(rng, transfer_probability))
+            edges.append((u, mid))
+            edges.append((mid, v))
+            counter += 1
+    return mdg
+
+
+def random_mdg(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    edge_probability: float = 0.25,
+    transfer_probability: float = 0.6,
+) -> MDG:
+    """General random DAG: nodes ordered 0..n-1, forward edges sampled iid.
+
+    Disconnected nodes are allowed (normalization attaches them to
+    START/STOP); used by property tests to probe odd topologies.
+    """
+    n = check_integer("n", n, minimum=1)
+    edge_probability = check_probability("edge_probability", edge_probability)
+    rng = _rng(seed)
+    mdg = MDG(f"random_{n}")
+    names = [f"v{i}" for i in range(n)]
+    for name in names:
+        mdg.add_node(name, _random_processing(rng))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.uniform() < edge_probability:
+                mdg.add_edge(
+                    names[i], names[j], _random_transfers(rng, transfer_probability)
+                )
+    return mdg
+
+
+def paper_example_mdg(costs: Sequence[ProcessingCostModel] | None = None) -> MDG:
+    """The 3-node motivating MDG of Figure 1 (N1 -> {N2, N3}).
+
+    With no argument, Amdahl parameters are chosen so that on 4 processors
+    the naive all-processors schedule takes visibly longer than the mixed
+    schedule, mirroring the paper's 15.6 s vs 14.3 s contrast.
+    """
+    if costs is None:
+        costs = (
+            AmdahlProcessingCost(alpha=0.05, tau=20.0, name="N1"),
+            AmdahlProcessingCost(alpha=0.25, tau=16.0, name="N2"),
+            AmdahlProcessingCost(alpha=0.25, tau=16.0, name="N3"),
+        )
+    if len(costs) != 3:
+        raise ValidationError(f"need exactly 3 cost models, got {len(costs)}")
+    mdg = MDG("figure1_example")
+    mdg.add_node("N1", costs[0])
+    mdg.add_node("N2", costs[1])
+    mdg.add_node("N3", costs[2])
+    mdg.add_edge("N1", "N2")
+    mdg.add_edge("N1", "N3")
+    return mdg

@@ -1,0 +1,310 @@
+"""The Macro Dataflow Graph data structure.
+
+Nodes carry a :class:`~repro.costs.processing.ProcessingCostModel`; edges
+carry the list of :class:`~repro.costs.transfer.ArrayTransfer` objects
+moved along them. The paper's allocation and scheduling algorithms require
+a unique START node preceding everything and a unique STOP node succeeding
+everything (Section 2); :meth:`MDG.normalized` adds zero-cost dummy nodes
+when the program graph does not already have them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.costs.processing import ProcessingCostModel, ZeroProcessingCost
+from repro.costs.transfer import ArrayTransfer
+from repro.errors import CycleError, GraphError
+from repro.utils.ordering import stable_topological_order
+
+__all__ = ["MDG", "MDGNode", "MDGEdge", "START_NAME", "STOP_NAME"]
+
+START_NAME = "__START__"
+STOP_NAME = "__STOP__"
+
+
+@dataclass(frozen=True)
+class MDGNode:
+    """One loop nest of the program.
+
+    ``processing`` supplies ``t^C`` as a function of the node's processor
+    count. ``description`` is free-form (shown in Gantt charts / DOT).
+    """
+
+    name: str
+    processing: ProcessingCostModel
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise GraphError(f"node name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.processing, ProcessingCostModel):
+            raise GraphError(
+                f"node {self.name!r}: processing must be a ProcessingCostModel, "
+                f"got {type(self.processing).__name__}"
+            )
+
+    @property
+    def is_dummy(self) -> bool:
+        """True for zero-cost structural nodes (START/STOP)."""
+        return isinstance(self.processing, ZeroProcessingCost)
+
+
+@dataclass(frozen=True)
+class MDGEdge:
+    """A precedence constraint, optionally carrying array transfers."""
+
+    source: str
+    target: str
+    transfers: tuple[ArrayTransfer, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "transfers", tuple(self.transfers))
+        for t in self.transfers:
+            if not isinstance(t, ArrayTransfer):
+                raise GraphError(
+                    f"edge {self.source}->{self.target}: transfers must be "
+                    f"ArrayTransfer instances, got {type(t).__name__}"
+                )
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(t.length_bytes for t in self.transfers)
+
+
+class MDG:
+    """A mutable macro dataflow graph.
+
+    Node names are arbitrary non-empty strings; all iteration orders are
+    deterministic (insertion order for nodes, sorted adjacency) so that
+    allocation and scheduling are reproducible.
+    """
+
+    def __init__(self, name: str = "mdg"):
+        self.name = name
+        self._nodes: dict[str, MDGNode] = {}
+        self._edges: dict[tuple[str, str], MDGEdge] = {}
+        self._succ: dict[str, set[str]] = {}
+        self._pred: dict[str, set[str]] = {}
+
+    # ----- construction -------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        processing: ProcessingCostModel,
+        description: str = "",
+    ) -> MDGNode:
+        """Add a node; raises if the name is already used."""
+        if name in self._nodes:
+            raise GraphError(f"duplicate node name {name!r}")
+        node = MDGNode(name=name, processing=processing, description=description)
+        self._nodes[name] = node
+        self._succ[name] = set()
+        self._pred[name] = set()
+        return node
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        transfers: Iterable[ArrayTransfer] = (),
+    ) -> MDGEdge:
+        """Add a precedence edge; both endpoints must already exist."""
+        for endpoint in (source, target):
+            if endpoint not in self._nodes:
+                raise GraphError(f"edge references unknown node {endpoint!r}")
+        if source == target:
+            raise GraphError(f"self-loop on node {source!r}")
+        key = (source, target)
+        if key in self._edges:
+            raise GraphError(f"duplicate edge {source!r} -> {target!r}")
+        edge = MDGEdge(source=source, target=target, transfers=tuple(transfers))
+        self._edges[key] = edge
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        return edge
+
+    # ----- access --------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def node_names(self) -> list[str]:
+        """Node names in insertion order."""
+        return list(self._nodes)
+
+    def nodes(self) -> Iterator[MDGNode]:
+        return iter(self._nodes.values())
+
+    def edges(self) -> Iterator[MDGEdge]:
+        return iter(self._edges.values())
+
+    def node(self, name: str) -> MDGNode:
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise GraphError(f"unknown node {name!r}") from exc
+
+    def edge(self, source: str, target: str) -> MDGEdge:
+        try:
+            return self._edges[(source, target)]
+        except KeyError as exc:
+            raise GraphError(f"unknown edge {source!r} -> {target!r}") from exc
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return (source, target) in self._edges
+
+    def predecessors(self, name: str) -> list[str]:
+        """Sorted predecessor names (PRED_i of the paper)."""
+        if name not in self._nodes:
+            raise GraphError(f"unknown node {name!r}")
+        return sorted(self._pred[name])
+
+    def successors(self, name: str) -> list[str]:
+        """Sorted successor names (SUCC_i of the paper)."""
+        if name not in self._nodes:
+            raise GraphError(f"unknown node {name!r}")
+        return sorted(self._succ[name])
+
+    def in_edges(self, name: str) -> list[MDGEdge]:
+        return [self._edges[(m, name)] for m in self.predecessors(name)]
+
+    def out_edges(self, name: str) -> list[MDGEdge]:
+        return [self._edges[(name, n)] for n in self.successors(name)]
+
+    def sources(self) -> list[str]:
+        """Nodes with no predecessors, in insertion order."""
+        return [v for v in self._nodes if not self._pred[v]]
+
+    def sinks(self) -> list[str]:
+        """Nodes with no successors, in insertion order."""
+        return [v for v in self._nodes if not self._succ[v]]
+
+    # ----- structure -----------------------------------------------------
+
+    def topological_order(self) -> list[str]:
+        """Deterministic topological order; raises CycleError on cycles."""
+        return [
+            str(v)
+            for v in stable_topological_order(self._nodes, self._succ)
+        ]
+
+    def validate(self) -> None:
+        """Raise GraphError/CycleError unless the graph is a non-empty DAG."""
+        if not self._nodes:
+            raise GraphError("MDG has no nodes")
+        self.topological_order()
+
+    @property
+    def is_normalized(self) -> bool:
+        """True if a unique START source and unique STOP sink exist."""
+        srcs, snks = self.sources(), self.sinks()
+        return len(srcs) == 1 and len(snks) == 1
+
+    @property
+    def start(self) -> str:
+        """The unique source node name (requires a normalized graph)."""
+        srcs = self.sources()
+        if len(srcs) != 1:
+            raise GraphError(
+                f"MDG {self.name!r} has {len(srcs)} source nodes; call normalized()"
+            )
+        return srcs[0]
+
+    @property
+    def stop(self) -> str:
+        """The unique sink node name (requires a normalized graph)."""
+        snks = self.sinks()
+        if len(snks) != 1:
+            raise GraphError(
+                f"MDG {self.name!r} has {len(snks)} sink nodes; call normalized()"
+            )
+        return snks[0]
+
+    def normalized(self) -> "MDG":
+        """Return an MDG with unique START/STOP nodes (Section 2).
+
+        If the graph already has a unique source and sink it is returned
+        unchanged (not copied). Otherwise a copy is made with zero-cost
+        dummy START/STOP nodes wired to every source/sink. Idempotent.
+        """
+        self.validate()
+        if self.is_normalized:
+            return self
+        out = self.copy()
+        sources = out.sources()
+        sinks = out.sinks()
+        if len(sources) > 1:
+            if out.has_node(START_NAME):
+                raise GraphError(
+                    f"cannot normalize: reserved name {START_NAME!r} already used"
+                )
+            out.add_node(START_NAME, ZeroProcessingCost(), "dummy fork")
+            for s in sources:
+                out.add_edge(START_NAME, s)
+        if len(sinks) > 1:
+            if out.has_node(STOP_NAME):
+                raise GraphError(
+                    f"cannot normalize: reserved name {STOP_NAME!r} already used"
+                )
+            out.add_node(STOP_NAME, ZeroProcessingCost(), "dummy join")
+            for s in sinks:
+                out.add_edge(s, STOP_NAME)
+        return out
+
+    # ----- transformation ------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "MDG":
+        out = MDG(name if name is not None else self.name)
+        for node in self._nodes.values():
+            out.add_node(node.name, node.processing, node.description)
+        for edge in self._edges.values():
+            out.add_edge(edge.source, edge.target, edge.transfers)
+        return out
+
+    def subgraph(self, names: Iterable[str]) -> "MDG":
+        """Induced subgraph on ``names`` (insertion order preserved)."""
+        keep = set(names)
+        unknown = keep - set(self._nodes)
+        if unknown:
+            raise GraphError(f"unknown nodes {sorted(unknown)!r}")
+        out = MDG(f"{self.name}_sub")
+        for node in self._nodes.values():
+            if node.name in keep:
+                out.add_node(node.name, node.processing, node.description)
+        for (u, v), edge in self._edges.items():
+            if u in keep and v in keep:
+                out.add_edge(u, v, edge.transfers)
+        return out
+
+    def map_processing(
+        self, fn: Callable[[MDGNode], ProcessingCostModel]
+    ) -> "MDG":
+        """A copy with each node's processing model replaced by ``fn(node)``."""
+        out = MDG(self.name)
+        for node in self._nodes.values():
+            out.add_node(node.name, fn(node), node.description)
+        for edge in self._edges.values():
+            out.add_edge(edge.source, edge.target, edge.transfers)
+        return out
+
+    # ----- dunder ----------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"MDG(name={self.name!r}, nodes={self.n_nodes}, edges={self.n_edges})"

@@ -1,0 +1,91 @@
+"""Structural parallelism metrics of an MDG.
+
+Quick answers to "how much functional parallelism does this program even
+have?" before compiling it: work/span ratio (the classic average
+parallelism measure), level-width profile, and a communication-to-
+computation ratio — the numbers that predict whether mixed parallelism
+can pay off (Strassen: lots; Jacobi: none).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.analysis import longest_path_lengths, node_levels
+from repro.graph.mdg import MDG
+
+__all__ = ["ParallelismProfile", "parallelism_profile"]
+
+
+@dataclass(frozen=True)
+class ParallelismProfile:
+    """Summary of an MDG's inherent parallelism (serial cost model).
+
+    Attributes
+    ----------
+    work:
+        Total single-processor compute time: ``sum_i t_i^C(1)``.
+    span:
+        Serial time of the longest dependence chain (no transfer costs —
+        the pure dataflow limit).
+    average_parallelism:
+        ``work / span``: how many processors pure functional parallelism
+        could keep busy.
+    max_width:
+        Largest number of nodes sharing a topological level.
+    n_levels:
+        Depth of the level structure.
+    communication_bytes:
+        Total bytes declared on all edges.
+    comm_to_comp:
+        ``communication_bytes / work`` in bytes per second of serial
+        compute — a machine-independent communication-intensity figure.
+    """
+
+    work: float
+    span: float
+    max_width: int
+    n_levels: int
+    communication_bytes: float
+
+    @property
+    def average_parallelism(self) -> float:
+        return self.work / self.span if self.span > 0 else 1.0
+
+    @property
+    def comm_to_comp(self) -> float:
+        return self.communication_bytes / self.work if self.work > 0 else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"work={self.work:.4g}s span={self.span:.4g}s "
+            f"parallelism={self.average_parallelism:.2f} "
+            f"width={self.max_width} levels={self.n_levels} "
+            f"comm={self.communication_bytes:.4g}B "
+            f"({self.comm_to_comp:.3g} B/s-of-compute)"
+        )
+
+
+def parallelism_profile(mdg: MDG) -> ParallelismProfile:
+    """Compute the profile (dummy START/STOP nodes contribute nothing)."""
+    mdg.validate()
+    work = sum(node.processing.cost(1.0) for node in mdg.nodes())
+    span = max(
+        longest_path_lengths(
+            mdg, node_weight=lambda n: mdg.node(n).processing.cost(1.0)
+        ).values()
+    )
+    levels = node_levels(mdg)
+    real_levels = [
+        levels[name] for name in mdg.node_names() if not mdg.node(name).is_dummy
+    ]
+    width_histogram = Counter(real_levels) if real_levels else Counter({0: 0})
+    communication = sum(edge.total_bytes for edge in mdg.edges())
+    return ParallelismProfile(
+        work=work,
+        span=span,
+        max_width=max(width_histogram.values(), default=0),
+        n_levels=len(set(real_levels)) if real_levels else 0,
+        communication_bytes=communication,
+    )

@@ -1,0 +1,158 @@
+"""JSON (de)serialization of MDGs.
+
+The on-disk format versions the schema and round-trips every built-in
+processing-cost model. Posynomial-based models are stored as explicit term
+lists so that calibrated custom models survive a round trip too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.costs.posynomial import Monomial, Posynomial
+from repro.costs.processing import (
+    AmdahlProcessingCost,
+    GeneralPosynomialProcessingCost,
+    ProcessingCostModel,
+    ZeroProcessingCost,
+)
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.errors import ValidationError
+from repro.graph.mdg import MDG
+
+__all__ = ["mdg_to_dict", "mdg_from_dict", "save_mdg", "load_mdg"]
+
+SCHEMA_VERSION = 1
+
+
+def _processing_to_dict(model: ProcessingCostModel) -> dict[str, Any]:
+    if isinstance(model, AmdahlProcessingCost):
+        return {
+            "kind": "amdahl",
+            "alpha": model.alpha,
+            "tau": model.tau,
+            "name": model.name,
+        }
+    if isinstance(model, ZeroProcessingCost):
+        return {"kind": "zero"}
+    if isinstance(model, GeneralPosynomialProcessingCost):
+        return {
+            "kind": "posynomial",
+            "name": model.name,
+            "terms": [
+                {"coefficient": t.coefficient, "exponents": t.exponents}
+                for t in model.expression.terms
+            ],
+        }
+    if isinstance(model, ProcessingCostModel):
+        # Combinators (Scaled/Sum/CommunicationAware/custom) serialize via
+        # their posynomial form: cost-equivalent, though the class
+        # identity is not preserved across the round trip.
+        expression = model.posynomial("p")
+        if expression.is_zero():
+            return {"kind": "zero"}
+        return {
+            "kind": "posynomial",
+            "name": getattr(model, "name", "") or type(model).__name__,
+            "terms": [
+                {"coefficient": t.coefficient, "exponents": t.exponents}
+                for t in expression.terms
+            ],
+        }
+    raise ValidationError(
+        f"cannot serialize processing model of type {type(model).__name__}"
+    )
+
+
+def _processing_from_dict(data: dict[str, Any]) -> ProcessingCostModel:
+    kind = data.get("kind")
+    if kind == "amdahl":
+        return AmdahlProcessingCost(
+            alpha=data["alpha"], tau=data["tau"], name=data.get("name", "")
+        )
+    if kind == "zero":
+        return ZeroProcessingCost()
+    if kind == "posynomial":
+        terms = [
+            Monomial(t["coefficient"], t.get("exponents", {}))
+            for t in data["terms"]
+        ]
+        return GeneralPosynomialProcessingCost(
+            expression=Posynomial(terms), name=data.get("name", "")
+        )
+    raise ValidationError(f"unknown processing model kind {kind!r}")
+
+
+def _transfer_to_dict(transfer: ArrayTransfer) -> dict[str, Any]:
+    return {
+        "length_bytes": transfer.length_bytes,
+        "kind": transfer.kind.value,
+        "label": transfer.label,
+    }
+
+
+def _transfer_from_dict(data: dict[str, Any]) -> ArrayTransfer:
+    return ArrayTransfer(
+        length_bytes=data["length_bytes"],
+        kind=TransferKind(data["kind"]),
+        label=data.get("label", ""),
+    )
+
+
+def mdg_to_dict(mdg: MDG) -> dict[str, Any]:
+    """A JSON-serializable dictionary describing ``mdg``."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": mdg.name,
+        "nodes": [
+            {
+                "name": node.name,
+                "description": node.description,
+                "processing": _processing_to_dict(node.processing),
+            }
+            for node in mdg.nodes()
+        ],
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "transfers": [_transfer_to_dict(t) for t in edge.transfers],
+            }
+            for edge in mdg.edges()
+        ],
+    }
+
+
+def mdg_from_dict(data: dict[str, Any]) -> MDG:
+    """Rebuild an MDG from :func:`mdg_to_dict` output."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported MDG schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    mdg = MDG(data.get("name", "mdg"))
+    for node in data.get("nodes", []):
+        mdg.add_node(
+            node["name"],
+            _processing_from_dict(node["processing"]),
+            node.get("description", ""),
+        )
+    for edge in data.get("edges", []):
+        mdg.add_edge(
+            edge["source"],
+            edge["target"],
+            [_transfer_from_dict(t) for t in edge.get("transfers", [])],
+        )
+    return mdg
+
+
+def save_mdg(mdg: MDG, path: str | Path) -> None:
+    """Write ``mdg`` to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(mdg_to_dict(mdg), indent=2, sort_keys=True))
+
+
+def load_mdg(path: str | Path) -> MDG:
+    """Read an MDG previously written by :func:`save_mdg`."""
+    return mdg_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,19 @@
+"""Serialization of compilation artifacts (schedules, traces, reports)."""
+
+from repro.io.results import (
+    schedule_to_dict,
+    schedule_from_dict,
+    save_schedule,
+    load_schedule,
+    comparison_to_dict,
+    experiment_to_json,
+)
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+    "comparison_to_dict",
+    "experiment_to_json",
+]

@@ -1,0 +1,113 @@
+"""JSON (de)serialization of schedules and experiment results.
+
+Schedules round-trip together with their MDG (via the graph
+serialization), so a saved compilation can be reloaded, re-validated, and
+re-simulated in a later session. Experiment rows (the Figure 8/9 and
+Table 3 dataclasses) serialize one-way to JSON for archiving benchmark
+outputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import ValidationError
+from repro.graph.serialization import mdg_from_dict, mdg_to_dict
+from repro.scheduling.schedule import Schedule, ScheduledNode
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+    "comparison_to_dict",
+    "experiment_to_json",
+]
+
+SCHEDULE_SCHEMA_VERSION = 1
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """A JSON-serializable description of ``schedule`` (MDG included).
+
+    Only JSON-compatible ``info`` entries survive; live objects (the
+    bound-weights cache) are dropped, and ``validate()`` can rebuild what
+    is needed after loading.
+    """
+    safe_info = {}
+    for key, value in schedule.info.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe_info[key] = value
+        elif isinstance(value, dict) and all(
+            isinstance(v, (str, int, float, bool)) for v in value.values()
+        ):
+            safe_info[key] = value
+    return {
+        "schema_version": SCHEDULE_SCHEMA_VERSION,
+        "mdg": mdg_to_dict(schedule.mdg),
+        "total_processors": schedule.total_processors,
+        "entries": [
+            {
+                "name": e.name,
+                "start": e.start,
+                "finish": e.finish,
+                "processors": list(e.processors),
+            }
+            for e in schedule.entries.values()
+        ],
+        "info": safe_info,
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Rebuild a schedule saved by :func:`schedule_to_dict`."""
+    version = data.get("schema_version")
+    if version != SCHEDULE_SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported schedule schema version {version!r} "
+            f"(expected {SCHEDULE_SCHEMA_VERSION})"
+        )
+    schedule = Schedule(
+        mdg=mdg_from_dict(data["mdg"]),
+        total_processors=int(data["total_processors"]),
+        info=dict(data.get("info", {})),
+    )
+    for entry in data.get("entries", []):
+        schedule.add(
+            ScheduledNode(
+                name=entry["name"],
+                start=float(entry["start"]),
+                finish=float(entry["finish"]),
+                processors=tuple(int(q) for q in entry["processors"]),
+            )
+        )
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+def comparison_to_dict(row: Any) -> dict[str, Any]:
+    """Serialize one experiment dataclass row (StyleComparison etc.)."""
+    if not is_dataclass(row):
+        raise ValidationError(f"expected a dataclass row, got {type(row).__name__}")
+    return asdict(row)
+
+
+def experiment_to_json(rows: Iterable[Any], experiment: str) -> str:
+    """An archival JSON document for a list of experiment rows."""
+    return json.dumps(
+        {
+            "experiment": experiment,
+            "rows": [comparison_to_dict(row) for row in rows],
+        },
+        indent=2,
+    )

@@ -1,0 +1,39 @@
+"""Target-machine models: message constants, presets, hardware fidelity.
+
+The allocator and scheduler only need a processor count and the Table 2
+message constants; the simulator additionally consults a
+:class:`~repro.machine.fidelity.HardwareFidelity` describing how real
+hardware deviates from the analytic cost model (port contention, compute
+curvature, jitter) so that "measured" times differ from "predicted" ones
+the way they did on the authors' CM-5 (Figure 9).
+"""
+
+from repro.machine.parameters import MachineParameters
+from repro.machine.presets import (
+    cm5,
+    paragon_like,
+    sp1_like,
+    zero_communication,
+    PRESETS,
+)
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.topology import (
+    FatTreeTopology,
+    derive_uniform_network_delay,
+    cm5_fat_tree,
+    parameters_with_topology,
+)
+
+__all__ = [
+    "MachineParameters",
+    "HardwareFidelity",
+    "FatTreeTopology",
+    "derive_uniform_network_delay",
+    "cm5_fat_tree",
+    "parameters_with_topology",
+    "cm5",
+    "paragon_like",
+    "sp1_like",
+    "zero_communication",
+    "PRESETS",
+]

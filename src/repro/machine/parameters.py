@@ -1,0 +1,62 @@
+"""Machine description used throughout the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.costs.transfer import TransferCostModel, TransferCostParameters
+from repro.errors import ValidationError
+from repro.utils.intmath import is_power_of_two
+from repro.utils.validation import check_integer
+
+__all__ = ["MachineParameters"]
+
+
+@dataclass(frozen=True)
+class MachineParameters:
+    """A distributed-memory multicomputer as the paper models it.
+
+    Parameters
+    ----------
+    name:
+        Human-readable machine name (e.g. ``"CM-5"``).
+    processors:
+        Total processor count ``p``. The paper's rounding/bounding analysis
+        assumes powers of two; other values are accepted (the PSA handles
+        them) but a warning-level validation flag is exposed via
+        :attr:`power_of_two`.
+    transfer:
+        Message-passing constants (Table 2).
+    """
+
+    name: str
+    processors: int
+    transfer: TransferCostParameters = field(
+        default_factory=lambda: TransferCostParameters(0.0, 0.0, 0.0, 0.0, 0.0)
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "processors", check_integer("processors", self.processors, minimum=1)
+        )
+        if not isinstance(self.transfer, TransferCostParameters):
+            raise ValidationError(
+                f"transfer must be TransferCostParameters, got {self.transfer!r}"
+            )
+
+    @property
+    def power_of_two(self) -> bool:
+        """True when ``processors`` is a power of two."""
+        return is_power_of_two(self.processors)
+
+    def transfer_model(self) -> TransferCostModel:
+        """The Eq. 2/3 evaluator for this machine."""
+        return TransferCostModel(self.transfer)
+
+    def with_processors(self, processors: int) -> "MachineParameters":
+        """Same machine, different partition size (the paper uses 16/32/64)."""
+        return replace(self, processors=processors)
+
+    def with_transfer(self, transfer: TransferCostParameters) -> "MachineParameters":
+        """Same machine, different message constants (for what-if studies)."""
+        return replace(self, transfer=transfer)

@@ -1,0 +1,85 @@
+"""Machine presets.
+
+:func:`cm5` reproduces the paper's testbed using the Table 2 constants
+verbatim (send start-up 777.56 us, send per-byte 486.98 ns, receive
+start-up 465.58 us, receive per-byte 426.25 ns, network per-byte 0 —
+the CM-5's CMMD pulls data at receive time, so the network cost is folded
+into the receive per-byte cost).
+
+The other presets are *plausible contemporaries*, not calibrated machines:
+they exist so examples and ablations can show how allocation decisions
+shift when communication gets relatively cheaper or more expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.costs.transfer import TransferCostParameters
+from repro.machine.parameters import MachineParameters
+
+__all__ = ["cm5", "paragon_like", "sp1_like", "zero_communication", "PRESETS"]
+
+#: Table 2 of the paper, converted to seconds.
+CM5_TRANSFER = TransferCostParameters(
+    t_ss=777.56e-6,
+    t_ps=486.98e-9,
+    t_sr=465.58e-6,
+    t_pr=426.25e-9,
+    t_n=0.0,
+)
+
+
+def cm5(processors: int = 64) -> MachineParameters:
+    """The paper's 64-node Thinking Machines CM-5 (Table 2 constants)."""
+    return MachineParameters(name="CM-5", processors=processors, transfer=CM5_TRANSFER)
+
+
+def paragon_like(processors: int = 64) -> MachineParameters:
+    """A lower-latency, higher-bandwidth machine (Intel Paragon flavour)."""
+    return MachineParameters(
+        name="Paragon-like",
+        processors=processors,
+        transfer=TransferCostParameters(
+            t_ss=120.0e-6,
+            t_ps=12.0e-9,
+            t_sr=90.0e-6,
+            t_pr=12.0e-9,
+            t_n=5.0e-9,
+        ),
+    )
+
+
+def sp1_like(processors: int = 64) -> MachineParameters:
+    """A higher-latency message-passing machine (IBM SP-1 flavour)."""
+    return MachineParameters(
+        name="SP1-like",
+        processors=processors,
+        transfer=TransferCostParameters(
+            t_ss=1500.0e-6,
+            t_ps=125.0e-9,
+            t_sr=1000.0e-6,
+            t_pr=125.0e-9,
+            t_n=20.0e-9,
+        ),
+    )
+
+
+def zero_communication(processors: int = 64) -> MachineParameters:
+    """Free communication: the Prasanna–Agarwal [8] modelling assumption.
+
+    Used by ablation A4 to show what neglecting transfer costs does.
+    """
+    return MachineParameters(
+        name="zero-comm",
+        processors=processors,
+        transfer=TransferCostParameters.zero(),
+    )
+
+
+PRESETS: dict[str, Callable[[int], MachineParameters]] = {
+    "cm5": cm5,
+    "paragon": paragon_like,
+    "sp1": sp1_like,
+    "zero-comm": zero_communication,
+}

@@ -1,0 +1,141 @@
+"""Network topology models (the CM-5's data network was a 4-ary fat tree).
+
+The paper's cost model assumes "network costs are the same for all
+processor pairs", which holds well on fat trees because bandwidth grows
+toward the root. This module makes that assumption *checkable* instead of
+asserted: it models a k-ary fat tree, computes per-pair hop counts, and
+derives the uniform per-byte network delay ``t_n`` that best represents a
+given machine — along with the spread around it, so users can judge
+whether the uniformity assumption is acceptable for their topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costs.transfer import TransferCostParameters
+from repro.errors import ValidationError
+from repro.utils.validation import check_integer, check_non_negative
+
+__all__ = ["FatTreeTopology", "derive_uniform_network_delay"]
+
+
+@dataclass(frozen=True)
+class FatTreeTopology:
+    """A k-ary fat tree with ``arity**levels`` leaf processors.
+
+    Parameters
+    ----------
+    arity:
+        Children per switch (4 for the CM-5 data network).
+    levels:
+        Tree height; the machine has ``arity**levels`` processors.
+    hop_delay:
+        Per-byte delay contributed by each switch hop, in seconds.
+    """
+
+    arity: int = 4
+    levels: int = 3
+    hop_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arity", check_integer("arity", self.arity, minimum=2))
+        object.__setattr__(
+            self, "levels", check_integer("levels", self.levels, minimum=1)
+        )
+        object.__setattr__(
+            self, "hop_delay", check_non_negative("hop_delay", self.hop_delay)
+        )
+
+    @property
+    def processors(self) -> int:
+        return self.arity**self.levels
+
+    def _check_proc(self, proc: int) -> None:
+        if not 0 <= proc < self.processors:
+            raise ValidationError(
+                f"processor {proc} out of range [0, {self.processors})"
+            )
+
+    def common_ancestor_level(self, a: int, b: int) -> int:
+        """Levels one must climb before the subtrees of ``a``/``b`` merge.
+
+        0 means the same processor; ``levels`` means crossing the root.
+        """
+        self._check_proc(a)
+        self._check_proc(b)
+        level = 0
+        while a != b:
+            a //= self.arity
+            b //= self.arity
+            level += 1
+        return level
+
+    def hop_count(self, a: int, b: int) -> int:
+        """Switch hops on the route between ``a`` and ``b`` (up + down)."""
+        return 2 * self.common_ancestor_level(a, b)
+
+    def pair_delay(self, a: int, b: int) -> float:
+        """Per-byte network delay for the (a, b) route."""
+        return self.hop_count(a, b) * self.hop_delay
+
+    def average_hops(self) -> float:
+        """Mean hop count over distinct processor pairs (closed form).
+
+        For a k-ary fat tree the fraction of pairs whose route climbs
+        exactly ``l`` levels is ``k^(l-1) * (k-1) / (k^L - 1)`` relative
+        to a fixed source, so the mean is computed without enumerating
+        the quadratic pair set.
+        """
+        n = self.processors
+        total_pairs = n - 1  # partners of one fixed source (symmetry)
+        mean = 0.0
+        for level in range(1, self.levels + 1):
+            partners = self.arity ** (level - 1) * (self.arity - 1)
+            mean += 2 * level * partners
+        return mean / total_pairs
+
+    def max_hops(self) -> int:
+        return 2 * self.levels
+
+    def root_crossing_pairs(self) -> int:
+        """Unordered processor pairs whose route crosses the root.
+
+        Pairs in different top-level subtrees: ``n^2 (1 - 1/k) / 2``.
+        """
+        n = self.processors
+        subtree = n // self.arity
+        return (n * n - self.arity * subtree * subtree) // 2
+
+
+def derive_uniform_network_delay(
+    topology: FatTreeTopology,
+) -> tuple[float, float]:
+    """The uniform ``t_n`` that best represents ``topology`` and its spread.
+
+    Returns ``(mean_delay, max_relative_spread)`` where the spread is
+    ``(max_pair_delay - min_nonzero_pair_delay) / mean_delay``. A small
+    spread justifies the paper's uniform-network assumption; use the mean
+    as ``TransferCostParameters.t_n``.
+    """
+    mean = topology.average_hops() * topology.hop_delay
+    if mean == 0.0:
+        return 0.0, 0.0
+    max_delay = topology.max_hops() * topology.hop_delay
+    min_delay = 2 * topology.hop_delay
+    return mean, (max_delay - min_delay) / mean
+
+
+def cm5_fat_tree(hop_delay: float = 0.0) -> FatTreeTopology:
+    """The 64-node CM-5's 4-ary, 3-level data-network fat tree."""
+    return FatTreeTopology(arity=4, levels=3, hop_delay=hop_delay)
+
+
+def parameters_with_topology(
+    base: TransferCostParameters, topology: FatTreeTopology
+) -> TransferCostParameters:
+    """``base`` with ``t_n`` replaced by the topology-derived mean delay."""
+    mean, _spread = derive_uniform_network_delay(topology)
+    return TransferCostParameters(
+        t_ss=base.t_ss, t_ps=base.t_ps, t_sr=base.t_sr, t_pr=base.t_pr, t_n=mean
+    )

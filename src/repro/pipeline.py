@@ -1,0 +1,170 @@
+"""The end-to-end compilation pipeline (Section 1.2's five steps).
+
+``compile_mdg`` chains the paper's machinery: convex allocation, PSA
+scheduling (with rounding/bounding), and MPMD code generation — returning
+everything a caller needs to simulate, inspect, or compare the result.
+``measure`` replays the generated program on the machine simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.allocation.result import Allocation
+from repro.allocation.solver import ConvexSolverOptions, solve_allocation
+from repro.codegen.mpmd import generate_mpmd_program
+from repro.codegen.program import MPMDProgram
+from repro.codegen.spmd import generate_spmd_program
+from repro.graph.mdg import MDG
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.parameters import MachineParameters
+from repro.scheduling.baselines import spmd_schedule
+from repro.scheduling.psa import PSAOptions, prioritized_schedule
+from repro.scheduling.schedule import Schedule
+from repro.sim.engine import MachineSimulator, SimulationResult
+
+__all__ = [
+    "CompilationResult",
+    "compile_mdg",
+    "compile_spmd",
+    "measure",
+    "BundleExecution",
+    "execute_bundle",
+]
+
+
+@dataclass
+class CompilationResult:
+    """Everything the pipeline produced for one (MDG, machine) pair."""
+
+    mdg: MDG
+    machine: MachineParameters
+    allocation: Allocation
+    schedule: Schedule
+    program: MPMDProgram
+    style: str = "MPMD"
+    info: dict = field(default_factory=dict)
+
+    @property
+    def phi(self) -> float | None:
+        """The convex optimum (None for SPMD compilations)."""
+        return self.allocation.phi
+
+    @property
+    def predicted_makespan(self) -> float:
+        """The schedule's analytic finish time (``T_psa`` for MPMD)."""
+        return self.schedule.makespan
+
+
+def compile_mdg(
+    mdg: MDG,
+    machine: MachineParameters,
+    psa_options: PSAOptions | None = None,
+    solver_options: ConvexSolverOptions | None = None,
+) -> CompilationResult:
+    """Allocate (convex program), schedule (PSA), and generate MPMD code."""
+    normalized = mdg.normalized()
+    allocation = solve_allocation(normalized, machine, solver_options)
+    schedule = prioritized_schedule(
+        normalized, allocation.processors, machine, psa_options
+    )
+    program = generate_mpmd_program(schedule, machine)
+    return CompilationResult(
+        mdg=normalized,
+        machine=machine,
+        allocation=allocation,
+        schedule=schedule,
+        program=program,
+        style="MPMD",
+    )
+
+
+def compile_spmd(mdg: MDG, machine: MachineParameters) -> CompilationResult:
+    """The all-processors SPMD compilation used as the Figure 8 baseline."""
+    normalized = mdg.normalized()
+    schedule = spmd_schedule(normalized, machine)
+    program = generate_spmd_program(normalized, machine)
+    allocation = Allocation(
+        processors={name: float(w) for name, w in schedule.allocation().items()},
+        phi=None,
+        info={"style": "SPMD"},
+    )
+    return CompilationResult(
+        mdg=normalized,
+        machine=machine,
+        allocation=allocation,
+        schedule=schedule,
+        program=program,
+        style="SPMD",
+    )
+
+
+@dataclass
+class BundleExecution:
+    """Everything :func:`execute_bundle` produced for one program bundle."""
+
+    compilation: CompilationResult
+    simulation: SimulationResult
+    value_report: object  # repro.runtime.executor.ExecutionReport
+
+    @property
+    def predicted_makespan(self) -> float:
+        return self.compilation.predicted_makespan
+
+    @property
+    def measured_makespan(self) -> float:
+        return self.simulation.makespan
+
+    @property
+    def locality_fraction(self) -> float:
+        return self.value_report.locality_fraction()
+
+
+def execute_bundle(
+    bundle,
+    machine: MachineParameters,
+    fidelity: HardwareFidelity | None = None,
+    psa_options: PSAOptions | None = None,
+    verify: bool = True,
+) -> BundleExecution:
+    """Compile, simulate, and value-execute a program bundle in one call.
+
+    The value execution uses the *schedule's* processor groups and
+    physical placement, so locality statistics reflect the compiled
+    program; with ``verify=True`` (default) every node's distributed
+    result is checked against the sequential reference.
+    """
+    from repro.runtime.executor import ValueExecutor
+    from repro.runtime.verify import verify_against_reference
+
+    compilation = compile_mdg(bundle.mdg, machine, psa_options=psa_options)
+    simulation = measure(compilation, fidelity, record_trace=False)
+
+    groups: dict[str, int] = {}
+    placement: dict[str, tuple[int, ...]] = {}
+    for name in bundle.app.computational_nodes():
+        entry = compilation.schedule.entry(name)
+        groups[name] = entry.width
+        placement[name] = entry.processors
+    report = ValueExecutor(bundle.app).run(groups, placement)
+    if verify:
+        verify_against_reference(bundle.app, report)
+    return BundleExecution(
+        compilation=compilation, simulation=simulation, value_report=report
+    )
+
+
+def measure(
+    result: CompilationResult,
+    fidelity: HardwareFidelity | None = None,
+    record_trace: bool = True,
+) -> SimulationResult:
+    """Run the compiled program on the simulated machine.
+
+    With default (ideal) fidelity the measured makespan realizes the
+    analytic model exactly; pass
+    :meth:`HardwareFidelity.cm5_like() <repro.machine.fidelity.HardwareFidelity.cm5_like>`
+    for realistic deviations (the Figure 9 configuration).
+    """
+    simulator = MachineSimulator(fidelity)
+    return simulator.run(result.program, record_trace=record_trace)

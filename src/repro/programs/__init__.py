@@ -1,0 +1,40 @@
+"""The paper's test programs and extra workloads.
+
+Each program ships in two coupled forms:
+
+* an **MDG** with Table 1 cost models and Figure 4 transfers — what the
+  allocator/scheduler/simulator consume;
+* an **AppGraph** with real kernels — what the value executor runs to
+  prove the generated MPMD execution computes the right numbers.
+
+Both are built from the same wiring function, so they cannot drift apart.
+"""
+
+from repro.programs.common import (
+    table1_matadd,
+    table1_matmul,
+    default_matinit,
+    array_transfer_1d,
+    ProgramBundle,
+)
+from repro.programs.complex_matmul import complex_matmul_program
+from repro.programs.strassen import strassen_program
+from repro.programs.fft2d import fft2d_program
+from repro.programs.synthetic import reduction_tree_program, pipeline_program
+from repro.programs.jacobi import jacobi_program
+from repro.programs.strassen_recursive import strassen_recursive_program
+
+__all__ = [
+    "table1_matadd",
+    "table1_matmul",
+    "default_matinit",
+    "array_transfer_1d",
+    "ProgramBundle",
+    "complex_matmul_program",
+    "strassen_program",
+    "fft2d_program",
+    "reduction_tree_program",
+    "pipeline_program",
+    "jacobi_program",
+    "strassen_recursive_program",
+]

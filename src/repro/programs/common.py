@@ -1,0 +1,136 @@
+"""Shared building blocks for the test programs.
+
+Cost parameters come from Table 1 of the paper (measured on the CM-5 for
+64x64 matrices):
+
+=================  ======  =========
+Loop               alpha   tau
+=================  ======  =========
+Matrix Addition    6.7%    3.73 ms
+Matrix Multiply    12.1%   298.47 ms
+=================  ======  =========
+
+For other matrix sizes ``n`` the single-processor time scales with the
+operation's arithmetic complexity (``n^2`` for addition/initialization,
+``n^3`` for multiplication) while the serial fraction is held at the
+measured value — the standard training-sets extrapolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costs.processing import AmdahlProcessingCost
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.graph.mdg import MDG
+from repro.runtime.executor import AppGraph, AppNode
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "table1_matadd",
+    "table1_matmul",
+    "default_matinit",
+    "array_transfer_1d",
+    "array_transfer_2d",
+    "ProgramBundle",
+    "BundleBuilder",
+]
+
+#: Table 1 constants (64x64 reference size).
+_REF_N = 64
+_ADD_ALPHA, _ADD_TAU = 0.067, 3.73e-3
+_MUL_ALPHA, _MUL_TAU = 0.121, 298.47e-3
+#: Initialization is not in Table 1; modelled as a cheap elementwise loop.
+_INIT_ALPHA, _INIT_TAU = 0.05, 1.8e-3
+
+
+def table1_matadd(n: int = _REF_N, name: str = "") -> AmdahlProcessingCost:
+    """Matrix-addition cost for an ``n x n`` operand (Table 1 scaled)."""
+    n = check_integer("n", n, minimum=1)
+    return AmdahlProcessingCost(
+        alpha=_ADD_ALPHA, tau=_ADD_TAU * (n / _REF_N) ** 2, name=name or f"add{n}"
+    )
+
+
+def table1_matmul(n: int = _REF_N, name: str = "") -> AmdahlProcessingCost:
+    """Matrix-multiply cost for ``n x n`` operands (Table 1 scaled)."""
+    n = check_integer("n", n, minimum=1)
+    return AmdahlProcessingCost(
+        alpha=_MUL_ALPHA, tau=_MUL_TAU * (n / _REF_N) ** 3, name=name or f"mul{n}"
+    )
+
+
+def default_matinit(n: int = _REF_N, name: str = "") -> AmdahlProcessingCost:
+    """Matrix-initialization cost for an ``n x n`` output."""
+    n = check_integer("n", n, minimum=1)
+    return AmdahlProcessingCost(
+        alpha=_INIT_ALPHA, tau=_INIT_TAU * (n / _REF_N) ** 2, name=name or f"init{n}"
+    )
+
+
+def array_transfer_1d(n: int, label: str = "") -> ArrayTransfer:
+    """A same-dimension (ROW2ROW) transfer of an ``n x n`` double array."""
+    n = check_integer("n", n, minimum=1)
+    return ArrayTransfer(
+        length_bytes=8.0 * n * n, kind=TransferKind.ROW2ROW, label=label
+    )
+
+
+def array_transfer_2d(n: int, label: str = "") -> ArrayTransfer:
+    """A dimension-changing (ROW2COL) transfer of an ``n x n`` double array."""
+    n = check_integer("n", n, minimum=1)
+    return ArrayTransfer(
+        length_bytes=8.0 * n * n, kind=TransferKind.ROW2COL, label=label
+    )
+
+
+@dataclass
+class ProgramBundle:
+    """A test program in both analyzable (MDG) and runnable (AppGraph) form."""
+
+    name: str
+    mdg: MDG
+    app: AppGraph
+    info: dict = field(default_factory=dict)
+
+
+class BundleBuilder:
+    """Builds the MDG and the AppGraph from one wiring description.
+
+    ``add_node`` declares a computation (cost model + kernel); ``wire``
+    connects a producer to a kernel input, creating the MDG edge with the
+    declared transfer. One builder call-site therefore defines both
+    artifacts, keeping the analytic and executable views consistent.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.mdg = MDG(name)
+        self._kernels: dict[str, object] = {}
+        self._inputs: dict[str, dict[str, str]] = {}
+        self._pending_transfers: dict[tuple[str, str], list[ArrayTransfer]] = {}
+
+    def add_node(self, name: str, processing, kernel, description: str = "") -> None:
+        self.mdg.add_node(name, processing, description)
+        self._kernels[name] = kernel
+        self._inputs[name] = {}
+
+    def wire(
+        self,
+        producer: str,
+        consumer: str,
+        input_name: str,
+        transfer: ArrayTransfer,
+    ) -> None:
+        self._inputs[consumer][input_name] = producer
+        self._pending_transfers.setdefault((producer, consumer), []).append(transfer)
+
+    def build(self, **info) -> ProgramBundle:
+        for (producer, consumer), transfers in sorted(self._pending_transfers.items()):
+            self.mdg.add_edge(producer, consumer, transfers)
+        app_nodes = {
+            name: AppNode(name=name, kernel=self._kernels[name], inputs=self._inputs[name])
+            for name in self._kernels
+        }
+        app = AppGraph(self.mdg, app_nodes)
+        return ProgramBundle(name=self.name, mdg=self.mdg, app=app, info=info)

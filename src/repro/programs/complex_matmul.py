@@ -1,0 +1,81 @@
+"""Complex matrix multiplication (the paper's first test program).
+
+``(A_r + i A_i)(B_r + i B_i) = (A_r B_r - A_i B_i) + i (A_r B_i + A_i B_r)``
+
+The MDG (Figure 6, left) has the paper's three loop types: four matrix
+initializations, four real matrix multiplies, and two additions (one is a
+subtraction — an addition loop with a sign). All transfers are 1D type,
+as the paper states for both test programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.programs.common import (
+    BundleBuilder,
+    ProgramBundle,
+    array_transfer_1d,
+    default_matinit,
+    table1_matadd,
+    table1_matmul,
+)
+from repro.runtime.kernels import MatAdd, MatInit, MatMul, MatSub
+from repro.utils.validation import check_integer
+
+__all__ = ["complex_matmul_program"]
+
+
+def _fill(kind: int, scale: float):
+    """Deterministic, kind-specific element rules for the init loops."""
+
+    def fill(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return np.sin(0.1 * (i + 1) * (kind + 1)) * np.cos(0.07 * (j + 2)) * scale
+
+    return fill
+
+
+def complex_matmul_program(n: int = 64) -> ProgramBundle:
+    """The Complex Matrix Multiply bundle for ``n x n`` operands.
+
+    The paper evaluates ``n = 64``; any positive size works (costs scale
+    per Table 1's complexity model).
+    """
+    n = check_integer("n", n, minimum=1)
+    b = BundleBuilder(f"complex_matmul_{n}")
+    t = lambda label: array_transfer_1d(n, label)  # noqa: E731 - local shorthand
+
+    inits = {
+        "init_Ar": _fill(0, 1.0),
+        "init_Ai": _fill(1, 0.5),
+        "init_Br": _fill(2, 1.0),
+        "init_Bi": _fill(3, 0.5),
+    }
+    for name, fill in inits.items():
+        b.add_node(
+            name,
+            default_matinit(n, name),
+            MatInit(n, n, fill),
+            "matrix initialization",
+        )
+
+    products = {
+        "mul_ArBr": ("init_Ar", "init_Br"),
+        "mul_AiBi": ("init_Ai", "init_Bi"),
+        "mul_ArBi": ("init_Ar", "init_Bi"),
+        "mul_AiBr": ("init_Ai", "init_Br"),
+    }
+    for name, (left, right) in products.items():
+        b.add_node(name, table1_matmul(n, name), MatMul(n, n, n), "matrix multiply")
+        b.wire(left, name, "a", t(f"{left}->{name}"))
+        b.wire(right, name, "b", t(f"{right}->{name}"))
+
+    b.add_node("real", table1_matadd(n, "real"), MatSub(n, n), "real part")
+    b.wire("mul_ArBr", "real", "a", t("ArBr->real"))
+    b.wire("mul_AiBi", "real", "b", t("AiBi->real"))
+
+    b.add_node("imag", table1_matadd(n, "imag"), MatAdd(n, n), "imaginary part")
+    b.wire("mul_ArBi", "imag", "a", t("ArBi->imag"))
+    b.wire("mul_AiBr", "imag", "b", t("AiBr->imag"))
+
+    return b.build(n=n, paper_size=64, loops=10)

@@ -1,0 +1,82 @@
+"""A 2-D transform pipeline exercising the 2D (dimension-changing) transfers.
+
+The paper's two test programs use only 1D transfers; its cost model also
+covers ROW2COL / COL2ROW (Eq. 3), so this extra workload exercises that
+path: a Hartley-style 2-D transform computed as row transform, column
+transform, then an inverse row transform —
+
+    init (row-blocked) --ROW2ROW--> rows --ROW2COL--> cols
+                                           --COL2ROW--> rows_back
+
+The transform matrix is the discrete Hartley matrix (cas kernel), real and
+orthogonal up to scaling, so values stay well-conditioned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.programs.common import (
+    BundleBuilder,
+    ProgramBundle,
+    default_matinit,
+    table1_matmul,
+)
+from repro.runtime.kernels import ColTransform, MatInit, RowTransform
+from repro.utils.validation import check_integer
+
+__all__ = ["fft2d_program", "hartley_matrix"]
+
+
+def hartley_matrix(n: int) -> np.ndarray:
+    """The n-point discrete Hartley matrix ``cas(2*pi*i*j/n)/sqrt(n)``."""
+    n = check_integer("n", n, minimum=1)
+    grid = 2.0 * np.pi * np.outer(np.arange(n), np.arange(n)) / n
+    return (np.cos(grid) + np.sin(grid)) / np.sqrt(n)
+
+
+def fft2d_program(n: int = 64) -> ProgramBundle:
+    """The 2-D transform pipeline bundle for an ``n x n`` image."""
+    n = check_integer("n", n, minimum=1)
+    w = hartley_matrix(n)
+    b = BundleBuilder(f"fft2d_{n}")
+    nbytes = 8.0 * n * n
+
+    b.add_node(
+        "image",
+        default_matinit(n, "image"),
+        MatInit(n, n, lambda i, j: np.exp(-((i - n / 2) ** 2 + (j - n / 2) ** 2) / n)),
+        "input image",
+    )
+    b.add_node(
+        "rows", table1_matmul(n, "rows"), RowTransform(n, n, w), "row transform"
+    )
+    b.wire(
+        "image",
+        "rows",
+        "x",
+        ArrayTransfer(nbytes, TransferKind.ROW2ROW, "image->rows"),
+    )
+    b.add_node(
+        "cols", table1_matmul(n, "cols"), ColTransform(n, n, w), "column transform"
+    )
+    b.wire(
+        "rows",
+        "cols",
+        "x",
+        ArrayTransfer(nbytes, TransferKind.ROW2COL, "rows->cols"),
+    )
+    b.add_node(
+        "rows_back",
+        table1_matmul(n, "rows_back"),
+        RowTransform(n, n, w.T),
+        "inverse row transform",
+    )
+    b.wire(
+        "cols",
+        "rows_back",
+        "x",
+        ArrayTransfer(nbytes, TransferKind.COL2ROW, "cols->rows_back"),
+    )
+    return b.build(n=n, stages=3)

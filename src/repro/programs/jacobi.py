@@ -1,0 +1,74 @@
+"""Jacobi 2-D relaxation: the iterative-solver workload.
+
+``K`` relaxation sweeps over an ``n x n`` grid, each sweep one MDG node
+feeding the next (ROW2ROW transfers) — the classic loop-carried iterative
+structure of PDE solvers. There is *no* functional parallelism here at
+all, making it the adversarial counterpoint to Strassen: the allocator
+recognizes that pure data parallelism is the only option and gives every
+sweep the widest group it may. One instructive wrinkle: the Corollary 1
+processor bound (PB = p/2 for the worst-case guarantee) caps that width,
+so with default options the compiled chain runs a few percent *slower*
+than SPMD — the price of the theorem's adversarial safety margin.
+Passing ``PSAOptions(processor_bound="machine")`` restores exact parity;
+the tests pin down both behaviours.
+
+The sweep's processing cost is modelled as a 5-point stencil: ~5 flops
+per element, so ``tau`` scales from the Table 1 matrix-addition time
+(1 flop + bookkeeping per element) by a small constant; the serial
+fraction is kept at the measured addition value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costs.processing import AmdahlProcessingCost
+from repro.programs.common import (
+    BundleBuilder,
+    ProgramBundle,
+    array_transfer_1d,
+    default_matinit,
+)
+from repro.runtime.kernels import JacobiSweep, MatInit
+from repro.utils.validation import check_integer
+
+__all__ = ["jacobi_program", "stencil_cost"]
+
+#: Stencil-to-addition work ratio (4 adds + 1 scale per element).
+_STENCIL_WORK_FACTOR = 3.0
+_ADD_ALPHA, _ADD_TAU, _REF_N = 0.067, 3.73e-3, 64
+
+
+def stencil_cost(n: int, name: str = "") -> AmdahlProcessingCost:
+    """Processing cost of one Jacobi sweep over an ``n x n`` grid."""
+    n = check_integer("n", n, minimum=1)
+    return AmdahlProcessingCost(
+        alpha=_ADD_ALPHA,
+        tau=_STENCIL_WORK_FACTOR * _ADD_TAU * (n / _REF_N) ** 2,
+        name=name or f"sweep{n}",
+    )
+
+
+def jacobi_program(sweeps: int = 6, n: int = 64) -> ProgramBundle:
+    """The Jacobi bundle: init followed by ``sweeps`` chained relaxations."""
+    sweeps = check_integer("sweeps", sweeps, minimum=1)
+    n = check_integer("n", n, minimum=1)
+    b = BundleBuilder(f"jacobi_{sweeps}x{n}")
+
+    b.add_node(
+        "grid",
+        default_matinit(n, "grid"),
+        MatInit(
+            n,
+            n,
+            lambda i, j: np.where((i == 0) | (j == 0), 1.0, 0.0) * 100.0,
+        ),
+        "initial grid with hot boundary",
+    )
+    previous = "grid"
+    for k in range(sweeps):
+        name = f"sweep{k}"
+        b.add_node(name, stencil_cost(n, name), JacobiSweep(n, n), "Jacobi sweep")
+        b.wire(previous, name, "x", array_transfer_1d(n, f"{previous}->{name}"))
+        previous = name
+    return b.build(sweeps=sweeps, n=n)

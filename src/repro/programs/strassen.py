@@ -1,0 +1,133 @@
+"""Strassen's matrix multiplication, one recursion level (second test program).
+
+A ``2n x 2n`` product from seven ``n x n`` products (Press et al.,
+*Numerical Recipes*, as the paper cites):
+
+    P1 = (A11 + A22)(B11 + B22)    P5 = (A11 + A12) B22
+    P2 = (A21 + A22) B11           P6 = (A21 - A11)(B11 + B12)
+    P3 = A11 (B12 - B22)           P7 = (A12 - A22)(B21 + B22)
+    P4 = A22 (B21 - B11)
+
+    C11 = P1 + P4 - P5 + P7        C12 = P3 + P5
+    C21 = P2 + P4                  C22 = P1 - P2 + P3 + P6
+
+The paper runs the 128x128 case, i.e. every loop operates on 64x64 blocks
+— exactly the operands Table 1 was measured on. Multi-term combinations
+are chains of binary add/sub loops, which is why this MDG has "many more
+nodes" than Complex Matrix Multiply (33 computational loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.programs.common import (
+    BundleBuilder,
+    ProgramBundle,
+    array_transfer_1d,
+    default_matinit,
+    table1_matadd,
+    table1_matmul,
+)
+from repro.runtime.kernels import MatAdd, MatInit, MatMul, MatSub
+from repro.utils.validation import check_integer
+
+__all__ = ["strassen_program"]
+
+
+def _block_fill(which: str, quadrant: int):
+    """Element rule for one input quadrant (offset into the 2n x 2n index
+    space so assembled blocks form a coherent big matrix)."""
+
+    base = {"A": 0.13, "B": 0.19}[which]
+
+    def fill(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return np.cos(base * (i + 3 * quadrant + 1)) * np.sin(
+            0.05 * (j + 2 * quadrant + 2)
+        )
+
+    return fill
+
+
+def strassen_program(n: int = 128) -> ProgramBundle:
+    """Strassen bundle for an ``n x n`` product (``n`` even; blocks n/2).
+
+    The paper's configuration is ``n = 128`` (64x64 blocks).
+    """
+    n = check_integer("n", n, minimum=2)
+    if n % 2 != 0:
+        raise ValueError(f"Strassen needs an even size, got {n}")
+    half = n // 2
+    b = BundleBuilder(f"strassen_{n}")
+    t = lambda label: array_transfer_1d(half, label)  # noqa: E731
+
+    # --- 8 initialization loops (the input quadrants) -------------------
+    for which in ("A", "B"):
+        for quadrant, name in enumerate(
+            (f"{which}11", f"{which}12", f"{which}21", f"{which}22")
+        ):
+            b.add_node(
+                name,
+                default_matinit(half, name),
+                MatInit(half, half, _block_fill(which, quadrant)),
+                "quadrant initialization",
+            )
+
+    def add_binary(name: str, kernel_cls, left: str, right: str, desc: str) -> None:
+        b.add_node(name, table1_matadd(half, name), kernel_cls(half, half), desc)
+        b.wire(left, name, "a", t(f"{left}->{name}"))
+        b.wire(right, name, "b", t(f"{right}->{name}"))
+
+    # --- 10 pre-combination loops ----------------------------------------
+    add_binary("S1", MatAdd, "A11", "A22", "S1 = A11 + A22")
+    add_binary("S2", MatAdd, "B11", "B22", "S2 = B11 + B22")
+    add_binary("S3", MatAdd, "A21", "A22", "S3 = A21 + A22")
+    add_binary("S4", MatSub, "B12", "B22", "S4 = B12 - B22")
+    add_binary("S5", MatSub, "B21", "B11", "S5 = B21 - B11")
+    add_binary("S6", MatAdd, "A11", "A12", "S6 = A11 + A12")
+    add_binary("S7", MatSub, "A21", "A11", "S7 = A21 - A11")
+    add_binary("S8", MatAdd, "B11", "B12", "S8 = B11 + B12")
+    add_binary("S9", MatSub, "A12", "A22", "S9 = A12 - A22")
+    add_binary("S10", MatAdd, "B21", "B22", "S10 = B21 + B22")
+
+    # --- 7 product loops ----------------------------------------------------
+    def add_product(name: str, left: str, right: str) -> None:
+        b.add_node(
+            name, table1_matmul(half, name), MatMul(half, half, half), f"{name} product"
+        )
+        b.wire(left, name, "a", t(f"{left}->{name}"))
+        b.wire(right, name, "b", t(f"{right}->{name}"))
+
+    add_product("P1", "S1", "S2")
+    add_product("P2", "S3", "B11")
+    add_product("P3", "A11", "S4")
+    add_product("P4", "A22", "S5")
+    add_product("P5", "S6", "B22")
+    add_product("P6", "S7", "S8")
+    add_product("P7", "S9", "S10")
+
+    # --- 8 post-combination loops ---------------------------------------------
+    add_binary("C11a", MatAdd, "P1", "P4", "P1 + P4")
+    add_binary("C11b", MatSub, "C11a", "P5", "P1 + P4 - P5")
+    add_binary("C11", MatAdd, "C11b", "P7", "C11")
+    add_binary("C12", MatAdd, "P3", "P5", "C12")
+    add_binary("C21", MatAdd, "P2", "P4", "C21")
+    add_binary("C22a", MatSub, "P1", "P2", "P1 - P2")
+    add_binary("C22b", MatAdd, "C22a", "P3", "P1 - P2 + P3")
+    add_binary("C22", MatAdd, "C22b", "P6", "C22")
+
+    return b.build(n=n, block=half, paper_size=128, loops=33)
+
+
+def strassen_reference_product(bundle: ProgramBundle) -> np.ndarray:
+    """The classical ``A @ B`` the Strassen outputs must reassemble into.
+
+    Used by tests: assembles the init quadrants into full matrices and
+    multiplies conventionally.
+    """
+    from repro.runtime.verify import sequential_reference
+
+    values = sequential_reference(bundle.app)
+    a = np.block([[values["A11"], values["A12"]], [values["A21"], values["A22"]]])
+    bb = np.block([[values["B11"], values["B12"]], [values["B21"], values["B22"]]])
+    return a @ bb

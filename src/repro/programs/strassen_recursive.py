@@ -1,0 +1,160 @@
+"""Multi-level recursive Strassen (an extension beyond the paper's 1 level).
+
+The paper evaluates a single Strassen level (33 loops). Recursing once
+more multiplies the functional parallelism: each of the seven products
+expands into its own 33-loop sub-DAG plus quadrant extraction/assembly
+plumbing, giving MDGs in the hundreds of nodes — a scalability workout
+for the allocator and scheduler, and a realistic picture of what blocked
+recursive algorithms hand a mixed-parallelism compiler.
+
+Every node remains a real kernel, so the whole multi-level DAG is value-
+verified against the classical product like the single-level version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.programs.common import (
+    BundleBuilder,
+    ProgramBundle,
+    array_transfer_1d,
+    default_matinit,
+    table1_matadd,
+    table1_matmul,
+)
+from repro.runtime.kernels import Assemble2x2, Extract, MatAdd, MatInit, MatMul, MatSub
+from repro.utils.validation import check_integer
+
+__all__ = ["strassen_recursive_program"]
+
+
+def _copy_cost(n: int, name: str):
+    """Quadrant extract/assemble: an n x n data-movement loop (add-like)."""
+    model = table1_matadd(n, name)
+    # A copy does roughly half an addition's work per element.
+    from repro.costs.extensions import ScaledProcessingCost
+
+    return ScaledProcessingCost(model, 0.5, name=name)
+
+
+class _StrassenEmitter:
+    """Emits the recursive Strassen DAG into a BundleBuilder."""
+
+    def __init__(self, builder: BundleBuilder):
+        self.builder = builder
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def binary(self, kind, left: str, right: str, size: int, prefix: str) -> str:
+        name = self._fresh(prefix)
+        kernel = MatAdd(size, size) if kind == "add" else MatSub(size, size)
+        self.builder.add_node(name, table1_matadd(size, name), kernel)
+        self.builder.wire(left, name, "a", array_transfer_1d(size))
+        self.builder.wire(right, name, "b", array_transfer_1d(size))
+        return name
+
+    def extract(self, parent: str, size: int, quadrant: int, prefix: str) -> str:
+        half = size // 2
+        r0 = (quadrant // 2) * half
+        c0 = (quadrant % 2) * half
+        name = self._fresh(prefix)
+        self.builder.add_node(
+            name,
+            _copy_cost(half, name),
+            Extract(size, size, r0, c0, half, half),
+            f"quadrant {quadrant}",
+        )
+        self.builder.wire(parent, name, "x", array_transfer_1d(size))
+        return name
+
+    def multiply(self, a: str, b: str, size: int, levels: int, prefix: str) -> str:
+        """Product node (levels == 0) or a recursive Strassen sub-DAG."""
+        if levels == 0 or size % 2 != 0:
+            name = self._fresh(f"{prefix}mul")
+            self.builder.add_node(
+                name, table1_matmul(size, name), MatMul(size, size, size)
+            )
+            self.builder.wire(a, name, "a", array_transfer_1d(size))
+            self.builder.wire(b, name, "b", array_transfer_1d(size))
+            return name
+
+        half = size // 2
+        a11, a12, a21, a22 = (
+            self.extract(a, size, q, f"{prefix}xa") for q in range(4)
+        )
+        b11, b12, b21, b22 = (
+            self.extract(b, size, q, f"{prefix}xb") for q in range(4)
+        )
+        s1 = self.binary("add", a11, a22, half, f"{prefix}s")
+        s2 = self.binary("add", b11, b22, half, f"{prefix}s")
+        s3 = self.binary("add", a21, a22, half, f"{prefix}s")
+        s4 = self.binary("sub", b12, b22, half, f"{prefix}s")
+        s5 = self.binary("sub", b21, b11, half, f"{prefix}s")
+        s6 = self.binary("add", a11, a12, half, f"{prefix}s")
+        s7 = self.binary("sub", a21, a11, half, f"{prefix}s")
+        s8 = self.binary("add", b11, b12, half, f"{prefix}s")
+        s9 = self.binary("sub", a12, a22, half, f"{prefix}s")
+        s10 = self.binary("add", b21, b22, half, f"{prefix}s")
+
+        deeper = levels - 1
+        p1 = self.multiply(s1, s2, half, deeper, f"{prefix}1")
+        p2 = self.multiply(s3, b11, half, deeper, f"{prefix}2")
+        p3 = self.multiply(a11, s4, half, deeper, f"{prefix}3")
+        p4 = self.multiply(a22, s5, half, deeper, f"{prefix}4")
+        p5 = self.multiply(s6, b22, half, deeper, f"{prefix}5")
+        p6 = self.multiply(s7, s8, half, deeper, f"{prefix}6")
+        p7 = self.multiply(s9, s10, half, deeper, f"{prefix}7")
+
+        c11a = self.binary("add", p1, p4, half, f"{prefix}c")
+        c11b = self.binary("sub", c11a, p5, half, f"{prefix}c")
+        c11 = self.binary("add", c11b, p7, half, f"{prefix}c")
+        c12 = self.binary("add", p3, p5, half, f"{prefix}c")
+        c21 = self.binary("add", p2, p4, half, f"{prefix}c")
+        c22a = self.binary("sub", p1, p2, half, f"{prefix}c")
+        c22b = self.binary("add", c22a, p3, half, f"{prefix}c")
+        c22 = self.binary("add", c22b, p6, half, f"{prefix}c")
+
+        name = self._fresh(f"{prefix}asm")
+        self.builder.add_node(
+            name, _copy_cost(size, name), Assemble2x2(half, half), "reassembly"
+        )
+        for input_name, producer in (
+            ("c11", c11), ("c12", c12), ("c21", c21), ("c22", c22)
+        ):
+            self.builder.wire(producer, name, input_name, array_transfer_1d(half))
+        return name
+
+
+def strassen_recursive_program(n: int = 64, levels: int = 2) -> ProgramBundle:
+    """A ``levels``-deep Strassen product of two ``n x n`` matrices.
+
+    ``levels = 1`` is the flat structure of the paper's test program (with
+    explicit extract/assemble plumbing the hand-built
+    :func:`~repro.programs.strassen.strassen_program` folds into its
+    initialization loops); ``levels = 2`` yields a DAG of ~250 nodes.
+    """
+    n = check_integer("n", n, minimum=2)
+    levels = check_integer("levels", levels, minimum=1)
+    if n % (2**levels) != 0:
+        raise ValueError(f"n = {n} is not divisible by 2^levels = {2**levels}")
+
+    b = BundleBuilder(f"strassen_rec_{n}_L{levels}")
+    for which, scale in (("A", 0.11), ("B", 0.17)):
+        b.add_node(
+            which,
+            default_matinit(n, which),
+            MatInit(
+                n,
+                n,
+                lambda i, j, s=scale: np.cos(s * (i + 1)) * np.sin(0.05 * (j + 2)),
+            ),
+            "input matrix",
+        )
+    emitter = _StrassenEmitter(b)
+    product = emitter.multiply("A", "B", n, levels, "m")
+    bundle = b.build(n=n, levels=levels, product_node=product)
+    return bundle

@@ -1,0 +1,104 @@
+"""Synthetic workloads (the authors' earlier evaluation style).
+
+The paper notes its predecessor [6] evaluated on synthetic benchmarks;
+these generators recreate two such shapes with real, runnable kernels:
+
+* :func:`reduction_tree_program` — ``2^k`` initialization leaves combined
+  by a balanced binary tree of addition loops (the macro-dataflow shape
+  Prasanna & Agarwal's tree-structured method [8] handles natively).
+* :func:`pipeline_program` — a deep chain of multiply loops: zero
+  functional parallelism, the worst case for MPMD and a useful control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.programs.common import (
+    BundleBuilder,
+    ProgramBundle,
+    array_transfer_1d,
+    default_matinit,
+    table1_matadd,
+    table1_matmul,
+)
+from repro.runtime.kernels import MatAdd, MatInit, MatMul
+from repro.utils.validation import check_integer
+
+__all__ = ["reduction_tree_program", "pipeline_program"]
+
+
+def reduction_tree_program(levels: int = 3, n: int = 64) -> ProgramBundle:
+    """A balanced binary reduction: ``2^levels`` leaves, added pairwise."""
+    levels = check_integer("levels", levels, minimum=1)
+    n = check_integer("n", n, minimum=1)
+    b = BundleBuilder(f"reduction_{levels}_{n}")
+
+    leaves = 2**levels
+    current: list[str] = []
+    for leaf in range(leaves):
+        name = f"leaf{leaf}"
+        b.add_node(
+            name,
+            default_matinit(n, name),
+            MatInit(
+                n,
+                n,
+                lambda i, j, k=leaf: np.sin(0.03 * (i + k + 1)) + 0.01 * j * (k + 1),
+            ),
+            "leaf initialization",
+        )
+        current.append(name)
+
+    level = 0
+    while len(current) > 1:
+        next_level: list[str] = []
+        for pair in range(0, len(current), 2):
+            left, right = current[pair], current[pair + 1]
+            name = f"sum{level}_{pair // 2}"
+            b.add_node(name, table1_matadd(n, name), MatAdd(n, n), "pairwise sum")
+            b.wire(left, name, "a", array_transfer_1d(n, f"{left}->{name}"))
+            b.wire(right, name, "b", array_transfer_1d(n, f"{right}->{name}"))
+            next_level.append(name)
+        current = next_level
+        level += 1
+
+    return b.build(levels=levels, n=n, leaves=leaves)
+
+
+def pipeline_program(stages: int = 4, n: int = 64) -> ProgramBundle:
+    """A pure chain: init, then ``stages`` dependent multiply loops.
+
+    ``X_{k+1} = X_k @ W`` with a fixed well-conditioned ``W``; no two
+    loops can ever run concurrently, so optimal allocation degenerates to
+    data parallelism only — a boundary case the allocator must handle.
+    """
+    stages = check_integer("stages", stages, minimum=1)
+    n = check_integer("n", n, minimum=1)
+    b = BundleBuilder(f"pipeline_{stages}_{n}")
+
+    b.add_node(
+        "source",
+        default_matinit(n, "source"),
+        MatInit(n, n, lambda i, j: np.cos(0.02 * (i + 2 * j + 1))),
+        "pipeline source",
+    )
+    # Orthogonal-ish mixing matrix kept implicit in each stage's kernel.
+    w = np.eye(n) * 0.5
+    w += 0.5 / n
+    previous = "source"
+    for stage in range(stages):
+        name = f"stage{stage}"
+        b.add_node(name, table1_matmul(n, name), MatMul(n, n, n), "pipeline stage")
+        b.wire(previous, name, "a", array_transfer_1d(n, f"{previous}->{name}"))
+        const_name = f"w{stage}"
+        b.add_node(
+            const_name,
+            default_matinit(n, const_name),
+            MatInit(n, n, lambda i, j: 0.5 * (i == j) + 0.5 / n),
+            "stage weights",
+        )
+        b.wire(const_name, name, "b", array_transfer_1d(n, f"{const_name}->{name}"))
+        previous = name
+
+    return b.build(stages=stages, n=n)

@@ -1,0 +1,58 @@
+"""Value-carrying MPMD runtime.
+
+The timed simulator (:mod:`repro.sim`) answers "how long"; this package
+answers "is the computation right": virtual processors hold real NumPy
+blocks of block-distributed arrays, inter-node redistributions move actual
+sub-arrays between processor groups, kernels compute real results, and the
+final outputs are checked bit-for-bit against a sequential reference.
+
+Intra-node data movement (e.g. the allgather a distributed matmul does on
+its second operand) is accounted inside the node's processing cost, per
+the paper's cost model; only *inter-node* redistribution is a "transfer".
+"""
+
+from repro.runtime.distribution import (
+    Distribution,
+    RowBlock,
+    ColBlock,
+    Replicated,
+    DistributedArray,
+    redistribution_messages,
+    classify_transfer,
+    RedistributionMessage,
+)
+from repro.runtime.kernels import (
+    Kernel,
+    MatInit,
+    MatAdd,
+    MatSub,
+    MatMul,
+    RowTransform,
+    ColTransform,
+)
+from repro.runtime.executor import AppGraph, AppNode, ValueExecutor, ExecutionReport
+from repro.runtime.verify import sequential_reference, verify_against_reference
+
+__all__ = [
+    "Distribution",
+    "RowBlock",
+    "ColBlock",
+    "Replicated",
+    "DistributedArray",
+    "redistribution_messages",
+    "classify_transfer",
+    "RedistributionMessage",
+    "Kernel",
+    "MatInit",
+    "MatAdd",
+    "MatSub",
+    "MatMul",
+    "RowTransform",
+    "ColTransform",
+    "AppGraph",
+    "AppNode",
+    "ValueExecutor",
+    "ExecutionReport",
+    "sequential_reference",
+    "verify_against_reference",
+]

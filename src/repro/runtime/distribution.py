@@ -1,0 +1,317 @@
+"""Block distributions of two-dimensional arrays and their redistributions.
+
+Section 4 of the paper assumes arrays are "distributed along only one of
+[their] dimensions in a blocked manner" — rows or columns, split as evenly
+as possible across the group. Moving an array between a producer group and
+a consumer group is a *redistribution*: a set of point-to-point messages,
+each carrying the intersection of one source rank's block with one
+destination rank's block. :func:`classify_transfer` maps a distribution
+pair to the paper's four patterns (Figure 4); :func:`redistribution_messages`
+computes the exact message set, which the value executor replays and the
+property tests check for conservation (every element sent exactly once).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costs.transfer import TransferKind
+from repro.errors import DistributionError
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "Distribution",
+    "RowBlock",
+    "ColBlock",
+    "Replicated",
+    "DistributedArray",
+    "RedistributionMessage",
+    "redistribution_messages",
+    "classify_transfer",
+]
+
+Region = tuple[int, int, int, int]  # (row_start, row_stop, col_start, col_stop)
+
+
+def _block_bounds(extent: int, parts: int, index: int) -> tuple[int, int]:
+    """Bounds of block ``index`` when ``extent`` splits into ``parts``.
+
+    The first ``extent % parts`` blocks get one extra element — the
+    standard block distribution. Blocks past the extent are empty.
+    """
+    base, extra = divmod(extent, parts)
+    start = index * base + min(index, extra)
+    size = base + (1 if index < extra else 0)
+    return start, start + size
+
+
+class Distribution(ABC):
+    """How one (rows x cols) array is spread over ``processors`` ranks."""
+
+    def __init__(self, rows: int, cols: int, processors: int):
+        self.rows = check_integer("rows", rows, minimum=1)
+        self.cols = check_integer("cols", cols, minimum=1)
+        self.processors = check_integer("processors", processors, minimum=1)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @abstractmethod
+    def region(self, rank: int) -> Region:
+        """Global region owned by ``rank`` (may be empty)."""
+
+    @abstractmethod
+    def with_processors(self, processors: int) -> "Distribution":
+        """Same layout family on a different group size."""
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.processors:
+            raise DistributionError(
+                f"rank {rank} out of range [0, {self.processors})"
+            )
+
+    def local_shape(self, rank: int) -> tuple[int, int]:
+        r0, r1, c0, c1 = self.region(rank)
+        return (r1 - r0, c1 - c0)
+
+    def scatter(self, array: np.ndarray) -> dict[int, np.ndarray]:
+        """Split a full array into per-rank blocks (copies)."""
+        if array.shape != self.shape:
+            raise DistributionError(
+                f"array shape {array.shape} does not match distribution "
+                f"shape {self.shape}"
+            )
+        out: dict[int, np.ndarray] = {}
+        for rank in range(self.processors):
+            r0, r1, c0, c1 = self.region(rank)
+            out[rank] = array[r0:r1, c0:c1].copy()
+        return out
+
+    def gather(self, blocks: dict[int, np.ndarray]) -> np.ndarray:
+        """Assemble per-rank blocks into the full array."""
+        result = np.zeros(self.shape)
+        seen = np.zeros(self.shape, dtype=bool)
+        for rank in range(self.processors):
+            r0, r1, c0, c1 = self.region(rank)
+            if rank not in blocks:
+                if (r1 - r0) * (c1 - c0) > 0:
+                    raise DistributionError(f"missing block for rank {rank}")
+                continue
+            block = blocks[rank]
+            if block.shape != (r1 - r0, c1 - c0):
+                raise DistributionError(
+                    f"rank {rank} block shape {block.shape} != region "
+                    f"{(r1 - r0, c1 - c0)}"
+                )
+            result[r0:r1, c0:c1] = block
+            seen[r0:r1, c0:c1] = True
+        if not seen.all():
+            raise DistributionError("gathered blocks do not cover the array")
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.shape == other.shape  # type: ignore[union-attr]
+            and self.processors == other.processors  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.shape, self.processors))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(rows={self.rows}, cols={self.cols}, "
+            f"p={self.processors})"
+        )
+
+
+class RowBlock(Distribution):
+    """Each rank owns a contiguous band of rows."""
+
+    def region(self, rank: int) -> Region:
+        self._check_rank(rank)
+        r0, r1 = _block_bounds(self.rows, self.processors, rank)
+        return (r0, r1, 0, self.cols)
+
+    def with_processors(self, processors: int) -> "RowBlock":
+        return RowBlock(self.rows, self.cols, processors)
+
+
+class ColBlock(Distribution):
+    """Each rank owns a contiguous band of columns."""
+
+    def region(self, rank: int) -> Region:
+        self._check_rank(rank)
+        c0, c1 = _block_bounds(self.cols, self.processors, rank)
+        return (0, self.rows, c0, c1)
+
+    def with_processors(self, processors: int) -> "ColBlock":
+        return ColBlock(self.rows, self.cols, processors)
+
+
+class Replicated(Distribution):
+    """Every rank owns the full array (intra-node use only).
+
+    The paper's transfer taxonomy has no broadcast pattern; replicated
+    layouts appear only *inside* nodes (a distributed matmul's second
+    operand), where their movement is charged to the processing cost.
+    """
+
+    def region(self, rank: int) -> Region:
+        self._check_rank(rank)
+        return (0, self.rows, 0, self.cols)
+
+    def with_processors(self, processors: int) -> "Replicated":
+        return Replicated(self.rows, self.cols, processors)
+
+    def gather(self, blocks: dict[int, np.ndarray]) -> np.ndarray:
+        if 0 not in blocks:
+            raise DistributionError("replicated gather needs rank 0's copy")
+        if blocks[0].shape != self.shape:
+            raise DistributionError(
+                f"replicated block shape {blocks[0].shape} != {self.shape}"
+            )
+        return blocks[0].copy()
+
+
+@dataclass(frozen=True)
+class RedistributionMessage:
+    """One point-to-point message of a redistribution.
+
+    ``region`` is in global array coordinates; byte size assumes 8-byte
+    elements (the paper's double-precision arrays).
+    """
+
+    source_rank: int
+    target_rank: int
+    region: Region
+
+    @property
+    def elements(self) -> int:
+        r0, r1, c0, c1 = self.region
+        return max(r1 - r0, 0) * max(c1 - c0, 0)
+
+    @property
+    def bytes(self) -> int:
+        return self.elements * 8
+
+
+def _intersect(a: Region, b: Region) -> Region | None:
+    r0 = max(a[0], b[0])
+    r1 = min(a[1], b[1])
+    c0 = max(a[2], b[2])
+    c1 = min(a[3], b[3])
+    if r0 >= r1 or c0 >= c1:
+        return None
+    return (r0, r1, c0, c1)
+
+
+def redistribution_messages(
+    source: Distribution, target: Distribution
+) -> list[RedistributionMessage]:
+    """The exact message set converting ``source`` layout to ``target``.
+
+    Replicated *sources* send each target block from the owner with the
+    same rank index modulo the source group (spreading load); replicated
+    *targets* are rejected — inter-node broadcast is outside the paper's
+    model.
+    """
+    if source.shape != target.shape:
+        raise DistributionError(
+            f"cannot redistribute {source.shape} into {target.shape}"
+        )
+    if isinstance(target, Replicated):
+        raise DistributionError(
+            "inter-node replication is not part of the paper's transfer model"
+        )
+    messages: list[RedistributionMessage] = []
+    if isinstance(source, Replicated):
+        for t_rank in range(target.processors):
+            region = target.region(t_rank)
+            if (region[1] - region[0]) * (region[3] - region[2]) == 0:
+                continue
+            s_rank = t_rank % source.processors
+            messages.append(RedistributionMessage(s_rank, t_rank, region))
+        return messages
+    for s_rank in range(source.processors):
+        s_region = source.region(s_rank)
+        for t_rank in range(target.processors):
+            overlap = _intersect(s_region, target.region(t_rank))
+            if overlap is not None:
+                messages.append(RedistributionMessage(s_rank, t_rank, overlap))
+    return messages
+
+
+def classify_transfer(
+    source: Distribution, target: Distribution
+) -> TransferKind:
+    """Map a distribution pair to the paper's Figure 4 pattern."""
+    pairs = {
+        (RowBlock, RowBlock): TransferKind.ROW2ROW,
+        (ColBlock, ColBlock): TransferKind.COL2COL,
+        (RowBlock, ColBlock): TransferKind.ROW2COL,
+        (ColBlock, RowBlock): TransferKind.COL2ROW,
+    }
+    key = (type(source), type(target))
+    if key not in pairs:
+        raise DistributionError(
+            f"no paper transfer pattern for {type(source).__name__} -> "
+            f"{type(target).__name__}"
+        )
+    return pairs[key]
+
+
+@dataclass
+class DistributedArray:
+    """An array spread over a processor group per a distribution."""
+
+    distribution: Distribution
+    blocks: dict[int, np.ndarray]
+
+    @staticmethod
+    def from_full(array: np.ndarray, distribution: Distribution) -> "DistributedArray":
+        return DistributedArray(distribution, distribution.scatter(array))
+
+    def block(self, rank: int) -> np.ndarray:
+        try:
+            return self.blocks[rank]
+        except KeyError as exc:
+            raise DistributionError(f"rank {rank} holds no block") from exc
+
+    def assemble(self) -> np.ndarray:
+        """Materialize the full array (an intra-node allgather)."""
+        return self.distribution.gather(self.blocks)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.distribution.shape
+
+    def redistribute(self, target: Distribution) -> "DistributedArray":
+        """Apply the redistribution message set; returns the new layout.
+
+        Pure data movement — each message copies a global sub-region from
+        the source rank's block into the target rank's block.
+        """
+        messages = redistribution_messages(self.distribution, target)
+        out_blocks: dict[int, np.ndarray] = {}
+        for rank in range(target.processors):
+            out_blocks[rank] = np.zeros(target.local_shape(rank))
+        for msg in messages:
+            r0, r1, c0, c1 = msg.region
+            s_region = self.distribution.region(msg.source_rank)
+            t_region = target.region(msg.target_rank)
+            src_block = self.block(msg.source_rank)
+            payload = src_block[
+                r0 - s_region[0] : r1 - s_region[0],
+                c0 - s_region[2] : c1 - s_region[2],
+            ]
+            out_blocks[msg.target_rank][
+                r0 - t_region[0] : r1 - t_region[0],
+                c0 - t_region[2] : c1 - t_region[2],
+            ] = payload
+        return DistributedArray(target, out_blocks)

@@ -1,0 +1,458 @@
+"""Distributed kernels: the loop bodies of the paper's test programs.
+
+Each kernel declares, for a given group size, the distribution it wants
+for every input and the distribution of its output, plus two execution
+paths:
+
+* ``serial(inputs)`` — the reference computation on full arrays;
+* ``local(rank, inputs)`` — one rank's computation on
+  :class:`~repro.runtime.distribution.DistributedArray` inputs already in
+  the declared layouts.
+
+Kernels may call ``assemble()`` on an input (an intra-node allgather,
+e.g. a matmul's second operand): that movement is part of the node's
+*processing* cost in the paper's model, not a transfer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.runtime.distribution import (
+    ColBlock,
+    Distribution,
+    DistributedArray,
+    Replicated,
+    RowBlock,
+)
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "Kernel",
+    "MatInit",
+    "MatAdd",
+    "MatSub",
+    "MatMul",
+    "RowTransform",
+    "ColTransform",
+]
+
+
+class Kernel(ABC):
+    """A node's computation, in both sequential and distributed form."""
+
+    #: Names of the kernel's inputs, in positional order.
+    input_names: tuple[str, ...] = ()
+
+    def __init__(self, rows: int, cols: int):
+        self.rows = check_integer("rows", rows, minimum=1)
+        self.cols = check_integer("cols", cols, minimum=1)
+
+    @property
+    def output_shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @abstractmethod
+    def input_distribution(self, name: str, processors: int) -> Distribution:
+        """Layout this kernel needs for input ``name`` on ``processors``."""
+
+    @abstractmethod
+    def output_distribution(self, processors: int) -> Distribution:
+        """Layout of the output on ``processors`` ranks."""
+
+    @abstractmethod
+    def serial(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Reference computation on full arrays."""
+
+    @abstractmethod
+    def local(
+        self, rank: int, inputs: Mapping[str, DistributedArray]
+    ) -> np.ndarray:
+        """Rank ``rank``'s share of the computation."""
+
+    def _named(self, inputs: Mapping[str, object]) -> None:
+        missing = set(self.input_names) - set(inputs)
+        if missing:
+            raise DistributionError(
+                f"{type(self).__name__} missing inputs {sorted(missing)}"
+            )
+
+
+class MatInit(Kernel):
+    """Matrix initialization loop: fills the output from an element rule.
+
+    ``fill(i, j)`` is vectorized over index grids, so initialization is a
+    real data-parallel loop (each rank fills only its own block).
+    """
+
+    input_names = ()
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        fill: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ):
+        super().__init__(rows, cols)
+        self.fill = fill
+
+    def input_distribution(self, name: str, processors: int) -> Distribution:
+        raise DistributionError("MatInit has no inputs")
+
+    def output_distribution(self, processors: int) -> Distribution:
+        return RowBlock(self.rows, self.cols, processors)
+
+    def serial(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        i, j = np.meshgrid(
+            np.arange(self.rows), np.arange(self.cols), indexing="ij"
+        )
+        return np.asarray(self.fill(i, j), dtype=float)
+
+    def local(self, rank: int, inputs: Mapping[str, DistributedArray]) -> np.ndarray:
+        # Ranks are reconstructed from the output distribution by the
+        # executor; here we need our own region to fill.
+        raise DistributionError("MatInit.local requires the region; use local_region")
+
+    def local_region(self, region: tuple[int, int, int, int]) -> np.ndarray:
+        r0, r1, c0, c1 = region
+        i, j = np.meshgrid(np.arange(r0, r1), np.arange(c0, c1), indexing="ij")
+        return np.asarray(self.fill(i, j), dtype=float)
+
+
+class _ElementwiseBinary(Kernel):
+    """Shared machinery for elementwise A op B on matching row blocks."""
+
+    input_names = ("a", "b")
+
+    def input_distribution(self, name: str, processors: int) -> Distribution:
+        self._named({"a": None, "b": None})
+        return RowBlock(self.rows, self.cols, processors)
+
+    def output_distribution(self, processors: int) -> Distribution:
+        return RowBlock(self.rows, self.cols, processors)
+
+    @staticmethod
+    @abstractmethod
+    def op(a: np.ndarray, b: np.ndarray) -> np.ndarray: ...
+
+    def serial(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        self._named(inputs)
+        return self.op(np.asarray(inputs["a"]), np.asarray(inputs["b"]))
+
+    def local(self, rank: int, inputs: Mapping[str, DistributedArray]) -> np.ndarray:
+        self._named(inputs)
+        return self.op(inputs["a"].block(rank), inputs["b"].block(rank))
+
+
+class MatAdd(_ElementwiseBinary):
+    """Matrix addition loop (Table 1's "Matrix Addition" kernel)."""
+
+    @staticmethod
+    def op(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a + b
+
+
+class MatSub(_ElementwiseBinary):
+    """Matrix subtraction loop (Strassen's pre/post combinations)."""
+
+    @staticmethod
+    def op(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a - b
+
+
+class MatMul(Kernel):
+    """Matrix multiplication loop (Table 1's "Matrix Multiply" kernel).
+
+    ``a`` arrives row-blocked; ``b`` arrives row-blocked too (the paper's
+    programs use only 1D transfers) and is assembled inside the node —
+    the intra-loop broadcast whose cost lives in the Amdahl serial
+    fraction.
+    """
+
+    input_names = ("a", "b")
+
+    def __init__(self, rows: int, inner: int, cols: int):
+        super().__init__(rows, cols)
+        self.inner = check_integer("inner", inner, minimum=1)
+
+    def input_distribution(self, name: str, processors: int) -> Distribution:
+        if name == "a":
+            return RowBlock(self.rows, self.inner, processors)
+        if name == "b":
+            return RowBlock(self.inner, self.cols, processors)
+        raise DistributionError(f"MatMul has no input {name!r}")
+
+    def output_distribution(self, processors: int) -> Distribution:
+        return RowBlock(self.rows, self.cols, processors)
+
+    def serial(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        self._named(inputs)
+        return np.asarray(inputs["a"]) @ np.asarray(inputs["b"])
+
+    def local(self, rank: int, inputs: Mapping[str, DistributedArray]) -> np.ndarray:
+        self._named(inputs)
+        b_full = inputs["b"].assemble()  # intra-node allgather
+        return inputs["a"].block(rank) @ b_full
+
+
+class Extract(Kernel):
+    """Copy a rectangular sub-block out of a larger array.
+
+    The blocked-algorithm plumbing (e.g. pulling A11 out of A for a
+    recursive Strassen level). Output rank ``r`` reads the parent rows it
+    needs from whichever ranks own them — an intra-node gather, charged
+    to processing cost like every other intra-node movement.
+    """
+
+    input_names = ("x",)
+
+    def __init__(
+        self,
+        parent_rows: int,
+        parent_cols: int,
+        row_offset: int,
+        col_offset: int,
+        rows: int,
+        cols: int,
+    ):
+        super().__init__(rows, cols)
+        self.parent_rows = check_integer("parent_rows", parent_rows, minimum=1)
+        self.parent_cols = check_integer("parent_cols", parent_cols, minimum=1)
+        self.row_offset = check_integer("row_offset", row_offset, minimum=0)
+        self.col_offset = check_integer("col_offset", col_offset, minimum=0)
+        if row_offset + rows > parent_rows or col_offset + cols > parent_cols:
+            raise DistributionError(
+                f"sub-block [{row_offset}:{row_offset + rows}, "
+                f"{col_offset}:{col_offset + cols}] exceeds parent "
+                f"{parent_rows}x{parent_cols}"
+            )
+
+    def input_distribution(self, name: str, processors: int) -> Distribution:
+        self._named({"x": None})
+        return RowBlock(self.parent_rows, self.parent_cols, processors)
+
+    def output_distribution(self, processors: int) -> Distribution:
+        return RowBlock(self.rows, self.cols, processors)
+
+    def serial(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        self._named(inputs)
+        x = np.asarray(inputs["x"])
+        return x[
+            self.row_offset : self.row_offset + self.rows,
+            self.col_offset : self.col_offset + self.cols,
+        ].copy()
+
+    def local(self, rank: int, inputs: Mapping[str, DistributedArray]) -> np.ndarray:
+        self._named(inputs)
+        x = inputs["x"]
+        out_dist = self.output_distribution(x.distribution.processors)
+        r0, r1, _, _ = out_dist.region(rank)
+        rows_needed = range(self.row_offset + r0, self.row_offset + r1)
+        out = np.empty((r1 - r0, self.cols))
+        parent = x.distribution
+        for k, global_row in enumerate(rows_needed):
+            for other in range(parent.processors):
+                o0, o1, _, _ = parent.region(other)
+                if o0 <= global_row < o1:
+                    out[k] = x.block(other)[
+                        global_row - o0,
+                        self.col_offset : self.col_offset + self.cols,
+                    ]
+                    break
+            else:  # pragma: no cover - parent regions tile the array
+                raise DistributionError(f"row {global_row} owned by no rank")
+        return out
+
+
+class Assemble2x2(Kernel):
+    """Stitch four equal quadrants back into one array.
+
+    The inverse plumbing of :class:`Extract`: output rank ``r`` fills its
+    row band from the top quadrants (c11 | c12) or bottom ones (c21 | c22).
+    """
+
+    input_names = ("c11", "c12", "c21", "c22")
+
+    def __init__(self, half_rows: int, half_cols: int):
+        super().__init__(2 * half_rows, 2 * half_cols)
+        self.half_rows = half_rows
+        self.half_cols = half_cols
+
+    def input_distribution(self, name: str, processors: int) -> Distribution:
+        self._named({k: None for k in self.input_names})
+        return RowBlock(self.half_rows, self.half_cols, processors)
+
+    def output_distribution(self, processors: int) -> Distribution:
+        return RowBlock(self.rows, self.cols, processors)
+
+    def serial(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        self._named(inputs)
+        return np.block(
+            [
+                [np.asarray(inputs["c11"]), np.asarray(inputs["c12"])],
+                [np.asarray(inputs["c21"]), np.asarray(inputs["c22"])],
+            ]
+        )
+
+    def local(self, rank: int, inputs: Mapping[str, DistributedArray]) -> np.ndarray:
+        self._named(inputs)
+        out_dist = self.output_distribution(
+            inputs["c11"].distribution.processors
+        )
+        r0, r1, _, _ = out_dist.region(rank)
+        rows = []
+        for global_row in range(r0, r1):
+            if global_row < self.half_rows:
+                left, right = inputs["c11"], inputs["c12"]
+                quadrant_row = global_row
+            else:
+                left, right = inputs["c21"], inputs["c22"]
+                quadrant_row = global_row - self.half_rows
+            dist = left.distribution
+            for other in range(dist.processors):
+                o0, o1, _, _ = dist.region(other)
+                if o0 <= quadrant_row < o1:
+                    rows.append(
+                        np.concatenate(
+                            [
+                                left.block(other)[quadrant_row - o0],
+                                right.block(other)[quadrant_row - o0],
+                            ]
+                        )
+                    )
+                    break
+            else:  # pragma: no cover - quadrant regions tile the array
+                raise DistributionError(f"row {quadrant_row} owned by no rank")
+        if not rows:
+            return np.empty((0, self.cols))
+        return np.vstack(rows)
+
+
+class JacobiSweep(Kernel):
+    """One four-point Jacobi relaxation sweep with edge-replicated boundary.
+
+    ``out[i,j] = (x[i-1,j] + x[i+1,j] + x[i,j-1] + x[i,j+1]) / 4`` with
+    out-of-range neighbours clamped to the border (Neumann-style). Row
+    blocks only need one halo row from each neighbouring rank — fetched
+    from the input's other blocks, i.e. the intra-node halo exchange the
+    paper charges to the loop's processing cost.
+    """
+
+    input_names = ("x",)
+
+    @staticmethod
+    def _sweep(padded: np.ndarray) -> np.ndarray:
+        return 0.25 * (
+            padded[:-2, 1:-1]
+            + padded[2:, 1:-1]
+            + padded[1:-1, :-2]
+            + padded[1:-1, 2:]
+        )
+
+    def input_distribution(self, name: str, processors: int) -> Distribution:
+        self._named({"x": None})
+        return RowBlock(self.rows, self.cols, processors)
+
+    def output_distribution(self, processors: int) -> Distribution:
+        return RowBlock(self.rows, self.cols, processors)
+
+    def serial(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        self._named(inputs)
+        x = np.asarray(inputs["x"], dtype=float)
+        return self._sweep(np.pad(x, 1, mode="edge"))
+
+    def local(self, rank: int, inputs: Mapping[str, DistributedArray]) -> np.ndarray:
+        self._named(inputs)
+        x = inputs["x"]
+        dist = x.distribution
+        block = x.block(rank)
+        if block.shape[0] == 0:
+            return block.copy()
+        r0, r1, _, _ = dist.region(rank)
+
+        def halo_row(global_row: int, fallback: np.ndarray) -> np.ndarray:
+            if not 0 <= global_row < self.rows:
+                return fallback  # physical boundary: edge replication
+            for other in range(dist.processors):
+                o0, o1, _, _ = dist.region(other)
+                if o0 <= global_row < o1:
+                    return x.block(other)[global_row - o0]
+            raise DistributionError(f"row {global_row} owned by no rank")
+
+        top = halo_row(r0 - 1, block[0])
+        bottom = halo_row(r1, block[-1])
+        stacked = np.vstack([top, block, bottom])
+        padded = np.pad(stacked, ((0, 0), (1, 1)), mode="edge")
+        return self._sweep(padded)
+
+
+class RowTransform(Kernel):
+    """Apply a fixed transform to every row: ``X -> X @ W.T``.
+
+    One half of the 2-D FFT-style pipeline; rows are independent so a
+    row-blocked layout needs no intra-node communication.
+    """
+
+    input_names = ("x",)
+
+    def __init__(self, rows: int, cols: int, matrix: np.ndarray):
+        super().__init__(rows, cols)
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (cols, cols):
+            raise DistributionError(
+                f"row transform matrix must be {cols}x{cols}, got {matrix.shape}"
+            )
+        self.matrix = matrix
+
+    def input_distribution(self, name: str, processors: int) -> Distribution:
+        self._named({"x": None})
+        return RowBlock(self.rows, self.cols, processors)
+
+    def output_distribution(self, processors: int) -> Distribution:
+        return RowBlock(self.rows, self.cols, processors)
+
+    def serial(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        self._named(inputs)
+        return np.asarray(inputs["x"]) @ self.matrix.T
+
+    def local(self, rank: int, inputs: Mapping[str, DistributedArray]) -> np.ndarray:
+        self._named(inputs)
+        return inputs["x"].block(rank) @ self.matrix.T
+
+
+class ColTransform(Kernel):
+    """Apply a fixed transform to every column: ``X -> W @ X``.
+
+    Wants a column-blocked input — consuming a row-blocked producer forces
+    the ROW2COL (2D-type) redistribution of Eq. 3.
+    """
+
+    input_names = ("x",)
+
+    def __init__(self, rows: int, cols: int, matrix: np.ndarray):
+        super().__init__(rows, cols)
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (rows, rows):
+            raise DistributionError(
+                f"col transform matrix must be {rows}x{rows}, got {matrix.shape}"
+            )
+        self.matrix = matrix
+
+    def input_distribution(self, name: str, processors: int) -> Distribution:
+        self._named({"x": None})
+        return ColBlock(self.rows, self.cols, processors)
+
+    def output_distribution(self, processors: int) -> Distribution:
+        return ColBlock(self.rows, self.cols, processors)
+
+    def serial(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        self._named(inputs)
+        return self.matrix @ np.asarray(inputs["x"])
+
+    def local(self, rank: int, inputs: Mapping[str, DistributedArray]) -> np.ndarray:
+        self._named(inputs)
+        return self.matrix @ inputs["x"].block(rank)

@@ -1,0 +1,35 @@
+"""Scheduling (Section 3 of the paper): the PSA and its analysis.
+
+The Prioritized Scheduling Algorithm (PSA) is a list-scheduling variant:
+after rounding the continuous allocation to powers of two and bounding it
+by ``PB`` (Corollary 1), it repeatedly schedules the ready node with the
+lowest Earliest Start Time at ``max(EST, PST)`` where PST is the Processor
+Satisfaction Time — the instant enough processors become free.
+"""
+
+from repro.scheduling.schedule import Schedule, ScheduledNode
+from repro.scheduling.processor_pool import ProcessorPool
+from repro.scheduling.psa import prioritized_schedule, prepare_allocation, PSAOptions
+from repro.scheduling.baselines import spmd_schedule, serial_schedule
+from repro.scheduling.variants import hlfet_schedule, eft_schedule
+from repro.scheduling.bounds import (
+    TheoremReport,
+    verify_theorem1,
+    verify_theorem3,
+)
+
+__all__ = [
+    "Schedule",
+    "ScheduledNode",
+    "ProcessorPool",
+    "prioritized_schedule",
+    "prepare_allocation",
+    "PSAOptions",
+    "spmd_schedule",
+    "serial_schedule",
+    "hlfet_schedule",
+    "eft_schedule",
+    "TheoremReport",
+    "verify_theorem1",
+    "verify_theorem3",
+]

@@ -1,0 +1,107 @@
+"""Baseline schedulers for comparison experiments.
+
+* :func:`spmd_schedule` — the "naive scheme" of the paper's Section 1.2
+  example and the SPMD side of Figure 8: every node runs on all ``p``
+  processors, one after another in topological order.
+* :func:`serial_schedule` — everything on a single processor, back to
+  back; its makespan is the ``T_serial`` that speedups are computed
+  against.
+"""
+
+from __future__ import annotations
+
+from repro.costs.node_weights import MDGCostModel
+from repro.graph.mdg import MDG
+from repro.machine.parameters import MachineParameters
+from repro.scheduling.schedule import Schedule, ScheduledNode
+from repro.utils.intmath import prev_power_of_two
+
+__all__ = ["spmd_schedule", "serial_schedule"]
+
+
+def spmd_schedule(mdg: MDG, machine: MachineParameters) -> Schedule:
+    """All nodes on all processors, serialized in topological order.
+
+    With every node on the same processor group, nodes can never overlap,
+    so the schedule is a simple chain; network delays between consecutive
+    nodes still apply. For non-power-of-two machines the group is the
+    largest power of two that fits (keeping parity with the PSA's
+    machine cap).
+    """
+    mdg = mdg.normalized()
+    p = machine.processors
+    group = prev_power_of_two(p)
+    cost_model = MDGCostModel(mdg, machine.transfer_model())
+    allocation = {name: group for name in mdg.node_names()}
+    weights = cost_model.bind(allocation)
+
+    schedule = Schedule(mdg=mdg, total_processors=p)
+    processors = tuple(range(group))
+    clock = 0.0
+    finish_of: dict[str, float] = {}
+    for name in mdg.topological_order():
+        earliest = 0.0
+        for edge in mdg.in_edges(name):
+            earliest = max(
+                earliest,
+                finish_of[edge.source] + weights.edge_weight(edge.source, name),
+            )
+        start = max(clock, earliest)
+        finish = start + weights.node_weight(name)
+        schedule.add(
+            ScheduledNode(name=name, start=start, finish=finish, processors=processors)
+        )
+        finish_of[name] = finish
+        clock = finish
+    schedule.info.update(
+        {
+            "algorithm": "SPMD",
+            "allocation": allocation,
+            "weights": weights,
+            "machine": machine.name,
+        }
+    )
+    schedule.validate(weights)
+    return schedule
+
+
+def serial_schedule(mdg: MDG, machine: MachineParameters) -> Schedule:
+    """Everything on processor 0 in topological order (the speedup base).
+
+    With a single processor there is no redistribution: transfers between
+    nodes both on one processor have ``p_i = p_j = 1``; their costs are
+    still charged per the model (a real single-node run would copy
+    buffers too).
+    """
+    mdg = mdg.normalized()
+    cost_model = MDGCostModel(mdg, machine.transfer_model())
+    allocation = {name: 1 for name in mdg.node_names()}
+    weights = cost_model.bind(allocation)
+
+    schedule = Schedule(mdg=mdg, total_processors=machine.processors)
+    clock = 0.0
+    finish_of: dict[str, float] = {}
+    for name in mdg.topological_order():
+        earliest = 0.0
+        for edge in mdg.in_edges(name):
+            earliest = max(
+                earliest,
+                finish_of[edge.source] + weights.edge_weight(edge.source, name),
+            )
+        start = max(clock, earliest)
+        finish = start + weights.node_weight(name)
+        schedule.add(
+            ScheduledNode(name=name, start=start, finish=finish, processors=(0,))
+        )
+        finish_of[name] = finish
+        clock = finish
+    schedule.info.update(
+        {
+            "algorithm": "serial",
+            "allocation": allocation,
+            "weights": weights,
+            "machine": machine.name,
+        }
+    )
+    schedule.validate(weights)
+    return schedule

@@ -1,0 +1,126 @@
+"""Numeric verification of the Section 5 optimality theorems.
+
+Theorem 1 bounds the PSA against the *best possible* scheduler of the same
+(rounded, bounded) allocation; since that optimum is NP-hard to compute,
+we check against its lower bound ``max(A_PB, C_PB)`` — a strictly harder
+test (if ``T_psa <= factor * lower_bound`` then certainly
+``T_psa <= factor * T_opt``).
+
+Theorem 3 composes Theorem 1 with the rounding/bounding inflation of
+Theorem 2, bounding the PSA against the convex optimum ``Phi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocation.rounding import theorem1_factor, theorem3_factor
+from repro.costs.node_weights import MDGCostModel
+from repro.errors import SchedulingError
+from repro.machine.parameters import MachineParameters
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "TheoremReport",
+    "verify_theorem1",
+    "verify_theorem2",
+    "verify_theorem3",
+]
+
+
+@dataclass(frozen=True)
+class TheoremReport:
+    """Outcome of one bound check."""
+
+    theorem: str
+    t_psa: float
+    reference: float  # the bound's right-hand base (lower bound or Phi)
+    factor: float
+    bound: float  # factor * reference
+
+    @property
+    def holds(self) -> bool:
+        return self.t_psa <= self.bound * (1.0 + 1e-9)
+
+    @property
+    def tightness(self) -> float:
+        """``T_psa / bound`` — 1.0 means the bound is tight."""
+        if self.bound == 0.0:
+            return 1.0 if self.t_psa == 0.0 else float("inf")
+        return self.t_psa / self.bound
+
+
+def _schedule_bound_inputs(
+    schedule: Schedule, machine: MachineParameters
+) -> tuple[float, int, dict[str, int]]:
+    if "allocation" not in schedule.info:
+        raise SchedulingError("schedule lacks allocation info; was it built by PSA?")
+    allocation: dict[str, int] = schedule.info["allocation"]
+    pb = int(schedule.info.get("processor_bound", max(allocation.values())))
+    return schedule.makespan, pb, allocation
+
+
+def verify_theorem1(schedule: Schedule, machine: MachineParameters) -> TheoremReport:
+    """``T_psa <= (1 + p/(p - PB + 1)) * T_opt^PB``, checked against the
+    ``max(A_PB, C_PB)`` lower bound on ``T_opt^PB``."""
+    t_psa, pb, allocation = _schedule_bound_inputs(schedule, machine)
+    cost_model = MDGCostModel(schedule.mdg, machine.transfer_model())
+    lower = cost_model.makespan_lower_bound(allocation, machine.processors)
+    factor = theorem1_factor(machine.processors, pb)
+    return TheoremReport(
+        theorem="theorem1",
+        t_psa=t_psa,
+        reference=lower,
+        factor=factor,
+        bound=factor * lower,
+    )
+
+
+def verify_theorem2(
+    schedule: Schedule,
+    machine: MachineParameters,
+    phi: float,
+) -> TheoremReport:
+    """``T_opt^PB <= (3/2)^2 (p/PB)^2 Phi`` — checked via the computable
+    lower bound ``max(A_PB, C_PB) <= T_opt^PB``.
+
+    Note the direction: the theorem bounds the *optimal* makespan of the
+    rounded+bounded allocation; since that optimum is NP-hard, we check
+    its lower bound instead, which makes the test *weaker* than the
+    theorem (lower bound <= T_opt <= factor * Phi). A failure of this
+    check would still disprove the theorem, so it is a valid regression
+    guard on the rounding/bounding implementation.
+    """
+    from repro.allocation.rounding import theorem2_factor
+
+    _t_psa, pb, allocation = _schedule_bound_inputs(schedule, machine)
+    cost_model = MDGCostModel(schedule.mdg, machine.transfer_model())
+    lower = cost_model.makespan_lower_bound(allocation, machine.processors)
+    factor = theorem2_factor(machine.processors, pb)
+    return TheoremReport(
+        theorem="theorem2",
+        t_psa=lower,  # the bounded-allocation lower bound plays T_opt^PB
+        reference=phi,
+        factor=factor,
+        bound=factor * phi,
+    )
+
+
+def verify_theorem3(
+    schedule: Schedule,
+    machine: MachineParameters,
+    phi: float,
+) -> TheoremReport:
+    """``T_psa <= (1 + p/(p-PB+1)) * (3/2)^2 * (p/PB)^2 * Phi``.
+
+    ``phi`` is the convex-programming optimum the allocation came from.
+    """
+    t_psa, pb, _allocation = _schedule_bound_inputs(schedule, machine)
+    factor = theorem3_factor(machine.processors, pb)
+    return TheoremReport(
+        theorem="theorem3",
+        t_psa=t_psa,
+        reference=phi,
+        factor=factor,
+        bound=factor * phi,
+    )

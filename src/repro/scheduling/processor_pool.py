@@ -1,0 +1,65 @@
+"""Processor availability tracking for list scheduling.
+
+The pool knows, for each physical processor, when it next becomes free.
+The *Processor Satisfaction Time* (PST) of a node needing ``k`` processors
+is the ``k``-th smallest free time; acquisition deterministically takes the
+``k`` earliest-free processors (lowest id on ties) so schedules are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+from repro.utils.validation import check_integer
+
+__all__ = ["ProcessorPool"]
+
+
+class ProcessorPool:
+    """Tracks per-processor next-free times for ``p`` processors."""
+
+    def __init__(self, processors: int):
+        processors = check_integer("processors", processors, minimum=1)
+        self.processors = processors
+        self._free_at = [0.0] * processors
+
+    def free_time(self, processor: int) -> float:
+        return self._free_at[processor]
+
+    def satisfaction_time(self, count: int) -> float:
+        """PST: earliest time at which ``count`` processors are all free."""
+        count = check_integer("count", count, minimum=1)
+        if count > self.processors:
+            raise SchedulingError(
+                f"node needs {count} processors but the machine has {self.processors}"
+            )
+        return sorted(self._free_at)[count - 1]
+
+    def busy_count(self, time: float) -> int:
+        """Number of processors still busy at ``time``."""
+        return sum(1 for t in self._free_at if t > time)
+
+    def acquire(self, count: int, start: float, finish: float) -> tuple[int, ...]:
+        """Take the ``count`` earliest-free processors for [start, finish).
+
+        All chosen processors must already be free at ``start`` (the PSA
+        never schedules before the PST); violating that is a library bug,
+        reported loudly.
+        """
+        count = check_integer("count", count, minimum=1)
+        if finish < start:
+            raise SchedulingError(f"finish {finish} precedes start {start}")
+        ranked = sorted(range(self.processors), key=lambda i: (self._free_at[i], i))
+        chosen = ranked[:count]
+        latest = max(self._free_at[i] for i in chosen)
+        if latest > start + 1e-9 * max(1.0, abs(start)):
+            raise SchedulingError(
+                f"acquiring {count} processors at t={start} but one is busy "
+                f"until {latest} (PST violated)"
+            )
+        for i in chosen:
+            self._free_at[i] = finish
+        return tuple(sorted(chosen))
+
+    def __repr__(self) -> str:
+        return f"ProcessorPool(p={self.processors})"

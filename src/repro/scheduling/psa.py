@@ -1,0 +1,210 @@
+"""The Prioritized Scheduling Algorithm (Section 3 of the paper).
+
+Steps, exactly as the paper lists them:
+
+1. **Round off** the continuous allocation to the nearest power of two.
+2. **Bound**: clip every node's count to ``PB`` (a power of two), chosen
+   by Corollary 1 unless the caller overrides it.
+3. **Recompute weights** of nodes and edges for the modified allocation;
+   put START on the ready queue with EST 0.
+4. Pick the ready node with the **lowest EST** (ties by name, so runs are
+   deterministic). Compute its PST — when enough processors are free —
+   and schedule it at ``max(EST, PST)``.
+5. Stop after scheduling STOP.
+6. When a node is scheduled, any successor whose predecessors are now all
+   scheduled computes its EST (``max over preds of finish + t^D``) and
+   joins the ready queue.
+
+The returned :class:`~repro.scheduling.schedule.Schedule` carries the
+bound weights, the effective PB and the rounded allocation in ``info``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.allocation.rounding import (
+    bound_allocation,
+    optimal_processor_bound,
+    round_allocation,
+)
+from repro.costs.node_weights import MDGCostModel
+from repro.errors import SchedulingError
+from repro.graph.mdg import MDG
+from repro.machine.parameters import MachineParameters
+from repro.scheduling.processor_pool import ProcessorPool
+from repro.scheduling.schedule import Schedule, ScheduledNode
+from repro.utils.intmath import is_power_of_two, prev_power_of_two
+
+__all__ = ["PSAOptions", "prepare_allocation", "prioritized_schedule"]
+
+
+@dataclass(frozen=True)
+class PSAOptions:
+    """Configuration of the PSA's preprocessing steps.
+
+    Parameters
+    ----------
+    round_off:
+        Apply step 1 (power-of-two rounding). Disable only when the input
+        allocation is already integral powers of two.
+    processor_bound:
+        ``None`` selects Corollary 1's optimal PB; an explicit power of two
+        overrides it; ``"machine"`` uses all of ``p`` (no effective bound
+        beyond the machine size).
+    validate:
+        Re-check every schedule invariant before returning (cheap; on by
+        default).
+    """
+
+    round_off: bool = True
+    processor_bound: int | str | None = None
+    validate: bool = True
+
+
+def _resolve_bound(option: int | str | None, p: int) -> int:
+    if option is None:
+        return optimal_processor_bound(p)
+    if option == "machine":
+        return prev_power_of_two(p)
+    if isinstance(option, bool) or not isinstance(option, int):
+        raise SchedulingError(f"invalid processor_bound {option!r}")
+    if not is_power_of_two(option):
+        raise SchedulingError(
+            f"processor bound must be a power of two, got {option}"
+        )
+    if option > p:
+        raise SchedulingError(f"processor bound {option} exceeds machine size {p}")
+    return option
+
+
+def prepare_allocation(
+    mdg: MDG,
+    allocation: Mapping[str, float],
+    machine: MachineParameters,
+    options: PSAOptions | None = None,
+):
+    """PSA steps 1–3, shared by every list-scheduling variant.
+
+    Normalizes the graph, fills dummy nodes, rounds to powers of two,
+    applies the processor bound, and recomputes the weights. Returns
+    ``(normalized_mdg, bounded_allocation, weights, processor_bound)``.
+    """
+    options = options or PSAOptions()
+    mdg = mdg.normalized()
+    p = machine.processors
+    cost_model = MDGCostModel(mdg, machine.transfer_model())
+
+    # Fill in dummy nodes added by normalization, then steps 1-2.
+    filled: dict[str, float] = {}
+    for name in mdg.node_names():
+        if name in allocation:
+            filled[name] = float(allocation[name])
+        elif mdg.node(name).is_dummy:
+            filled[name] = 1.0
+        else:
+            raise SchedulingError(f"allocation missing non-dummy node {name!r}")
+    over = [n for n, v in filled.items() if v > p + 1e-9]
+    if over:
+        raise SchedulingError(
+            f"allocation exceeds machine size {p} for nodes {sorted(over)[:5]!r}"
+        )
+
+    if options.round_off:
+        rounded = round_allocation(filled)
+    else:
+        rounded = {}
+        for name, value in filled.items():
+            if not float(value).is_integer() or not is_power_of_two(int(value)):
+                raise SchedulingError(
+                    f"round_off disabled but node {name!r} has count {value!r}"
+                )
+            rounded[name] = int(value)
+    # Rounding up can exceed the machine; clip to the largest power of two
+    # that fits (for power-of-two machines this is p itself).
+    machine_cap = prev_power_of_two(p)
+    processor_bound = min(_resolve_bound(options.processor_bound, p), machine_cap)
+    rounded = {name: min(v, machine_cap) for name, v in rounded.items()}
+    bounded = bound_allocation(rounded, processor_bound)
+
+    # Step 3: recompute weights for the modified allocation.
+    weights = cost_model.bind(bounded)
+    return mdg, bounded, weights, processor_bound
+
+
+def prioritized_schedule(
+    mdg: MDG,
+    allocation: Mapping[str, float],
+    machine: MachineParameters,
+    options: PSAOptions | None = None,
+) -> Schedule:
+    """Schedule ``mdg`` on ``machine`` with the PSA.
+
+    ``allocation`` maps every node of the *normalized* graph to a
+    processor count (continuous counts are fine — step 1 rounds them).
+    Nodes missing from the allocation must be zero-weight dummies; they
+    default to one processor.
+    """
+    options = options or PSAOptions()
+    mdg, bounded, weights, processor_bound = prepare_allocation(
+        mdg, allocation, machine, options
+    )
+    p = machine.processors
+
+    schedule = Schedule(mdg=mdg, total_processors=p)
+    pool = ProcessorPool(p)
+
+    start_node = mdg.start
+    stop_node = mdg.stop
+
+    # Ready queue keyed by (EST, name). ESTs are fixed when a node enters
+    # the queue (all predecessors scheduled), matching the paper.
+    ready: list[tuple[float, str]] = [(0.0, start_node)]
+    unscheduled_preds = {
+        name: len(mdg.predecessors(name)) for name in mdg.node_names()
+    }
+
+    while ready:
+        est, name = heapq.heappop(ready)
+        width = bounded[name]
+        pst = pool.satisfaction_time(width)
+        start = max(est, pst)
+        finish = start + weights.node_weight(name)
+        processors = pool.acquire(width, start, finish)
+        schedule.add(
+            ScheduledNode(name=name, start=start, finish=finish, processors=processors)
+        )
+        if name == stop_node:
+            break
+        for edge in mdg.out_edges(name):
+            succ = edge.target
+            unscheduled_preds[succ] -= 1
+            if unscheduled_preds[succ] == 0:
+                succ_est = max(
+                    schedule.entry(e.source).finish
+                    + weights.edge_weight(e.source, succ)
+                    for e in mdg.in_edges(succ)
+                )
+                heapq.heappush(ready, (succ_est, succ))
+
+    if not schedule.is_complete:
+        missing = sorted(set(mdg.node_names()) - set(schedule.entries))
+        raise SchedulingError(
+            f"PSA terminated with unscheduled nodes {missing[:5]!r} "
+            "(is the MDG normalized and acyclic?)"
+        )
+
+    schedule.info.update(
+        {
+            "algorithm": "PSA",
+            "processor_bound": processor_bound,
+            "allocation": dict(bounded),
+            "weights": weights,
+            "machine": machine.name,
+        }
+    )
+    if options.validate:
+        schedule.validate(weights)
+    return schedule

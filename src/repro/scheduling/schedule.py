@@ -1,0 +1,222 @@
+"""The Schedule container, its invariants, and its metrics.
+
+A schedule assigns each MDG node a start time, finish time and a concrete
+set of physical processors. :meth:`Schedule.validate` re-checks every
+invariant the scheduler is supposed to guarantee — precedence with network
+delays, processor-count agreement with the allocation, and no processor
+double-booking — so tests (and paranoid callers) can verify schedules
+independently of how they were built.
+
+Metrics implement the paper's Definition 1 (*area of useful work*
+``W_s = sum t_busy^i * p^i``) plus derived efficiency numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.costs.node_weights import BoundWeights
+from repro.errors import SchedulingError
+from repro.graph.mdg import MDG
+
+__all__ = ["ScheduledNode", "Schedule"]
+
+_REL_TOL = 1e-9
+
+
+def _close_geq(a: float, b: float) -> bool:
+    """``a >= b`` with relative tolerance (floating-point schedules)."""
+    return a >= b - _REL_TOL * max(1.0, abs(a), abs(b))
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """One node's placement in the schedule."""
+
+    name: str
+    start: float
+    finish: float
+    processors: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.finish < self.start:
+            raise SchedulingError(
+                f"node {self.name!r}: finish {self.finish} precedes start {self.start}"
+            )
+        if not self.processors:
+            raise SchedulingError(f"node {self.name!r}: empty processor set")
+        if len(set(self.processors)) != len(self.processors):
+            raise SchedulingError(f"node {self.name!r}: duplicate processors")
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def width(self) -> int:
+        return len(self.processors)
+
+
+@dataclass
+class Schedule:
+    """A complete schedule of an MDG on a ``p``-processor machine."""
+
+    mdg: MDG
+    total_processors: int
+    entries: dict[str, ScheduledNode] = field(default_factory=dict)
+    info: dict[str, Any] = field(default_factory=dict)
+
+    # ----- construction ----------------------------------------------------
+
+    def add(self, entry: ScheduledNode) -> None:
+        if entry.name in self.entries:
+            raise SchedulingError(f"node {entry.name!r} scheduled twice")
+        if not self.mdg.has_node(entry.name):
+            raise SchedulingError(f"node {entry.name!r} not in the MDG")
+        bad = [i for i in entry.processors if not 0 <= i < self.total_processors]
+        if bad:
+            raise SchedulingError(
+                f"node {entry.name!r} uses out-of-range processors {bad!r}"
+            )
+        self.entries[entry.name] = entry
+
+    # ----- access ------------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ScheduledNode]:
+        return iter(self.entries.values())
+
+    def entry(self, name: str) -> ScheduledNode:
+        try:
+            return self.entries[name]
+        except KeyError as exc:
+            raise SchedulingError(f"node {name!r} is not scheduled") from exc
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self.entries) == self.mdg.n_nodes
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the last node (the paper's predicted ``T_psa``)."""
+        if not self.entries:
+            raise SchedulingError("empty schedule has no makespan")
+        return max(e.finish for e in self.entries.values())
+
+    def allocation(self) -> dict[str, int]:
+        """Processor counts implied by the schedule."""
+        return {name: e.width for name, e in self.entries.items()}
+
+    # ----- validation ----------------------------------------------------------
+
+    def validate(self, weights: BoundWeights | None = None) -> None:
+        """Check the schedule's invariants; raise SchedulingError on failure.
+
+        Structural checks always run: completeness, processor ranges, no
+        double-booking. With ``weights`` (the frozen cost model used to
+        build the schedule) the timing semantics are checked too: each
+        node occupies its processors for its weight ``T_i`` and starts no
+        earlier than ``finish_m + t^D_mi`` for every predecessor ``m``.
+        """
+        if not self.is_complete:
+            missing = sorted(set(self.mdg.node_names()) - set(self.entries))
+            raise SchedulingError(f"schedule is missing nodes {missing[:5]!r}")
+
+        # No processor double-booking: sweep each processor's intervals.
+        per_proc: dict[int, list[tuple[float, float, str]]] = {}
+        for e in self.entries.values():
+            for i in e.processors:
+                per_proc.setdefault(i, []).append((e.start, e.finish, e.name))
+        for proc, intervals in per_proc.items():
+            intervals.sort()
+            for (s1, f1, n1), (s2, f2, n2) in zip(intervals, intervals[1:]):
+                if not _close_geq(s2, f1):
+                    raise SchedulingError(
+                        f"processor {proc} double-booked: {n1!r} [{s1}, {f1}) "
+                        f"overlaps {n2!r} [{s2}, {f2})"
+                    )
+
+        if weights is None:
+            return
+
+        for e in self.entries.values():
+            expected = weights.node_weight(e.name)
+            if abs(e.duration - expected) > _REL_TOL * max(1.0, expected):
+                raise SchedulingError(
+                    f"node {e.name!r} occupies [{e.start}, {e.finish}) but its "
+                    f"weight is {expected}"
+                )
+            expected_width = weights.allocation[e.name]
+            if e.width != int(expected_width):
+                raise SchedulingError(
+                    f"node {e.name!r} uses {e.width} processors but the "
+                    f"allocation says {expected_width}"
+                )
+            for pred_edge in self.mdg.in_edges(e.name):
+                pred = self.entry(pred_edge.source)
+                earliest = pred.finish + weights.edge_weight(pred.name, e.name)
+                if not _close_geq(e.start, earliest):
+                    raise SchedulingError(
+                        f"precedence violated: {e.name!r} starts at {e.start} "
+                        f"but {pred.name!r} + network delay ends at {earliest}"
+                    )
+
+    # ----- metrics -----------------------------------------------------------
+
+    def busy_profile(self) -> list[tuple[float, float, int]]:
+        """Piecewise-constant busy-processor count: (start, end, count)."""
+        events: list[tuple[float, int]] = []
+        for e in self.entries.values():
+            if e.finish > e.start:
+                events.append((e.start, e.width))
+                events.append((e.finish, -e.width))
+        if not events:
+            return []
+        events.sort()
+        profile: list[tuple[float, float, int]] = []
+        busy = 0
+        prev_time = events[0][0]
+        k = 0
+        while k < len(events):
+            time = events[k][0]
+            if time > prev_time:
+                profile.append((prev_time, time, busy))
+                prev_time = time
+            while k < len(events) and events[k][0] == time:
+                busy += events[k][1]
+                k += 1
+        return profile
+
+    def useful_work_area(self) -> float:
+        """Definition 1: ``W_s = sum_i t_busy^i * p^i``."""
+        return sum((end - start) * count for start, end, count in self.busy_profile())
+
+    def idle_area(self) -> float:
+        """Processor-time spent idle within the makespan."""
+        return self.total_processors * self.makespan - self.useful_work_area()
+
+    def utilization(self) -> float:
+        """Fraction of the processor-time rectangle doing useful work."""
+        span = self.makespan
+        if span == 0.0:
+            return 1.0
+        return self.useful_work_area() / (self.total_processors * span)
+
+    def concurrency_at(self, time: float) -> int:
+        """Busy processors at ``time`` (end-exclusive intervals)."""
+        return sum(
+            e.width for e in self.entries.values() if e.start <= time < e.finish
+        )
+
+    def __repr__(self) -> str:
+        span = f"{self.makespan:.6g}" if self.entries else "n/a"
+        return (
+            f"Schedule(mdg={self.mdg.name!r}, p={self.total_processors}, "
+            f"nodes={len(self.entries)}/{self.mdg.n_nodes}, makespan={span})"
+        )

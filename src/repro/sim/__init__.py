@@ -1,0 +1,22 @@
+"""Discrete-event simulator of a distributed-memory multicomputer.
+
+Stands in for the paper's 64-node CM-5 testbed: it executes the MPMD
+instruction streams produced by :mod:`repro.codegen`, enforcing message
+matching (a receive cannot complete before every matching send has been
+posted plus the network delay) and charging per-operation costs — either
+exactly the analytic model's (``HardwareFidelity.ideal()``) or perturbed
+by contention/curvature/jitter for realistic "measured" times.
+"""
+
+from repro.sim.engine import MachineSimulator, SimulationResult
+from repro.sim.trace import TraceEvent, ExecutionTrace
+from repro.sim.chrome_trace import trace_to_chrome_json, save_chrome_trace
+
+__all__ = [
+    "MachineSimulator",
+    "SimulationResult",
+    "TraceEvent",
+    "ExecutionTrace",
+    "trace_to_chrome_json",
+    "save_chrome_trace",
+]

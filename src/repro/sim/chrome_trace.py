@@ -1,0 +1,52 @@
+"""Export execution traces to Chrome's Trace Event Format.
+
+``chrome://tracing`` / Perfetto open the emitted JSON directly, giving an
+interactive zoomable Gantt of a simulated run — handy for debugging
+schedules far wider than an ASCII chart can show.
+
+Format reference: the "Trace Event Format" document (Google). We emit
+complete events (``"ph": "X"``) with microsecond timestamps, one track
+(tid) per simulated processor.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["trace_to_chrome_json", "save_chrome_trace"]
+
+_CATEGORY = {"compute": "compute", "send": "message", "recv": "message", "wait": "idle"}
+
+
+def trace_to_chrome_json(trace: ExecutionTrace, machine_name: str = "sim") -> str:
+    """Serialize ``trace`` as a Trace Event Format JSON string."""
+    events = []
+    for event in trace:
+        events.append(
+            {
+                "name": f"{event.node}:{event.kind}" if event.node else event.kind,
+                "cat": _CATEGORY.get(event.kind, "other"),
+                "ph": "X",
+                "ts": event.start * 1e6,  # seconds -> microseconds
+                "dur": event.duration * 1e6,
+                "pid": 0,
+                "tid": event.processor,
+                "args": {"detail": event.detail} if event.detail else {},
+            }
+        )
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"machine": machine_name},
+    }
+    return json.dumps(document, indent=2)
+
+
+def save_chrome_trace(
+    trace: ExecutionTrace, path: str | Path, machine_name: str = "sim"
+) -> None:
+    """Write the Chrome trace JSON to ``path``."""
+    Path(path).write_text(trace_to_chrome_json(trace, machine_name))

@@ -1,0 +1,233 @@
+"""The machine simulator: executes an MPMD program and reports times.
+
+Semantics
+---------
+Each processor runs its instruction stream strictly in order (real MPMD
+node programs are sequential). Sends are non-blocking for the *edge* but
+occupy the sender for ``t^S``; a message is *posted* when its send
+completes. A receive blocks until every matching sender has posted, then
+charges the network delay (data moves at receive time — the CM-5's CMMD
+behaviour the paper describes) followed by the receive processing cost.
+
+Progress is driven by a worklist sweep: repeatedly advance every processor
+as far as it can go; if a full sweep advances nothing and instructions
+remain, the program has deadlocked (only possible for hand-built programs —
+generated ones are deadlock-free by construction, which a test asserts).
+
+Fidelity
+--------
+With :meth:`~repro.machine.fidelity.HardwareFidelity.ideal` hardware every
+operation costs exactly what the analytic model predicts, but execution is
+*self-timed*: a processor starts each operation as soon as its program
+order and message dependencies allow, like a real MPMD binary. The
+simulated makespan therefore never exceeds the schedule's predicted
+makespan (the schedule is a feasible timing of the same op order) and
+matches it exactly when the schedule has no forced idling. Non-ideal fidelity
+perturbs compute (curvature on the parallel part), start-ups (partial
+serialization of a node's 2nd, 3rd, ... message at the same processor)
+and, optionally, applies seeded multiplicative jitter — producing the
+"actual" times of the Figure 9 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codegen.program import ComputeOp, MPMDProgram, RecvOp, SendOp
+from repro.errors import DeadlockError, SimulationError
+from repro.machine.fidelity import HardwareFidelity
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+__all__ = ["MachineSimulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution."""
+
+    makespan: float
+    processor_finish: dict[int, float]
+    trace: ExecutionTrace
+    info: dict = field(default_factory=dict)
+
+    def node_finish_times(self) -> dict[str, float]:
+        return self.trace.node_finish_times()
+
+    def busy_fraction(self, total_processors: int) -> float:
+        """Machine-wide useful-work fraction over the makespan."""
+        if self.makespan == 0.0:
+            return 1.0
+        busy = sum(
+            self.trace.busy_time(q) for q in range(total_processors)
+        )
+        return busy / (total_processors * self.makespan)
+
+
+class _ProcessorState:
+    __slots__ = ("clock", "pc", "node_msg_count", "rng")
+
+    def __init__(self, seed: int, proc: int):
+        self.clock = 0.0
+        self.pc = 0
+        # messages already issued for the node currently executing, used
+        # for start-up serialization; reset when the node changes.
+        self.node_msg_count: dict[str, int] = {}
+        self.rng = np.random.default_rng((seed, proc))
+
+
+class MachineSimulator:
+    """Executes :class:`~repro.codegen.program.MPMDProgram` instances."""
+
+    def __init__(self, fidelity: HardwareFidelity | None = None):
+        self.fidelity = fidelity or HardwareFidelity.ideal()
+
+    def run(self, program: MPMDProgram, record_trace: bool = True) -> SimulationResult:
+        """Simulate ``program`` to completion.
+
+        Raises :class:`DeadlockError` if no processor can make progress
+        while instructions remain.
+        """
+        program.validate()
+        fidelity = self.fidelity
+        procs = sorted(program.streams)
+        state = {q: _ProcessorState(fidelity.seed, q) for q in procs}
+        trace = ExecutionTrace()
+
+        # Per edge: number of sends still unposted, and the latest post time.
+        pending_sends: dict[tuple[str, str], int] = {}
+        post_time: dict[tuple[str, str], float] = {}
+        for edge, senders in program.senders.items():
+            pending_sends[edge] = len(senders)
+            post_time[edge] = 0.0
+
+        remaining = program.n_instructions
+        while remaining > 0:
+            progressed = False
+            for q in procs:
+                ps = state[q]
+                stream = program.streams[q]
+                while ps.pc < len(stream):
+                    op = stream[ps.pc]
+                    if isinstance(op, RecvOp):
+                        if pending_sends.get(op.edge, 0) > 0:
+                            break  # blocked on matching sends
+                        ready = post_time.get(op.edge, 0.0) + op.network_delay
+                        start = max(ps.clock, ready)
+                        if record_trace and start > ps.clock:
+                            trace.add(
+                                TraceEvent(
+                                    processor=q,
+                                    kind="wait",
+                                    node=op.target,
+                                    start=ps.clock,
+                                    end=start,
+                                    detail=f"recv {op.source}->{op.target}",
+                                )
+                            )
+                        idx = ps.node_msg_count.get(op.target, 0)
+                        cost = (
+                            op.startup_cost * fidelity.startup_scale(idx)
+                            + op.byte_cost
+                        ) * fidelity.jitter_factor(ps.rng)
+                        ps.node_msg_count[op.target] = idx + 1
+                        end = start + cost
+                        if record_trace:
+                            trace.add(
+                                TraceEvent(
+                                    processor=q,
+                                    kind="recv",
+                                    node=op.target,
+                                    start=start,
+                                    end=end,
+                                    detail=f"{op.source}->{op.target}",
+                                )
+                            )
+                        ps.clock = end
+                    elif isinstance(op, SendOp):
+                        idx = ps.node_msg_count.get(op.source, 0)
+                        cost = (
+                            op.startup_cost * fidelity.startup_scale(idx)
+                            + op.byte_cost
+                        ) * fidelity.jitter_factor(ps.rng)
+                        ps.node_msg_count[op.source] = idx + 1
+                        start = ps.clock
+                        end = start + cost
+                        if record_trace:
+                            trace.add(
+                                TraceEvent(
+                                    processor=q,
+                                    kind="send",
+                                    node=op.source,
+                                    start=start,
+                                    end=end,
+                                    detail=f"{op.source}->{op.target}",
+                                )
+                            )
+                        ps.clock = end
+                        if op.edge not in pending_sends:
+                            raise SimulationError(f"send on unknown edge {op.edge!r}")
+                        pending_sends[op.edge] -= 1
+                        post_time[op.edge] = max(post_time[op.edge], end)
+                    elif isinstance(op, ComputeOp):
+                        serial = op.cost - op.parallel_cost
+                        # Curvature applies to the part that shrank with p.
+                        width = op_width(program, op.node)
+                        cost = (
+                            serial
+                            + op.parallel_cost * fidelity.compute_scale(width)
+                        ) * fidelity.jitter_factor(ps.rng)
+                        start = ps.clock
+                        end = start + cost
+                        if record_trace and cost > 0.0:
+                            trace.add(
+                                TraceEvent(
+                                    processor=q,
+                                    kind="compute",
+                                    node=op.node,
+                                    start=start,
+                                    end=end,
+                                )
+                            )
+                        ps.clock = end
+                        # A new node's messages start a fresh pipeline.
+                        ps.node_msg_count[op.node] = 0
+                    else:  # pragma: no cover - the IR has exactly 3 op kinds
+                        raise SimulationError(f"unknown instruction {op!r}")
+                    ps.pc += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                blocked = {
+                    q: program.streams[q][state[q].pc]
+                    for q in procs
+                    if state[q].pc < len(program.streams[q])
+                }
+                raise DeadlockError(
+                    f"no progress with {remaining} instructions left; "
+                    f"blocked ops: {dict(list(blocked.items())[:4])!r}"
+                )
+
+        if record_trace:
+            trace.validate_sequential()
+        finish = {q: state[q].clock for q in procs}
+        makespan = max(finish.values(), default=0.0)
+        return SimulationResult(
+            makespan=makespan,
+            processor_finish=finish,
+            trace=trace,
+            info={
+                "fidelity_ideal": fidelity.is_ideal,
+                "style": program.info.get("style", "?"),
+                "mdg": program.info.get("mdg", "?"),
+            },
+        )
+
+
+def op_width(program: MPMDProgram, node: str) -> int:
+    """Processor-group width of ``node`` in ``program``'s allocation."""
+    allocation = program.info.get("allocation")
+    if allocation and node in allocation:
+        return int(allocation[node])
+    return 1

@@ -1,0 +1,83 @@
+"""Execution traces: what each processor did, when.
+
+Used for Gantt rendering, utilization accounting, and cross-checking the
+simulator against the analytic schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SimulationError
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed instruction on one processor."""
+
+    processor: int
+    kind: str  # "compute" | "send" | "recv" | "wait"
+    node: str  # owning MDG node ("" for waits)
+    start: float
+    end: float
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"trace event on proc {self.processor} ends before it starts"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """All events of one simulation, in emission order."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def for_processor(self, processor: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.processor == processor]
+
+    def for_node(self, node: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.node == node]
+
+    def node_finish_times(self) -> dict[str, float]:
+        """Last event end per MDG node (ignoring waits)."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            if e.kind == "wait" or not e.node:
+                continue
+            out[e.node] = max(out.get(e.node, 0.0), e.end)
+        return out
+
+    def busy_time(self, processor: int) -> float:
+        """Total non-wait time on ``processor``."""
+        return sum(e.duration for e in self.for_processor(processor) if e.kind != "wait")
+
+    def validate_sequential(self) -> None:
+        """Each processor's events must be non-overlapping and ordered."""
+        by_proc: dict[int, list[TraceEvent]] = {}
+        for e in self.events:
+            by_proc.setdefault(e.processor, []).append(e)
+        for proc, events in by_proc.items():
+            for a, b in zip(events, events[1:]):
+                if b.start < a.end - 1e-9 * max(1.0, abs(a.end)):
+                    raise SimulationError(
+                        f"processor {proc} events overlap: {a} then {b}"
+                    )

@@ -1,0 +1,33 @@
+"""Small shared utilities: validation, integer math, orderings, tables."""
+
+from repro.utils.intmath import (
+    ceil_div,
+    is_power_of_two,
+    next_power_of_two,
+    prev_power_of_two,
+    round_to_power_of_two,
+    powers_of_two_upto,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_integer,
+    check_probability,
+)
+from repro.utils.ordering import stable_topological_order
+
+__all__ = [
+    "ceil_div",
+    "is_power_of_two",
+    "next_power_of_two",
+    "prev_power_of_two",
+    "round_to_power_of_two",
+    "powers_of_two_upto",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_integer",
+    "check_probability",
+    "stable_topological_order",
+]

@@ -1,0 +1,88 @@
+"""Integer and power-of-two helpers used by rounding and distribution code.
+
+The PSA's rounding-off step (Section 3, step 1 of the paper) rounds a
+continuous processor count to the *nearest* power of two using the
+arithmetic midpoint: for ``v`` in ``[2^k, 2^(k+1))``, values below
+``1.5 * 2^k`` round down and values at or above it round up. This choice
+realizes exactly the worst-case factors 2/3 (decrease) and 4/3 (increase)
+used in the paper's Theorem 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "ceil_div",
+    "is_power_of_two",
+    "next_power_of_two",
+    "prev_power_of_two",
+    "round_to_power_of_two",
+    "powers_of_two_upto",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling of ``a / b`` for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValidationError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        raise ValidationError(f"ceil_div dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff ``value`` is a positive integral power of two."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        return False
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: float) -> int:
+    """Smallest power of two >= ``value`` (at least 1)."""
+    if math.isnan(value) or math.isinf(value):
+        raise ValidationError(f"next_power_of_two requires finite value, got {value}")
+    if value <= 1.0:
+        return 1
+    return 1 << math.ceil(math.log2(value) - 1e-12)
+
+
+def prev_power_of_two(value: float) -> int:
+    """Largest power of two <= ``value`` (requires ``value >= 1``)."""
+    if math.isnan(value) or math.isinf(value):
+        raise ValidationError(f"prev_power_of_two requires finite value, got {value}")
+    if value < 1.0:
+        raise ValidationError(f"prev_power_of_two requires value >= 1, got {value}")
+    return 1 << math.floor(math.log2(value) + 1e-12)
+
+
+def round_to_power_of_two(value: float) -> int:
+    """Round ``value >= 1`` to the nearest power of two by arithmetic midpoint.
+
+    For ``value`` in ``[2^k, 2^(k+1))`` the midpoint is ``1.5 * 2^k``:
+    values strictly below it round down, values at or above round up. The
+    result therefore never changes the input by more than a factor of 4/3
+    upward or 2/3 downward — the bounds Theorem 2 of the paper relies on.
+    """
+    if math.isnan(value) or math.isinf(value):
+        raise ValidationError(f"round_to_power_of_two requires finite value, got {value}")
+    if value < 1.0:
+        raise ValidationError(f"round_to_power_of_two requires value >= 1, got {value}")
+    lower = prev_power_of_two(value)
+    if value >= 1.5 * lower:
+        return lower * 2
+    return lower
+
+
+def powers_of_two_upto(limit: int) -> list[int]:
+    """All powers of two ``<= limit``, ascending (``limit >= 1``)."""
+    if limit < 1:
+        raise ValidationError(f"powers_of_two_upto requires limit >= 1, got {limit}")
+    out: list[int] = []
+    v = 1
+    while v <= limit:
+        out.append(v)
+        v <<= 1
+    return out

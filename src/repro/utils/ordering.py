@@ -1,0 +1,51 @@
+"""Deterministic graph orderings.
+
+The scheduler and solver must be reproducible run-to-run, so all orderings
+break ties by node identifier instead of relying on hash/set iteration
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import CycleError
+
+__all__ = ["stable_topological_order"]
+
+
+def stable_topological_order(
+    nodes: Iterable[Hashable],
+    successors: Mapping[Hashable, Iterable[Hashable]],
+) -> list[Hashable]:
+    """Topological order, breaking ties by sorted node id (Kahn + heap).
+
+    ``successors`` maps each node to its out-neighbours; nodes absent from
+    the mapping are treated as sinks. Raises :class:`CycleError` if the
+    graph has a cycle, naming the nodes left unordered.
+    """
+    node_list = list(nodes)
+    node_set = set(node_list)
+    indegree: dict[Hashable, int] = {v: 0 for v in node_list}
+    for u in node_list:
+        for v in successors.get(u, ()):  # type: ignore[call-overload]
+            if v not in node_set:
+                raise CycleError(f"edge target {v!r} is not a declared node")
+            indegree[v] += 1
+
+    ready = [v for v in node_list if indegree[v] == 0]
+    heapq.heapify(ready)
+    order: list[Hashable] = []
+    while ready:
+        u = heapq.heappop(ready)
+        order.append(u)
+        for v in successors.get(u, ()):  # type: ignore[call-overload]
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                heapq.heappush(ready, v)
+
+    if len(order) != len(node_list):
+        leftover = sorted(v for v in node_list if v not in set(order))
+        raise CycleError(f"graph contains a cycle among nodes {leftover!r}")
+    return order

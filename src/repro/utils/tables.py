@@ -1,0 +1,55 @@
+"""Plain-text table rendering for reports and benches.
+
+No dependency on any plotting/markdown library; output is monospace ASCII
+that reads well in a terminal and diffs cleanly in logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, bool):
+                cells.append("yes" if value else "no")
+            elif isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        for k, cell in enumerate(cells):
+            widths[k] = max(widths[k], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(list(headers)))
+    out.append(separator)
+    for cells in rendered:
+        out.append(line(cells))
+    out.append(separator)
+    return "\n".join(out)

@@ -1,0 +1,109 @@
+"""Argument validation helpers.
+
+All helpers raise :class:`repro.errors.ValidationError` with a message that
+names the offending parameter, and return the (possibly coerced) value so
+they can be used inline::
+
+    self.p = check_integer("p", p, minimum=1)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_integer",
+    "check_probability",
+]
+
+
+def _check_finite_number(name: str, value: Any) -> float:
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(result) or math.isinf(result):
+        raise ValidationError(f"{name} must be finite, got {result!r}")
+    return result
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Return ``value`` as a float, requiring it to be strictly positive."""
+    result = _check_finite_number(name, value)
+    if result <= 0.0:
+        raise ValidationError(f"{name} must be > 0, got {result!r}")
+    return result
+
+
+def check_non_negative(name: str, value: Any) -> float:
+    """Return ``value`` as a float, requiring it to be >= 0."""
+    result = _check_finite_number(name, value)
+    if result < 0.0:
+        raise ValidationError(f"{name} must be >= 0, got {result!r}")
+    return result
+
+
+def check_in_range(
+    name: str,
+    value: Any,
+    minimum: float,
+    maximum: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` as a float, requiring ``minimum <= value <= maximum``.
+
+    With ``inclusive=False`` the endpoints are excluded.
+    """
+    result = _check_finite_number(name, value)
+    if inclusive:
+        if not (minimum <= result <= maximum):
+            raise ValidationError(
+                f"{name} must be in [{minimum}, {maximum}], got {result!r}"
+            )
+    else:
+        if not (minimum < result < maximum):
+            raise ValidationError(
+                f"{name} must be in ({minimum}, {maximum}), got {result!r}"
+            )
+    return result
+
+
+def check_integer(name: str, value: Any, *, minimum: int | None = None) -> int:
+    """Return ``value`` as an int, rejecting non-integral floats.
+
+    ``bool`` is rejected explicitly: ``True`` silently becoming ``1`` hides
+    caller bugs.
+    """
+    if isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got bool {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValidationError(f"{name} must be an integer, got {value!r}")
+        value = int(value)
+    if not isinstance(value, int):
+        try:
+            import numpy as np
+
+            if isinstance(value, np.integer):
+                value = int(value)
+            else:
+                raise TypeError
+        except TypeError as exc:
+            raise ValidationError(
+                f"{name} must be an integer, got {type(value).__name__}"
+            ) from exc
+    if minimum is not None and value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Return ``value`` as a float in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)

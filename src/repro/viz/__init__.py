@@ -1,0 +1,6 @@
+"""Text-based visualization: Gantt charts for schedules and traces."""
+
+from repro.viz.gantt import schedule_gantt, trace_gantt
+from repro.viz.svg import schedule_svg, save_schedule_svg
+
+__all__ = ["schedule_gantt", "trace_gantt", "schedule_svg", "save_schedule_svg"]

@@ -1,0 +1,89 @@
+"""ASCII Gantt charts (the Figure 7 rendering).
+
+One row per processor, time flowing left to right; each node is drawn with
+a single letter cycled from its name. Waits/idle time are dots. Purely
+textual so it works in any terminal and in test logs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.scheduling.schedule import Schedule
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["schedule_gantt", "trace_gantt"]
+
+
+def _symbol_map(names: list[str]) -> dict[str, str]:
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+    return {name: alphabet[k % len(alphabet)] for k, name in enumerate(sorted(names))}
+
+
+def schedule_gantt(schedule: Schedule, width: int = 72) -> str:
+    """Render ``schedule`` as an ASCII Gantt chart with a legend."""
+    if width < 10:
+        raise ValidationError(f"gantt width must be >= 10, got {width}")
+    if not schedule.entries:
+        return "(empty schedule)"
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(zero-length schedule)"
+    symbols = _symbol_map(list(schedule.entries))
+    scale = width / makespan
+
+    grid = [["." for _ in range(width)] for _ in range(schedule.total_processors)]
+    for entry in schedule.entries.values():
+        c0 = int(entry.start * scale)
+        c1 = max(int(entry.finish * scale), c0 + 1)
+        c1 = min(c1, width)
+        for proc in entry.processors:
+            for col in range(c0, c1):
+                grid[proc][col] = symbols[entry.name]
+
+    lines = [f"t = 0 {'-' * (width - 12)} {makespan:.4g}s"]
+    for proc, row in enumerate(grid):
+        lines.append(f"P{proc:>3} |{''.join(row)}|")
+    legend = ", ".join(
+        f"{symbols[name]}={name}"
+        for name in sorted(schedule.entries)
+        if not schedule.mdg.node(name).is_dummy
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def trace_gantt(
+    trace: ExecutionTrace, total_processors: int, width: int = 72
+) -> str:
+    """Render an execution trace; sends/recvs lowercase, computes uppercase."""
+    if width < 10:
+        raise ValidationError(f"gantt width must be >= 10, got {width}")
+    events = [e for e in trace if e.kind != "wait"]
+    if not events:
+        return "(empty trace)"
+    makespan = max(e.end for e in events)
+    if makespan <= 0:
+        return "(zero-length trace)"
+    nodes = sorted({e.node for e in events if e.node})
+    symbols = _symbol_map(nodes)
+    scale = width / makespan
+
+    grid = [["." for _ in range(width)] for _ in range(total_processors)]
+    for event in events:
+        c0 = int(event.start * scale)
+        c1 = max(int(event.end * scale), c0 + 1)
+        c1 = min(c1, width)
+        symbol = symbols.get(event.node, "?")
+        if event.kind in ("send", "recv"):
+            symbol = symbol.lower()
+        for col in range(c0, c1):
+            grid[event.processor][col] = symbol
+
+    lines = [f"t = 0 {'-' * (width - 12)} {makespan:.4g}s"]
+    for proc, row in enumerate(grid):
+        lines.append(f"P{proc:>3} |{''.join(row)}|")
+    lines.append(
+        "legend: " + ", ".join(f"{symbols[n]}={n}" for n in nodes)
+        + "  (lowercase = message processing)"
+    )
+    return "\n".join(lines)

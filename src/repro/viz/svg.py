@@ -1,0 +1,126 @@
+"""Self-contained SVG Gantt charts (no rendering dependencies).
+
+The ASCII charts (:mod:`repro.viz.gantt`) work everywhere; these SVGs are
+for papers and docs — one colored lane per processor, one box per node
+occupancy, deterministic colors keyed by node name, a time axis, and an
+optional legend. The output is a plain string; write it to ``.svg`` and
+open in any browser.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["schedule_svg", "save_schedule_svg"]
+
+_LANE_HEIGHT = 22
+_LANE_GAP = 4
+_MARGIN_LEFT = 56
+_MARGIN_TOP = 34
+_MARGIN_BOTTOM = 14
+_AXIS_TICKS = 6
+
+
+def _color_for(name: str) -> str:
+    """A deterministic, readable fill color derived from the node name."""
+    digest = hashlib.sha256(name.encode()).digest()
+    hue = digest[0] * 360 // 256
+    saturation = 45 + digest[1] % 30
+    lightness = 55 + digest[2] % 15
+    return f"hsl({hue}, {saturation}%, {lightness}%)"
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def schedule_svg(
+    schedule: Schedule,
+    width: int = 720,
+    show_labels: bool = True,
+) -> str:
+    """Render ``schedule`` as an SVG document string."""
+    if width < 100:
+        raise ValidationError(f"svg width must be >= 100, got {width}")
+    if not schedule.entries:
+        raise ValidationError("cannot render an empty schedule")
+    makespan = schedule.makespan
+    if makespan <= 0:
+        raise ValidationError("cannot render a zero-length schedule")
+
+    p = schedule.total_processors
+    chart_width = width - _MARGIN_LEFT - 10
+    height = _MARGIN_TOP + p * (_LANE_HEIGHT + _LANE_GAP) + _MARGIN_BOTTOM
+    scale = chart_width / makespan
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{_MARGIN_LEFT}" y="16" font-size="13">'
+        f"{_escape(schedule.mdg.name)} — makespan {makespan:.4g}s on {p} "
+        "processors</text>",
+    ]
+
+    # Lanes and labels.
+    for proc in range(p):
+        y = _MARGIN_TOP + proc * (_LANE_HEIGHT + _LANE_GAP)
+        parts.append(
+            f'<rect x="{_MARGIN_LEFT}" y="{y}" width="{chart_width}" '
+            f'height="{_LANE_HEIGHT}" fill="#f2f2f2"/>'
+        )
+        parts.append(
+            f'<text x="6" y="{y + _LANE_HEIGHT - 7}">P{proc}</text>'
+        )
+
+    # Node boxes.
+    for entry in sorted(schedule.entries.values(), key=lambda e: e.name):
+        if entry.duration <= 0:
+            continue
+        x = _MARGIN_LEFT + entry.start * scale
+        box_width = max(entry.duration * scale, 1.0)
+        color = _color_for(entry.name)
+        for proc in entry.processors:
+            y = _MARGIN_TOP + proc * (_LANE_HEIGHT + _LANE_GAP)
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{box_width:.2f}" '
+                f'height="{_LANE_HEIGHT}" fill="{color}" stroke="#333" '
+                f'stroke-width="0.5"><title>{_escape(entry.name)}: '
+                f"[{entry.start:.4g}, {entry.finish:.4g})s on "
+                f"{entry.width} procs</title></rect>"
+            )
+        if show_labels and box_width > 8 * len(entry.name) * 0.55:
+            mid_proc = entry.processors[len(entry.processors) // 2]
+            y = _MARGIN_TOP + mid_proc * (_LANE_HEIGHT + _LANE_GAP)
+            parts.append(
+                f'<text x="{x + 3:.2f}" y="{y + _LANE_HEIGHT - 7}" '
+                f'fill="#111">{_escape(entry.name)}</text>'
+            )
+
+    # Time axis.
+    axis_y = _MARGIN_TOP + p * (_LANE_HEIGHT + _LANE_GAP) + 2
+    for tick in range(_AXIS_TICKS + 1):
+        t = makespan * tick / _AXIS_TICKS
+        x = _MARGIN_LEFT + t * scale
+        parts.append(
+            f'<line x1="{x:.2f}" y1="{_MARGIN_TOP}" x2="{x:.2f}" '
+            f'y2="{axis_y}" stroke="#bbb" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{x - 10:.2f}" y="{axis_y + 10}" fill="#555">'
+            f"{t:.3g}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_schedule_svg(schedule: Schedule, path: str | Path, width: int = 720) -> None:
+    """Write the SVG Gantt to ``path``."""
+    Path(path).write_text(schedule_svg(schedule, width=width))

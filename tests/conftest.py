@@ -1,0 +1,33 @@
+"""Shared fixtures: small machines and programs sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.transfer import TransferCostParameters
+from repro.machine.parameters import MachineParameters
+from repro.machine.presets import cm5
+
+
+@pytest.fixture
+def machine4() -> MachineParameters:
+    """Four processors, zero communication cost."""
+    return MachineParameters("m4", 4, TransferCostParameters.zero())
+
+
+@pytest.fixture
+def machine8() -> MachineParameters:
+    """Eight processors with mild communication costs."""
+    return MachineParameters(
+        "m8",
+        8,
+        TransferCostParameters(
+            t_ss=1.0e-4, t_ps=5.0e-9, t_sr=8.0e-5, t_pr=4.0e-9, t_n=1.0e-9
+        ),
+    )
+
+
+@pytest.fixture
+def cm5_16() -> MachineParameters:
+    """The paper's CM-5 at the smallest evaluated partition size."""
+    return cm5(16)

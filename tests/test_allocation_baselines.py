@@ -1,0 +1,78 @@
+"""Unit tests for the baseline allocators."""
+
+import pytest
+
+from repro.allocation.baselines import (
+    greedy_critical_path_allocation,
+    serial_allocation,
+    spmd_allocation,
+    uniform_allocation,
+)
+from repro.allocation.solver import solve_allocation
+from repro.graph.generators import fork_join_mdg, paper_example_mdg
+from repro.utils.intmath import is_power_of_two
+
+
+class TestSpmdAllocation:
+    def test_all_nodes_all_processors(self, cm5_16):
+        result = spmd_allocation(fork_join_mdg(3, seed=0), cm5_16)
+        assert all(v == 16 for v in result.processors.values())
+        assert result.average_finish_time is not None
+        assert result.critical_path_time is not None
+
+    def test_phi_none_for_baselines(self, cm5_16):
+        assert spmd_allocation(fork_join_mdg(2, seed=0), cm5_16).phi is None
+
+
+class TestSerialAllocation:
+    def test_all_ones(self, cm5_16):
+        result = serial_allocation(fork_join_mdg(3, seed=0), cm5_16)
+        assert all(v == 1 for v in result.processors.values())
+
+
+class TestUniformAllocation:
+    def test_divides_by_width(self, cm5_16):
+        # fork_join(4): widest level has 4 branches -> 16/4 = 4 each.
+        result = uniform_allocation(fork_join_mdg(4, seed=0), cm5_16)
+        assert all(v == 4 for v in result.processors.values())
+
+    def test_power_of_two_floor(self, cm5_16):
+        # width 3 -> 16//3 = 5 -> floor to 4.
+        result = uniform_allocation(fork_join_mdg(3, seed=0), cm5_16)
+        assert all(v == 4 for v in result.processors.values())
+
+    def test_width_wider_than_machine(self, machine4):
+        result = uniform_allocation(fork_join_mdg(10, seed=0), machine4)
+        assert all(v == 1 for v in result.processors.values())
+
+
+class TestGreedyHeuristic:
+    def test_power_of_two_allocations(self, cm5_16):
+        result = greedy_critical_path_allocation(fork_join_mdg(3, seed=1), cm5_16)
+        for value in result.processors.values():
+            assert is_power_of_two(int(value))
+
+    def test_never_exceeds_machine(self, machine4):
+        result = greedy_critical_path_allocation(fork_join_mdg(2, seed=1), machine4)
+        assert max(result.processors.values()) <= 4
+
+    def test_improves_on_serial(self, machine4):
+        mdg = paper_example_mdg()
+        greedy = greedy_critical_path_allocation(mdg, machine4)
+        serial = serial_allocation(mdg, machine4)
+        assert greedy.makespan_lower_bound <= serial.makespan_lower_bound
+
+    def test_convex_at_least_as_good(self, machine4):
+        """The exact method must weakly dominate the prior-work heuristic."""
+        mdg = paper_example_mdg().normalized()
+        greedy = greedy_critical_path_allocation(mdg, machine4)
+        convex = solve_allocation(mdg, machine4)
+        assert convex.phi <= greedy.makespan_lower_bound * (1 + 1e-9)
+
+    def test_respects_max_rounds(self, cm5_16):
+        result = greedy_critical_path_allocation(
+            fork_join_mdg(2, seed=1), cm5_16, max_rounds=1
+        )
+        assert result.info["rounds"] <= 1
+        # At most one doubling happened.
+        assert sum(result.processors.values()) <= len(result.processors) + 1

@@ -1,0 +1,115 @@
+"""Unit tests for rounding, bounding, and the Section 5 factors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.allocation.rounding import (
+    bound_allocation,
+    optimal_processor_bound,
+    round_allocation,
+    theorem1_factor,
+    theorem2_factor,
+    theorem3_factor,
+)
+from repro.errors import AllocationError
+from repro.utils.intmath import is_power_of_two
+
+
+class TestRoundAllocation:
+    def test_rounds_to_powers(self):
+        rounded = round_allocation({"a": 3.2, "b": 1.0, "c": 6.1})
+        assert rounded == {"a": 4, "b": 1, "c": 8}
+
+    def test_float_just_below_one_clamps(self):
+        assert round_allocation({"a": 1.0 - 1e-12})["a"] == 1
+
+    def test_rejects_below_one(self):
+        with pytest.raises(AllocationError):
+            round_allocation({"a": 0.5})
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=3),
+            st.floats(min_value=1.0, max_value=4096.0),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_always_powers_within_theorem2_factors(self, alloc):
+        rounded = round_allocation(alloc)
+        for name, original in alloc.items():
+            assert is_power_of_two(rounded[name])
+            assert rounded[name] >= (2 / 3) * original * (1 - 1e-12)
+            assert rounded[name] <= (4 / 3) * original * (1 + 1e-12)
+
+
+class TestBoundAllocation:
+    def test_clips(self):
+        bounded = bound_allocation({"a": 16, "b": 4}, 8)
+        assert bounded == {"a": 8, "b": 4}
+
+    def test_rejects_non_power_bound(self):
+        with pytest.raises(AllocationError, match="power of two"):
+            bound_allocation({"a": 4}, 6)
+
+    def test_rejects_unrounded_input(self):
+        with pytest.raises(AllocationError, match="round first"):
+            bound_allocation({"a": 6}, 8)
+
+    def test_identity_when_under_bound(self):
+        alloc = {"a": 2, "b": 4}
+        assert bound_allocation(alloc, 8) == alloc
+
+
+class TestTheoremFactors:
+    def test_theorem1_formula(self):
+        # p=64, PB=32: 1 + 64/33
+        assert theorem1_factor(64, 32) == pytest.approx(1 + 64 / 33)
+
+    def test_theorem1_pb_equals_p(self):
+        assert theorem1_factor(64, 64) == pytest.approx(65.0)
+
+    def test_theorem2_formula(self):
+        assert theorem2_factor(64, 32) == pytest.approx(2.25 * 4.0)
+
+    def test_theorem3_is_product(self):
+        assert theorem3_factor(64, 16) == pytest.approx(
+            theorem1_factor(64, 16) * theorem2_factor(64, 16)
+        )
+
+    def test_bound_cannot_exceed_machine(self):
+        with pytest.raises(AllocationError):
+            theorem1_factor(16, 32)
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_factors_at_least_one(self, k):
+        p = 2**k
+        for pb in [2**j for j in range(k + 1)]:
+            assert theorem1_factor(p, pb) >= 1.0
+            assert theorem2_factor(p, pb) >= 1.0
+
+
+class TestOptimalProcessorBound:
+    def test_is_power_of_two(self):
+        for p in (1, 2, 4, 16, 64, 128):
+            assert is_power_of_two(optimal_processor_bound(p))
+
+    def test_minimizes_theorem3(self):
+        for p in (4, 16, 64):
+            best = optimal_processor_bound(p)
+            best_value = theorem3_factor(p, best)
+            for pb in [2**k for k in range(p.bit_length()) if 2**k <= p]:
+                assert best_value <= theorem3_factor(p, pb) + 1e-12
+
+    def test_single_processor(self):
+        assert optimal_processor_bound(1) == 1
+
+    def test_p64_prefers_half_machine(self):
+        """For p = 64 the Theorem 3 factor is minimized at PB = 32."""
+        assert optimal_processor_bound(64) == 32
+
+    def test_non_power_machine(self):
+        pb = optimal_processor_bound(48)
+        assert is_power_of_two(pb)
+        assert pb <= 48

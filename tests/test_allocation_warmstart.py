@@ -1,0 +1,94 @@
+"""Tests for solver warm starts and failure paths."""
+
+import pytest
+
+from repro.allocation.baselines import greedy_critical_path_allocation
+from repro.allocation.formulation import ConvexAllocationProblem
+from repro.allocation.solver import ConvexSolverOptions, solve_allocation
+from repro.errors import SolverError
+from repro.graph.generators import fork_join_mdg, paper_example_mdg
+from repro.programs import complex_matmul_program
+
+
+class TestWarmStart:
+    def test_warm_start_reaches_same_optimum(self, cm5_16):
+        mdg = complex_matmul_program(64).mdg.normalized()
+        greedy = greedy_critical_path_allocation(mdg, cm5_16)
+        warm = solve_allocation(
+            mdg,
+            cm5_16,
+            ConvexSolverOptions(
+                initial_allocation=dict(greedy.processors),
+                multistart_targets=(),
+            ),
+        )
+        cold = solve_allocation(
+            mdg, cm5_16, ConvexSolverOptions(multistart_targets=(4.0,))
+        )
+        assert warm.phi == pytest.approx(cold.phi, rel=1e-4)
+
+    def test_warm_start_point_is_feasible(self, cm5_16):
+        mdg = fork_join_mdg(3, seed=2).normalized()
+        problem = ConvexAllocationProblem(mdg, cm5_16)
+        z0 = problem.initial_point_from_allocation(
+            {name: 3.7 for name in mdg.node_names()}
+        )
+        assert problem.max_violation(z0) <= 1e-9
+
+    def test_warm_start_clamps_out_of_range_counts(self, cm5_16):
+        mdg = fork_join_mdg(2, seed=0).normalized()
+        problem = ConvexAllocationProblem(mdg, cm5_16)
+        z0 = problem.initial_point_from_allocation(
+            {name: 999.0 for name in mdg.node_names()}
+        )
+        assert problem.max_violation(z0) <= 1e-9
+
+    def test_warm_start_defaults_missing_nodes_to_one(self, cm5_16):
+        mdg = fork_join_mdg(2, seed=0).normalized()
+        problem = ConvexAllocationProblem(mdg, cm5_16)
+        z0 = problem.initial_point_from_allocation({})
+        assert problem.max_violation(z0) <= 1e-9
+
+    def test_attempt_records_start_kind(self, machine4):
+        mdg = paper_example_mdg().normalized()
+        result = solve_allocation(
+            mdg,
+            machine4,
+            ConvexSolverOptions(
+                initial_allocation={n: 2.0 for n in mdg.node_names()},
+                multistart_targets=(),
+            ),
+        )
+        assert any(a.get("start") == "warm" for a in result.info["attempts"])
+
+
+class TestFailurePaths:
+    def test_all_methods_failing_raises_solver_error(self, machine4, monkeypatch):
+        import repro.allocation.solver as solver_module
+
+        def always_explode(problem, method, z0, options):
+            raise ValueError("synthetic numerical blow-up")
+
+        monkeypatch.setattr(solver_module, "_run_method", always_explode)
+        with pytest.raises(SolverError, match="failed"):
+            solve_allocation(paper_example_mdg().normalized(), machine4)
+
+    def test_infeasible_results_rejected(self, machine4, monkeypatch):
+        """A 'solution' violating constraints must not be accepted."""
+        import numpy as np
+
+        import repro.allocation.solver as solver_module
+
+        class FakeResult:
+            def __init__(self, n):
+                self.x = np.full(n, 50.0)  # wildly out of bounds
+                self.status = 0
+                self.message = "fake"
+                self.nit = 1
+
+        def fake_run(problem, method, z0, options):
+            return FakeResult(problem.n_vars)
+
+        monkeypatch.setattr(solver_module, "_run_method", fake_run)
+        with pytest.raises(SolverError):
+            solve_allocation(paper_example_mdg().normalized(), machine4)

@@ -1,0 +1,125 @@
+"""Unit tests for metrics, experiment drivers, and reports."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    compare_spmd_mpmd,
+    phi_vs_tpsa,
+    predicted_vs_measured,
+    sweep_system_sizes,
+)
+from repro.analysis.metrics import (
+    efficiency,
+    relative_deviation,
+    serial_time,
+    speedup,
+)
+from repro.analysis.reports import comparison_table, deviation_table, prediction_table
+from repro.errors import ValidationError
+from repro.graph.generators import fork_join_mdg, paper_example_mdg
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.presets import cm5
+from repro.programs import complex_matmul_program
+
+
+class TestMetrics:
+    def test_serial_time_sums_costs(self):
+        mdg = paper_example_mdg()
+        assert serial_time(mdg) == pytest.approx(20.0 + 16.0 + 16.0)
+
+    def test_speedup_and_efficiency(self):
+        mdg = paper_example_mdg()
+        assert speedup(mdg, 26.0) == pytest.approx(2.0)
+        assert efficiency(mdg, 26.0, 4) == pytest.approx(0.5)
+
+    def test_speedup_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            speedup(paper_example_mdg(), 0.0)
+
+    def test_relative_deviation_sign_convention(self):
+        # Table 3: positive when T_psa exceeds Phi.
+        assert relative_deviation(0.125, 0.136) == pytest.approx(0.088, abs=1e-3)
+        assert relative_deviation(0.117, 0.114) < 0
+
+    def test_relative_deviation_rejects_bad_prediction(self):
+        with pytest.raises(ValidationError):
+            relative_deviation(0.0, 1.0)
+
+
+class TestComparisons:
+    def test_compare_fields_consistent(self):
+        mdg = complex_matmul_program(32).mdg
+        row = compare_spmd_mpmd(mdg, cm5(16), HardwareFidelity.ideal())
+        assert row.processors == 16
+        assert row.mpmd_measured <= row.mpmd_predicted * (1 + 1e-9)
+        assert row.mpmd_speedup == pytest.approx(
+            serial_time(mdg.normalized()) / row.mpmd_measured
+        )
+        assert row.mpmd_efficiency == pytest.approx(row.mpmd_speedup / 16)
+
+    def test_mpmd_wins_on_complex_mm(self):
+        mdg = complex_matmul_program(32).mdg
+        row = compare_spmd_mpmd(mdg, cm5(16))
+        assert row.mpmd_advantage > 1.0
+
+    def test_sweep_sizes(self):
+        mdg = fork_join_mdg(2, seed=0)
+        rows = sweep_system_sizes(mdg, cm5(64), (4, 8), HardwareFidelity.ideal())
+        assert [r.processors for r in rows] == [4, 8]
+
+    def test_predicted_vs_measured_points(self):
+        mdg = complex_matmul_program(32).mdg
+        points = predicted_vs_measured(mdg, cm5(8), HardwareFidelity.ideal())
+        assert {p.style for p in points} == {"MPMD", "SPMD"}
+        for p in points:
+            # Ideal hardware: measured <= predicted (self-timed execution).
+            assert p.measured <= p.predicted * (1 + 1e-9)
+            assert p.normalized_prediction >= 1.0 - 1e-9
+
+    def test_predicted_close_under_cm5_fidelity(self):
+        mdg = complex_matmul_program(32).mdg
+        points = predicted_vs_measured(mdg, cm5(8), HardwareFidelity.cm5_like())
+        for p in points:
+            # Figure 9's claim: within ~20% either way.
+            assert 0.8 <= p.normalized_prediction <= 1.25
+
+    def test_phi_vs_tpsa_point(self):
+        mdg = complex_matmul_program(32).mdg
+        point = phi_vs_tpsa(mdg, cm5(8))
+        assert point.phi > 0
+        assert point.t_psa > 0
+        assert abs(point.percent_change) < 50.0
+
+
+class TestReports:
+    def test_comparison_table_renders(self):
+        mdg = fork_join_mdg(2, seed=0)
+        rows = sweep_system_sizes(mdg, cm5(64), (4,), HardwareFidelity.ideal())
+        text = comparison_table(rows)
+        assert "MPMD speedup" in text
+        assert "forkjoin_2" in text
+
+    def test_prediction_table_renders(self):
+        mdg = fork_join_mdg(2, seed=0)
+        points = predicted_vs_measured(mdg, cm5(4), HardwareFidelity.ideal())
+        text = prediction_table(points)
+        assert "pred/meas" in text
+
+    def test_deviation_table_renders(self):
+        mdg = fork_join_mdg(2, seed=0)
+        text = deviation_table([phi_vs_tpsa(mdg, cm5(4))])
+        assert "percent change" in text
+        assert "%" in text
+
+    def test_format_table_validates_row_width(self):
+        from repro.utils.tables import format_table
+
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_format_table_alignment(self):
+        from repro.utils.tables import format_table
+
+        text = format_table(["name", "v"], [["x", 1.0], ["longer", 2.0]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width

@@ -1,0 +1,67 @@
+"""Unit tests for the shared calibration drivers."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    measure_kernel_times,
+    measure_transfer_components,
+    refit_table1,
+    refit_table2,
+)
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.presets import CM5_TRANSFER
+from repro.programs.common import table1_matmul
+
+
+class TestMeasureKernelTimes:
+    def test_ideal_fidelity_matches_model_exactly(self):
+        model = table1_matmul(64)
+        times = measure_kernel_times(
+            model, HardwareFidelity.ideal(), procs=(1, 4, 16)
+        )
+        assert times == pytest.approx([model.cost(p) for p in (1, 4, 16)])
+
+    def test_nonideal_slower_at_scale(self):
+        model = table1_matmul(64)
+        ideal = measure_kernel_times(model, HardwareFidelity.ideal(), procs=(64,))
+        noisy = measure_kernel_times(
+            model, HardwareFidelity(compute_curvature=0.1), procs=(64,)
+        )
+        assert noisy[0] > ideal[0]
+
+
+class TestMeasureTransferComponents:
+    def test_ideal_matches_cost_model(self):
+        from repro.costs.transfer import TransferCostModel
+
+        transfer = ArrayTransfer(32768.0, TransferKind.ROW2ROW)
+        send, recv = measure_transfer_components(
+            transfer, 4, 4, HardwareFidelity.ideal()
+        )
+        model = TransferCostModel(CM5_TRANSFER)
+        assert send == pytest.approx(model.send_cost(transfer, 4, 4))
+        assert recv == pytest.approx(model.receive_cost(transfer, 4, 4))
+
+    def test_2d_transfer_measured(self):
+        transfer = ArrayTransfer(8192.0, TransferKind.ROW2COL)
+        send, recv = measure_transfer_components(
+            transfer, 2, 4, HardwareFidelity.ideal()
+        )
+        assert send > 0 and recv > 0
+
+
+class TestRefits:
+    def test_table1_ideal_recovers_exactly(self):
+        refit = refit_table1(HardwareFidelity.ideal(), procs=(1, 2, 4, 8, 16))
+        assert refit.matmul.alpha == pytest.approx(0.121, abs=1e-9)
+        assert refit.matadd.tau == pytest.approx(3.73e-3, rel=1e-9)
+
+    def test_table2_ideal_recovers_exactly(self):
+        _samples, fit = refit_table2(
+            HardwareFidelity.ideal(),
+            configs=((1, 1), (2, 4), (4, 2), (8, 8)),
+            lengths=(8192.0, 32768.0),
+        )
+        assert fit.parameters.t_ss == pytest.approx(CM5_TRANSFER.t_ss, rel=1e-6)
+        assert fit.parameters.t_pr == pytest.approx(CM5_TRANSFER.t_pr, rel=1e-6)

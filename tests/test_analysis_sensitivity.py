@@ -1,0 +1,63 @@
+"""Unit tests for the sensitivity sweep and the Theorem 2 verifier."""
+
+import pytest
+
+from repro.analysis.sensitivity import communication_sensitivity, sensitivity_table
+from repro.machine.presets import cm5
+from repro.programs import complex_matmul_program
+from repro.scheduling.bounds import verify_theorem2
+
+
+class TestCommunicationSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return communication_sensitivity(
+            complex_matmul_program(32).mdg, cm5(16), factors=(0.5, 1.0, 4.0)
+        )
+
+    def test_one_point_per_factor(self, points):
+        assert [p.factor for p in points] == [0.5, 1.0, 4.0]
+
+    def test_phi_increases_with_communication_cost(self, points):
+        phis = [p.phi for p in points]
+        assert phis == sorted(phis)
+        assert phis[-1] > phis[0]
+
+    def test_groups_shrink_or_hold_as_comm_grows(self, points):
+        """More expensive messages never make wider groups attractive."""
+        means = [p.mean_group for p in points]
+        assert means[0] >= means[-1] - 1e-9
+
+    def test_allocation_recorded_without_dummies(self, points):
+        for point in points:
+            assert all(not name.startswith("__") for name in point.allocation)
+
+    def test_t_psa_at_least_phi_ish(self, points):
+        for point in points:
+            assert point.t_psa >= point.phi * 0.8
+
+    def test_table_renders(self, points):
+        text = sensitivity_table(points)
+        assert "comm x" in text
+        assert "widest group" in text
+
+
+class TestTheorem2Verifier:
+    def test_holds_on_paper_program(self, cm5_16):
+        from repro.pipeline import compile_mdg
+
+        result = compile_mdg(complex_matmul_program(32).mdg, cm5_16)
+        report = verify_theorem2(result.schedule, cm5_16, result.phi)
+        assert report.theorem == "theorem2"
+        assert report.holds
+        # The lower bound is near Phi in practice, far below the factor.
+        assert report.tightness < 0.5
+
+    def test_factor_matches_formula(self, cm5_16):
+        from repro.allocation.rounding import theorem2_factor
+        from repro.pipeline import compile_mdg
+
+        result = compile_mdg(complex_matmul_program(32).mdg, cm5_16)
+        pb = result.schedule.info["processor_bound"]
+        report = verify_theorem2(result.schedule, cm5_16, result.phi)
+        assert report.factor == pytest.approx(theorem2_factor(16, pb))

@@ -1,0 +1,155 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import paper_example_mdg
+from repro.graph.serialization import save_mdg
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "cm5" in out
+        assert "strassen" in out
+
+    def test_compile(self, capsys):
+        assert main(["compile", "--program", "complex", "--n", "16", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Phi" in out
+        assert "predicted makespan" in out
+        assert "legend:" in out
+
+    def test_compile_spmd(self, capsys):
+        assert (
+            main(["compile", "--program", "complex", "--n", "16", "-p", "4", "--spmd"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SPMD" in out
+        assert "Phi" not in out
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--program",
+                    "fft2d",
+                    "--n",
+                    "16",
+                    "-p",
+                    "4",
+                    "--fidelity",
+                    "ideal",
+                    "--gantt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "measured" in out
+        assert "% of predicted" in out
+
+    def test_experiment_table3(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "table3",
+                    "--program",
+                    "complex",
+                    "--n",
+                    "16",
+                    "--sizes",
+                    "4,8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "percent change" in out
+
+    def test_experiment_fig8(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "fig8",
+                    "--program",
+                    "reduction",
+                    "--n",
+                    "16",
+                    "--sizes",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert "MPMD speedup" in capsys.readouterr().out
+
+    def test_experiment_fig9(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "fig9",
+                    "--program",
+                    "pipeline",
+                    "--n",
+                    "16",
+                    "--sizes",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert "pred/meas" in capsys.readouterr().out
+
+    def test_solve_from_file(self, tmp_path, capsys):
+        path = tmp_path / "example.json"
+        save_mdg(paper_example_mdg(), path)
+        assert main(["solve", str(path), "--machine", "zero-comm", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Phi" in out
+        assert "N1" in out
+
+    def test_unknown_program(self):
+        with pytest.raises(SystemExit, match="unknown program"):
+            main(["compile", "--program", "nonesuch"])
+
+    def test_unknown_machine(self):
+        with pytest.raises(SystemExit, match="unknown machine"):
+            main(["compile", "--machine", "cray"])
+
+    def test_unknown_fidelity(self):
+        with pytest.raises(SystemExit, match="unknown fidelity"):
+            main(
+                [
+                    "simulate",
+                    "--program",
+                    "complex",
+                    "--n",
+                    "16",
+                    "-p",
+                    "4",
+                    "--fidelity",
+                    "quantum",
+                ]
+            )

@@ -1,0 +1,94 @@
+"""Unit tests for the export-dot and trace CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExportDot:
+    def test_prints_dot(self, capsys):
+        assert main(["export-dot", "--program", "complex", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "init_Ar" in out
+
+    def test_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "graph.dot"
+        assert (
+            main(
+                ["export-dot", "--program", "fft2d", "--n", "16", "-o", str(path)]
+            )
+            == 0
+        )
+        assert path.read_text().startswith("digraph")
+
+    def test_allocated_annotation(self, capsys):
+        assert (
+            main(
+                [
+                    "export-dot",
+                    "--program",
+                    "complex",
+                    "--n",
+                    "16",
+                    "-p",
+                    "4",
+                    "--allocated",
+                ]
+            )
+            == 0
+        )
+        assert "p=" in capsys.readouterr().out
+
+
+class TestTraceExport:
+    def test_writes_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--program",
+                    "complex",
+                    "--n",
+                    "16",
+                    "-p",
+                    "4",
+                    "--fidelity",
+                    "ideal",
+                    "-o",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(path.read_text())
+        assert document["traceEvents"]
+        assert document["otherData"]["machine"] == "CM-5"
+        assert "wrote Chrome trace" in capsys.readouterr().out
+
+    def test_spmd_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--program",
+                    "pipeline",
+                    "--n",
+                    "16",
+                    "-p",
+                    "4",
+                    "--spmd",
+                    "-o",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        events = json.loads(path.read_text())["traceEvents"]
+        # SPMD: every processor participates in every compute.
+        computes = [e for e in events if e["cat"] == "compute"]
+        assert {e["tid"] for e in computes} == {0, 1, 2, 3}

@@ -1,0 +1,159 @@
+"""Unit tests for MPMD/SPMD program generation."""
+
+import pytest
+
+from repro.allocation.solver import solve_allocation
+from repro.codegen.mpmd import generate_mpmd_program
+from repro.codegen.program import ComputeOp, MPMDProgram, RecvOp, SendOp
+from repro.codegen.spmd import generate_spmd_program
+from repro.costs.node_weights import MDGCostModel
+from repro.errors import CodegenError
+from repro.graph.generators import fork_join_mdg, paper_example_mdg
+from repro.scheduling.psa import PSAOptions, prioritized_schedule
+from repro.scheduling.schedule import Schedule
+
+
+def compile_example(machine, mdg=None, bound="machine"):
+    mdg = (mdg or paper_example_mdg()).normalized()
+    alloc = solve_allocation(mdg, machine)
+    schedule = prioritized_schedule(
+        mdg, alloc.processors, machine, PSAOptions(processor_bound=bound)
+    )
+    return mdg, schedule, generate_mpmd_program(schedule, machine)
+
+
+class TestOps:
+    def test_compute_op_rejects_negative(self):
+        with pytest.raises(CodegenError):
+            ComputeOp("n", -1.0)
+
+    def test_compute_op_rejects_parallel_exceeding_total(self):
+        with pytest.raises(CodegenError):
+            ComputeOp("n", 1.0, parallel_cost=2.0)
+
+    def test_send_recv_reject_negative(self):
+        with pytest.raises(CodegenError):
+            SendOp("a", "b", -1.0, 0.0)
+        with pytest.raises(CodegenError):
+            RecvOp("a", "b", 0.0, 0.0, network_delay=-1.0)
+
+    def test_edge_property(self):
+        assert SendOp("a", "b", 0.0, 0.0).edge == ("a", "b")
+        assert RecvOp("a", "b", 0.0, 0.0).edge == ("a", "b")
+
+
+class TestMPMDGeneration:
+    def test_every_processor_in_group_gets_node_ops(self, machine4):
+        mdg, schedule, program = compile_example(machine4)
+        for entry in schedule.entries.values():
+            for proc in entry.processors:
+                nodes_on_proc = {
+                    op.node
+                    for op in program.stream(proc)
+                    if isinstance(op, ComputeOp)
+                }
+                assert entry.name in nodes_on_proc
+
+    def test_recv_compute_send_order_within_node(self, cm5_16):
+        mdg, schedule, program = compile_example(cm5_16, fork_join_mdg(2, seed=1))
+        for proc, stream in program.streams.items():
+            # Group consecutive ops by node; within each group the kinds
+            # must be recvs, then one compute, then sends.
+            current_node = None
+            phase = 0  # 0 = recv, 1 = compute done, 2 = sends
+            for op in stream:
+                node = op.node if isinstance(op, ComputeOp) else (
+                    op.target if isinstance(op, RecvOp) else op.source
+                )
+                if node != current_node:
+                    current_node = node
+                    phase = 0
+                if isinstance(op, RecvOp):
+                    assert phase == 0, f"recv after compute on proc {proc}"
+                elif isinstance(op, ComputeOp):
+                    assert phase == 0
+                    phase = 2
+                else:
+                    assert phase == 2, f"send before compute on proc {proc}"
+
+    def test_costs_match_analytic_weights(self, cm5_16):
+        """Sum of a node's op costs on one processor equals its weight T_i."""
+        mdg, schedule, program = compile_example(cm5_16, fork_join_mdg(2, seed=1))
+        weights = schedule.info["weights"]
+        for entry in schedule.entries.values():
+            proc = entry.processors[0]
+            total = 0.0
+            for op in program.stream(proc):
+                if isinstance(op, ComputeOp) and op.node == entry.name:
+                    total += op.cost
+                elif isinstance(op, RecvOp) and op.target == entry.name:
+                    total += op.startup_cost + op.byte_cost
+                elif isinstance(op, SendOp) and op.source == entry.name:
+                    total += op.startup_cost + op.byte_cost
+            assert total == pytest.approx(weights.node_weight(entry.name))
+
+    def test_network_delay_matches_edge_weight(self, cm5_16):
+        mdg, schedule, program = compile_example(cm5_16, fork_join_mdg(2, seed=1))
+        weights = schedule.info["weights"]
+        for proc, op in program.instructions():
+            if isinstance(op, RecvOp):
+                assert op.network_delay == pytest.approx(
+                    weights.edge_weight(op.source, op.target)
+                )
+
+    def test_sync_messages_for_bare_edges(self, machine4):
+        """Edges without transfers become zero-cost message pairs."""
+        mdg, schedule, program = compile_example(machine4)
+        edges = {(e.source, e.target) for e in mdg.edges()}
+        send_edges = {
+            op.edge for _, op in program.instructions() if isinstance(op, SendOp)
+        }
+        assert send_edges == edges
+
+    def test_senders_receivers_registered(self, machine4):
+        mdg, schedule, program = compile_example(machine4)
+        for edge in mdg.edges():
+            key = (edge.source, edge.target)
+            assert program.senders[key] == schedule.entry(edge.source).processors
+            assert program.receivers[key] == schedule.entry(edge.target).processors
+
+    def test_incomplete_schedule_rejected(self, machine4):
+        mdg = paper_example_mdg().normalized()
+        with pytest.raises(CodegenError, match="incomplete"):
+            generate_mpmd_program(
+                Schedule(mdg=mdg, total_processors=4), machine4
+            )
+
+    def test_parallel_cost_is_shrinkable_part(self, machine4):
+        mdg, schedule, program = compile_example(machine4)
+        for proc, op in program.instructions():
+            if isinstance(op, ComputeOp) and op.cost > 0:
+                model = mdg.node(op.node).processing
+                serial_floor = model.cost(1.0e15)
+                assert op.cost - op.parallel_cost == pytest.approx(
+                    serial_floor, rel=1e-6
+                )
+
+    def test_validate_catches_unmatched_edges(self):
+        program = MPMDProgram(total_processors=2)
+        program.streams[0] = [SendOp("a", "b", 0.0, 0.0)]
+        program.senders[("a", "b")] = (0,)
+        with pytest.raises(CodegenError, match="unmatched"):
+            program.validate()
+
+    def test_stream_bounds_checked(self, machine4):
+        _, _, program = compile_example(machine4)
+        with pytest.raises(CodegenError):
+            program.stream(99)
+
+
+class TestSPMDGeneration:
+    def test_all_streams_identical(self, cm5_16):
+        program = generate_spmd_program(fork_join_mdg(3, seed=2), cm5_16)
+        streams = list(program.streams.values())
+        assert all(s == streams[0] for s in streams)
+        assert program.info["style"] == "SPMD"
+
+    def test_every_processor_participates(self, cm5_16):
+        program = generate_spmd_program(fork_join_mdg(3, seed=2), cm5_16)
+        assert len(program.streams) == 16

@@ -1,0 +1,73 @@
+"""Unit tests for MPMD program listings and summaries."""
+
+import pytest
+
+from repro.codegen.pretty import format_processor_stream, format_program, program_summary
+from repro.machine.presets import cm5
+from repro.pipeline import compile_mdg, compile_spmd
+from repro.programs import complex_matmul_program
+
+
+@pytest.fixture(scope="module")
+def mpmd_program():
+    return compile_mdg(complex_matmul_program(16).mdg, cm5(8)).program
+
+
+@pytest.fixture(scope="module")
+def spmd_program():
+    return compile_spmd(complex_matmul_program(16).mdg, cm5(8)).program
+
+
+class TestFormatting:
+    def test_listing_contains_all_op_kinds(self, mpmd_program):
+        text = format_program(mpmd_program)
+        assert "EXEC" in text
+        assert "SEND" in text
+        assert "RECV" in text
+
+    def test_processor_stream_indexed(self, mpmd_program):
+        text = format_processor_stream(mpmd_program, 0)
+        assert text.startswith("processor 0:")
+        assert "[  0]" in text
+
+    def test_spmd_collapses_to_one_block(self, spmd_program):
+        text = format_program(spmd_program)
+        assert "processors 0..7 (identical)" in text
+        # Exactly one instruction block.
+        assert text.count("instructions") == 1
+
+    def test_mpmd_streams_differ(self, mpmd_program):
+        text = format_program(mpmd_program)
+        # More than one block: the MPMD claim made visible.
+        assert text.count("instructions") > 1
+
+    def test_max_processors_limits_output(self, mpmd_program):
+        text = format_program(mpmd_program, max_processors=1)
+        assert "processor 0:" in text
+        assert "processor 7" not in text
+
+    def test_costs_in_microseconds(self, mpmd_program):
+        assert "us)" in format_program(mpmd_program)
+
+
+class TestSummary:
+    def test_counts_consistent(self, mpmd_program):
+        stats = program_summary(mpmd_program)
+        assert stats["instructions"] == mpmd_program.n_instructions
+        assert (
+            stats["computes"] + stats["sends"] + stats["receives"]
+            == stats["instructions"]
+        )
+
+    def test_compute_seconds_positive(self, mpmd_program):
+        stats = program_summary(mpmd_program)
+        assert stats["compute_seconds"] > 0
+        assert stats["message_seconds"] > 0
+
+    def test_bytes_sent_match_transfers(self, mpmd_program):
+        """Total bytes on the wire = sum over edges of L (each array is
+        sent exactly once in aggregate across the sender group)."""
+        stats = program_summary(mpmd_program)
+        mdg = complex_matmul_program(16).mdg
+        expected = sum(t.length_bytes for e in mdg.edges() for t in e.transfers)
+        assert stats["bytes_sent"] == pytest.approx(expected)

@@ -1,0 +1,128 @@
+"""Unit tests for the processing-cost combinators."""
+
+import math
+
+import pytest
+
+from repro.costs.extensions import (
+    CommunicationAwareCost,
+    ScaledProcessingCost,
+    SumProcessingCost,
+    optimal_processors,
+)
+from repro.costs.posynomial import Posynomial
+from repro.costs.processing import AmdahlProcessingCost, ZeroProcessingCost
+from repro.errors import CostModelError
+
+
+def base():
+    return AmdahlProcessingCost(alpha=0.1, tau=2.0)
+
+
+class TestScaled:
+    def test_cost_scaled(self):
+        model = ScaledProcessingCost(base(), 3.0)
+        assert model.cost(4) == pytest.approx(3.0 * base().cost(4))
+
+    def test_posynomial_matches(self):
+        model = ScaledProcessingCost(base(), 0.5)
+        poly = model.posynomial("p")
+        for p in (1.0, 2.0, 8.0):
+            assert poly.evaluate({"p": p}) == pytest.approx(model.cost(p))
+
+    def test_zero_base_stays_zero(self):
+        model = ScaledProcessingCost(ZeroProcessingCost(), 5.0)
+        assert model.cost(4) == 0.0
+        assert model.posynomial("p").is_zero()
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            ScaledProcessingCost("not a model", 1.0)
+        with pytest.raises(Exception):
+            ScaledProcessingCost(base(), 0.0)
+
+
+class TestSum:
+    def test_parts_add(self):
+        model = SumProcessingCost((base(), base(), ZeroProcessingCost()))
+        assert model.cost(4) == pytest.approx(2 * base().cost(4))
+
+    def test_posynomial_matches(self):
+        model = SumProcessingCost((base(), AmdahlProcessingCost(0.5, 1.0)))
+        poly = model.posynomial("p")
+        for p in (1.0, 3.0, 16.0):
+            assert poly.evaluate({"p": p}) == pytest.approx(model.cost(p))
+
+    def test_empty_rejected(self):
+        with pytest.raises(CostModelError):
+            SumProcessingCost(())
+
+    def test_bad_part_rejected(self):
+        with pytest.raises(CostModelError):
+            SumProcessingCost((base(), 42))
+
+
+class TestCommunicationAware:
+    def test_cost_formula(self):
+        model = CommunicationAwareCost(base(), comm_coefficient=0.01, gamma=1.0)
+        assert model.cost(4) == pytest.approx(base().cost(4) + 0.04)
+
+    def test_posynomial_matches(self):
+        model = CommunicationAwareCost(base(), comm_coefficient=0.02, gamma=0.5)
+        poly = model.posynomial("p")
+        for p in (1.0, 4.0, 64.0):
+            assert poly.evaluate({"p": p}) == pytest.approx(model.cost(p))
+
+    def test_cost_times_p_still_posynomial(self):
+        """The Lemma 1 condition survives the extra term."""
+        model = CommunicationAwareCost(base(), comm_coefficient=0.01)
+        product = model.posynomial("p") * Posynomial.variable("p")
+        assert product.evaluate({"p": 4.0}) == pytest.approx(model.cost(4.0) * 4.0)
+
+    def test_interior_optimum(self):
+        model = CommunicationAwareCost(base(), comm_coefficient=0.005, gamma=1.0)
+        p_star = model.optimal_processors_unbounded()
+        # (1-0.1)*2 / 0.005 = 360 -> sqrt = ~18.97
+        assert p_star == pytest.approx(math.sqrt(360.0))
+        # Cost really is higher on either side.
+        assert model.cost(p_star) < model.cost(p_star / 2)
+        assert model.cost(p_star) < model.cost(p_star * 2)
+
+    def test_unbounded_when_no_comm(self):
+        model = CommunicationAwareCost(base(), comm_coefficient=0.0)
+        assert model.optimal_processors_unbounded() == math.inf
+
+    def test_gamma_zero_rejected(self):
+        with pytest.raises(CostModelError):
+            CommunicationAwareCost(base(), comm_coefficient=0.1, gamma=0.0)
+
+    def test_allocator_respects_interior_optimum(self, machine4):
+        """The convex solver stops adding processors where the model says
+        they stop helping — no clamping heuristics needed."""
+        from repro.allocation import solve_allocation
+        from repro.graph.mdg import MDG
+
+        model = CommunicationAwareCost(
+            AmdahlProcessingCost(0.0, 1.0), comm_coefficient=0.1, gamma=1.0
+        )
+        mdg = MDG("one")
+        mdg.add_node("only", model)
+        result = solve_allocation(mdg, machine4)
+        p_star = model.optimal_processors_unbounded()  # sqrt(10) ~ 3.16
+        assert result.processors["only"] == pytest.approx(p_star, rel=0.05)
+
+
+class TestOptimalProcessors:
+    def test_monotone_model_takes_maximum(self):
+        assert optimal_processors(base(), 16) == 16
+
+    def test_interior_model(self):
+        model = CommunicationAwareCost(base(), comm_coefficient=0.02, gamma=1.0)
+        best = optimal_processors(model, 64)
+        assert 2 <= best <= 20
+        assert model.cost(best) <= model.cost(best + 1)
+        assert model.cost(best) <= model.cost(max(best - 1, 1))
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            optimal_processors(base(), 0)

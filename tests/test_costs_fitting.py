@@ -1,0 +1,159 @@
+"""Unit tests for the training-sets regression (Tables 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.costs.fitting import (
+    TransferTimingSample,
+    fit_amdahl,
+    fit_transfer_parameters,
+)
+from repro.costs.processing import AmdahlProcessingCost
+from repro.costs.transfer import (
+    ArrayTransfer,
+    TransferCostModel,
+    TransferCostParameters,
+    TransferKind,
+)
+from repro.errors import CostModelError
+
+
+class TestFitAmdahl:
+    def test_exact_recovery_noiseless(self):
+        truth = AmdahlProcessingCost(alpha=0.121, tau=0.29847)
+        procs = [1, 2, 4, 8, 16, 32, 64]
+        fit = fit_amdahl(procs, [truth.cost(p) for p in procs], name="matmul")
+        assert fit.alpha == pytest.approx(0.121, abs=1e-9)
+        assert fit.tau == pytest.approx(0.29847, rel=1e-9)
+        assert fit.rms_relative_error < 1e-10
+        assert fit.model.name == "matmul"
+
+    def test_recovery_under_noise(self):
+        truth = AmdahlProcessingCost(alpha=0.067, tau=0.00373)
+        rng = np.random.default_rng(42)
+        procs = np.array([1, 2, 4, 8, 16, 32, 64], dtype=float)
+        times = np.array([truth.cost(p) for p in procs])
+        noisy = times * (1 + rng.normal(0, 0.02, procs.size))
+        fit = fit_amdahl(procs, noisy)
+        assert fit.alpha == pytest.approx(0.067, abs=0.02)
+        assert fit.tau == pytest.approx(0.00373, rel=0.05)
+        assert fit.rms_relative_error < 0.05
+
+    def test_alpha_clamped_to_unit_interval(self):
+        # Perfectly parallel measurements: unconstrained alpha ~ 0 but noise
+        # could push it negative; clamping must hold.
+        procs = [1, 2, 4, 8]
+        times = [1.0 / p for p in procs]
+        fit = fit_amdahl(procs, times)
+        assert 0.0 <= fit.alpha <= 1.0
+
+    def test_predicted_recorded(self):
+        truth = AmdahlProcessingCost(alpha=0.2, tau=1.0)
+        procs = [1, 4, 16]
+        fit = fit_amdahl(procs, [truth.cost(p) for p in procs])
+        assert len(fit.predicted) == 3
+        assert fit.predicted[0] == pytest.approx(1.0)
+
+    def test_needs_two_distinct_counts(self):
+        with pytest.raises(CostModelError):
+            fit_amdahl([4, 4], [1.0, 1.0])
+        with pytest.raises(CostModelError):
+            fit_amdahl([4], [1.0])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(CostModelError):
+            fit_amdahl([1, 2], [1.0, -0.5])
+        with pytest.raises(CostModelError):
+            fit_amdahl([0, 2], [1.0, 0.5])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(CostModelError):
+            fit_amdahl([1, 2, 4], [1.0, 0.6])
+
+
+def _samples_from_model(
+    params: TransferCostParameters, kinds=(TransferKind.ROW2ROW, TransferKind.ROW2COL)
+) -> list[TransferTimingSample]:
+    model = TransferCostModel(params)
+    samples = []
+    for kind in kinds:
+        for length in (8192.0, 32768.0, 131072.0):
+            transfer = ArrayTransfer(length, kind)
+            for pi, pj in [(1, 1), (2, 4), (4, 2), (8, 8), (4, 16), (16, 4)]:
+                samples.append(
+                    TransferTimingSample(
+                        transfer=transfer,
+                        p_i=pi,
+                        p_j=pj,
+                        send_time=model.send_cost(transfer, pi, pj),
+                        receive_time=model.receive_cost(transfer, pi, pj),
+                        network_time=model.network_cost(transfer, pi, pj),
+                    )
+                )
+    return samples
+
+
+class TestFitTransferParameters:
+    TRUTH = TransferCostParameters(
+        t_ss=777.56e-6, t_ps=486.98e-9, t_sr=465.58e-6, t_pr=426.25e-9, t_n=0.0
+    )
+
+    def test_exact_recovery_noiseless(self):
+        fit = fit_transfer_parameters(_samples_from_model(self.TRUTH))
+        assert fit.parameters.t_ss == pytest.approx(self.TRUTH.t_ss, rel=1e-6)
+        assert fit.parameters.t_ps == pytest.approx(self.TRUTH.t_ps, rel=1e-6)
+        assert fit.parameters.t_sr == pytest.approx(self.TRUTH.t_sr, rel=1e-6)
+        assert fit.parameters.t_pr == pytest.approx(self.TRUTH.t_pr, rel=1e-6)
+        assert fit.parameters.t_n == pytest.approx(0.0, abs=1e-12)
+        assert fit.rms_relative_error < 1e-9
+
+    def test_recovery_with_network_delay(self):
+        truth = TransferCostParameters(1e-4, 1e-8, 8e-5, 9e-9, 3e-9)
+        fit = fit_transfer_parameters(_samples_from_model(truth))
+        assert fit.parameters.t_n == pytest.approx(3e-9, rel=1e-6)
+
+    def test_recovery_under_noise(self):
+        rng = np.random.default_rng(7)
+        samples = []
+        model = TransferCostModel(self.TRUTH)
+        for s in _samples_from_model(self.TRUTH):
+            noise = lambda: float(1 + rng.normal(0, 0.03))  # noqa: E731
+            samples.append(
+                TransferTimingSample(
+                    transfer=s.transfer,
+                    p_i=s.p_i,
+                    p_j=s.p_j,
+                    send_time=s.send_time * noise(),
+                    receive_time=s.receive_time * noise(),
+                    network_time=0.0,
+                )
+            )
+        fit = fit_transfer_parameters(samples)
+        assert fit.parameters.t_ss == pytest.approx(self.TRUTH.t_ss, rel=0.1)
+        assert fit.parameters.t_pr == pytest.approx(self.TRUTH.t_pr, rel=0.1)
+        # Predicted-vs-actual stays tight, like Figure 5.
+        assert fit.rms_relative_error < 0.1
+
+    def test_parameters_never_negative(self):
+        """NNLS guarantee: even weird data yields physical constants."""
+        t = ArrayTransfer(1024.0, TransferKind.ROW2ROW)
+        samples = [
+            TransferTimingSample(t, 1, 1, 1e-6, 5e-5, 0.0),
+            TransferTimingSample(t, 2, 2, 2e-6, 1e-6, 0.0),
+            TransferTimingSample(t, 4, 4, 9e-6, 3e-6, 0.0),
+        ]
+        fit = fit_transfer_parameters(samples)
+        for name in ("t_ss", "t_ps", "t_sr", "t_pr", "t_n"):
+            assert getattr(fit.parameters, name) >= 0.0
+
+    def test_needs_two_samples(self):
+        t = ArrayTransfer(1024.0, TransferKind.ROW2ROW)
+        with pytest.raises(CostModelError):
+            fit_transfer_parameters([TransferTimingSample(t, 1, 1, 1e-6, 1e-6)])
+
+    def test_sample_validation(self):
+        t = ArrayTransfer(1024.0, TransferKind.ROW2ROW)
+        with pytest.raises(CostModelError):
+            TransferTimingSample(t, 0, 1, 1e-6, 1e-6)
+        with pytest.raises(CostModelError):
+            TransferTimingSample(t, 1, 1, -1e-6, 1e-6)

@@ -1,0 +1,192 @@
+"""Unit tests for node/edge weight assembly and the A_p / C_p bounds."""
+
+import pytest
+
+from repro.costs.node_weights import MDGCostModel
+from repro.costs.processing import AmdahlProcessingCost
+from repro.costs.transfer import (
+    ArrayTransfer,
+    TransferCostModel,
+    TransferCostParameters,
+    TransferKind,
+)
+from repro.errors import CostModelError
+from repro.graph.mdg import MDG
+
+PARAMS = TransferCostParameters(t_ss=1e-3, t_ps=1e-8, t_sr=5e-4, t_pr=1e-8, t_n=1e-9)
+L = 32768.0
+
+
+def two_node_mdg() -> MDG:
+    mdg = MDG("pair")
+    mdg.add_node("a", AmdahlProcessingCost(0.1, 1.0))
+    mdg.add_node("b", AmdahlProcessingCost(0.2, 2.0))
+    mdg.add_edge("a", "b", [ArrayTransfer(L, TransferKind.ROW2ROW)])
+    return mdg
+
+
+def fork_mdg() -> MDG:
+    mdg = MDG("fork")
+    mdg.add_node("root", AmdahlProcessingCost(0.1, 1.0))
+    for name in ("l", "r"):
+        mdg.add_node(name, AmdahlProcessingCost(0.1, 1.0))
+        mdg.add_edge("root", name, [ArrayTransfer(L, TransferKind.ROW2ROW)])
+    return mdg
+
+
+class TestNodeWeight:
+    def test_weight_includes_all_three_parts(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        alloc = {"a": 2, "b": 4}
+        tm = cm.transfer_model
+        transfer = mdg.edge("a", "b").transfers[0]
+        expected_a = mdg.node("a").processing.cost(2) + tm.send_cost(transfer, 2, 4)
+        expected_b = mdg.node("b").processing.cost(4) + tm.receive_cost(transfer, 2, 4)
+        assert cm.node_weight("a", alloc) == pytest.approx(expected_a)
+        assert cm.node_weight("b", alloc) == pytest.approx(expected_b)
+
+    def test_fork_sender_pays_both_sends(self):
+        mdg = fork_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        alloc = {"root": 2, "l": 2, "r": 2}
+        tm = cm.transfer_model
+        transfer = mdg.edge("root", "l").transfers[0]
+        expected = mdg.node("root").processing.cost(2) + 2 * tm.send_cost(
+            transfer, 2, 2
+        )
+        assert cm.node_weight("root", alloc) == pytest.approx(expected)
+
+    def test_edge_weight_is_network_component(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        alloc = {"a": 2, "b": 4}
+        edge = mdg.edge("a", "b")
+        assert cm.edge_weight(edge, alloc) == pytest.approx(
+            cm.transfer_model.network_cost(edge.transfers[0], 2, 4)
+        )
+
+    def test_missing_allocation_rejected(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        with pytest.raises(CostModelError, match="missing"):
+            cm.processor_time_area({"a": 2})
+
+    def test_non_positive_allocation_rejected(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        with pytest.raises(CostModelError):
+            cm.processor_time_area({"a": 2, "b": 0})
+
+
+class TestAggregates:
+    def test_average_is_area_over_p(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        alloc = {"a": 2, "b": 4}
+        assert cm.average_finish_time(alloc, 8) == pytest.approx(
+            cm.processor_time_area(alloc) / 8
+        )
+
+    def test_critical_path_of_chain_is_sum(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        alloc = {"a": 2, "b": 4}
+        edge = mdg.edge("a", "b")
+        expected = (
+            cm.node_weight("a", alloc)
+            + cm.edge_weight(edge, alloc)
+            + cm.node_weight("b", alloc)
+        )
+        assert cm.critical_path_time(alloc) == pytest.approx(expected)
+
+    def test_fork_critical_path_takes_longer_branch(self):
+        mdg = MDG("uneven")
+        mdg.add_node("root", AmdahlProcessingCost(0.1, 1.0))
+        mdg.add_node("fast", AmdahlProcessingCost(0.1, 0.1))
+        mdg.add_node("slow", AmdahlProcessingCost(0.1, 10.0))
+        mdg.add_edge("root", "fast")
+        mdg.add_edge("root", "slow")
+        cm = MDGCostModel(mdg, TransferCostModel(TransferCostParameters.zero()))
+        alloc = {"root": 1, "fast": 1, "slow": 1}
+        path = cm.critical_path_nodes(alloc)
+        assert path == ["root", "slow"]
+
+    def test_finish_times_monotone_along_edges(self):
+        mdg = fork_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        alloc = {n: 2 for n in mdg.node_names()}
+        finish = cm.finish_times(alloc)
+        for edge in mdg.edges():
+            assert finish[edge.target] > finish[edge.source]
+
+    def test_makespan_lower_bound_is_max(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        alloc = {"a": 2, "b": 4}
+        assert cm.makespan_lower_bound(alloc, 8) == pytest.approx(
+            max(cm.average_finish_time(alloc, 8), cm.critical_path_time(alloc))
+        )
+
+
+class TestBoundWeights:
+    def test_bind_matches_live_evaluation(self):
+        mdg = fork_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        alloc = {n: 2 for n in mdg.node_names()}
+        bound = cm.bind(alloc)
+        for name in mdg.node_names():
+            assert bound.node_weight(name) == pytest.approx(cm.node_weight(name, alloc))
+        for edge in mdg.edges():
+            assert bound.edge_weight(edge.source, edge.target) == pytest.approx(
+                cm.edge_weight(edge, alloc)
+            )
+        assert bound.critical_path_time() == pytest.approx(cm.critical_path_time(alloc))
+        assert bound.processor_time_area() == pytest.approx(
+            cm.processor_time_area(alloc)
+        )
+
+
+class TestPosynomialWeights:
+    def test_node_weight_posynomial_matches_numeric(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        proc_var = {"a": "Pa", "b": "Pb"}
+        max_var = {("a", "b"): "Mab"}
+        alloc = {"a": 2.0, "b": 8.0}
+        values = {"Pa": 2.0, "Pb": 8.0, "Mab": 8.0}
+        for name in ("a", "b"):
+            poly = cm.node_weight_posynomial(name, proc_var, max_var)
+            assert poly.evaluate(values) == pytest.approx(
+                cm.node_weight(name, alloc)
+            )
+
+    def test_edge_posynomial_upper_bounds_numeric(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        proc_var = {"a": "Pa", "b": "Pb"}
+        edge = mdg.edge("a", "b")
+        poly = cm.edge_weight_posynomial(edge, proc_var)
+        alloc = {"a": 2.0, "b": 8.0}
+        assert poly.evaluate({"Pa": 2.0, "Pb": 8.0}) >= cm.edge_weight(edge, alloc)
+
+    def test_edges_needing_max_var(self):
+        mdg = two_node_mdg()
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        assert [(e.source, e.target) for e in cm.edges_needing_max_var()] == [
+            ("a", "b")
+        ]
+
+    def test_no_max_var_without_startups(self):
+        mdg = two_node_mdg()
+        params = TransferCostParameters(0.0, 1e-8, 0.0, 1e-8, 0.0)
+        cm = MDGCostModel(mdg, TransferCostModel(params))
+        assert cm.edges_needing_max_var() == []
+
+    def test_no_max_var_for_2d_only_edges(self):
+        mdg = MDG("m")
+        mdg.add_node("a", AmdahlProcessingCost(0.1, 1.0))
+        mdg.add_node("b", AmdahlProcessingCost(0.1, 1.0))
+        mdg.add_edge("a", "b", [ArrayTransfer(L, TransferKind.ROW2COL)])
+        cm = MDGCostModel(mdg, TransferCostModel(PARAMS))
+        assert cm.edges_needing_max_var() == []

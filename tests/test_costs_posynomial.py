@@ -1,0 +1,323 @@
+"""Unit and property tests for the posynomial algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.posynomial import CompiledPosynomial, Monomial, Posynomial
+from repro.errors import PosynomialError
+
+# ----- strategies -----------------------------------------------------------
+
+coefficients = st.floats(min_value=1e-3, max_value=1e3)
+exponents = st.floats(min_value=-3.0, max_value=3.0).map(lambda e: round(e, 3))
+var_names = st.sampled_from(["p1", "p2", "p3"])
+
+
+@st.composite
+def monomials(draw):
+    coef = draw(coefficients)
+    n_vars = draw(st.integers(min_value=0, max_value=3))
+    exps = {}
+    for _ in range(n_vars):
+        exps[draw(var_names)] = draw(exponents)
+    return Monomial(coef, exps)
+
+
+@st.composite
+def posynomials(draw):
+    terms = draw(st.lists(monomials(), min_size=0, max_size=4))
+    return Posynomial(terms)
+
+
+values_strategy = st.fixed_dictionaries(
+    {v: st.floats(min_value=0.1, max_value=10.0) for v in ["p1", "p2", "p3"]}
+)
+
+
+# ----- Monomial -------------------------------------------------------------
+
+
+class TestMonomial:
+    def test_evaluate(self):
+        m = Monomial(2.0, {"p": 2.0})
+        assert m.evaluate({"p": 3.0}) == pytest.approx(18.0)
+
+    def test_negative_exponent(self):
+        m = Monomial(4.0, {"p": -1.0})
+        assert m.evaluate({"p": 2.0}) == pytest.approx(2.0)
+
+    def test_zero_exponents_dropped(self):
+        m = Monomial(1.0, {"p": 0.0})
+        assert m.variables() == frozenset()
+
+    def test_rejects_non_positive_coefficient(self):
+        with pytest.raises(PosynomialError):
+            Monomial(0.0)
+        with pytest.raises(PosynomialError):
+            Monomial(-1.0)
+
+    def test_rejects_nan_coefficient(self):
+        with pytest.raises(PosynomialError):
+            Monomial(math.nan)
+
+    def test_rejects_infinite_exponent(self):
+        with pytest.raises(PosynomialError):
+            Monomial(1.0, {"p": math.inf})
+
+    def test_rejects_non_string_variable(self):
+        with pytest.raises(PosynomialError):
+            Monomial(1.0, {1: 2.0})
+
+    def test_multiplication_adds_exponents(self):
+        a = Monomial(2.0, {"p": 1.0})
+        b = Monomial(3.0, {"p": 2.0, "q": 1.0})
+        c = a * b
+        assert c.coefficient == pytest.approx(6.0)
+        assert c.exponents == {"p": 3.0, "q": 1.0}
+
+    def test_scalar_multiplication(self):
+        assert (Monomial(2.0) * 3).coefficient == pytest.approx(6.0)
+        assert (3 * Monomial(2.0)).coefficient == pytest.approx(6.0)
+
+    def test_division(self):
+        a = Monomial(6.0, {"p": 2.0})
+        b = Monomial(2.0, {"p": 1.0})
+        c = a / b
+        assert c.coefficient == pytest.approx(3.0)
+        assert c.exponents == {"p": 1.0}
+
+    def test_power(self):
+        m = Monomial(4.0, {"p": 2.0}) ** 0.5
+        assert m.coefficient == pytest.approx(2.0)
+        assert m.exponents == {"p": 1.0}
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(PosynomialError, match="no value"):
+            Monomial(1.0, {"p": 1.0}).evaluate({})
+
+    def test_evaluate_non_positive_value(self):
+        with pytest.raises(PosynomialError, match="positive"):
+            Monomial(1.0, {"p": 1.0}).evaluate({"p": 0.0})
+
+    def test_degree(self):
+        m = Monomial(1.0, {"p": 2.5})
+        assert m.degree("p") == 2.5
+        assert m.degree("q") == 0.0
+
+    @given(monomials(), monomials(), values_strategy)
+    def test_multiplication_homomorphism(self, a, b, values):
+        assert (a * b).evaluate(values) == pytest.approx(
+            a.evaluate(values) * b.evaluate(values), rel=1e-9
+        )
+
+
+# ----- Posynomial -----------------------------------------------------------
+
+
+class TestPosynomial:
+    def test_constant(self):
+        p = Posynomial.constant(3.0)
+        assert p.is_constant()
+        assert p.constant_value() == pytest.approx(3.0)
+
+    def test_zero(self):
+        z = Posynomial.zero()
+        assert z.is_zero()
+        assert z.evaluate({}) == 0.0
+
+    def test_variable(self):
+        p = Posynomial.variable("p")
+        assert p.evaluate({"p": 4.0}) == pytest.approx(4.0)
+
+    def test_like_terms_combine(self):
+        p = Posynomial([Monomial(1.0, {"p": 1.0}), Monomial(2.0, {"p": 1.0})])
+        assert len(p) == 1
+        assert p.terms[0].coefficient == pytest.approx(3.0)
+
+    def test_addition(self):
+        p = Posynomial.variable("p") + 2.0
+        assert p.evaluate({"p": 1.0}) == pytest.approx(3.0)
+
+    def test_adding_zero_scalar_is_identity(self):
+        p = Posynomial.variable("p")
+        assert (p + 0.0) == p
+
+    def test_subtraction_rejected(self):
+        with pytest.raises(PosynomialError, match="cone"):
+            Posynomial.variable("p") - 1.0
+
+    def test_multiplication_distributes(self):
+        p = (Posynomial.variable("p") + 1.0) * (Posynomial.variable("q") + 1.0)
+        # p*q + p + q + 1
+        assert len(p) == 4
+        assert p.evaluate({"p": 2.0, "q": 3.0}) == pytest.approx(12.0)
+
+    def test_scalar_multiplication_rejects_non_positive(self):
+        with pytest.raises(PosynomialError):
+            Posynomial.variable("p") * 0.0
+        with pytest.raises(PosynomialError):
+            Posynomial.variable("p") * -2.0
+
+    def test_division_by_monomial(self):
+        p = (Posynomial.variable("p") + 1.0) / Monomial(2.0, {"p": 1.0})
+        assert p.evaluate({"p": 2.0}) == pytest.approx((2.0 + 1.0) / 4.0)
+
+    def test_division_by_posynomial_rejected(self):
+        with pytest.raises(PosynomialError, match="monomial"):
+            Posynomial.variable("p") / (Posynomial.variable("q") + 1.0)
+
+    def test_rtruediv_scalar_over_variable(self):
+        p = 2.0 / Posynomial.variable("p")
+        assert p.evaluate({"p": 4.0}) == pytest.approx(0.5)
+
+    def test_rtruediv_non_monomial_rejected(self):
+        with pytest.raises(PosynomialError):
+            2.0 / (Posynomial.variable("p") + 1.0)
+
+    def test_integer_power(self):
+        p = (Posynomial.variable("p") + 1.0) ** 2
+        assert p.evaluate({"p": 3.0}) == pytest.approx(16.0)
+
+    def test_monomial_fractional_power(self):
+        p = Posynomial.variable("p") ** 0.5
+        assert p.evaluate({"p": 9.0}) == pytest.approx(3.0)
+
+    def test_non_monomial_fractional_power_rejected(self):
+        with pytest.raises(PosynomialError):
+            (Posynomial.variable("p") + 1.0) ** 0.5
+
+    def test_negative_power_of_non_monomial_rejected(self):
+        with pytest.raises(PosynomialError):
+            (Posynomial.variable("p") + 1.0) ** -1
+
+    def test_substitute_monomial(self):
+        p = Posynomial.variable("p") + 2.0 / Posynomial.variable("p")
+        q = p.substitute({"p": Posynomial.monomial(2.0, {"q": 1.0})})
+        # 2q + 1/q
+        assert q.evaluate({"q": 1.0}) == pytest.approx(3.0)
+
+    def test_substitute_scalar(self):
+        p = Posynomial.variable("p") + 1.0
+        q = p.substitute({"p": 3.0})
+        assert q.constant_value() == pytest.approx(4.0)
+
+    def test_substitute_posynomial_into_negative_power_rejected(self):
+        p = 1.0 / Posynomial.variable("p")
+        with pytest.raises(PosynomialError):
+            p.substitute({"p": Posynomial.variable("q") + 1.0})
+
+    def test_variables(self):
+        p = Posynomial.variable("a") * Posynomial.variable("b") + 1.0
+        assert p.variables() == frozenset({"a", "b"})
+
+    def test_equality(self):
+        a = Posynomial.variable("p") + 1.0
+        b = Posynomial.constant(1.0) + Posynomial.variable("p")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_deterministic(self):
+        p = Posynomial.variable("b") + Posynomial.variable("a")
+        assert repr(p) == repr(Posynomial.variable("a") + Posynomial.variable("b"))
+
+    @given(posynomials(), posynomials(), values_strategy)
+    @settings(max_examples=50)
+    def test_addition_homomorphism(self, a, b, values):
+        assert (a + b).evaluate(values) == pytest.approx(
+            a.evaluate(values) + b.evaluate(values), rel=1e-9, abs=1e-12
+        )
+
+    @given(posynomials(), posynomials(), values_strategy)
+    @settings(max_examples=50)
+    def test_multiplication_homomorphism(self, a, b, values):
+        assert (a * b).evaluate(values) == pytest.approx(
+            a.evaluate(values) * b.evaluate(values), rel=1e-8, abs=1e-12
+        )
+
+    @given(posynomials(), values_strategy)
+    @settings(max_examples=50)
+    def test_log_evaluation_matches(self, p, values):
+        log_values = {k: math.log(v) for k, v in values.items()}
+        assert p.evaluate_log(log_values) == pytest.approx(
+            p.evaluate(values), rel=1e-9, abs=1e-12
+        )
+
+
+# ----- CompiledPosynomial -----------------------------------------------------
+
+
+class TestCompiledPosynomial:
+    def test_value_matches_symbolic(self):
+        p = 2.0 / Posynomial.variable("p1") + 0.5 * Posynomial.variable("p2")
+        c = p.compile(["p1", "p2"])
+        x = np.log([2.0, 4.0])
+        assert c.value(x) == pytest.approx(p.evaluate({"p1": 2.0, "p2": 4.0}))
+
+    def test_compile_missing_variable_rejected(self):
+        p = Posynomial.variable("p1")
+        with pytest.raises(PosynomialError, match="missing"):
+            p.compile(["p2"])
+
+    def test_zero_posynomial(self):
+        c = Posynomial.zero().compile(["p1"])
+        assert c.value(np.array([0.0])) == 0.0
+        value, grad = c.value_and_gradient(np.array([0.0]))
+        assert value == 0.0
+        assert grad.shape == (1,)
+        assert np.all(grad == 0.0)
+
+    @given(posynomials(), values_strategy)
+    @settings(max_examples=40)
+    def test_gradient_matches_finite_differences(self, p, values):
+        order = ["p1", "p2", "p3"]
+        c = p.compile(order)
+        x = np.array([math.log(values[v]) for v in order])
+        _, grad = c.value_and_gradient(x)
+        eps = 1e-6
+        for k in range(len(order)):
+            xp = x.copy()
+            xp[k] += eps
+            xm = x.copy()
+            xm[k] -= eps
+            numeric = (c.value(xp) - c.value(xm)) / (2 * eps)
+            assert grad[k] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    @given(posynomials(), values_strategy)
+    @settings(max_examples=25)
+    def test_hessian_matches_finite_differences(self, p, values):
+        order = ["p1", "p2", "p3"]
+        c = p.compile(order)
+        x = np.array([math.log(values[v]) for v in order])
+        hess = c.hessian(x)
+        assert hess.shape == (3, 3)
+        assert np.allclose(hess, hess.T)
+        eps = 1e-5
+        for k in range(3):
+            xp = x.copy()
+            xp[k] += eps
+            xm = x.copy()
+            xm[k] -= eps
+            numeric = (c.gradient(xp) - c.gradient(xm)) / (2 * eps)
+            assert np.allclose(hess[:, k], numeric, rtol=1e-3, atol=1e-5)
+
+    @given(posynomials(), values_strategy)
+    @settings(max_examples=25)
+    def test_hessian_positive_semidefinite(self, p, values):
+        """The GP transform makes every posynomial convex in log space."""
+        order = ["p1", "p2", "p3"]
+        c = p.compile(order)
+        x = np.array([math.log(values[v]) for v in order])
+        eigenvalues = np.linalg.eigvalsh(c.hessian(x))
+        assert np.all(eigenvalues >= -1e-8 * max(1.0, abs(eigenvalues).max()))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(PosynomialError):
+            CompiledPosynomial(np.array([1.0]), np.zeros((2, 1)), ("p",))
+
+    def test_rejects_non_positive_coefficients(self):
+        with pytest.raises(PosynomialError):
+            CompiledPosynomial(np.array([0.0]), np.zeros((1, 1)), ("p",))

@@ -1,0 +1,155 @@
+"""Unit tests for the processing-cost models (Eq. 1, Lemma 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costs.posynomial import Posynomial
+from repro.costs.processing import (
+    AmdahlProcessingCost,
+    GeneralPosynomialProcessingCost,
+    ZeroProcessingCost,
+)
+from repro.errors import CostModelError, ValidationError
+
+
+class TestAmdahlProcessingCost:
+    def test_serial_time_is_tau(self):
+        model = AmdahlProcessingCost(alpha=0.1, tau=2.0)
+        assert model.cost(1.0) == pytest.approx(2.0)
+        assert model.serial_time() == pytest.approx(2.0)
+
+    def test_paper_table1_matmul_values(self):
+        """Table 1: alpha = 12.1%, tau = 298.47 ms for 64x64 multiply."""
+        model = AmdahlProcessingCost(alpha=0.121, tau=0.29847)
+        assert model.cost(1) == pytest.approx(0.29847)
+        # On 64 processors: (0.121 + 0.879/64) * tau
+        assert model.cost(64) == pytest.approx((0.121 + 0.879 / 64) * 0.29847)
+
+    def test_monotone_decreasing_in_p(self):
+        model = AmdahlProcessingCost(alpha=0.067, tau=0.00373)
+        costs = [model.cost(p) for p in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_saturation_speedup(self):
+        assert AmdahlProcessingCost(0.25, 1.0).saturation_speedup() == pytest.approx(4.0)
+        assert AmdahlProcessingCost(0.0, 1.0).saturation_speedup() == math.inf
+
+    def test_speedup_below_saturation(self):
+        model = AmdahlProcessingCost(alpha=0.1, tau=1.0)
+        assert model.speedup(8) < model.saturation_speedup()
+
+    def test_efficiency_decreasing(self):
+        model = AmdahlProcessingCost(alpha=0.121, tau=0.3)
+        effs = [model.efficiency(p) for p in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(effs, effs[1:]))
+        assert effs[0] == pytest.approx(1.0)
+
+    def test_posynomial_matches_cost(self):
+        model = AmdahlProcessingCost(alpha=0.3, tau=5.0)
+        poly = model.posynomial("p7")
+        for p in (1.0, 2.5, 16.0):
+            assert poly.evaluate({"p7": p}) == pytest.approx(model.cost(p))
+
+    def test_posynomial_alpha_zero_has_one_term(self):
+        poly = AmdahlProcessingCost(alpha=0.0, tau=1.0).posynomial("p")
+        assert len(poly) == 1
+
+    def test_posynomial_alpha_one_is_constant(self):
+        poly = AmdahlProcessingCost(alpha=1.0, tau=2.0).posynomial("p")
+        assert poly.is_constant()
+        assert poly.constant_value() == pytest.approx(2.0)
+
+    def test_lemma1_cost_times_p_is_posynomial(self):
+        """t^C * p must stay in the cone (the A_p construction needs it)."""
+        model = AmdahlProcessingCost(alpha=0.2, tau=1.0)
+        product = model.posynomial("p") * Posynomial.variable("p")
+        for p in (1.0, 3.0, 64.0):
+            assert product.evaluate({"p": p}) == pytest.approx(model.cost(p) * p)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            AmdahlProcessingCost(alpha=1.5, tau=1.0)
+        with pytest.raises(ValidationError):
+            AmdahlProcessingCost(alpha=-0.1, tau=1.0)
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValidationError):
+            AmdahlProcessingCost(alpha=0.5, tau=0.0)
+
+    def test_rejects_non_positive_processors(self):
+        model = AmdahlProcessingCost(alpha=0.5, tau=1.0)
+        with pytest.raises(CostModelError):
+            model.cost(0.0)
+        with pytest.raises(CostModelError):
+            model.cost(-1.0)
+
+    def test_frozen(self):
+        model = AmdahlProcessingCost(alpha=0.5, tau=1.0)
+        with pytest.raises(AttributeError):
+            model.alpha = 0.9
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1e-6, max_value=1e3),
+        st.floats(min_value=1.0, max_value=1024.0),
+    )
+    def test_cost_bounds(self, alpha, tau, p):
+        """alpha*tau <= t(p) <= tau for p >= 1."""
+        model = AmdahlProcessingCost(alpha=alpha, tau=tau)
+        cost = model.cost(p)
+        assert cost <= tau * (1 + 1e-12)
+        assert cost >= alpha * tau * (1 - 1e-12)
+
+
+class TestGeneralPosynomialProcessingCost:
+    def test_matches_expression(self):
+        expr = Posynomial.constant(1.0) + 2.0 / Posynomial.variable("p")
+        model = GeneralPosynomialProcessingCost(expression=expr)
+        assert model.cost(2.0) == pytest.approx(2.0)
+
+    def test_rename_variable(self):
+        expr = 3.0 / Posynomial.variable("p")
+        model = GeneralPosynomialProcessingCost(expression=expr)
+        poly = model.posynomial("px")
+        assert poly.evaluate({"px": 3.0}) == pytest.approx(1.0)
+
+    def test_posynomial_same_name_shortcut(self):
+        expr = Posynomial.variable("p")
+        model = GeneralPosynomialProcessingCost(expression=expr)
+        assert model.posynomial("p") == expr
+
+    def test_rejects_wrong_variable(self):
+        with pytest.raises(CostModelError, match="'p'"):
+            GeneralPosynomialProcessingCost(expression=Posynomial.variable("q"))
+
+    def test_rejects_zero_expression(self):
+        with pytest.raises(CostModelError, match="non-zero"):
+            GeneralPosynomialProcessingCost(expression=Posynomial.zero())
+
+    def test_super_amdahl_model(self):
+        """A model with a growing communication term (alpha not constant)."""
+        p = Posynomial.variable("p")
+        expr = Posynomial.constant(0.1) + 1.0 / p + 0.001 * p
+        model = GeneralPosynomialProcessingCost(expression=expr)
+        # Has an interior optimum processor count.
+        costs = {q: model.cost(q) for q in (1, 8, 32, 1024)}
+        assert costs[32] < costs[1]
+        assert costs[1024] > costs[32]
+
+
+class TestZeroProcessingCost:
+    def test_zero_everywhere(self):
+        model = ZeroProcessingCost()
+        assert model.cost(1) == 0.0
+        assert model.cost(64) == 0.0
+        assert model.serial_time() == 0.0
+
+    def test_posynomial_is_zero(self):
+        assert ZeroProcessingCost().posynomial("p").is_zero()
+
+    def test_equality_and_hash(self):
+        assert ZeroProcessingCost() == ZeroProcessingCost()
+        assert hash(ZeroProcessingCost()) == hash(ZeroProcessingCost())

@@ -1,0 +1,234 @@
+"""Unit tests for the 1D/2D data-transfer cost models (Eqs. 2-3, Lemma 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costs.transfer import (
+    ArrayTransfer,
+    TransferCostModel,
+    TransferCostParameters,
+    TransferKind,
+)
+from repro.errors import CostModelError, ValidationError
+
+PARAMS = TransferCostParameters(
+    t_ss=777.56e-6, t_ps=486.98e-9, t_sr=465.58e-6, t_pr=426.25e-9, t_n=0.0
+)
+PARAMS_WITH_NET = TransferCostParameters(
+    t_ss=1e-4, t_ps=1e-8, t_sr=1e-4, t_pr=1e-8, t_n=2e-9
+)
+
+L = 8.0 * 64 * 64  # one 64x64 double array
+
+procs = st.sampled_from([1.0, 2.0, 3.0, 4.0, 8.0, 16.0, 64.0])
+
+
+class TestTransferKind:
+    def test_1d_kinds(self):
+        assert TransferKind.ROW2ROW.is_1d
+        assert TransferKind.COL2COL.is_1d
+        assert not TransferKind.ROW2ROW.is_2d
+
+    def test_2d_kinds(self):
+        assert TransferKind.ROW2COL.is_2d
+        assert TransferKind.COL2ROW.is_2d
+        assert not TransferKind.ROW2COL.is_1d
+
+
+class TestTransferCostParameters:
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            TransferCostParameters(-1.0, 0, 0, 0, 0)
+
+    def test_zero_factory(self):
+        z = TransferCostParameters.zero()
+        assert z.t_ss == z.t_ps == z.t_sr == z.t_pr == z.t_n == 0.0
+
+    def test_scaled(self):
+        s = PARAMS.scaled(2.0)
+        assert s.t_ss == pytest.approx(2 * PARAMS.t_ss)
+        assert s.t_pr == pytest.approx(2 * PARAMS.t_pr)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            PARAMS.scaled(0.0)
+
+
+class TestArrayTransfer:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValidationError):
+            ArrayTransfer(0.0, TransferKind.ROW2ROW)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(CostModelError):
+            ArrayTransfer(1.0, "row2row")
+
+
+class TestEquation2_1D:
+    """The 1D (same-dimension) formulas of Eq. 2."""
+
+    model = TransferCostModel(PARAMS)
+    transfer = ArrayTransfer(L, TransferKind.ROW2ROW)
+
+    def test_send_equal_groups(self):
+        # max(p,p)/p = 1 message start-up, L/p bytes.
+        cost = self.model.send_cost(self.transfer, 4, 4)
+        assert cost == pytest.approx(PARAMS.t_ss + L / 4 * PARAMS.t_ps)
+
+    def test_send_smaller_to_larger(self):
+        # max(2,8)/2 = 4 start-ups per sender.
+        cost = self.model.send_cost(self.transfer, 2, 8)
+        assert cost == pytest.approx(4 * PARAMS.t_ss + L / 2 * PARAMS.t_ps)
+
+    def test_receive_larger_to_smaller(self):
+        # max(8,2)/2 = 4 start-ups per receiver.
+        cost = self.model.receive_cost(self.transfer, 8, 2)
+        assert cost == pytest.approx(4 * PARAMS.t_sr + L / 2 * PARAMS.t_pr)
+
+    def test_network_zero_on_cm5(self):
+        assert self.model.network_cost(self.transfer, 4, 8) == 0.0
+
+    def test_network_with_tn(self):
+        model = TransferCostModel(PARAMS_WITH_NET)
+        cost = model.network_cost(self.transfer, 4, 8)
+        assert cost == pytest.approx(L / 8 * PARAMS_WITH_NET.t_n)
+
+    def test_col2col_equals_row2row(self):
+        other = ArrayTransfer(L, TransferKind.COL2COL)
+        assert self.model.send_cost(other, 2, 8) == pytest.approx(
+            self.model.send_cost(self.transfer, 2, 8)
+        )
+
+    def test_components_sum_to_cost(self):
+        s, b = self.model.send_cost_components(self.transfer, 2, 8)
+        assert s + b == pytest.approx(self.model.send_cost(self.transfer, 2, 8))
+        s, b = self.model.receive_cost_components(self.transfer, 2, 8)
+        assert s + b == pytest.approx(self.model.receive_cost(self.transfer, 2, 8))
+
+
+class TestEquation3_2D:
+    """The 2D (dimension-changing) formulas of Eq. 3."""
+
+    model = TransferCostModel(PARAMS)
+    transfer = ArrayTransfer(L, TransferKind.ROW2COL)
+
+    def test_send(self):
+        # Every sender messages every receiver: p_j start-ups.
+        cost = self.model.send_cost(self.transfer, 4, 8)
+        assert cost == pytest.approx(8 * PARAMS.t_ss + L / 4 * PARAMS.t_ps)
+
+    def test_receive(self):
+        cost = self.model.receive_cost(self.transfer, 4, 8)
+        assert cost == pytest.approx(4 * PARAMS.t_sr + L / 8 * PARAMS.t_pr)
+
+    def test_network(self):
+        model = TransferCostModel(PARAMS_WITH_NET)
+        cost = model.network_cost(self.transfer, 4, 8)
+        assert cost == pytest.approx(L / 32 * PARAMS_WITH_NET.t_n)
+
+    def test_2d_send_costlier_than_1d_at_scale(self):
+        """More, smaller messages: 2D start-up cost dominates at large p."""
+        t1 = ArrayTransfer(L, TransferKind.ROW2ROW)
+        t2 = ArrayTransfer(L, TransferKind.ROW2COL)
+        assert self.model.send_cost(t2, 16, 16) > self.model.send_cost(t1, 16, 16)
+
+    def test_total_cost_sums_components(self):
+        total = self.model.total_cost(self.transfer, 4, 8)
+        assert total == pytest.approx(
+            self.model.send_cost(self.transfer, 4, 8)
+            + self.model.network_cost(self.transfer, 4, 8)
+            + self.model.receive_cost(self.transfer, 4, 8)
+        )
+
+
+class TestEdgeAggregates:
+    model = TransferCostModel(PARAMS)
+
+    def test_multiple_arrays_sum(self):
+        transfers = [
+            ArrayTransfer(L, TransferKind.ROW2ROW),
+            ArrayTransfer(2 * L, TransferKind.ROW2COL),
+        ]
+        total = self.model.edge_send_cost(transfers, 4, 4)
+        assert total == pytest.approx(
+            sum(self.model.send_cost(t, 4, 4) for t in transfers)
+        )
+
+    def test_empty_edge_is_free(self):
+        assert self.model.edge_send_cost([], 4, 4) == 0.0
+        assert self.model.edge_receive_cost([], 4, 4) == 0.0
+        assert self.model.edge_network_cost([], 4, 4) == 0.0
+
+
+class TestPosynomialForms:
+    """Lemma 2: the symbolic forms must match the numeric evaluations."""
+
+    model = TransferCostModel(PARAMS_WITH_NET)
+
+    @given(procs, procs)
+    def test_1d_send_with_max_var(self, pi, pj):
+        transfer = ArrayTransfer(L, TransferKind.ROW2ROW)
+        poly = self.model.send_posynomial(transfer, "pi", "pj", "mx")
+        value = poly.evaluate({"pi": pi, "pj": pj, "mx": max(pi, pj)})
+        assert value == pytest.approx(self.model.send_cost(transfer, pi, pj))
+
+    @given(procs, procs)
+    def test_1d_receive_with_max_var(self, pi, pj):
+        transfer = ArrayTransfer(L, TransferKind.COL2COL)
+        poly = self.model.receive_posynomial(transfer, "pi", "pj", "mx")
+        value = poly.evaluate({"pi": pi, "pj": pj, "mx": max(pi, pj)})
+        assert value == pytest.approx(self.model.receive_cost(transfer, pi, pj))
+
+    @given(procs, procs)
+    def test_2d_send_needs_no_max(self, pi, pj):
+        transfer = ArrayTransfer(L, TransferKind.ROW2COL)
+        poly = self.model.send_posynomial(transfer, "pi", "pj", "")
+        assert "" not in {v for v in poly.variables()}
+        value = poly.evaluate({"pi": pi, "pj": pj})
+        assert value == pytest.approx(self.model.send_cost(transfer, pi, pj))
+
+    @given(procs, procs)
+    def test_2d_network_exact(self, pi, pj):
+        transfer = ArrayTransfer(L, TransferKind.COL2ROW)
+        poly = self.model.network_posynomial(transfer, "pi", "pj")
+        value = poly.evaluate({"pi": pi, "pj": pj})
+        assert value == pytest.approx(self.model.network_cost(transfer, pi, pj))
+
+    @given(procs, procs)
+    def test_1d_network_relaxation_is_upper_bound(self, pi, pj):
+        """(pi*pj)^(-1/2) >= 1/max(pi,pj): the relaxation never
+        underestimates the network delay."""
+        transfer = ArrayTransfer(L, TransferKind.ROW2ROW)
+        poly = self.model.network_posynomial(transfer, "pi", "pj")
+        relaxed = poly.evaluate({"pi": pi, "pj": pj})
+        exact = self.model.network_cost(transfer, pi, pj)
+        assert relaxed >= exact * (1 - 1e-12)
+
+    def test_1d_network_relaxation_exact_when_equal(self):
+        transfer = ArrayTransfer(L, TransferKind.ROW2ROW)
+        poly = self.model.network_posynomial(transfer, "pi", "pj")
+        assert poly.evaluate({"pi": 8.0, "pj": 8.0}) == pytest.approx(
+            self.model.network_cost(transfer, 8, 8)
+        )
+
+    def test_zero_params_give_zero_posynomials(self):
+        model = TransferCostModel(TransferCostParameters.zero())
+        transfer = ArrayTransfer(L, TransferKind.ROW2ROW)
+        assert model.send_posynomial(transfer, "a", "b", "m").is_zero()
+        assert model.receive_posynomial(transfer, "a", "b", "m").is_zero()
+        assert model.network_posynomial(transfer, "a", "b").is_zero()
+
+
+class TestValidation:
+    def test_rejects_non_positive_processors(self):
+        model = TransferCostModel(PARAMS)
+        transfer = ArrayTransfer(L, TransferKind.ROW2ROW)
+        with pytest.raises(CostModelError):
+            model.send_cost(transfer, 0, 4)
+        with pytest.raises(CostModelError):
+            model.receive_cost(transfer, 4, -1)
+
+    def test_rejects_bad_parameters_object(self):
+        with pytest.raises(CostModelError):
+            TransferCostModel({"t_ss": 1.0})

@@ -1,0 +1,90 @@
+"""Tests of the exception hierarchy and the top-level API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_specializations(self):
+        assert issubclass(errors.CycleError, errors.GraphError)
+        assert issubclass(errors.PosynomialError, errors.CostModelError)
+        assert issubclass(errors.SolverError, errors.AllocationError)
+        assert issubclass(errors.InfeasibleError, errors.SolverError)
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_catch_all(self):
+        """One except clause suffices for any library failure."""
+        from repro.costs.posynomial import Monomial
+
+        with pytest.raises(errors.ReproError):
+            Monomial(-1.0)
+
+    def test_library_never_raises_bare_exceptions(self):
+        """Spot-check: validation errors are typed, not ValueError."""
+        from repro.graph.mdg import MDG
+
+        with pytest.raises(errors.GraphError):
+            MDG("g").node("missing")
+
+
+class TestTopLevelAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_quickstart_surface(self, cm5_16):
+        """The README quickstart's names all work from the root."""
+        from repro.programs import complex_matmul_program
+
+        bundle = complex_matmul_program(16)
+        result = repro.compile_mdg(bundle.mdg, cm5_16)
+        baseline = repro.compile_spmd(bundle.mdg, cm5_16)
+        assert repro.measure(result).makespan > 0
+        assert baseline.style == "SPMD"
+
+    def test_subpackage_alls_resolve(self):
+        import repro.allocation
+        import repro.analysis
+        import repro.codegen
+        import repro.costs
+        import repro.frontend
+        import repro.graph
+        import repro.io
+        import repro.machine
+        import repro.programs
+        import repro.runtime
+        import repro.scheduling
+        import repro.sim
+        import repro.utils
+        import repro.viz
+
+        for module in (
+            repro.allocation,
+            repro.analysis,
+            repro.codegen,
+            repro.costs,
+            repro.frontend,
+            repro.graph,
+            repro.io,
+            repro.machine,
+            repro.programs,
+            repro.runtime,
+            repro.scheduling,
+            repro.sim,
+            repro.utils,
+            repro.viz,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

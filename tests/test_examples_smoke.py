@@ -1,0 +1,51 @@
+"""Smoke tests: every example is importable and the fast ones run.
+
+The heavyweight demos (full paper sizes) are exercised by the benchmark
+suite; here we assert the example scripts stay syntactically valid, have
+a ``main``, and that the quick ones execute end to end.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleHygiene:
+    def test_expected_examples_present(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+        assert len(ALL_EXAMPLES) >= 8
+
+    @pytest.mark.parametrize("filename", ALL_EXAMPLES)
+    def test_importable_with_main(self, filename):
+        path = EXAMPLES_DIR / filename
+        spec = importlib.util.spec_from_file_location(
+            f"example_{filename[:-3]}", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # import side effects only
+        assert hasattr(module, "main"), f"{filename} must define main()"
+
+    @pytest.mark.parametrize("filename", ALL_EXAMPLES)
+    def test_has_docstring_and_run_line(self, filename):
+        text = (EXAMPLES_DIR / filename).read_text()
+        assert text.lstrip().startswith(('"""', "#!")), filename
+        assert "Run:" in text, f"{filename} should say how to run it"
+
+
+class TestQuickstartExecutes:
+    def test_quickstart_runs_and_reports_win(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "faster" in result.stdout
+        assert "convex optimum Phi" in result.stdout

@@ -1,0 +1,160 @@
+"""Unit tests for the loop-nest frontend (IR, dependences, lowering)."""
+
+import pytest
+
+from repro.costs.transfer import TransferKind
+from repro.errors import FrontendError
+from repro.frontend.dependence import Dependence, flow_dependences
+from repro.frontend.ir import ArrayDecl, LoopNest, LoopProgram
+from repro.frontend.lowering import KIND_REGISTRY, lower_to_mdg
+
+
+def complex_mm_source() -> LoopProgram:
+    """The ComplexMM program written as source, not as a graph."""
+    prog = LoopProgram("ccm")
+    for name in ("Ar", "Ai", "Br", "Bi", "T1", "T2", "T3", "T4", "Cr", "Ci"):
+        prog.declare(name, 64, 64)
+    prog.loop("iAr", "matinit", writes="Ar")
+    prog.loop("iAi", "matinit", writes="Ai")
+    prog.loop("iBr", "matinit", writes="Br")
+    prog.loop("iBi", "matinit", writes="Bi")
+    prog.loop("m1", "matmul", writes="T1", reads=("Ar", "Br"))
+    prog.loop("m2", "matmul", writes="T2", reads=("Ai", "Bi"))
+    prog.loop("m3", "matmul", writes="T3", reads=("Ar", "Bi"))
+    prog.loop("m4", "matmul", writes="T4", reads=("Ai", "Br"))
+    prog.loop("sub", "matsub", writes="Cr", reads=("T1", "T2"))
+    prog.loop("add", "matadd", writes="Ci", reads=("T3", "T4"))
+    return prog
+
+
+class TestIR:
+    def test_declare_twice_rejected(self):
+        prog = LoopProgram("p").declare("A", 4, 4)
+        with pytest.raises(FrontendError, match="twice"):
+            prog.declare("A", 4, 4)
+
+    def test_loop_twice_rejected(self):
+        prog = LoopProgram("p").declare("A", 4, 4)
+        prog.loop("l", "matinit", writes="A")
+        with pytest.raises(FrontendError, match="twice"):
+            prog.loop("l", "matinit", writes="A")
+
+    def test_undeclared_array_rejected(self):
+        prog = LoopProgram("p")
+        with pytest.raises(FrontendError, match="undeclared"):
+            prog.loop("l", "matinit", writes="ghost")
+
+    def test_in_place_update_rejected(self):
+        with pytest.raises(FrontendError, match="fresh output"):
+            LoopNest("l", "matadd", writes="A", reads=("A", "B"))
+
+    def test_column_access_must_be_read(self):
+        with pytest.raises(FrontendError, match="column_access"):
+            LoopNest("l", "matmul", writes="C", reads=("A",), column_access={"B"})
+
+    def test_read_before_write_rejected(self):
+        prog = LoopProgram("p").declare("A", 4, 4).declare("B", 4, 4)
+        prog.loop("use", "matadd", writes="B", reads=("A", "A"))
+        with pytest.raises(FrontendError, match="before any loop"):
+            prog.validate()
+
+    def test_array_decl_bytes(self):
+        assert ArrayDecl("A", 64, 64).total_bytes == 32768
+        assert ArrayDecl("A", 8, 8, element_bytes=4).total_bytes == 256
+
+
+class TestDependences:
+    def test_flow_edges(self):
+        deps = flow_dependences(complex_mm_source())
+        flow = {(d.source, d.target) for d in deps if d.kind == "flow"}
+        assert ("iAr", "m1") in flow
+        assert ("m1", "sub") in flow
+        assert ("m2", "sub") in flow
+        assert len(flow) == 12  # 8 init->mul + 4 mul->combine
+
+    def test_duplicate_reads_collapse(self):
+        prog = LoopProgram("p").declare("A", 4, 4).declare("B", 4, 4)
+        prog.loop("w", "matinit", writes="A")
+        prog.loop("r", "matadd", writes="B", reads=("A", "A"))
+        deps = flow_dependences(prog)
+        assert deps == [Dependence("w", "r", "A", "flow")]
+
+    def test_output_dependence(self):
+        prog = LoopProgram("p").declare("A", 4, 4)
+        prog.loop("w1", "matinit", writes="A")
+        prog.loop("w2", "matinit", writes="A")
+        deps = flow_dependences(prog)
+        assert Dependence("w1", "w2", "", "output") in deps
+
+    def test_last_writer_wins(self):
+        prog = LoopProgram("p").declare("A", 4, 4).declare("B", 4, 4)
+        prog.loop("w1", "matinit", writes="A")
+        prog.loop("w2", "matinit", writes="A")
+        prog.loop("r", "matadd", writes="B", reads=("A", "A"))
+        flow = [
+            d for d in flow_dependences(prog) if d.kind == "flow" and d.target == "r"
+        ]
+        assert flow == [Dependence("w2", "r", "A", "flow")]
+
+
+class TestLowering:
+    def test_reproduces_complex_mm_topology(self):
+        mdg = lower_to_mdg(complex_mm_source())
+        mdg.validate()
+        assert mdg.n_nodes == 10
+        assert mdg.n_edges == 12
+        assert set(mdg.predecessors("sub")) == {"m1", "m2"}
+
+    def test_cost_models_from_registry(self):
+        mdg = lower_to_mdg(complex_mm_source())
+        # m1 is a matmul on 64x64: Table 1 constants.
+        assert mdg.node("m1").processing.tau == pytest.approx(298.47e-3)
+        assert mdg.node("add").processing.tau == pytest.approx(3.73e-3)
+
+    def test_transfer_sizes_from_declarations(self):
+        mdg = lower_to_mdg(complex_mm_source())
+        transfers = mdg.edge("iAr", "m1").transfers
+        assert len(transfers) == 1
+        assert transfers[0].length_bytes == 32768.0
+        assert transfers[0].label == "Ar"
+
+    def test_column_access_gives_2d_transfer(self):
+        prog = LoopProgram("p").declare("A", 8, 8).declare("B", 8, 8)
+        prog.loop("w", "matinit", writes="A")
+        prog.loop("t", "transform", writes="B", reads=("A",), column_access={"A"})
+        mdg = lower_to_mdg(prog)
+        assert mdg.edge("w", "t").transfers[0].kind == TransferKind.ROW2COL
+
+    def test_unknown_kind_rejected(self):
+        prog = LoopProgram("p").declare("A", 4, 4)
+        prog.loop("w", "fft", writes="A")
+        with pytest.raises(FrontendError, match="unknown kind"):
+            lower_to_mdg(prog)
+
+    def test_registry_extensible(self):
+        from repro.costs.processing import AmdahlProcessingCost
+
+        KIND_REGISTRY["custom"] = lambda r, c: AmdahlProcessingCost(0.5, 1.0)
+        try:
+            prog = LoopProgram("p").declare("A", 4, 4)
+            prog.loop("w", "custom", writes="A")
+            mdg = lower_to_mdg(prog)
+            assert mdg.node("w").processing.alpha == 0.5
+        finally:
+            del KIND_REGISTRY["custom"]
+
+    def test_lowered_graph_allocates_and_schedules(self, cm5_16):
+        """The whole chain: source -> MDG -> allocation -> schedule."""
+        from repro.pipeline import compile_mdg
+
+        mdg = lower_to_mdg(complex_mm_source())
+        result = compile_mdg(mdg, cm5_16)
+        assert result.predicted_makespan > 0
+        assert result.phi is not None
+
+    def test_output_dependence_edge_has_no_transfers(self):
+        prog = LoopProgram("p").declare("A", 4, 4)
+        prog.loop("w1", "matinit", writes="A")
+        prog.loop("w2", "matinit", writes="A")
+        mdg = lower_to_mdg(prog)
+        assert mdg.edge("w1", "w2").transfers == ()

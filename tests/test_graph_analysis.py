@@ -1,0 +1,149 @@
+"""Unit tests for graph analyses: critical paths, levels, reductions."""
+
+import pytest
+
+from repro.costs.processing import AmdahlProcessingCost
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.errors import GraphError
+from repro.graph.analysis import (
+    critical_path,
+    longest_path_lengths,
+    node_levels,
+    transitive_reduction,
+)
+from repro.graph.mdg import MDG
+
+
+def proc():
+    return AmdahlProcessingCost(0.1, 1.0)
+
+
+def build_diamond() -> MDG:
+    mdg = MDG("diamond")
+    for name in ("top", "l", "r", "bot"):
+        mdg.add_node(name, proc())
+    mdg.add_edge("top", "l")
+    mdg.add_edge("top", "r")
+    mdg.add_edge("l", "bot")
+    mdg.add_edge("r", "bot")
+    return mdg
+
+
+class TestLongestPathLengths:
+    def test_unit_weights_count_depth(self):
+        mdg = build_diamond()
+        finish = longest_path_lengths(mdg)
+        assert finish == {"top": 1.0, "l": 2.0, "r": 2.0, "bot": 3.0}
+
+    def test_weighted_nodes(self):
+        mdg = build_diamond()
+        weights = {"top": 1.0, "l": 5.0, "r": 2.0, "bot": 1.0}
+        finish = longest_path_lengths(mdg, node_weight=lambda n: weights[n])
+        assert finish["bot"] == pytest.approx(7.0)  # top + l + bot
+
+    def test_edge_weights_add(self):
+        mdg = build_diamond()
+        finish = longest_path_lengths(
+            mdg, edge_weight=lambda e: 10.0 if e.source == "l" else 0.0
+        )
+        assert finish["bot"] == pytest.approx(13.0)
+
+    def test_matches_y_recursion_semantics(self):
+        """finish_i = max_m(finish_m + edge) + weight_i exactly."""
+        mdg = build_diamond()
+        weights = {"top": 2.0, "l": 3.0, "r": 7.0, "bot": 1.0}
+        finish = longest_path_lengths(mdg, node_weight=lambda n: weights[n])
+        assert finish["bot"] == pytest.approx(
+            max(finish["l"], finish["r"]) + weights["bot"]
+        )
+
+
+class TestCriticalPath:
+    def test_path_nodes(self):
+        mdg = build_diamond()
+        weights = {"top": 1.0, "l": 5.0, "r": 2.0, "bot": 1.0}
+        length, path = critical_path(mdg, node_weight=lambda n: weights[n])
+        assert length == pytest.approx(7.0)
+        assert path == ["top", "l", "bot"]
+
+    def test_tie_breaks_deterministically(self):
+        mdg = build_diamond()
+        _, path1 = critical_path(mdg)
+        _, path2 = critical_path(mdg)
+        assert path1 == path2
+        assert path1 == ["top", "l", "bot"]  # "l" < "r" lexicographically
+
+    def test_single_node(self):
+        mdg = MDG("one")
+        mdg.add_node("only", proc())
+        length, path = critical_path(mdg, node_weight=lambda n: 4.2)
+        assert length == pytest.approx(4.2)
+        assert path == ["only"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            critical_path(MDG("void"))
+
+    def test_length_at_least_any_path(self):
+        mdg = build_diamond()
+        weights = {"top": 1.0, "l": 2.0, "r": 3.0, "bot": 4.0}
+        length, _ = critical_path(mdg, node_weight=lambda n: weights[n])
+        for branch in ("l", "r"):
+            assert length >= weights["top"] + weights[branch] + weights["bot"] - 1e-12
+
+
+class TestNodeLevels:
+    def test_diamond_levels(self):
+        levels = node_levels(build_diamond())
+        assert levels == {"top": 0, "l": 1, "r": 1, "bot": 2}
+
+    def test_isolated_nodes_at_level_zero(self):
+        mdg = MDG("iso")
+        mdg.add_node("a", proc())
+        mdg.add_node("b", proc())
+        assert node_levels(mdg) == {"a": 0, "b": 0}
+
+
+class TestTransitiveReduction:
+    def test_removes_implied_edge(self):
+        mdg = MDG("tri")
+        for name in ("a", "b", "c"):
+            mdg.add_node(name, proc())
+        mdg.add_edge("a", "b")
+        mdg.add_edge("b", "c")
+        mdg.add_edge("a", "c")  # implied by a->b->c
+        reduced = transitive_reduction(mdg)
+        assert not reduced.has_edge("a", "c")
+        assert reduced.n_edges == 2
+
+    def test_keeps_edges_with_transfers(self):
+        mdg = MDG("tri")
+        for name in ("a", "b", "c"):
+            mdg.add_node(name, proc())
+        mdg.add_edge("a", "b")
+        mdg.add_edge("b", "c")
+        mdg.add_edge("a", "c", [ArrayTransfer(8.0, TransferKind.ROW2ROW)])
+        reduced = transitive_reduction(mdg)
+        assert reduced.has_edge("a", "c")
+
+    def test_diamond_unchanged(self):
+        mdg = build_diamond()
+        reduced = transitive_reduction(mdg)
+        assert reduced.n_edges == mdg.n_edges
+
+    def test_preserves_reachability(self):
+        from repro.graph.generators import random_mdg
+
+        mdg = random_mdg(12, seed=3, edge_probability=0.5, transfer_probability=0.0)
+        reduced = transitive_reduction(mdg)
+
+        def reach(graph):
+            order = graph.topological_order()
+            reachable = {n: set() for n in order}
+            for n in reversed(order):
+                for s in graph.successors(n):
+                    reachable[n].add(s)
+                    reachable[n] |= reachable[s]
+            return reachable
+
+        assert reach(mdg) == reach(reduced)

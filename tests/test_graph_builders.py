@@ -1,0 +1,77 @@
+"""Unit tests for the fluent MDG builder."""
+
+import pytest
+
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.errors import GraphError
+from repro.graph.builders import MDGBuilder, amdahl
+
+
+def one_array():
+    return ArrayTransfer(1024.0, TransferKind.ROW2ROW)
+
+
+class TestMDGBuilder:
+    def test_fluent_construction(self):
+        mdg = (
+            MDGBuilder("demo")
+            .node("a", amdahl(0.1, 1.0))
+            .node("b", amdahl(0.1, 2.0))
+            .node("c", amdahl(0.1, 0.5), after=["a", "b"], transfer=one_array())
+            .build()
+        )
+        assert mdg.n_nodes == 3
+        assert mdg.predecessors("c") == ["a", "b"]
+        assert mdg.edge("a", "c").transfers[0].length_bytes == 1024.0
+
+    def test_transfer_list(self):
+        transfers = [one_array(), one_array()]
+        mdg = (
+            MDGBuilder("t")
+            .node("a", amdahl(0.1, 1.0))
+            .node("b", amdahl(0.1, 1.0), after=["a"], transfer=transfers)
+            .build()
+        )
+        assert len(mdg.edge("a", "b").transfers) == 2
+
+    def test_explicit_edge(self):
+        mdg = (
+            MDGBuilder("e")
+            .node("a", amdahl(0.1, 1.0))
+            .node("b", amdahl(0.1, 1.0))
+            .edge("a", "b", [one_array()])
+            .build()
+        )
+        assert mdg.has_edge("a", "b")
+
+    def test_chain(self):
+        mdg = MDGBuilder("c").chain(["x", "y", "z"], amdahl(0.2, 1.0)).build()
+        assert mdg.topological_order() == ["x", "y", "z"]
+        assert mdg.n_edges == 2
+
+    def test_normalize_on_build(self):
+        mdg = (
+            MDGBuilder("n")
+            .node("a", amdahl(0.1, 1.0))
+            .node("b", amdahl(0.1, 1.0))
+            .build(normalize=True)
+        )
+        assert mdg.is_normalized
+
+    def test_single_use(self):
+        builder = MDGBuilder("s").node("a", amdahl(0.1, 1.0))
+        builder.build()
+        with pytest.raises(GraphError, match="already produced"):
+            builder.node("b", amdahl(0.1, 1.0))
+        with pytest.raises(GraphError):
+            builder.build()
+
+    def test_after_unknown_node_rejected(self):
+        with pytest.raises(GraphError):
+            MDGBuilder("u").node("a", amdahl(0.1, 1.0), after=["ghost"])
+
+    def test_amdahl_shorthand(self):
+        model = amdahl(0.25, 2.0, name="k")
+        assert model.alpha == 0.25
+        assert model.tau == 2.0
+        assert model.name == "k"

@@ -1,0 +1,50 @@
+"""Unit tests for DOT export."""
+
+from repro.costs.processing import AmdahlProcessingCost, ZeroProcessingCost
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.graph.dot import mdg_to_dot
+from repro.graph.mdg import MDG
+
+
+def build() -> MDG:
+    mdg = MDG("dot test")
+    mdg.add_node("a", AmdahlProcessingCost(0.1, 1.0))
+    mdg.add_node("b", AmdahlProcessingCost(0.1, 1.0))
+    mdg.add_node("dummy", ZeroProcessingCost())
+    mdg.add_edge("a", "b", [ArrayTransfer(4096.0, TransferKind.ROW2ROW)])
+    mdg.add_edge("dummy", "a")
+    return mdg
+
+
+class TestDotExport:
+    def test_contains_nodes_and_edges(self):
+        dot = mdg_to_dot(build())
+        assert 'digraph "dot test"' in dot
+        assert '"a" -> "b"' in dot
+        assert '"dummy" -> "a"' in dot
+
+    def test_dummy_drawn_as_point(self):
+        dot = mdg_to_dot(build())
+        assert "shape=point" in dot
+
+    def test_transfer_bytes_labelled(self):
+        dot = mdg_to_dot(build())
+        assert "4096 B" in dot
+
+    def test_allocation_annotated(self):
+        dot = mdg_to_dot(build(), allocation={"a": 4, "b": 2})
+        assert "p=4" in dot
+        assert "p=2" in dot
+
+    def test_custom_label_function(self):
+        dot = mdg_to_dot(build(), node_label=lambda n: f"<<{n}>>")
+        assert "<<a>>" in dot
+
+    def test_quotes_escaped(self):
+        mdg = MDG('has "quotes"')
+        mdg.add_node("n", AmdahlProcessingCost(0.1, 1.0))
+        dot = mdg_to_dot(mdg)
+        assert '\\"quotes\\"' in dot
+
+    def test_ends_with_newline(self):
+        assert mdg_to_dot(build()).endswith("}\n")

@@ -1,0 +1,112 @@
+"""Unit tests for the MDG generators (determinism, shape, validity)."""
+
+import pytest
+
+from repro.graph.generators import (
+    chain_mdg,
+    diamond_mdg,
+    fork_join_mdg,
+    layered_random_mdg,
+    paper_example_mdg,
+    random_mdg,
+    series_parallel_mdg,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: chain_mdg(6, seed=11),
+            lambda: fork_join_mdg(4, seed=11),
+            lambda: diamond_mdg(3, seed=11),
+            lambda: layered_random_mdg(3, 3, seed=11),
+            lambda: series_parallel_mdg(5, seed=11),
+            lambda: random_mdg(10, seed=11),
+        ],
+    )
+    def test_same_seed_same_graph(self, factory):
+        a, b = factory(), factory()
+        assert a.node_names() == b.node_names()
+        assert [(e.source, e.target) for e in a.edges()] == [
+            (e.source, e.target) for e in b.edges()
+        ]
+        for name in a.node_names():
+            assert a.node(name).processing.cost(4) == pytest.approx(
+                b.node(name).processing.cost(4)
+            )
+
+    def test_different_seed_different_costs(self):
+        a = chain_mdg(6, seed=1)
+        b = chain_mdg(6, seed=2)
+        costs_a = [n.processing.cost(1) for n in a.nodes()]
+        costs_b = [n.processing.cost(1) for n in b.nodes()]
+        assert costs_a != costs_b
+
+
+class TestShapes:
+    def test_chain(self):
+        mdg = chain_mdg(5)
+        mdg.validate()
+        assert mdg.n_nodes == 5
+        assert mdg.n_edges == 4
+        assert mdg.is_normalized
+
+    def test_fork_join(self):
+        mdg = fork_join_mdg(3)
+        mdg.validate()
+        assert mdg.n_nodes == 5
+        assert len(mdg.successors("fork")) == 3
+        assert len(mdg.predecessors("join")) == 3
+
+    def test_diamond(self):
+        mdg = diamond_mdg(2)
+        mdg.validate()
+        assert mdg.n_nodes == 1 + 3 * 2
+        assert mdg.is_normalized
+
+    def test_layered_every_noninitial_node_has_pred(self):
+        mdg = layered_random_mdg(4, 3, seed=5, edge_probability=0.2)
+        mdg.validate()
+        for layer in range(1, 4):
+            for i in range(3):
+                assert mdg.predecessors(f"L{layer}_{i}")
+
+    def test_series_parallel_is_dag(self):
+        mdg = series_parallel_mdg(10, seed=9)
+        mdg.validate()
+        assert mdg.n_nodes == 12
+
+    def test_random_is_dag(self):
+        mdg = random_mdg(20, seed=4, edge_probability=0.4)
+        mdg.validate()
+
+    def test_transfer_probability_zero_gives_bare_edges(self):
+        mdg = chain_mdg(5, seed=0, transfer_probability=0.0)
+        assert all(not e.transfers for e in mdg.edges())
+
+    def test_transfer_probability_one_gives_transfers(self):
+        mdg = chain_mdg(5, seed=0, transfer_probability=1.0)
+        assert all(e.transfers for e in mdg.edges())
+
+
+class TestPaperExample:
+    def test_structure_matches_figure1(self):
+        mdg = paper_example_mdg()
+        assert mdg.node_names() == ["N1", "N2", "N3"]
+        assert mdg.successors("N1") == ["N2", "N3"]
+        assert mdg.sinks() == ["N2", "N3"]
+
+    def test_custom_costs(self):
+        from repro.costs.processing import AmdahlProcessingCost
+
+        costs = [AmdahlProcessingCost(0.1, t) for t in (1.0, 2.0, 3.0)]
+        mdg = paper_example_mdg(costs)
+        assert mdg.node("N3").processing.cost(1) == pytest.approx(3.0)
+
+    def test_wrong_cost_count_rejected(self):
+        from repro.costs.processing import AmdahlProcessingCost
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            paper_example_mdg([AmdahlProcessingCost(0.1, 1.0)])

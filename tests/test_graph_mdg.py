@@ -1,0 +1,245 @@
+"""Unit tests for the MDG data structure."""
+
+import pytest
+
+from repro.costs.processing import AmdahlProcessingCost, ZeroProcessingCost
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.errors import CycleError, GraphError
+from repro.graph.mdg import MDG, START_NAME, STOP_NAME
+
+
+def proc(tau=1.0):
+    return AmdahlProcessingCost(alpha=0.1, tau=tau)
+
+
+def transfer():
+    return ArrayTransfer(1024.0, TransferKind.ROW2ROW)
+
+
+class TestConstruction:
+    def test_add_nodes_and_edges(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        mdg.add_node("b", proc())
+        edge = mdg.add_edge("a", "b", [transfer()])
+        assert mdg.n_nodes == 2
+        assert mdg.n_edges == 1
+        assert edge.total_bytes == 1024.0
+
+    def test_duplicate_node_rejected(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        with pytest.raises(GraphError, match="duplicate"):
+            mdg.add_node("a", proc())
+
+    def test_duplicate_edge_rejected(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        mdg.add_node("b", proc())
+        mdg.add_edge("a", "b")
+        with pytest.raises(GraphError, match="duplicate"):
+            mdg.add_edge("a", "b")
+
+    def test_self_loop_rejected(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        with pytest.raises(GraphError, match="self-loop"):
+            mdg.add_edge("a", "a")
+
+    def test_edge_to_unknown_node_rejected(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        with pytest.raises(GraphError, match="unknown"):
+            mdg.add_edge("a", "ghost")
+
+    def test_empty_name_rejected(self):
+        mdg = MDG("g")
+        with pytest.raises(GraphError):
+            mdg.add_node("", proc())
+
+    def test_non_cost_model_rejected(self):
+        mdg = MDG("g")
+        with pytest.raises(GraphError, match="ProcessingCostModel"):
+            mdg.add_node("a", 3.0)
+
+    def test_bad_transfer_rejected(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        mdg.add_node("b", proc())
+        with pytest.raises(GraphError, match="ArrayTransfer"):
+            mdg.add_edge("a", "b", ["not a transfer"])
+
+
+class TestAccess:
+    def setup_method(self):
+        self.mdg = MDG("g")
+        for name in ("a", "b", "c"):
+            self.mdg.add_node(name, proc())
+        self.mdg.add_edge("a", "b")
+        self.mdg.add_edge("a", "c")
+        self.mdg.add_edge("b", "c")
+
+    def test_predecessors_sorted(self):
+        assert self.mdg.predecessors("c") == ["a", "b"]
+
+    def test_successors_sorted(self):
+        assert self.mdg.successors("a") == ["b", "c"]
+
+    def test_in_out_edges(self):
+        assert [e.source for e in self.mdg.in_edges("c")] == ["a", "b"]
+        assert [e.target for e in self.mdg.out_edges("a")] == ["b", "c"]
+
+    def test_sources_and_sinks(self):
+        assert self.mdg.sources() == ["a"]
+        assert self.mdg.sinks() == ["c"]
+
+    def test_contains_and_len(self):
+        assert "a" in self.mdg
+        assert "z" not in self.mdg
+        assert len(self.mdg) == 3
+
+    def test_unknown_node_errors(self):
+        with pytest.raises(GraphError):
+            self.mdg.node("ghost")
+        with pytest.raises(GraphError):
+            self.mdg.predecessors("ghost")
+        with pytest.raises(GraphError):
+            self.mdg.edge("a", "ghost")
+
+    def test_node_names_insertion_order(self):
+        assert self.mdg.node_names() == ["a", "b", "c"]
+
+
+class TestStructure:
+    def test_topological_order_valid(self):
+        mdg = MDG("g")
+        for name in ("x", "y", "z"):
+            mdg.add_node(name, proc())
+        mdg.add_edge("z", "y")
+        mdg.add_edge("y", "x")
+        assert mdg.topological_order() == ["z", "y", "x"]
+
+    def test_validate_empty_rejected(self):
+        with pytest.raises(GraphError, match="no nodes"):
+            MDG("g").validate()
+
+    def test_cycle_rejected(self):
+        # Cycles cannot be built through add_edge ordering alone in a DAG
+        # sense, but a diamond with reversed edge can: a->b, b->a.
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        mdg.add_node("b", proc())
+        mdg.add_edge("a", "b")
+        mdg.add_edge("b", "a")
+        with pytest.raises(CycleError):
+            mdg.validate()
+
+
+class TestNormalization:
+    def test_already_normalized_returned_unchanged(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        mdg.add_node("b", proc())
+        mdg.add_edge("a", "b")
+        assert mdg.normalized() is mdg
+
+    def test_adds_start_for_multiple_sources(self):
+        mdg = MDG("g")
+        for name in ("s1", "s2", "sink"):
+            mdg.add_node(name, proc())
+        mdg.add_edge("s1", "sink")
+        mdg.add_edge("s2", "sink")
+        norm = mdg.normalized()
+        assert norm.start == START_NAME
+        assert norm.node(START_NAME).is_dummy
+        assert set(norm.successors(START_NAME)) == {"s1", "s2"}
+        # Original untouched.
+        assert not mdg.has_node(START_NAME)
+
+    def test_adds_stop_for_multiple_sinks(self):
+        mdg = MDG("g")
+        for name in ("src", "t1", "t2"):
+            mdg.add_node(name, proc())
+        mdg.add_edge("src", "t1")
+        mdg.add_edge("src", "t2")
+        norm = mdg.normalized()
+        assert norm.stop == STOP_NAME
+        assert set(norm.predecessors(STOP_NAME)) == {"t1", "t2"}
+
+    def test_idempotent(self):
+        mdg = MDG("g")
+        for name in ("s1", "s2", "t1", "t2"):
+            mdg.add_node(name, proc())
+        mdg.add_edge("s1", "t1")
+        mdg.add_edge("s2", "t2")
+        once = mdg.normalized()
+        assert once.normalized() is once
+
+    def test_isolated_nodes_get_wired(self):
+        mdg = MDG("g")
+        mdg.add_node("lonely", proc())
+        mdg.add_node("also", proc())
+        norm = mdg.normalized()
+        assert norm.is_normalized
+        assert norm.start == START_NAME
+        assert norm.stop == STOP_NAME
+
+    def test_reserved_name_collision_rejected(self):
+        mdg = MDG("g")
+        mdg.add_node(START_NAME, proc())
+        mdg.add_node("other", proc())
+        with pytest.raises(GraphError, match="reserved"):
+            mdg.normalized()
+
+    def test_start_property_requires_unique_source(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        mdg.add_node("b", proc())
+        with pytest.raises(GraphError, match="source"):
+            _ = mdg.start
+
+
+class TestTransformations:
+    def test_copy_is_deep_structurally(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        mdg.add_node("b", proc())
+        mdg.add_edge("a", "b", [transfer()])
+        dup = mdg.copy()
+        dup.add_node("c", proc())
+        assert not mdg.has_node("c")
+        assert dup.edge("a", "b").transfers == mdg.edge("a", "b").transfers
+
+    def test_subgraph(self):
+        mdg = MDG("g")
+        for name in ("a", "b", "c"):
+            mdg.add_node(name, proc())
+        mdg.add_edge("a", "b")
+        mdg.add_edge("b", "c")
+        sub = mdg.subgraph(["a", "b"])
+        assert sub.node_names() == ["a", "b"]
+        assert sub.n_edges == 1
+
+    def test_subgraph_unknown_rejected(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc())
+        with pytest.raises(GraphError):
+            mdg.subgraph(["a", "ghost"])
+
+    def test_map_processing(self):
+        mdg = MDG("g")
+        mdg.add_node("a", proc(1.0))
+        mdg.add_node("b", proc(2.0))
+        mdg.add_edge("a", "b")
+        zeroed = mdg.map_processing(lambda node: ZeroProcessingCost())
+        assert zeroed.node("a").is_dummy
+        assert zeroed.n_edges == 1
+        # Original untouched.
+        assert not mdg.node("a").is_dummy
+
+    def test_is_dummy_flag(self):
+        mdg = MDG("g")
+        mdg.add_node("real", proc())
+        mdg.add_node("ghost", ZeroProcessingCost())
+        assert not mdg.node("real").is_dummy
+        assert mdg.node("ghost").is_dummy

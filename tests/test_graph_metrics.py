@@ -1,0 +1,69 @@
+"""Unit tests for the parallelism-profile metrics."""
+
+import pytest
+
+from repro.graph.metrics import parallelism_profile
+from repro.programs import (
+    complex_matmul_program,
+    jacobi_program,
+    strassen_program,
+)
+
+
+class TestParallelismProfile:
+    def test_chain_has_no_parallelism(self):
+        profile = parallelism_profile(jacobi_program(5, 32).mdg)
+        assert profile.average_parallelism == pytest.approx(1.0)
+        assert profile.max_width == 1
+
+    def test_complex_mm_width(self):
+        profile = parallelism_profile(complex_matmul_program(64).mdg)
+        assert profile.max_width == 4  # the four multiplies
+        assert profile.average_parallelism > 2.0
+
+    def test_strassen_more_parallel_than_complex(self):
+        strassen = parallelism_profile(strassen_program(128).mdg)
+        complex_mm = parallelism_profile(complex_matmul_program(64).mdg)
+        assert strassen.max_width >= 7  # the seven products
+        assert strassen.average_parallelism > complex_mm.average_parallelism
+
+    def test_work_equals_serial_time(self):
+        from repro.analysis.metrics import serial_time
+
+        mdg = complex_matmul_program(32).mdg
+        assert parallelism_profile(mdg).work == pytest.approx(serial_time(mdg))
+
+    def test_span_at_most_work(self):
+        for bundle in (complex_matmul_program(32), strassen_program(32)):
+            profile = parallelism_profile(bundle.mdg)
+            assert profile.span <= profile.work + 1e-12
+
+    def test_communication_bytes(self):
+        mdg = complex_matmul_program(64).mdg
+        expected = sum(t.length_bytes for e in mdg.edges() for t in e.transfers)
+        assert parallelism_profile(mdg).communication_bytes == expected
+
+    def test_dummies_excluded_from_width(self):
+        mdg = complex_matmul_program(64).mdg.normalized()
+        profile = parallelism_profile(mdg)
+        assert profile.max_width == 4
+
+    def test_describe_renders(self):
+        text = parallelism_profile(complex_matmul_program(32).mdg).describe()
+        assert "parallelism=" in text
+        assert "width=4" in text
+
+    def test_profile_predicts_mixed_parallelism_payoff(self, cm5_16):
+        """The metric's purpose: high average parallelism <=> MPMD gain."""
+        from repro.analysis.comparison import compare_spmd_mpmd
+        from repro.machine.fidelity import HardwareFidelity
+
+        wide = complex_matmul_program(64).mdg  # parallelism > 2
+        narrow = jacobi_program(4, 64).mdg  # parallelism = 1
+        gain_wide = compare_spmd_mpmd(
+            wide, cm5_16, HardwareFidelity.ideal()
+        ).mpmd_advantage
+        gain_narrow = compare_spmd_mpmd(
+            narrow, cm5_16, HardwareFidelity.ideal()
+        ).mpmd_advantage
+        assert gain_wide > gain_narrow

@@ -1,0 +1,147 @@
+"""Round-trip tests for MDG JSON serialization."""
+
+import pytest
+
+from repro.costs.posynomial import Posynomial
+from repro.costs.processing import (
+    AmdahlProcessingCost,
+    GeneralPosynomialProcessingCost,
+    ZeroProcessingCost,
+)
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.errors import ValidationError
+from repro.graph.generators import layered_random_mdg
+from repro.graph.mdg import MDG
+from repro.graph.serialization import load_mdg, mdg_from_dict, mdg_to_dict, save_mdg
+
+
+def build_rich_mdg() -> MDG:
+    mdg = MDG("rich")
+    mdg.add_node("amdahl", AmdahlProcessingCost(0.12, 0.3, name="mm"), "a multiply")
+    mdg.add_node("dummy", ZeroProcessingCost())
+    mdg.add_node(
+        "poly",
+        GeneralPosynomialProcessingCost(
+            expression=Posynomial.constant(0.1) + 2.0 / Posynomial.variable("p"),
+            name="calibrated",
+        ),
+    )
+    mdg.add_edge(
+        "amdahl",
+        "poly",
+        [
+            ArrayTransfer(32768.0, TransferKind.ROW2ROW, "A"),
+            ArrayTransfer(8192.0, TransferKind.COL2ROW, "B"),
+        ],
+    )
+    mdg.add_edge("dummy", "poly")
+    return mdg
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        mdg = build_rich_mdg()
+        restored = mdg_from_dict(mdg_to_dict(mdg))
+        assert restored.name == mdg.name
+        assert restored.node_names() == mdg.node_names()
+        assert [(e.source, e.target) for e in restored.edges()] == [
+            (e.source, e.target) for e in mdg.edges()
+        ]
+
+    def test_cost_models_preserved(self):
+        mdg = build_rich_mdg()
+        restored = mdg_from_dict(mdg_to_dict(mdg))
+        for name in mdg.node_names():
+            for p in (1.0, 3.0, 16.0):
+                assert restored.node(name).processing.cost(p) == pytest.approx(
+                    mdg.node(name).processing.cost(p)
+                )
+
+    def test_amdahl_name_preserved(self):
+        restored = mdg_from_dict(mdg_to_dict(build_rich_mdg()))
+        assert restored.node("amdahl").processing.name == "mm"
+
+    def test_transfers_preserved(self):
+        restored = mdg_from_dict(mdg_to_dict(build_rich_mdg()))
+        transfers = restored.edge("amdahl", "poly").transfers
+        assert len(transfers) == 2
+        assert transfers[0].kind == TransferKind.ROW2ROW
+        assert transfers[1].kind == TransferKind.COL2ROW
+        assert transfers[0].label == "A"
+        assert transfers[1].length_bytes == 8192.0
+
+    def test_description_preserved(self):
+        restored = mdg_from_dict(mdg_to_dict(build_rich_mdg()))
+        assert restored.node("amdahl").description == "a multiply"
+
+    def test_file_round_trip(self, tmp_path):
+        mdg = layered_random_mdg(3, 3, seed=2)
+        path = tmp_path / "graph.json"
+        save_mdg(mdg, path)
+        restored = load_mdg(path)
+        assert restored.node_names() == mdg.node_names()
+        assert restored.n_edges == mdg.n_edges
+
+    def test_double_round_trip_stable(self):
+        mdg = build_rich_mdg()
+        once = mdg_to_dict(mdg)
+        twice = mdg_to_dict(mdg_from_dict(once))
+        assert once == twice
+
+
+class TestErrors:
+    def test_unknown_schema_version(self):
+        data = mdg_to_dict(build_rich_mdg())
+        data["schema_version"] = 99
+        with pytest.raises(ValidationError, match="schema"):
+            mdg_from_dict(data)
+
+    def test_unknown_model_kind(self):
+        data = mdg_to_dict(build_rich_mdg())
+        data["nodes"][0]["processing"]["kind"] = "quantum"
+        with pytest.raises(ValidationError, match="quantum"):
+            mdg_from_dict(data)
+
+
+class TestCombinatorFallback:
+    """Combinator cost models serialize via their posynomial form."""
+
+    def test_scaled_round_trips_cost_equivalently(self):
+        from repro.costs.extensions import ScaledProcessingCost
+
+        mdg = MDG("combo")
+        base = AmdahlProcessingCost(0.1, 2.0)
+        mdg.add_node("s", ScaledProcessingCost(base, 3.0, name="scaled"))
+        restored = mdg_from_dict(mdg_to_dict(mdg))
+        for p in (1.0, 4.0, 16.0):
+            assert restored.node("s").processing.cost(p) == pytest.approx(
+                3.0 * base.cost(p)
+            )
+
+    def test_sum_and_comm_aware_round_trip(self):
+        from repro.costs.extensions import (
+            CommunicationAwareCost,
+            SumProcessingCost,
+        )
+
+        base = AmdahlProcessingCost(0.2, 1.0)
+        mdg = MDG("combo2")
+        mdg.add_node("sum", SumProcessingCost((base, base)))
+        mdg.add_node(
+            "comm", CommunicationAwareCost(base, comm_coefficient=0.01, gamma=1.0)
+        )
+        restored = mdg_from_dict(mdg_to_dict(mdg))
+        for name in ("sum", "comm"):
+            for p in (1.0, 8.0):
+                assert restored.node(name).processing.cost(p) == pytest.approx(
+                    mdg.node(name).processing.cost(p)
+                )
+
+    def test_recursive_strassen_mdg_saves(self, tmp_path):
+        from repro.programs import strassen_recursive_program
+
+        mdg = strassen_recursive_program(8, 1).mdg
+        path = tmp_path / "rec.json"
+        save_mdg(mdg, path)
+        restored = load_mdg(path)
+        assert restored.n_nodes == mdg.n_nodes

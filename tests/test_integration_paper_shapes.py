@@ -1,0 +1,117 @@
+"""Integration tests asserting the paper's qualitative results.
+
+These encode the *shapes* of Section 6's evaluation — who wins, how gaps
+move with system size — on the simulated CM-5. Absolute numbers differ
+from the authors' testbed; the relationships must not.
+"""
+
+import pytest
+
+from repro.analysis.comparison import (
+    phi_vs_tpsa,
+    predicted_vs_measured,
+    sweep_system_sizes,
+)
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.presets import cm5
+from repro.pipeline import compile_mdg, compile_spmd, measure
+from repro.programs import complex_matmul_program, strassen_program
+
+SIZES = (16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def complex_rows():
+    return sweep_system_sizes(complex_matmul_program(64).mdg, cm5(64), SIZES)
+
+
+@pytest.fixture(scope="module")
+def strassen_rows():
+    return sweep_system_sizes(strassen_program(128).mdg, cm5(64), SIZES)
+
+
+class TestFigure8Shapes:
+    """MPMD (mixed parallelism) beats SPMD, and the gap grows with p."""
+
+    def test_mpmd_wins_everywhere_complex(self, complex_rows):
+        for row in complex_rows:
+            assert row.mpmd_advantage > 1.0, row
+
+    def test_mpmd_wins_everywhere_strassen(self, strassen_rows):
+        for row in strassen_rows:
+            assert row.mpmd_advantage > 1.0, row
+
+    def test_advantage_grows_with_system_size(self, complex_rows):
+        advantages = [r.mpmd_advantage for r in complex_rows]
+        assert advantages[0] < advantages[1] < advantages[2]
+
+    def test_mpmd_speedup_increases_with_p(self, complex_rows):
+        speedups = [r.mpmd_speedup for r in complex_rows]
+        assert speedups[0] < speedups[1] < speedups[2]
+
+    def test_efficiency_decays_but_slower_for_mpmd(self, complex_rows):
+        for row in complex_rows:
+            assert row.mpmd_efficiency > row.spmd_efficiency
+        spmd_eff = [r.spmd_efficiency for r in complex_rows]
+        mpmd_eff = [r.mpmd_efficiency for r in complex_rows]
+        assert spmd_eff[0] > spmd_eff[-1]
+        # Relative efficiency loss 16 -> 64 is milder for MPMD.
+        assert mpmd_eff[-1] / mpmd_eff[0] > spmd_eff[-1] / spmd_eff[0]
+
+    def test_strassen_exposes_more_functional_parallelism(
+        self, complex_rows, strassen_rows
+    ):
+        """Strassen's 33-loop MDG gives MPMD at least as much headroom on
+        the biggest machine as the 10-loop ComplexMM."""
+        assert strassen_rows[-1].mpmd_advantage > 1.1
+
+
+class TestFigure9Shapes:
+    """Predicted and measured times stay close under realistic fidelity."""
+
+    @pytest.mark.parametrize(
+        "bundle_factory", [lambda: complex_matmul_program(64), lambda: strassen_program(128)]
+    )
+    @pytest.mark.parametrize("p", [16, 64])
+    def test_prediction_within_twenty_percent(self, bundle_factory, p):
+        points = predicted_vs_measured(
+            bundle_factory().mdg, cm5(p), HardwareFidelity.cm5_like()
+        )
+        for point in points:
+            assert 0.8 <= point.normalized_prediction <= 1.25, point
+
+
+class TestTable3Shapes:
+    """T_psa deviates from Phi by small percentages only."""
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_complex_deviation_small(self, p):
+        point = phi_vs_tpsa(complex_matmul_program(64).mdg, cm5(p))
+        assert abs(point.percent_change) < 20.0, point
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_strassen_deviation_small(self, p):
+        point = phi_vs_tpsa(strassen_program(128).mdg, cm5(p))
+        assert abs(point.percent_change) < 20.0, point
+
+    def test_phi_in_paper_ballpark(self):
+        """With Table 1/2 constants, Phi for ComplexMM(64) on 64 procs
+        should land near the paper's 0.054 s (same order, within 2x)."""
+        point = phi_vs_tpsa(complex_matmul_program(64).mdg, cm5(64))
+        assert 0.027 < point.phi < 0.108
+
+
+class TestMotivatingExampleShape:
+    """Section 1.2: mixed allocation beats naive on the 3-node example."""
+
+    def test_mixed_beats_naive(self, machine4):
+        from repro.graph.generators import paper_example_mdg
+
+        mdg = paper_example_mdg().normalized()
+        mpmd = compile_mdg(mdg, machine4)
+        spmd = compile_spmd(mdg, machine4)
+        t_mixed = measure(mpmd, record_trace=False).makespan
+        t_naive = measure(spmd, record_trace=False).makespan
+        assert t_mixed < t_naive
+        # Same qualitative gap as 14.3 s vs 15.6 s (about 9%).
+        assert t_naive / t_mixed > 1.05

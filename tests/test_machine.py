@@ -1,0 +1,113 @@
+"""Unit tests for machine parameters, presets, and the fidelity layer."""
+
+import numpy as np
+import pytest
+
+from repro.costs.transfer import TransferCostParameters
+from repro.errors import ValidationError
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.parameters import MachineParameters
+from repro.machine.presets import PRESETS, cm5, paragon_like, sp1_like, zero_communication
+
+
+class TestMachineParameters:
+    def test_basic(self):
+        m = MachineParameters("m", 16, TransferCostParameters.zero())
+        assert m.processors == 16
+        assert m.power_of_two
+
+    def test_non_power_of_two_flagged(self):
+        m = MachineParameters("m", 12, TransferCostParameters.zero())
+        assert not m.power_of_two
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValidationError):
+            MachineParameters("m", 0, TransferCostParameters.zero())
+
+    def test_rejects_bad_transfer(self):
+        with pytest.raises(ValidationError):
+            MachineParameters("m", 4, {"t_ss": 1.0})
+
+    def test_with_processors(self):
+        m = cm5(64).with_processors(16)
+        assert m.processors == 16
+        assert m.name == "CM-5"
+        assert m.transfer == cm5(64).transfer
+
+    def test_with_transfer(self):
+        m = cm5(64).with_transfer(TransferCostParameters.zero())
+        assert m.transfer.t_ss == 0.0
+        assert m.processors == 64
+
+    def test_transfer_model(self):
+        model = cm5().transfer_model()
+        assert model.parameters == cm5().transfer
+
+
+class TestPresets:
+    def test_cm5_table2_constants(self):
+        """The preset must carry the paper's Table 2 values exactly."""
+        m = cm5()
+        assert m.transfer.t_ss == pytest.approx(777.56e-6)
+        assert m.transfer.t_ps == pytest.approx(486.98e-9)
+        assert m.transfer.t_sr == pytest.approx(465.58e-6)
+        assert m.transfer.t_pr == pytest.approx(426.25e-9)
+        assert m.transfer.t_n == 0.0
+        assert m.processors == 64
+
+    def test_zero_communication(self):
+        m = zero_communication(8)
+        assert m.transfer == TransferCostParameters.zero()
+
+    def test_all_presets_construct(self):
+        for name, factory in PRESETS.items():
+            m = factory(16)
+            assert m.processors == 16, name
+
+    def test_flavours_differ(self):
+        assert paragon_like().transfer.t_ss < cm5().transfer.t_ss
+        assert sp1_like().transfer.t_ss > cm5().transfer.t_ss
+
+
+class TestHardwareFidelity:
+    def test_ideal_is_identity(self):
+        f = HardwareFidelity.ideal()
+        assert f.is_ideal
+        assert f.compute_scale(64) == 1.0
+        assert f.startup_scale(0) == 1.0
+        assert f.startup_scale(5) == 1.0
+        assert f.jitter_factor(f.rng()) == 1.0
+
+    def test_cm5_like_not_ideal(self):
+        assert not HardwareFidelity.cm5_like().is_ideal
+
+    def test_compute_scale_grows_with_p(self):
+        f = HardwareFidelity(compute_curvature=0.1)
+        assert f.compute_scale(1) == pytest.approx(1.0)
+        assert f.compute_scale(64) > f.compute_scale(8) > 1.0
+
+    def test_startup_scale_after_first_message(self):
+        f = HardwareFidelity(startup_serialization=0.25)
+        assert f.startup_scale(0) == 1.0
+        assert f.startup_scale(1) == pytest.approx(1.25)
+        assert f.startup_scale(3) == pytest.approx(1.25)
+
+    def test_jitter_deterministic_per_seed(self):
+        f = HardwareFidelity(jitter=0.05, seed=3)
+        a = [f.jitter_factor(rng) for rng in [f.rng()] for _ in range(5)]
+        rng2 = HardwareFidelity(jitter=0.05, seed=3).rng()
+        b = [f.jitter_factor(rng2) for _ in range(5)]
+        assert a == b
+
+    def test_jitter_mean_near_one(self):
+        f = HardwareFidelity(jitter=0.02, seed=0)
+        rng = f.rng()
+        draws = np.array([f.jitter_factor(rng) for _ in range(2000)])
+        assert draws.mean() == pytest.approx(1.0, abs=0.01)
+        assert np.all(draws > 0)
+
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ValidationError):
+            HardwareFidelity(compute_curvature=-0.1)
+        with pytest.raises(ValidationError):
+            HardwareFidelity(jitter=-1.0)

@@ -1,0 +1,105 @@
+"""Unit tests for the fat-tree topology model."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machine.topology import (
+    FatTreeTopology,
+    cm5_fat_tree,
+    derive_uniform_network_delay,
+    parameters_with_topology,
+)
+from repro.costs.transfer import TransferCostParameters
+
+
+class TestFatTreeTopology:
+    def test_cm5_shape(self):
+        tree = cm5_fat_tree()
+        assert tree.arity == 4
+        assert tree.levels == 3
+        assert tree.processors == 64
+
+    def test_hop_count_same_processor(self):
+        tree = FatTreeTopology(arity=2, levels=3)
+        assert tree.hop_count(5, 5) == 0
+
+    def test_hop_count_siblings(self):
+        tree = FatTreeTopology(arity=4, levels=2)
+        # 0 and 3 share the level-1 switch.
+        assert tree.hop_count(0, 3) == 2
+        # 0 and 4 are in different level-1 subtrees: climb to the root.
+        assert tree.hop_count(0, 4) == 4
+
+    def test_hop_count_symmetric(self):
+        tree = FatTreeTopology(arity=3, levels=2)
+        for a, b in itertools.combinations(range(tree.processors), 2):
+            assert tree.hop_count(a, b) == tree.hop_count(b, a)
+
+    def test_max_hops(self):
+        assert FatTreeTopology(arity=4, levels=3).max_hops() == 6
+
+    def test_average_hops_matches_enumeration(self):
+        tree = FatTreeTopology(arity=2, levels=3)
+        n = tree.processors
+        pairs = [
+            tree.hop_count(a, b)
+            for a in range(n)
+            for b in range(n)
+            if a != b
+        ]
+        assert tree.average_hops() == pytest.approx(sum(pairs) / len(pairs))
+
+    def test_average_hops_below_max(self):
+        tree = cm5_fat_tree()
+        assert 2.0 < tree.average_hops() < tree.max_hops()
+
+    def test_root_crossing_pairs(self):
+        tree = FatTreeTopology(arity=2, levels=2)  # n = 4, subtrees {0,1},{2,3}
+        assert tree.root_crossing_pairs() == 4  # 2 * 2 cross pairs
+
+    def test_out_of_range_rejected(self):
+        tree = FatTreeTopology(arity=2, levels=2)
+        with pytest.raises(ValidationError):
+            tree.hop_count(0, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FatTreeTopology(arity=1, levels=2)
+        with pytest.raises(ValidationError):
+            FatTreeTopology(arity=2, levels=0)
+        with pytest.raises(ValidationError):
+            FatTreeTopology(arity=2, levels=2, hop_delay=-1.0)
+
+
+class TestUniformDelayDerivation:
+    def test_zero_hop_delay(self):
+        mean, spread = derive_uniform_network_delay(cm5_fat_tree(0.0))
+        assert mean == 0.0
+        assert spread == 0.0
+
+    def test_mean_and_spread(self):
+        tree = FatTreeTopology(arity=2, levels=3, hop_delay=1e-9)
+        mean, spread = derive_uniform_network_delay(tree)
+        assert mean == pytest.approx(tree.average_hops() * 1e-9)
+        assert spread > 0.0
+
+    def test_pair_delay(self):
+        tree = FatTreeTopology(arity=2, levels=2, hop_delay=2e-9)
+        assert tree.pair_delay(0, 1) == pytest.approx(4e-9)
+
+    def test_parameters_with_topology(self):
+        base = TransferCostParameters(1e-4, 1e-9, 1e-4, 1e-9, 0.0)
+        tree = FatTreeTopology(arity=4, levels=3, hop_delay=1e-9)
+        derived = parameters_with_topology(base, tree)
+        assert derived.t_n == pytest.approx(tree.average_hops() * 1e-9)
+        assert derived.t_ss == base.t_ss
+
+    def test_cm5_uniformity_assumption(self):
+        """Paper: 'network costs are the same for all processor pairs.
+        This assumption is valid for most of the current machines.' On the
+        CM-5 fat tree the pairwise spread is modest (< 1.6x the mean)."""
+        tree = cm5_fat_tree(hop_delay=1e-9)
+        mean, spread = derive_uniform_network_delay(tree)
+        assert spread < 1.6

@@ -1,0 +1,146 @@
+"""Edge-case sweep across small utility branches."""
+
+import pytest
+
+from repro.costs.processing import AmdahlProcessingCost
+from repro.costs.transfer import ArrayTransfer, TransferKind
+from repro.graph.mdg import MDG
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_float_format_override(self):
+        text = format_table(["v"], [[3.14159]], float_format="{:.1f}")
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "| a" in text
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(["x"], [["short"], ["a much longer cell"]])
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1
+
+
+class TestMDGEdgeHelpers:
+    def test_total_bytes(self):
+        mdg = MDG("g")
+        mdg.add_node("a", AmdahlProcessingCost(0.1, 1.0))
+        mdg.add_node("b", AmdahlProcessingCost(0.1, 1.0))
+        edge = mdg.add_edge(
+            "a",
+            "b",
+            [
+                ArrayTransfer(100.0, TransferKind.ROW2ROW),
+                ArrayTransfer(200.0, TransferKind.ROW2COL),
+            ],
+        )
+        assert edge.total_bytes == 300.0
+
+    def test_repr(self):
+        mdg = MDG("g")
+        mdg.add_node("a", AmdahlProcessingCost(0.1, 1.0))
+        assert "nodes=1" in repr(mdg)
+
+
+class TestAllocationHelpers:
+    def test_max_processors(self):
+        from repro.allocation.result import Allocation
+
+        alloc = Allocation(processors={"a": 2.0, "b": 8.0})
+        assert alloc.max_processors() == 8.0
+
+
+class TestScheduleRepr:
+    def test_empty_and_filled(self):
+        from repro.scheduling.schedule import Schedule, ScheduledNode
+
+        mdg = MDG("g")
+        mdg.add_node("a", AmdahlProcessingCost(0.1, 1.0))
+        schedule = Schedule(mdg=mdg, total_processors=2)
+        assert "n/a" in repr(schedule)
+        schedule.add(ScheduledNode("a", 0.0, 1.0, (0,)))
+        assert "makespan=1" in repr(schedule)
+
+    def test_zero_duration_schedule_utilization(self):
+        from repro.costs.processing import ZeroProcessingCost
+        from repro.scheduling.schedule import Schedule, ScheduledNode
+
+        mdg = MDG("g")
+        mdg.add_node("a", ZeroProcessingCost())
+        schedule = Schedule(mdg=mdg, total_processors=2)
+        schedule.add(ScheduledNode("a", 0.0, 0.0, (0,)))
+        assert schedule.utilization() == 1.0
+        assert schedule.busy_profile() == []
+
+
+class TestTransferKindValues:
+    def test_round_trip_through_value(self):
+        for kind in TransferKind:
+            assert TransferKind(kind.value) is kind
+
+
+class TestVariableLayoutErrors:
+    def test_unknown_lookups(self):
+        from repro.allocation.variables import VariableLayout
+        from repro.errors import AllocationError
+
+        mdg = MDG("g")
+        mdg.add_node("a", AmdahlProcessingCost(0.1, 1.0))
+        layout = VariableLayout(mdg, [])
+        with pytest.raises(AllocationError):
+            layout.x_index("ghost")
+        with pytest.raises(AllocationError):
+            layout.m_index(("a", "b"))
+
+    def test_empty_graph_rejected(self):
+        from repro.allocation.variables import VariableLayout
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            VariableLayout(MDG("void"), [])
+
+
+class TestSimulationResultHelpers:
+    def test_busy_fraction_zero_makespan(self):
+        from repro.sim.engine import SimulationResult
+        from repro.sim.trace import ExecutionTrace
+
+        result = SimulationResult(
+            makespan=0.0, processor_finish={}, trace=ExecutionTrace()
+        )
+        assert result.busy_fraction(4) == 1.0
+
+
+class TestCompiledPosynomialRepr:
+    def test_repr(self):
+        from repro.costs.posynomial import Posynomial
+
+        compiled = (Posynomial.variable("p") + 1.0).compile(["p"])
+        assert "n_terms=2" in repr(compiled)
+
+
+class TestMonomialAsPosynomial:
+    def test_round_trip(self):
+        from repro.costs.posynomial import Monomial
+
+        mono = Monomial(2.0, {"p": 1.5})
+        poly = mono.as_posynomial()
+        assert poly.is_monomial()
+        assert poly.terms[0] == mono
+
+    def test_add_monomial_to_posynomial(self):
+        from repro.costs.posynomial import Monomial, Posynomial
+
+        result = Posynomial.variable("p") + Monomial(2.0)
+        assert result.evaluate({"p": 1.0}) == pytest.approx(3.0)

@@ -1,0 +1,83 @@
+"""Integration tests for the end-to-end compilation pipeline."""
+
+import pytest
+
+from repro.machine.fidelity import HardwareFidelity
+from repro.machine.presets import cm5
+from repro.pipeline import compile_mdg, compile_spmd, measure
+from repro.programs import complex_matmul_program, strassen_program
+from repro.scheduling.psa import PSAOptions
+
+
+class TestCompileMdg:
+    def test_produces_all_artifacts(self, cm5_16):
+        result = compile_mdg(complex_matmul_program(32).mdg, cm5_16)
+        assert result.style == "MPMD"
+        assert result.phi is not None
+        assert result.schedule.is_complete
+        assert result.program.n_instructions > 0
+        assert result.predicted_makespan >= result.phi * 0.5
+
+    def test_psa_options_forwarded(self, cm5_16):
+        result = compile_mdg(
+            complex_matmul_program(32).mdg,
+            cm5_16,
+            psa_options=PSAOptions(processor_bound=2),
+        )
+        assert result.schedule.info["processor_bound"] == 2
+        assert all(e.width <= 2 for e in result.schedule)
+
+    def test_normalization_applied(self, cm5_16):
+        mdg = complex_matmul_program(32).mdg  # two sinks
+        result = compile_mdg(mdg, cm5_16)
+        assert result.mdg.is_normalized
+
+
+class TestCompileSpmd:
+    def test_spmd_artifacts(self, cm5_16):
+        result = compile_spmd(complex_matmul_program(32).mdg, cm5_16)
+        assert result.style == "SPMD"
+        assert result.phi is None
+        assert all(e.width == 16 for e in result.schedule)
+
+
+class TestMeasure:
+    def test_ideal_never_slower_than_prediction(self, cm5_16):
+        result = compile_mdg(complex_matmul_program(32).mdg, cm5_16)
+        sim = measure(result, HardwareFidelity.ideal())
+        assert sim.makespan <= result.predicted_makespan * (1 + 1e-9)
+
+    def test_ideal_spmd_matches_prediction_exactly(self, cm5_16):
+        """SPMD is a chain with no scheduler idling: the self-timed
+        execution must land exactly on the analytic makespan."""
+        result = compile_spmd(complex_matmul_program(32).mdg, cm5_16)
+        sim = measure(result, HardwareFidelity.ideal())
+        assert sim.makespan == pytest.approx(result.predicted_makespan, rel=1e-9)
+
+    def test_fidelity_changes_makespan(self, cm5_16):
+        result = compile_mdg(complex_matmul_program(32).mdg, cm5_16)
+        ideal = measure(result, HardwareFidelity.ideal()).makespan
+        noisy = measure(result, HardwareFidelity.cm5_like()).makespan
+        assert noisy != pytest.approx(ideal, rel=1e-12)
+
+    def test_record_trace_flag(self, cm5_16):
+        result = compile_mdg(complex_matmul_program(32).mdg, cm5_16)
+        sim = measure(result, record_trace=False)
+        assert len(sim.trace) == 0
+
+
+class TestPaperPrograms:
+    """Smoke the full pipeline on the paper's two evaluation programs at
+    their real sizes (64 and 128) on the real partition sizes."""
+
+    @pytest.mark.parametrize("p", [16, 32, 64])
+    def test_complex_matmul(self, p):
+        result = compile_mdg(complex_matmul_program(64).mdg, cm5(p))
+        sim = measure(result, HardwareFidelity.cm5_like(), record_trace=False)
+        assert 0 < sim.makespan < 10.0
+
+    @pytest.mark.parametrize("p", [16, 64])
+    def test_strassen(self, p):
+        result = compile_mdg(strassen_program(128).mdg, cm5(p))
+        sim = measure(result, HardwareFidelity.cm5_like(), record_trace=False)
+        assert 0 < sim.makespan < 10.0

@@ -1,0 +1,239 @@
+"""Unit tests for the paper's test programs and extra workloads."""
+
+import numpy as np
+import pytest
+
+from repro.costs.transfer import TransferKind
+from repro.programs import (
+    complex_matmul_program,
+    fft2d_program,
+    pipeline_program,
+    reduction_tree_program,
+    strassen_program,
+)
+from repro.programs.common import (
+    array_transfer_1d,
+    default_matinit,
+    table1_matadd,
+    table1_matmul,
+)
+from repro.programs.fft2d import hartley_matrix
+from repro.programs.strassen import strassen_reference_product
+from repro.runtime.executor import ValueExecutor
+from repro.runtime.verify import sequential_reference, verify_against_reference
+
+
+class TestTable1Models:
+    def test_reference_values(self):
+        """At n = 64 the models carry Table 1's constants verbatim."""
+        add = table1_matadd(64)
+        mul = table1_matmul(64)
+        assert add.alpha == pytest.approx(0.067)
+        assert add.tau == pytest.approx(3.73e-3)
+        assert mul.alpha == pytest.approx(0.121)
+        assert mul.tau == pytest.approx(298.47e-3)
+
+    def test_complexity_scaling(self):
+        assert table1_matadd(128).tau == pytest.approx(4 * table1_matadd(64).tau)
+        assert table1_matmul(128).tau == pytest.approx(8 * table1_matmul(64).tau)
+        assert default_matinit(32).tau == pytest.approx(default_matinit(64).tau / 4)
+
+    def test_transfer_bytes(self):
+        t = array_transfer_1d(64)
+        assert t.length_bytes == 8 * 64 * 64
+        assert t.kind == TransferKind.ROW2ROW
+
+
+class TestComplexMatmul:
+    def test_structure(self):
+        bundle = complex_matmul_program(64)
+        mdg = bundle.mdg
+        # 4 inits + 4 muls + 2 adds.
+        assert mdg.n_nodes == 10
+        assert len(mdg.successors("init_Ar")) == 2
+        assert mdg.predecessors("real") == ["mul_AiBi", "mul_ArBr"]
+        assert set(mdg.sinks()) == {"real", "imag"}
+
+    def test_all_transfers_1d(self):
+        """Section 6: 'All the data transfers are of the 1D type.'"""
+        for edge in complex_matmul_program(64).mdg.edges():
+            assert all(t.kind.is_1d for t in edge.transfers)
+
+    def test_computes_complex_product(self):
+        bundle = complex_matmul_program(12)
+        values = sequential_reference(bundle.app)
+        a = values["init_Ar"] + 1j * values["init_Ai"]
+        b = values["init_Br"] + 1j * values["init_Bi"]
+        expected = a @ b
+        assert np.allclose(values["real"], expected.real)
+        assert np.allclose(values["imag"], expected.imag)
+
+    def test_distributed_execution_correct(self):
+        bundle = complex_matmul_program(12)
+        report = ValueExecutor(bundle.app).run(
+            {n: 3 for n in bundle.app.computational_nodes()}
+        )
+        verify_against_reference(bundle.app, report)
+
+    def test_mul_costs_dominate_adds(self):
+        mdg = complex_matmul_program(64).mdg
+        assert mdg.node("mul_ArBr").processing.cost(1) > 10 * mdg.node(
+            "real"
+        ).processing.cost(1)
+
+
+class TestStrassen:
+    def test_structure(self):
+        bundle = strassen_program(128)
+        mdg = bundle.mdg
+        # 8 inits + 10 pre + 7 products + 8 post = 33 loops.
+        assert mdg.n_nodes == 33
+        assert bundle.info["loops"] == 33
+        products = [n for n in mdg.node_names() if n.startswith("P")]
+        assert len(products) == 7
+
+    def test_all_transfers_1d(self):
+        for edge in strassen_program(128).mdg.edges():
+            assert all(t.kind.is_1d for t in edge.transfers)
+
+    def test_block_size_is_half(self):
+        bundle = strassen_program(128)
+        assert bundle.info["block"] == 64
+        # P1 is a 64x64 multiply: Table 1's exact constants.
+        assert bundle.mdg.node("P1").processing.tau == pytest.approx(298.47e-3)
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            strassen_program(7)
+
+    def test_equals_classical_product(self):
+        bundle = strassen_program(24)
+        report = ValueExecutor(bundle.app).run(
+            {n: 2 for n in bundle.app.computational_nodes()}
+        )
+        verify_against_reference(bundle.app, report)
+        c = np.block(
+            [
+                [report.outputs["C11"], report.outputs["C12"]],
+                [report.outputs["C21"], report.outputs["C22"]],
+            ]
+        )
+        assert np.allclose(c, strassen_reference_product(bundle))
+
+    def test_uneven_groups_still_correct(self):
+        bundle = strassen_program(16)
+        alloc = {
+            n: (1 + (hash(n) % 3)) for n in bundle.app.computational_nodes()
+        }
+        report = ValueExecutor(bundle.app).run(alloc)
+        verify_against_reference(bundle.app, report)
+
+
+class TestFft2d:
+    def test_hartley_involution(self):
+        """The normalized Hartley matrix is its own inverse."""
+        w = hartley_matrix(16)
+        assert np.allclose(w @ w, np.eye(16), atol=1e-10)
+
+    def test_exercises_2d_transfers(self):
+        kinds = [
+            t.kind
+            for e in fft2d_program(32).mdg.edges()
+            for t in e.transfers
+        ]
+        assert TransferKind.ROW2COL in kinds
+        assert TransferKind.COL2ROW in kinds
+
+    def test_distributed_execution_correct(self):
+        bundle = fft2d_program(16)
+        report = ValueExecutor(bundle.app).run(
+            {n: 4 for n in bundle.app.computational_nodes()}
+        )
+        verify_against_reference(bundle.app, report)
+
+    def test_pipeline_is_a_chain(self):
+        mdg = fft2d_program(16).mdg
+        assert mdg.sources() == ["image"]
+        assert mdg.sinks() == ["rows_back"]
+        for name in mdg.node_names():
+            assert len(mdg.successors(name)) <= 1
+
+
+class TestSynthetic:
+    def test_reduction_structure(self):
+        bundle = reduction_tree_program(levels=3, n=16)
+        mdg = bundle.mdg
+        assert len([n for n in mdg.node_names() if n.startswith("leaf")]) == 8
+        assert len(mdg.sinks()) == 1
+
+    def test_reduction_computes_sum(self):
+        bundle = reduction_tree_program(levels=2, n=8)
+        values = sequential_reference(bundle.app)
+        total = sum(values[f"leaf{k}"] for k in range(4))
+        sink = bundle.app.sink_nodes()[0]
+        assert np.allclose(values[sink], total)
+
+    def test_reduction_distributed_correct(self):
+        bundle = reduction_tree_program(levels=2, n=8)
+        report = ValueExecutor(bundle.app).run(
+            {n: 2 for n in bundle.app.computational_nodes()}
+        )
+        verify_against_reference(bundle.app, report)
+
+    def test_pipeline_structure(self):
+        bundle = pipeline_program(stages=3, n=16)
+        mdg = bundle.mdg
+        stages = [n for n in mdg.node_names() if n.startswith("stage")]
+        assert len(stages) == 3
+        # Each stage depends on the previous one.
+        assert "stage0" in mdg.predecessors("stage1")
+
+    def test_pipeline_distributed_correct(self):
+        bundle = pipeline_program(stages=2, n=8)
+        report = ValueExecutor(bundle.app).run(
+            {n: 2 for n in bundle.app.computational_nodes()}
+        )
+        verify_against_reference(bundle.app, report)
+
+
+class TestBundleConsistency:
+    """The MDG and the AppGraph must describe the same computation."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: complex_matmul_program(16),
+            lambda: strassen_program(16),
+            lambda: fft2d_program(16),
+            lambda: reduction_tree_program(2, 16),
+            lambda: pipeline_program(2, 16),
+        ],
+    )
+    def test_edges_match_wiring(self, factory):
+        bundle = factory()
+        wired = {
+            (producer, name)
+            for name, app_node in bundle.app.nodes.items()
+            for producer in app_node.inputs.values()
+        }
+        mdg_edges = {(e.source, e.target) for e in bundle.mdg.edges()}
+        assert wired == mdg_edges
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: complex_matmul_program(16),
+            lambda: strassen_program(16),
+            lambda: fft2d_program(16),
+        ],
+    )
+    def test_transfer_bytes_match_array_sizes(self, factory):
+        """Each declared transfer's L equals the real array's byte size."""
+        bundle = factory()
+        report = ValueExecutor(bundle.app).run(
+            {n: 2 for n in bundle.app.computational_nodes()}
+        )
+        for stat in report.transfers:
+            edge = bundle.mdg.edge(stat.producer, stat.consumer)
+            declared = {t.length_bytes for t in edge.transfers}
+            assert stat.array_bytes in declared

@@ -1,0 +1,103 @@
+"""Unit tests for the Jacobi relaxation workload and stencil kernel."""
+
+import numpy as np
+import pytest
+
+from repro.programs.jacobi import jacobi_program, stencil_cost
+from repro.runtime.distribution import DistributedArray, RowBlock
+from repro.runtime.executor import ValueExecutor
+from repro.runtime.kernels import JacobiSweep
+from repro.runtime.verify import sequential_reference, verify_against_reference
+
+
+class TestJacobiSweepKernel:
+    def test_serial_matches_manual_stencil(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6, 5))
+        kernel = JacobiSweep(6, 5)
+        out = kernel.serial({"x": x})
+        padded = np.pad(x, 1, mode="edge")
+        expected = 0.25 * (
+            padded[:-2, 1:-1] + padded[2:, 1:-1] + padded[1:-1, :-2] + padded[1:-1, 2:]
+        )
+        assert np.allclose(out, expected)
+
+    @pytest.mark.parametrize("group", [1, 2, 3, 6, 8])
+    def test_local_matches_serial(self, group):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 5))
+        kernel = JacobiSweep(6, 5)
+        dx = DistributedArray.from_full(x, RowBlock(6, 5, group))
+        full = kernel.serial({"x": x})
+        blocks = {r: kernel.local(r, {"x": dx}) for r in range(group)}
+        assembled = kernel.output_distribution(group).gather(blocks)
+        assert np.allclose(assembled, full)
+
+    def test_constant_grid_is_fixed_point(self):
+        x = np.full((5, 5), 3.0)
+        assert np.allclose(JacobiSweep(5, 5).serial({"x": x}), x)
+
+    def test_smoothing_reduces_range(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(10, 10))
+        out = JacobiSweep(10, 10).serial({"x": x})
+        assert out.max() - out.min() < x.max() - x.min()
+
+
+class TestJacobiProgram:
+    def test_structure_is_a_chain(self):
+        mdg = jacobi_program(4, 16).mdg
+        assert mdg.n_nodes == 5
+        assert mdg.sources() == ["grid"]
+        assert mdg.sinks() == ["sweep3"]
+        for name in mdg.node_names():
+            assert len(mdg.successors(name)) <= 1
+
+    def test_distributed_execution_correct(self):
+        bundle = jacobi_program(3, 12)
+        report = ValueExecutor(bundle.app).run(
+            {n: 4 for n in bundle.app.computational_nodes()}
+        )
+        verify_against_reference(bundle.app, report)
+
+    def test_heat_diffuses_inward(self):
+        bundle = jacobi_program(5, 12)
+        values = sequential_reference(bundle.app)
+        interior_start = values["grid"][5, 5]
+        interior_end = values["sweep4"][5, 5]
+        assert interior_start == 0.0
+        assert interior_end >= 0.0
+        # Boundary heat spreads: total interior energy grows.
+        assert values["sweep4"][1:-1, 1:-1].sum() > values["grid"][1:-1, 1:-1].sum() * 0.99
+        assert values["sweep4"][2, 2] > 0.0
+
+    def test_stencil_cost_scaling(self):
+        assert stencil_cost(128).tau == pytest.approx(4 * stencil_cost(64).tau)
+        assert stencil_cost(64).alpha == pytest.approx(0.067)
+
+
+class TestChainCompilation:
+    """The PB-vs-chain interaction the module docstring describes."""
+
+    def test_machine_bound_matches_spmd(self, cm5_16):
+        from repro.pipeline import compile_mdg, compile_spmd
+        from repro.scheduling.psa import PSAOptions
+
+        mdg = jacobi_program(4, 64).mdg
+        mpmd = compile_mdg(
+            mdg, cm5_16, psa_options=PSAOptions(processor_bound="machine")
+        )
+        spmd = compile_spmd(mdg, cm5_16)
+        assert mpmd.predicted_makespan == pytest.approx(
+            spmd.predicted_makespan, rel=1e-6
+        )
+
+    def test_default_bound_costs_a_little(self, cm5_16):
+        from repro.pipeline import compile_mdg, compile_spmd
+
+        mdg = jacobi_program(4, 64).mdg
+        mpmd = compile_mdg(mdg, cm5_16)  # Corollary 1 PB = 8 < 16
+        spmd = compile_spmd(mdg, cm5_16)
+        assert mpmd.predicted_makespan >= spmd.predicted_makespan * (1 - 1e-9)
+        # ... but the safety margin costs at most ~60% even here.
+        assert mpmd.predicted_makespan <= spmd.predicted_makespan * 1.6

@@ -1,0 +1,80 @@
+"""Property tests for bottom-up coarsening on random MDGs."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.coarsen import coarsen_mdg, expand_allocation
+from repro.graph.generators import layered_random_mdg, random_mdg
+
+SETTINGS = dict(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+graphs = st.one_of(
+    st.builds(
+        lambda seed, layers, width: layered_random_mdg(layers, width, seed=seed),
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    ),
+    st.builds(
+        lambda seed, n: random_mdg(n, seed=seed, edge_probability=0.3),
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=2, max_value=12),
+    ),
+)
+
+
+@settings(**SETTINGS)
+@given(graphs, st.integers(min_value=1, max_value=8))
+def test_coarse_graph_is_valid_dag(mdg, target):
+    result = coarsen_mdg(mdg, target)
+    result.coarse.validate()  # raises CycleError on any broken merge
+
+
+@settings(**SETTINGS)
+@given(graphs, st.integers(min_value=1, max_value=8))
+def test_members_partition_original_nodes(mdg, target):
+    result = coarsen_mdg(mdg, target)
+    flattened = sorted(
+        name for group in result.members.values() for name in group
+    )
+    assert flattened == sorted(mdg.node_names())
+
+
+@settings(**SETTINGS)
+@given(graphs, st.integers(min_value=1, max_value=8))
+def test_serial_work_conserved(mdg, target):
+    result = coarsen_mdg(mdg, target)
+    before = sum(node.processing.cost(1.0) for node in mdg.nodes())
+    after = sum(node.processing.cost(1.0) for node in result.coarse.nodes())
+    assert after == pytest.approx(before, rel=1e-9)
+
+
+@settings(**SETTINGS)
+@given(graphs, st.integers(min_value=1, max_value=8))
+def test_communication_conserved_or_internalized(mdg, target):
+    result = coarsen_mdg(mdg, target)
+    before = sum(e.total_bytes for e in mdg.edges())
+    after = sum(e.total_bytes for e in result.coarse.edges())
+    assert after + result.internalized_bytes == pytest.approx(before)
+    assert result.internalized_bytes >= 0.0
+
+
+@settings(**SETTINGS)
+@given(graphs, st.integers(min_value=1, max_value=8))
+def test_expanded_allocation_covers_all_nodes(mdg, target):
+    result = coarsen_mdg(mdg, target)
+    coarse_alloc = {name: 2.0 for name in result.coarse.node_names()}
+    fine = expand_allocation(result, coarse_alloc)
+    assert set(fine) == set(mdg.node_names())
+    assert all(v == 2.0 for v in fine.values())
+
+
+@settings(**SETTINGS)
+@given(graphs)
+def test_idempotent_at_current_size(mdg):
+    result = coarsen_mdg(mdg, mdg.n_nodes)
+    assert result.coarse.n_nodes == mdg.n_nodes
+    assert result.internalized_bytes == 0.0

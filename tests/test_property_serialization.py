@@ -1,0 +1,87 @@
+"""Property tests: serialization round-trips on randomized artifacts."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import layered_random_mdg, random_mdg
+from repro.graph.serialization import mdg_from_dict, mdg_to_dict
+from repro.io.results import schedule_from_dict, schedule_to_dict
+
+SETTINGS = dict(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+graphs = st.one_of(
+    st.builds(
+        lambda seed, layers, width: layered_random_mdg(layers, width, seed=seed),
+        st.integers(min_value=0, max_value=3000),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    ),
+    st.builds(
+        lambda seed, n: random_mdg(n, seed=seed),
+        st.integers(min_value=0, max_value=3000),
+        st.integers(min_value=1, max_value=10),
+    ),
+)
+
+
+@settings(**SETTINGS)
+@given(graphs)
+def test_mdg_round_trip_preserves_structure(mdg):
+    restored = mdg_from_dict(mdg_to_dict(mdg))
+    assert restored.node_names() == mdg.node_names()
+    assert [(e.source, e.target) for e in restored.edges()] == [
+        (e.source, e.target) for e in mdg.edges()
+    ]
+
+
+@settings(**SETTINGS)
+@given(graphs, st.floats(min_value=1.0, max_value=64.0))
+def test_mdg_round_trip_preserves_costs(mdg, p):
+    restored = mdg_from_dict(mdg_to_dict(mdg))
+    for name in mdg.node_names():
+        assert restored.node(name).processing.cost(p) == pytest.approx(
+            mdg.node(name).processing.cost(p)
+        )
+
+
+@settings(**SETTINGS)
+@given(graphs)
+def test_mdg_round_trip_preserves_transfers(mdg):
+    restored = mdg_from_dict(mdg_to_dict(mdg))
+    for edge in mdg.edges():
+        other = restored.edge(edge.source, edge.target)
+        assert [t.kind for t in other.transfers] == [
+            t.kind for t in edge.transfers
+        ]
+        assert [t.length_bytes for t in other.transfers] == [
+            t.length_bytes for t in edge.transfers
+        ]
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.sampled_from([4, 8, 16]),
+)
+def test_schedule_round_trip_on_psa_output(seed, p):
+    from repro.costs.transfer import TransferCostParameters
+    from repro.machine.parameters import MachineParameters
+    from repro.scheduling.psa import prioritized_schedule
+
+    machine = MachineParameters(
+        "m", p, TransferCostParameters(1e-4, 5e-9, 8e-5, 4e-9, 0.0)
+    )
+    mdg = layered_random_mdg(3, 2, seed=seed).normalized()
+    schedule = prioritized_schedule(
+        mdg, {name: float(p) for name in mdg.node_names()}, machine
+    )
+    restored = schedule_from_dict(schedule_to_dict(schedule))
+    assert restored.makespan == pytest.approx(schedule.makespan)
+    restored.validate()  # structural invariants survive the trip
+    assert restored.allocation() == schedule.allocation()
+    assert restored.useful_work_area() == pytest.approx(
+        schedule.useful_work_area()
+    )

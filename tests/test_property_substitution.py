@@ -1,0 +1,79 @@
+"""Property tests for posynomial substitution (the algebra's subtlest op)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.posynomial import Monomial, Posynomial
+
+coefficients = st.floats(min_value=1e-2, max_value=1e2)
+exponents = st.floats(min_value=-2.0, max_value=2.0).map(lambda e: round(e, 2))
+positives = st.floats(min_value=0.2, max_value=5.0)
+
+
+@st.composite
+def posynomials_in_pq(draw):
+    terms = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        exps = {}
+        if draw(st.booleans()):
+            exps["p"] = draw(exponents)
+        if draw(st.booleans()):
+            exps["q"] = draw(exponents)
+        terms.append(Monomial(draw(coefficients), exps))
+    return Posynomial(terms)
+
+
+@st.composite
+def monomials_in_r(draw):
+    return Monomial(draw(coefficients), {"r": draw(exponents)})
+
+
+@settings(max_examples=60)
+@given(posynomials_in_pq(), monomials_in_r(), positives, positives)
+def test_monomial_substitution_commutes_with_evaluation(f, g, q_val, r_val):
+    """f[p := g](q, r) == f(p = g(r), q)."""
+    substituted = f.substitute({"p": g.as_posynomial()})
+    direct = f.evaluate({"p": g.evaluate({"r": r_val}), "q": q_val})
+    via_sub = substituted.evaluate({"q": q_val, "r": r_val})
+    assert via_sub == pytest.approx(direct, rel=1e-9)
+
+
+@settings(max_examples=60)
+@given(posynomials_in_pq(), positives, positives)
+def test_scalar_substitution_commutes(f, p_val, q_val):
+    substituted = f.substitute({"p": p_val})
+    assert substituted.evaluate({"q": q_val}) == pytest.approx(
+        f.evaluate({"p": p_val, "q": q_val}), rel=1e-9
+    )
+
+
+@settings(max_examples=60)
+@given(posynomials_in_pq(), positives, positives)
+def test_identity_substitution(f, p_val, q_val):
+    renamed = f.substitute({"p": Posynomial.variable("p")})
+    assert renamed.evaluate({"p": p_val, "q": q_val}) == pytest.approx(
+        f.evaluate({"p": p_val, "q": q_val}), rel=1e-12
+    )
+
+
+@settings(max_examples=60)
+@given(posynomials_in_pq(), positives, positives, positives)
+def test_rename_is_invertible(f, p_val, q_val, _unused):
+    renamed = f.substitute({"p": Posynomial.variable("s")})
+    back = renamed.substitute({"s": Posynomial.variable("p")})
+    assert back == f
+
+
+@settings(max_examples=40)
+@given(posynomials_in_pq(), monomials_in_r())
+def test_substitution_preserves_cone_membership(f, g):
+    """The result is a genuine posynomial: positive coefficients, and it
+    evaluates positive everywhere (unless f was p-free and zero-ish)."""
+    result = f.substitute({"p": g.as_posynomial()})
+    for term in result.terms:
+        assert term.coefficient > 0
+    value = result.evaluate({"q": 1.0, "r": 1.0})
+    assert value > 0 or math.isclose(value, 0.0)

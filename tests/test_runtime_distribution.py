@@ -1,0 +1,201 @@
+"""Unit and property tests for block distributions and redistributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.transfer import TransferKind
+from repro.errors import DistributionError
+from repro.runtime.distribution import (
+    ColBlock,
+    DistributedArray,
+    Replicated,
+    RowBlock,
+    classify_transfer,
+    redistribution_messages,
+)
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=24), st.integers(min_value=1, max_value=24)
+)
+group_sizes = st.integers(min_value=1, max_value=8)
+
+
+class TestRegions:
+    def test_row_block_even_split(self):
+        d = RowBlock(8, 4, 2)
+        assert d.region(0) == (0, 4, 0, 4)
+        assert d.region(1) == (4, 8, 0, 4)
+
+    def test_row_block_uneven_split(self):
+        d = RowBlock(7, 3, 3)
+        sizes = [d.local_shape(r)[0] for r in range(3)]
+        assert sizes == [3, 2, 2]
+        assert sum(sizes) == 7
+
+    def test_col_block(self):
+        d = ColBlock(3, 10, 5)
+        assert d.region(2) == (0, 3, 4, 6)
+
+    def test_more_processors_than_rows(self):
+        d = RowBlock(2, 4, 5)
+        sizes = [d.local_shape(r)[0] for r in range(5)]
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_replicated_full(self):
+        d = Replicated(4, 4, 3)
+        for rank in range(3):
+            assert d.region(rank) == (0, 4, 0, 4)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(DistributionError):
+            RowBlock(4, 4, 2).region(2)
+
+
+class TestScatterGather:
+    @given(shapes, group_sizes)
+    @settings(max_examples=30)
+    def test_round_trip_row(self, shape, p):
+        rows, cols = shape
+        array = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+        d = RowBlock(rows, cols, p)
+        assert np.array_equal(d.gather(d.scatter(array)), array)
+
+    @given(shapes, group_sizes)
+    @settings(max_examples=30)
+    def test_round_trip_col(self, shape, p):
+        rows, cols = shape
+        array = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+        d = ColBlock(rows, cols, p)
+        assert np.array_equal(d.gather(d.scatter(array)), array)
+
+    def test_scatter_shape_mismatch(self):
+        with pytest.raises(DistributionError):
+            RowBlock(4, 4, 2).scatter(np.zeros((3, 4)))
+
+    def test_gather_missing_block(self):
+        d = RowBlock(4, 4, 2)
+        blocks = d.scatter(np.ones((4, 4)))
+        del blocks[1]
+        with pytest.raises(DistributionError, match="missing"):
+            d.gather(blocks)
+
+    def test_gather_wrong_block_shape(self):
+        d = RowBlock(4, 4, 2)
+        blocks = d.scatter(np.ones((4, 4)))
+        blocks[0] = np.ones((1, 4))
+        with pytest.raises(DistributionError):
+            d.gather(blocks)
+
+    def test_replicated_gather_uses_rank0(self):
+        d = Replicated(2, 2, 2)
+        blocks = d.scatter(np.eye(2))
+        assert np.array_equal(d.gather(blocks), np.eye(2))
+
+
+class TestClassifyTransfer:
+    @pytest.mark.parametrize(
+        "src,dst,kind",
+        [
+            (RowBlock, RowBlock, TransferKind.ROW2ROW),
+            (ColBlock, ColBlock, TransferKind.COL2COL),
+            (RowBlock, ColBlock, TransferKind.ROW2COL),
+            (ColBlock, RowBlock, TransferKind.COL2ROW),
+        ],
+    )
+    def test_figure4_patterns(self, src, dst, kind):
+        assert classify_transfer(src(8, 8, 2), dst(8, 8, 4)) == kind
+
+    def test_replicated_has_no_pattern(self):
+        with pytest.raises(DistributionError):
+            classify_transfer(Replicated(8, 8, 2), RowBlock(8, 8, 2))
+
+
+class TestRedistributionMessages:
+    @given(shapes, group_sizes, group_sizes)
+    @settings(max_examples=40)
+    def test_conservation_row_to_row(self, shape, p_src, p_dst):
+        """Every element is sent exactly once (1D case)."""
+        rows, cols = shape
+        messages = redistribution_messages(
+            RowBlock(rows, cols, p_src), RowBlock(rows, cols, p_dst)
+        )
+        covered = np.zeros((rows, cols), dtype=int)
+        for m in messages:
+            r0, r1, c0, c1 = m.region
+            covered[r0:r1, c0:c1] += 1
+        assert np.all(covered == 1)
+
+    @given(shapes, group_sizes, group_sizes)
+    @settings(max_examples=40)
+    def test_conservation_row_to_col(self, shape, p_src, p_dst):
+        """Every element is sent exactly once (2D case)."""
+        rows, cols = shape
+        messages = redistribution_messages(
+            RowBlock(rows, cols, p_src), ColBlock(rows, cols, p_dst)
+        )
+        covered = np.zeros((rows, cols), dtype=int)
+        for m in messages:
+            r0, r1, c0, c1 = m.region
+            covered[r0:r1, c0:c1] += 1
+        assert np.all(covered == 1)
+
+    def test_message_counts_match_paper_1d(self):
+        """Same-dimension, p_src = p_dst = p with divisible sizes: exactly
+        p messages (one per aligned rank pair)."""
+        messages = redistribution_messages(RowBlock(8, 8, 4), RowBlock(8, 8, 4))
+        assert len(messages) == 4
+        assert all(m.source_rank == m.target_rank for m in messages)
+
+    def test_message_counts_match_paper_2d(self):
+        """Dimension-changing: every sender messages every receiver."""
+        messages = redistribution_messages(RowBlock(8, 8, 4), ColBlock(8, 8, 2))
+        assert len(messages) == 8
+
+    def test_bytes_sum_to_array_size(self):
+        messages = redistribution_messages(RowBlock(8, 8, 4), ColBlock(8, 8, 2))
+        assert sum(m.bytes for m in messages) == 8 * 8 * 8
+
+    def test_1d_widening(self):
+        """p -> 2p row-block: each source rank feeds two target ranks."""
+        messages = redistribution_messages(RowBlock(8, 4, 2), RowBlock(8, 4, 4))
+        assert len(messages) == 4
+        sources = {m.source_rank for m in messages}
+        assert sources == {0, 1}
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            redistribution_messages(RowBlock(4, 4, 2), RowBlock(5, 4, 2))
+
+    def test_replication_target_rejected(self):
+        with pytest.raises(DistributionError, match="replication"):
+            redistribution_messages(RowBlock(4, 4, 2), Replicated(4, 4, 2))
+
+    def test_replicated_source_spreads_load(self):
+        messages = redistribution_messages(Replicated(8, 8, 2), RowBlock(8, 8, 4))
+        assert {m.source_rank for m in messages} == {0, 1}
+
+
+class TestDistributedArrayRedistribute:
+    @given(shapes, group_sizes, group_sizes)
+    @settings(max_examples=30)
+    def test_values_preserved_row_to_col(self, shape, p_src, p_dst):
+        rows, cols = shape
+        array = np.random.default_rng(0).normal(size=(rows, cols))
+        src = DistributedArray.from_full(array, RowBlock(rows, cols, p_src))
+        dst = src.redistribute(ColBlock(rows, cols, p_dst))
+        assert np.allclose(dst.assemble(), array)
+
+    def test_values_preserved_col_to_row(self):
+        array = np.arange(48, dtype=float).reshape(6, 8)
+        src = DistributedArray.from_full(array, ColBlock(6, 8, 3))
+        dst = src.redistribute(RowBlock(6, 8, 5))
+        assert np.array_equal(dst.assemble(), array)
+
+    def test_block_access(self):
+        array = np.arange(16, dtype=float).reshape(4, 4)
+        da = DistributedArray.from_full(array, RowBlock(4, 4, 2))
+        assert np.array_equal(da.block(1), array[2:, :])
+        with pytest.raises(DistributionError):
+            da.block(7)

@@ -1,0 +1,202 @@
+"""Unit tests for distributed kernels and the value executor."""
+
+import numpy as np
+import pytest
+
+from repro.costs.processing import AmdahlProcessingCost
+from repro.costs.transfer import TransferKind
+from repro.errors import DistributionError, GraphError, ValidationError
+from repro.graph.mdg import MDG
+from repro.programs.common import BundleBuilder, array_transfer_1d
+from repro.runtime.distribution import DistributedArray, RowBlock
+from repro.runtime.executor import AppGraph, AppNode, ValueExecutor
+from repro.runtime.kernels import (
+    ColTransform,
+    MatAdd,
+    MatInit,
+    MatMul,
+    MatSub,
+    RowTransform,
+)
+from repro.runtime.verify import sequential_reference, verify_against_reference
+
+
+def dist_pair(rows=6, cols=6, p=3, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows, cols))
+    b = rng.normal(size=(rows, cols))
+    da = DistributedArray.from_full(a, RowBlock(rows, cols, p))
+    db = DistributedArray.from_full(b, RowBlock(rows, cols, p))
+    return a, b, da, db
+
+
+class TestKernels:
+    def test_matadd_local_matches_serial(self):
+        a, b, da, db = dist_pair()
+        kernel = MatAdd(6, 6)
+        full = kernel.serial({"a": a, "b": b})
+        for rank in range(3):
+            local = kernel.local(rank, {"a": da, "b": db})
+            r0, r1, _, _ = RowBlock(6, 6, 3).region(rank)
+            assert np.allclose(local, full[r0:r1])
+
+    def test_matsub(self):
+        a, b, da, db = dist_pair()
+        assert np.allclose(MatSub(6, 6).serial({"a": a, "b": b}), a - b)
+
+    def test_matmul_assembles_b(self):
+        a, b, da, db = dist_pair()
+        kernel = MatMul(6, 6, 6)
+        full = kernel.serial({"a": a, "b": b})
+        for rank in range(3):
+            local = kernel.local(rank, {"a": da, "b": db})
+            r0, r1, _, _ = RowBlock(6, 6, 3).region(rank)
+            assert np.allclose(local, full[r0:r1])
+
+    def test_matmul_rectangular(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(6, 3))
+        kernel = MatMul(4, 6, 3)
+        da = DistributedArray.from_full(a, kernel.input_distribution("a", 2))
+        db = DistributedArray.from_full(b, kernel.input_distribution("b", 2))
+        out = np.vstack([kernel.local(r, {"a": da, "b": db}) for r in range(2)])
+        assert np.allclose(out, a @ b)
+
+    def test_matinit_region(self):
+        kernel = MatInit(4, 4, lambda i, j: i * 10.0 + j)
+        block = kernel.local_region((2, 4, 0, 4))
+        assert np.array_equal(block, np.array([[20, 21, 22, 23], [30, 31, 32, 33]], dtype=float))
+
+    def test_matinit_serial_matches_regions(self):
+        kernel = MatInit(5, 3, lambda i, j: np.sin(i) + j)
+        full = kernel.serial({})
+        dist = kernel.output_distribution(2)
+        stacked = np.vstack(
+            [kernel.local_region(dist.region(r)) for r in range(2)]
+        )
+        assert np.allclose(stacked, full)
+
+    def test_row_transform(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(6, 4))
+        w = rng.normal(size=(4, 4))
+        kernel = RowTransform(6, 4, w)
+        dx = DistributedArray.from_full(x, kernel.input_distribution("x", 3))
+        out = np.vstack([kernel.local(r, {"x": dx}) for r in range(3)])
+        assert np.allclose(out, x @ w.T)
+
+    def test_col_transform(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 6))
+        w = rng.normal(size=(4, 4))
+        kernel = ColTransform(4, 6, w)
+        dx = DistributedArray.from_full(x, kernel.input_distribution("x", 3))
+        out = np.hstack([kernel.local(r, {"x": dx}) for r in range(3)])
+        assert np.allclose(out, w @ x)
+
+    def test_transform_matrix_shape_checked(self):
+        with pytest.raises(DistributionError):
+            RowTransform(4, 4, np.eye(3))
+        with pytest.raises(DistributionError):
+            ColTransform(4, 4, np.eye(3))
+
+    def test_missing_input_rejected(self):
+        a, b, da, db = dist_pair()
+        with pytest.raises(DistributionError, match="missing"):
+            MatAdd(6, 6).local(0, {"a": da})
+
+
+class TestAppGraph:
+    def build_bundle(self):
+        b = BundleBuilder("tiny")
+        b.add_node("x", AmdahlProcessingCost(0.1, 1.0), MatInit(4, 4, lambda i, j: i + j))
+        b.add_node("y", AmdahlProcessingCost(0.1, 1.0), MatInit(4, 4, lambda i, j: i * j))
+        b.add_node("s", AmdahlProcessingCost(0.1, 1.0), MatAdd(4, 4))
+        b.wire("x", "s", "a", array_transfer_1d(4))
+        b.wire("y", "s", "b", array_transfer_1d(4))
+        return b.build()
+
+    def test_computational_nodes_topological(self):
+        app = self.build_bundle().app
+        nodes = app.computational_nodes()
+        assert nodes.index("x") < nodes.index("s")
+        assert nodes.index("y") < nodes.index("s")
+
+    def test_sink_nodes(self):
+        app = self.build_bundle().app
+        assert app.sink_nodes() == ["s"]
+
+    def test_kernel_missing_rejected(self):
+        mdg = MDG("bad")
+        mdg.add_node("a", AmdahlProcessingCost(0.1, 1.0))
+        with pytest.raises(GraphError, match="no kernel"):
+            AppGraph(mdg, {})
+
+    def test_input_must_be_predecessor(self):
+        mdg = MDG("bad")
+        mdg.add_node("a", AmdahlProcessingCost(0.1, 1.0))
+        mdg.add_node("b", AmdahlProcessingCost(0.1, 1.0))
+        # no edge a -> b
+        with pytest.raises(GraphError, match="not a predecessor"):
+            AppGraph(
+                mdg,
+                {
+                    "a": AppNode("a", MatInit(4, 4, lambda i, j: i)),
+                    "b": AppNode(
+                        "b",
+                        RowTransform(4, 4, np.eye(4)),
+                        inputs={"x": "a"},
+                    ),
+                },
+            )
+
+    def test_wrong_input_wiring_rejected(self):
+        with pytest.raises(GraphError, match="wants inputs"):
+            AppNode("n", MatAdd(4, 4), inputs={"a": "p"})  # missing "b"
+
+
+class TestValueExecutor:
+    def test_matches_reference_various_groups(self):
+        bundle = TestAppGraph().build_bundle()
+        for alloc in [{"x": 1, "y": 1, "s": 1}, {"x": 2, "y": 3, "s": 4}]:
+            report = ValueExecutor(bundle.app).run(alloc)
+            verify_against_reference(bundle.app, report)
+
+    def test_transfer_stats_recorded(self):
+        bundle = TestAppGraph().build_bundle()
+        report = ValueExecutor(bundle.app).run({"x": 2, "y": 2, "s": 2})
+        assert len(report.transfers) == 2
+        for t in report.transfers:
+            assert t.kind == TransferKind.ROW2ROW
+            assert t.array_bytes == 4 * 4 * 8
+            assert t.bytes_moved == t.array_bytes  # full array moves
+
+    def test_transfers_for_filter(self):
+        bundle = TestAppGraph().build_bundle()
+        report = ValueExecutor(bundle.app).run({"x": 1, "y": 1, "s": 1})
+        assert len(report.transfers_for("x", "s")) == 1
+        assert report.transfers_for("s", "x") == []
+
+    def test_missing_allocation_rejected(self):
+        bundle = TestAppGraph().build_bundle()
+        with pytest.raises(DistributionError, match="missing"):
+            ValueExecutor(bundle.app).run({"x": 1, "y": 1})
+
+    def test_outputs_are_sinks(self):
+        bundle = TestAppGraph().build_bundle()
+        report = ValueExecutor(bundle.app).run({"x": 1, "y": 1, "s": 2})
+        assert set(report.outputs) == {"s"}
+
+    def test_verify_detects_corruption(self):
+        bundle = TestAppGraph().build_bundle()
+        report = ValueExecutor(bundle.app).run({"x": 1, "y": 1, "s": 1})
+        report.node_results["s"].blocks[0][0, 0] += 1.0
+        with pytest.raises(ValidationError, match="deviates"):
+            verify_against_reference(bundle.app, report)
+
+    def test_sequential_reference_values(self):
+        bundle = TestAppGraph().build_bundle()
+        values = sequential_reference(bundle.app)
+        i, j = np.meshgrid(np.arange(4), np.arange(4), indexing="ij")
+        assert np.allclose(values["s"], (i + j) + (i * j))

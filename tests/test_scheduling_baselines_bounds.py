@@ -1,0 +1,110 @@
+"""Unit tests for baseline schedulers and the Theorem 1/3 verifiers."""
+
+import pytest
+
+from repro.allocation.solver import solve_allocation
+from repro.analysis.metrics import serial_time
+from repro.graph.generators import (
+    fork_join_mdg,
+    layered_random_mdg,
+    paper_example_mdg,
+)
+from repro.scheduling.baselines import serial_schedule, spmd_schedule
+from repro.scheduling.bounds import verify_theorem1, verify_theorem3
+from repro.scheduling.psa import PSAOptions, prioritized_schedule
+
+
+class TestSpmdSchedule:
+    def test_serialized_chain(self, cm5_16):
+        mdg = fork_join_mdg(3, seed=0).normalized()
+        schedule = spmd_schedule(mdg, cm5_16)
+        entries = sorted(schedule.entries.values(), key=lambda e: e.start)
+        for first, second in zip(entries, entries[1:]):
+            assert second.start >= first.finish - 1e-12
+        assert all(e.width == 16 for e in schedule)
+
+    def test_validates(self, cm5_16):
+        schedule = spmd_schedule(fork_join_mdg(3, seed=0), cm5_16)
+        schedule.validate(schedule.info["weights"])
+
+    def test_makespan_is_sum_plus_delays(self, machine4):
+        mdg = fork_join_mdg(2, seed=0, transfer_probability=0.0).normalized()
+        schedule = spmd_schedule(mdg, machine4)
+        total = sum(
+            schedule.info["weights"].node_weight(n) for n in mdg.node_names()
+        )
+        assert schedule.makespan == pytest.approx(total)
+
+    def test_non_power_machine_uses_power_group(self):
+        from repro.costs.transfer import TransferCostParameters
+        from repro.machine.parameters import MachineParameters
+
+        machine = MachineParameters("m6", 6, TransferCostParameters.zero())
+        schedule = spmd_schedule(fork_join_mdg(2, seed=0), machine)
+        assert all(e.width == 4 for e in schedule)
+
+
+class TestSerialSchedule:
+    def test_single_processor(self, cm5_16):
+        mdg = fork_join_mdg(2, seed=0).normalized()
+        schedule = serial_schedule(mdg, cm5_16)
+        assert all(e.processors == (0,) for e in schedule)
+
+    def test_makespan_at_least_serial_compute(self, cm5_16):
+        mdg = fork_join_mdg(2, seed=0).normalized()
+        schedule = serial_schedule(mdg, cm5_16)
+        assert schedule.makespan >= serial_time(mdg) * (1 - 1e-12)
+
+
+class TestTheoremVerifiers:
+    def make_schedule(self, cm5_16, bound=None):
+        mdg = layered_random_mdg(3, 3, seed=20).normalized()
+        alloc = solve_allocation(mdg, cm5_16)
+        options = PSAOptions(processor_bound=bound) if bound else None
+        schedule = prioritized_schedule(mdg, alloc.processors, cm5_16, options)
+        return mdg, alloc, schedule
+
+    def test_theorem1_holds(self, cm5_16):
+        _, _, schedule = self.make_schedule(cm5_16)
+        report = verify_theorem1(schedule, cm5_16)
+        assert report.holds
+        assert report.t_psa == pytest.approx(schedule.makespan)
+        assert report.factor > 1.0
+
+    def test_theorem3_holds(self, cm5_16):
+        _, alloc, schedule = self.make_schedule(cm5_16)
+        report = verify_theorem3(schedule, cm5_16, alloc.phi)
+        assert report.holds
+        assert report.reference == pytest.approx(alloc.phi)
+
+    def test_factors_match_formulas(self, cm5_16):
+        from repro.allocation.rounding import theorem1_factor, theorem3_factor
+
+        _, alloc, schedule = self.make_schedule(cm5_16, bound=4)
+        r1 = verify_theorem1(schedule, cm5_16)
+        r3 = verify_theorem3(schedule, cm5_16, alloc.phi)
+        assert r1.factor == pytest.approx(theorem1_factor(16, 4))
+        assert r3.factor == pytest.approx(theorem3_factor(16, 4))
+
+    def test_tightness_below_one(self, cm5_16):
+        _, alloc, schedule = self.make_schedule(cm5_16)
+        report = verify_theorem3(schedule, cm5_16, alloc.phi)
+        assert 0.0 < report.tightness <= 1.0
+
+    def test_requires_psa_info(self, cm5_16):
+        from repro.errors import SchedulingError
+        from repro.scheduling.schedule import Schedule
+
+        bare = Schedule(mdg=fork_join_mdg(2, seed=0).normalized(), total_processors=16)
+        with pytest.raises(SchedulingError, match="allocation"):
+            verify_theorem1(bare, cm5_16)
+
+    def test_report_failure_detection(self):
+        """A fabricated too-slow schedule must fail the bound check."""
+        from repro.scheduling.bounds import TheoremReport
+
+        report = TheoremReport(
+            theorem="theorem1", t_psa=100.0, reference=1.0, factor=3.0, bound=3.0
+        )
+        assert not report.holds
+        assert report.tightness > 1.0

@@ -1,0 +1,61 @@
+"""Unit tests for the processor pool."""
+
+import pytest
+
+from repro.errors import SchedulingError, ValidationError
+from repro.scheduling.processor_pool import ProcessorPool
+
+
+class TestProcessorPool:
+    def test_initially_all_free(self):
+        pool = ProcessorPool(4)
+        assert pool.satisfaction_time(1) == 0.0
+        assert pool.satisfaction_time(4) == 0.0
+        assert pool.busy_count(0.0) == 0
+
+    def test_acquire_earliest_free_lowest_id(self):
+        pool = ProcessorPool(4)
+        assert pool.acquire(2, 0.0, 5.0) == (0, 1)
+        assert pool.acquire(2, 0.0, 3.0) == (2, 3)
+
+    def test_satisfaction_time_kth_smallest(self):
+        pool = ProcessorPool(3)
+        pool.acquire(2, 0.0, 10.0)  # procs 0, 1 busy until 10
+        assert pool.satisfaction_time(1) == 0.0
+        assert pool.satisfaction_time(2) == 10.0
+        assert pool.satisfaction_time(3) == 10.0
+
+    def test_acquire_after_release(self):
+        pool = ProcessorPool(2)
+        pool.acquire(2, 0.0, 4.0)
+        assert pool.acquire(1, 4.0, 6.0) == (0,)
+
+    def test_acquire_too_early_is_an_error(self):
+        pool = ProcessorPool(2)
+        pool.acquire(2, 0.0, 4.0)
+        with pytest.raises(SchedulingError, match="PST"):
+            pool.acquire(1, 2.0, 3.0)
+
+    def test_more_than_machine_rejected(self):
+        pool = ProcessorPool(2)
+        with pytest.raises(SchedulingError):
+            pool.satisfaction_time(3)
+
+    def test_negative_duration_rejected(self):
+        pool = ProcessorPool(2)
+        with pytest.raises(SchedulingError):
+            pool.acquire(1, 5.0, 4.0)
+
+    def test_busy_count(self):
+        pool = ProcessorPool(4)
+        pool.acquire(3, 0.0, 10.0)
+        assert pool.busy_count(5.0) == 3
+        assert pool.busy_count(10.0) == 0
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValidationError):
+            ProcessorPool(0)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValidationError):
+            ProcessorPool(2).satisfaction_time(0)

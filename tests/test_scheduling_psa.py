@@ -1,0 +1,177 @@
+"""Unit tests for the Prioritized Scheduling Algorithm."""
+
+import pytest
+
+from repro.allocation.rounding import optimal_processor_bound
+from repro.allocation.solver import solve_allocation
+from repro.costs.processing import AmdahlProcessingCost
+from repro.errors import SchedulingError
+from repro.graph.generators import (
+    chain_mdg,
+    fork_join_mdg,
+    layered_random_mdg,
+    paper_example_mdg,
+)
+from repro.graph.mdg import MDG
+from repro.scheduling.psa import PSAOptions, prioritized_schedule
+from repro.utils.intmath import is_power_of_two
+
+
+class TestPSAOnMotivatingExample:
+    def test_reproduces_figure2_mixed_schedule(self, machine4):
+        """N1 on all 4 processors, then N2 and N3 concurrently on 2 each."""
+        mdg = paper_example_mdg().normalized()
+        alloc = solve_allocation(mdg, machine4)
+        schedule = prioritized_schedule(
+            mdg, alloc.processors, machine4, PSAOptions(processor_bound="machine")
+        )
+        n1, n2, n3 = (schedule.entry(n) for n in ("N1", "N2", "N3"))
+        assert n1.width == 4
+        assert n2.width == 2 and n3.width == 2
+        # Concurrent: same start, disjoint processors.
+        assert n2.start == pytest.approx(n3.start)
+        assert not set(n2.processors) & set(n3.processors)
+        assert schedule.makespan == pytest.approx(15.75)
+
+    def test_mixed_beats_naive_spmd(self, machine4):
+        from repro.scheduling.baselines import spmd_schedule
+
+        mdg = paper_example_mdg().normalized()
+        alloc = solve_allocation(mdg, machine4)
+        mixed = prioritized_schedule(
+            mdg, alloc.processors, machine4, PSAOptions(processor_bound="machine")
+        )
+        naive = spmd_schedule(mdg, machine4)
+        assert mixed.makespan < naive.makespan
+
+
+class TestPSAMechanics:
+    def test_respects_processor_bound(self, cm5_16):
+        mdg = fork_join_mdg(2, seed=0).normalized()
+        schedule = prioritized_schedule(
+            mdg,
+            {name: 16.0 for name in mdg.node_names()},
+            cm5_16,
+            PSAOptions(processor_bound=4),
+        )
+        assert all(e.width <= 4 for e in schedule)
+        assert schedule.info["processor_bound"] == 4
+
+    def test_default_bound_is_corollary1(self, cm5_16):
+        mdg = fork_join_mdg(2, seed=0).normalized()
+        schedule = prioritized_schedule(
+            mdg, {name: 2.0 for name in mdg.node_names()}, cm5_16
+        )
+        assert schedule.info["processor_bound"] == optimal_processor_bound(16)
+
+    def test_rounding_applied(self, cm5_16):
+        mdg = fork_join_mdg(2, seed=0).normalized()
+        schedule = prioritized_schedule(
+            mdg, {name: 3.1 for name in mdg.node_names()}, cm5_16
+        )
+        for width in schedule.allocation().values():
+            assert is_power_of_two(width)
+
+    def test_round_off_disabled_requires_powers(self, cm5_16):
+        mdg = fork_join_mdg(2, seed=0).normalized()
+        with pytest.raises(SchedulingError, match="round_off"):
+            prioritized_schedule(
+                mdg,
+                {name: 3.0 for name in mdg.node_names()},
+                cm5_16,
+                PSAOptions(round_off=False),
+            )
+
+    def test_missing_non_dummy_node_rejected(self, cm5_16):
+        mdg = fork_join_mdg(2, seed=0).normalized()
+        with pytest.raises(SchedulingError, match="missing"):
+            prioritized_schedule(mdg, {"fork": 2.0}, cm5_16)
+
+    def test_dummy_nodes_defaulted(self, machine4):
+        mdg = paper_example_mdg().normalized()  # dummy STOP added
+        alloc = {"N1": 4.0, "N2": 2.0, "N3": 2.0}  # no STOP entry
+        schedule = prioritized_schedule(mdg, alloc, machine4)
+        assert schedule.is_complete
+
+    def test_over_allocation_rejected(self, machine4):
+        mdg = paper_example_mdg().normalized()
+        with pytest.raises(SchedulingError, match="exceeds"):
+            prioritized_schedule(
+                mdg, {"N1": 64.0, "N2": 2.0, "N3": 2.0}, machine4
+            )
+
+    def test_invalid_bound_values(self, machine4):
+        mdg = paper_example_mdg().normalized()
+        alloc = {"N1": 4.0, "N2": 2.0, "N3": 2.0}
+        with pytest.raises(SchedulingError):
+            prioritized_schedule(mdg, alloc, machine4, PSAOptions(processor_bound=3))
+        with pytest.raises(SchedulingError):
+            prioritized_schedule(mdg, alloc, machine4, PSAOptions(processor_bound=8))
+        with pytest.raises(SchedulingError):
+            prioritized_schedule(
+                mdg, alloc, machine4, PSAOptions(processor_bound="half")
+            )
+
+    def test_schedule_is_validated(self, cm5_16):
+        """PSA output passes the full independent invariant check."""
+        mdg = layered_random_mdg(3, 3, seed=6).normalized()
+        alloc = solve_allocation(mdg, cm5_16)
+        schedule = prioritized_schedule(mdg, alloc.processors, cm5_16)
+        schedule.validate(schedule.info["weights"])  # must not raise
+
+    def test_deterministic(self, cm5_16):
+        mdg = layered_random_mdg(3, 3, seed=6).normalized()
+        alloc = solve_allocation(mdg, cm5_16)
+        s1 = prioritized_schedule(mdg, alloc.processors, cm5_16)
+        s2 = prioritized_schedule(mdg, alloc.processors, cm5_16)
+        assert s1.makespan == s2.makespan
+        assert {n: e.processors for n, e in s1.entries.items()} == {
+            n: e.processors for n, e in s2.entries.items()
+        }
+
+    def test_chain_serializes(self, machine4):
+        mdg = chain_mdg(4, seed=0, transfer_probability=0.0).normalized()
+        schedule = prioritized_schedule(
+            mdg,
+            {name: 4.0 for name in mdg.node_names()},
+            machine4,
+            PSAOptions(processor_bound="machine"),
+        )
+        entries = sorted(schedule.entries.values(), key=lambda e: e.start)
+        for first, second in zip(entries, entries[1:]):
+            assert second.start >= first.finish - 1e-12
+
+    def test_non_power_of_two_machine(self):
+        """p = 6: nodes cap at 4 (largest power of two that fits)."""
+        from repro.costs.transfer import TransferCostParameters
+        from repro.machine.parameters import MachineParameters
+
+        machine = MachineParameters("m6", 6, TransferCostParameters.zero())
+        mdg = fork_join_mdg(2, seed=0, transfer_probability=0.0).normalized()
+        schedule = prioritized_schedule(
+            mdg,
+            {name: 6.0 for name in mdg.node_names()},
+            machine,
+            PSAOptions(processor_bound="machine"),
+        )
+        assert all(e.width <= 4 for e in schedule)
+        schedule.validate(schedule.info["weights"])
+
+
+class TestPSAQuality:
+    def test_makespan_at_least_lower_bound(self, cm5_16):
+        from repro.costs.node_weights import MDGCostModel
+
+        mdg = layered_random_mdg(4, 3, seed=12).normalized()
+        alloc = solve_allocation(mdg, cm5_16)
+        schedule = prioritized_schedule(mdg, alloc.processors, cm5_16)
+        cm = MDGCostModel(mdg, cm5_16.transfer_model())
+        lower = cm.makespan_lower_bound(schedule.info["allocation"], 16)
+        assert schedule.makespan >= lower * (1 - 1e-9)
+
+    def test_no_forced_idleness_when_machine_wide_node_ready(self, machine4):
+        """A single-node graph starts immediately at t = 0."""
+        mdg = MDG("solo")
+        mdg.add_node("only", AmdahlProcessingCost(0.1, 1.0))
+        schedule = prioritized_schedule(mdg, {"only": 4.0}, machine4)
+        assert schedule.entry("only").start == 0.0

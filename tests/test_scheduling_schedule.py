@@ -1,0 +1,185 @@
+"""Unit tests for the Schedule container, validation and metrics."""
+
+import pytest
+
+from repro.costs.node_weights import MDGCostModel
+from repro.costs.processing import AmdahlProcessingCost
+from repro.costs.transfer import TransferCostModel, TransferCostParameters
+from repro.errors import SchedulingError
+from repro.graph.mdg import MDG
+from repro.scheduling.schedule import Schedule, ScheduledNode
+
+
+def two_node_mdg() -> MDG:
+    mdg = MDG("pair")
+    mdg.add_node("a", AmdahlProcessingCost(0.0, 1.0))
+    mdg.add_node("b", AmdahlProcessingCost(0.0, 1.0))
+    mdg.add_edge("a", "b")
+    return mdg
+
+
+def weights_for(mdg, alloc):
+    cm = MDGCostModel(mdg, TransferCostModel(TransferCostParameters.zero()))
+    return cm.bind(alloc)
+
+
+class TestScheduledNode:
+    def test_duration_and_width(self):
+        e = ScheduledNode("a", 1.0, 3.0, (0, 1))
+        assert e.duration == 2.0
+        assert e.width == 2
+
+    def test_rejects_reversed_times(self):
+        with pytest.raises(SchedulingError):
+            ScheduledNode("a", 3.0, 1.0, (0,))
+
+    def test_rejects_empty_processors(self):
+        with pytest.raises(SchedulingError):
+            ScheduledNode("a", 0.0, 1.0, ())
+
+    def test_rejects_duplicate_processors(self):
+        with pytest.raises(SchedulingError):
+            ScheduledNode("a", 0.0, 1.0, (0, 0))
+
+
+class TestScheduleConstruction:
+    def test_add_and_access(self):
+        mdg = two_node_mdg()
+        s = Schedule(mdg=mdg, total_processors=2)
+        s.add(ScheduledNode("a", 0.0, 1.0, (0,)))
+        assert "a" in s
+        assert len(s) == 1
+        assert s.entry("a").finish == 1.0
+
+    def test_double_schedule_rejected(self):
+        s = Schedule(mdg=two_node_mdg(), total_processors=2)
+        s.add(ScheduledNode("a", 0.0, 1.0, (0,)))
+        with pytest.raises(SchedulingError, match="twice"):
+            s.add(ScheduledNode("a", 1.0, 2.0, (0,)))
+
+    def test_unknown_node_rejected(self):
+        s = Schedule(mdg=two_node_mdg(), total_processors=2)
+        with pytest.raises(SchedulingError, match="not in the MDG"):
+            s.add(ScheduledNode("ghost", 0.0, 1.0, (0,)))
+
+    def test_out_of_range_processor_rejected(self):
+        s = Schedule(mdg=two_node_mdg(), total_processors=2)
+        with pytest.raises(SchedulingError, match="out-of-range"):
+            s.add(ScheduledNode("a", 0.0, 1.0, (5,)))
+
+    def test_makespan_of_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            Schedule(mdg=two_node_mdg(), total_processors=2).makespan
+
+
+class TestValidation:
+    def build_valid(self):
+        mdg = two_node_mdg()
+        s = Schedule(mdg=mdg, total_processors=2)
+        alloc = {"a": 1, "b": 1}
+        w = weights_for(mdg, alloc)
+        s.add(ScheduledNode("a", 0.0, w.node_weight("a"), (0,)))
+        s.add(
+            ScheduledNode(
+                "b", w.node_weight("a"), w.node_weight("a") + w.node_weight("b"), (0,)
+            )
+        )
+        return s, w
+
+    def test_valid_schedule_passes(self):
+        s, w = self.build_valid()
+        s.validate(w)
+
+    def test_incomplete_detected(self):
+        mdg = two_node_mdg()
+        s = Schedule(mdg=mdg, total_processors=2)
+        s.add(ScheduledNode("a", 0.0, 1.0, (0,)))
+        with pytest.raises(SchedulingError, match="missing"):
+            s.validate()
+
+    def test_double_booking_detected(self):
+        mdg = two_node_mdg()
+        s = Schedule(mdg=mdg, total_processors=2)
+        s.add(ScheduledNode("a", 0.0, 2.0, (0,)))
+        s.add(ScheduledNode("b", 1.0, 3.0, (0,)))  # overlaps on proc 0
+        with pytest.raises(SchedulingError, match="double-booked"):
+            s.validate()
+
+    def test_wrong_duration_detected(self):
+        s, w = self.build_valid()
+        # Rebuild with a stretched entry.
+        mdg = s.mdg
+        bad = Schedule(mdg=mdg, total_processors=2)
+        bad.add(ScheduledNode("a", 0.0, 99.0, (0,)))
+        bad.add(ScheduledNode("b", 99.0, 99.0 + w.node_weight("b"), (0,)))
+        with pytest.raises(SchedulingError, match="weight"):
+            bad.validate(w)
+
+    def test_precedence_violation_detected(self):
+        mdg = two_node_mdg()
+        alloc = {"a": 1, "b": 1}
+        w = weights_for(mdg, alloc)
+        s = Schedule(mdg=mdg, total_processors=2)
+        s.add(ScheduledNode("a", 0.0, w.node_weight("a"), (0,)))
+        s.add(ScheduledNode("b", 0.0, w.node_weight("b"), (1,)))  # too early
+        with pytest.raises(SchedulingError, match="precedence"):
+            s.validate(w)
+
+    def test_width_mismatch_detected(self):
+        mdg = two_node_mdg()
+        alloc = {"a": 2, "b": 1}
+        w = weights_for(mdg, alloc)
+        s = Schedule(mdg=mdg, total_processors=2)
+        s.add(ScheduledNode("a", 0.0, w.node_weight("a"), (0,)))  # should be 2 wide
+        s.add(
+            ScheduledNode(
+                "b", w.node_weight("a"), w.node_weight("a") + w.node_weight("b"), (0,)
+            )
+        )
+        with pytest.raises(SchedulingError, match="allocation"):
+            s.validate(w)
+
+
+class TestMetrics:
+    def build(self):
+        mdg = MDG("three")
+        for name in ("a", "b", "c"):
+            mdg.add_node(name, AmdahlProcessingCost(0.0, 1.0))
+        mdg.add_edge("a", "b")
+        mdg.add_edge("a", "c")
+        s = Schedule(mdg=mdg, total_processors=4)
+        s.add(ScheduledNode("a", 0.0, 2.0, (0, 1, 2, 3)))
+        s.add(ScheduledNode("b", 2.0, 4.0, (0, 1)))
+        s.add(ScheduledNode("c", 2.0, 3.0, (2, 3)))
+        return s
+
+    def test_makespan(self):
+        assert self.build().makespan == 4.0
+
+    def test_busy_profile(self):
+        profile = self.build().busy_profile()
+        assert profile == [(0.0, 2.0, 4), (2.0, 3.0, 4), (3.0, 4.0, 2)]
+
+    def test_useful_work_area(self):
+        # Definition 1: 2*4 + 1*4 + 1*2 = 14
+        assert self.build().useful_work_area() == pytest.approx(14.0)
+
+    def test_idle_area(self):
+        # 4 procs * 4 s - 14 = 2
+        assert self.build().idle_area() == pytest.approx(2.0)
+
+    def test_utilization(self):
+        assert self.build().utilization() == pytest.approx(14.0 / 16.0)
+
+    def test_concurrency_at(self):
+        s = self.build()
+        assert s.concurrency_at(1.0) == 4
+        assert s.concurrency_at(3.5) == 2
+        assert s.concurrency_at(4.0) == 0
+
+    def test_allocation_from_entries(self):
+        assert self.build().allocation() == {"a": 4, "b": 2, "c": 2}
+
+    def test_work_area_bounded_by_rectangle(self):
+        s = self.build()
+        assert s.useful_work_area() <= s.total_processors * s.makespan

@@ -1,0 +1,65 @@
+"""Unit tests for Chrome Trace Event export."""
+
+import json
+
+import pytest
+
+from repro.sim.chrome_trace import save_chrome_trace, trace_to_chrome_json
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+
+@pytest.fixture
+def trace():
+    t = ExecutionTrace()
+    t.add(TraceEvent(0, "compute", "a", 0.0, 1.5))
+    t.add(TraceEvent(0, "send", "a", 1.5, 1.6, detail="a->b"))
+    t.add(TraceEvent(1, "wait", "b", 0.0, 1.6, detail="recv a->b"))
+    t.add(TraceEvent(1, "recv", "b", 1.6, 1.8, detail="a->b"))
+    return t
+
+
+class TestChromeTrace:
+    def test_valid_json(self, trace):
+        document = json.loads(trace_to_chrome_json(trace))
+        assert len(document["traceEvents"]) == 4
+
+    def test_event_fields(self, trace):
+        events = json.loads(trace_to_chrome_json(trace))["traceEvents"]
+        compute = events[0]
+        assert compute["ph"] == "X"
+        assert compute["name"] == "a:compute"
+        assert compute["ts"] == 0.0
+        assert compute["dur"] == pytest.approx(1.5e6)  # microseconds
+        assert compute["tid"] == 0
+
+    def test_categories(self, trace):
+        events = json.loads(trace_to_chrome_json(trace))["traceEvents"]
+        categories = {e["name"]: e["cat"] for e in events}
+        assert categories["a:compute"] == "compute"
+        assert categories["a:send"] == "message"
+        assert categories["b:wait"] == "idle"
+
+    def test_detail_in_args(self, trace):
+        events = json.loads(trace_to_chrome_json(trace))["traceEvents"]
+        send = [e for e in events if e["name"] == "a:send"][0]
+        assert send["args"]["detail"] == "a->b"
+
+    def test_machine_name_recorded(self, trace):
+        document = json.loads(trace_to_chrome_json(trace, machine_name="CM-5"))
+        assert document["otherData"]["machine"] == "CM-5"
+
+    def test_save_to_file(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(trace, path)
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_real_simulation_exports(self, cm5_16):
+        from repro.pipeline import compile_mdg, measure
+        from repro.programs import complex_matmul_program
+
+        result = compile_mdg(complex_matmul_program(16).mdg, cm5_16)
+        sim = measure(result)
+        document = json.loads(trace_to_chrome_json(sim.trace))
+        assert len(document["traceEvents"]) == len(sim.trace)
+        # All events on valid processor tracks.
+        assert all(0 <= e["tid"] < 16 for e in document["traceEvents"])

@@ -1,0 +1,111 @@
+"""Unit tests for repro.utils.intmath (power-of-two rounding rules)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.intmath import (
+    ceil_div,
+    is_power_of_two,
+    next_power_of_two,
+    powers_of_two_upto,
+    prev_power_of_two,
+    round_to_power_of_two,
+)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 1, 0), (1, 1, 1), (7, 2, 4), (8, 2, 4), (9, 2, 5)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValidationError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ValidationError):
+            ceil_div(-1, 2)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("v", [1, 2, 4, 8, 1024, 2**30])
+    def test_powers(self, v):
+        assert is_power_of_two(v)
+
+    @pytest.mark.parametrize("v", [0, -2, 3, 6, 12, 1023])
+    def test_non_powers(self, v):
+        assert not is_power_of_two(v)
+
+    def test_bool_is_not_power(self):
+        assert not is_power_of_two(True)
+
+    def test_float_is_not_power(self):
+        assert not is_power_of_two(4.0)
+
+
+class TestNextPrevPowerOfTwo:
+    @pytest.mark.parametrize("v,expected", [(1, 1), (1.1, 2), (2, 2), (5, 8), (8, 8)])
+    def test_next(self, v, expected):
+        assert next_power_of_two(v) == expected
+
+    def test_next_below_one(self):
+        assert next_power_of_two(0.3) == 1
+
+    @pytest.mark.parametrize("v,expected", [(1, 1), (1.9, 1), (2, 2), (7.9, 4), (8, 8)])
+    def test_prev(self, v, expected):
+        assert prev_power_of_two(v) == expected
+
+    def test_prev_rejects_below_one(self):
+        with pytest.raises(ValidationError):
+            prev_power_of_two(0.5)
+
+
+class TestRoundToPowerOfTwo:
+    @pytest.mark.parametrize(
+        "v,expected",
+        [
+            (1.0, 1),
+            (1.49, 1),
+            (1.5, 2),  # arithmetic midpoint rounds up
+            (2.9, 2),
+            (3.0, 4),
+            (5.9, 4),
+            (6.0, 8),
+            (6.1, 8),
+            (48.0, 64),
+            (47.9, 32),
+        ],
+    )
+    def test_midpoint_rule(self, v, expected):
+        assert round_to_power_of_two(v) == expected
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValidationError):
+            round_to_power_of_two(0.99)
+
+    @given(st.floats(min_value=1.0, max_value=1e9))
+    def test_theorem2_factors(self, v):
+        """Rounding never changes the value by more than x4/3 or x2/3."""
+        rounded = round_to_power_of_two(v)
+        assert is_power_of_two(rounded)
+        assert rounded >= (2.0 / 3.0) * v * (1 - 1e-12)
+        assert rounded <= (4.0 / 3.0) * v * (1 + 1e-12)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_exact_powers_are_fixed_points(self, k):
+        assert round_to_power_of_two(float(2**k)) == 2**k
+
+
+class TestPowersUpto:
+    def test_basic(self):
+        assert powers_of_two_upto(1) == [1]
+        assert powers_of_two_upto(10) == [1, 2, 4, 8]
+        assert powers_of_two_upto(16) == [1, 2, 4, 8, 16]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            powers_of_two_upto(0)

@@ -1,0 +1,58 @@
+"""Unit tests for stable topological ordering."""
+
+import pytest
+
+from repro.errors import CycleError
+from repro.utils.ordering import stable_topological_order
+
+
+class TestStableTopologicalOrder:
+    def test_chain(self):
+        order = stable_topological_order(["a", "b", "c"], {"a": ["b"], "b": ["c"]})
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_lexicographically(self):
+        order = stable_topological_order(
+            ["z", "a", "m"], {}
+        )
+        assert order == ["a", "m", "z"]
+
+    def test_diamond(self):
+        order = stable_topological_order(
+            ["top", "l", "r", "bot"],
+            {"top": ["l", "r"], "l": ["bot"], "r": ["bot"]},
+        )
+        assert order[0] == "top"
+        assert order[-1] == "bot"
+        assert set(order[1:3]) == {"l", "r"}
+
+    def test_deterministic_across_runs(self):
+        nodes = [f"n{i}" for i in range(20)]
+        succ = {f"n{i}": [f"n{i + 5}"] for i in range(15)}
+        assert stable_topological_order(nodes, succ) == stable_topological_order(
+            nodes, succ
+        )
+
+    def test_cycle_detected(self):
+        with pytest.raises(CycleError, match="cycle"):
+            stable_topological_order(["a", "b"], {"a": ["b"], "b": ["a"]})
+
+    def test_self_loop_detected(self):
+        with pytest.raises(CycleError):
+            stable_topological_order(["a"], {"a": ["a"]})
+
+    def test_unknown_edge_target_rejected(self):
+        with pytest.raises(CycleError, match="not a declared node"):
+            stable_topological_order(["a"], {"a": ["ghost"]})
+
+    def test_empty_graph(self):
+        assert stable_topological_order([], {}) == []
+
+    def test_respects_all_edges(self):
+        nodes = ["d", "c", "b", "a"]
+        succ = {"d": ["c"], "c": ["b"], "b": ["a"]}
+        order = stable_topological_order(nodes, succ)
+        position = {v: k for k, v in enumerate(order)}
+        for u, targets in succ.items():
+            for v in targets:
+                assert position[u] < position[v]

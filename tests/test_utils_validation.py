@@ -1,0 +1,119 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_accepts_integer_input(self):
+        assert check_positive("x", 3) == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", -1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive("x", math.nan)
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive("x", math.inf)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="real number"):
+            check_positive("x", "three")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="tau"):
+            check_positive("tau", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("x", 7.0) == 7.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            check_non_negative("x", -1e-12)
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_rejects_endpoints(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer("n", 5) == 5
+
+    def test_accepts_integral_float(self):
+        assert check_integer("n", 5.0) == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_integer("n", np.int64(7)) == 7
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", 5.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="bool"):
+            check_integer("n", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", "5")
+
+    def test_enforces_minimum(self):
+        with pytest.raises(ValidationError, match=">= 1"):
+            check_integer("n", 0, minimum=1)
+
+    def test_minimum_boundary_ok(self):
+        assert check_integer("n", 1, minimum=1) == 1
+
+
+class TestCheckProbability:
+    def test_endpoints(self):
+        assert check_probability("a", 0.0) == 0.0
+        assert check_probability("a", 1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_probability("a", 1.0001)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability("a", -0.1)

@@ -1,0 +1,91 @@
+"""Unit tests for ASCII Gantt rendering."""
+
+import pytest
+
+from repro.allocation.solver import solve_allocation
+from repro.errors import ValidationError
+from repro.graph.generators import paper_example_mdg
+from repro.pipeline import compile_mdg, measure
+from repro.scheduling.psa import PSAOptions, prioritized_schedule
+from repro.viz.gantt import schedule_gantt, trace_gantt
+
+
+@pytest.fixture
+def example_schedule(machine4):
+    mdg = paper_example_mdg().normalized()
+    alloc = solve_allocation(mdg, machine4)
+    return prioritized_schedule(
+        mdg, alloc.processors, machine4, PSAOptions(processor_bound="machine")
+    )
+
+
+class TestScheduleGantt:
+    def test_one_row_per_processor(self, example_schedule):
+        text = schedule_gantt(example_schedule)
+        rows = [line for line in text.splitlines() if line.startswith("P")]
+        assert len(rows) == 4
+
+    def test_legend_lists_real_nodes(self, example_schedule):
+        text = schedule_gantt(example_schedule)
+        assert "N1" in text
+        assert "N2" in text
+        # Dummy STOP hidden from the legend.
+        assert "__STOP__" not in text
+
+    def test_concurrent_nodes_on_distinct_rows(self, example_schedule):
+        text = schedule_gantt(example_schedule, width=40)
+        rows = [line for line in text.splitlines() if line.startswith("P")]
+        legend = text.splitlines()[-1]
+        # Find symbols for N2 and N3 from the legend.
+        sym = {}
+        for item in legend.replace("legend: ", "").split(", "):
+            s, name = item.split("=")
+            sym[name] = s
+        rows_with_n2 = [r for r in rows if sym["N2"] in r]
+        rows_with_n3 = [r for r in rows if sym["N3"] in r]
+        assert len(rows_with_n2) == 2
+        assert len(rows_with_n3) == 2
+        assert not {id(r) for r in rows_with_n2} & {id(r) for r in rows_with_n3}
+
+    def test_width_respected(self, example_schedule):
+        text = schedule_gantt(example_schedule, width=30)
+        rows = [line for line in text.splitlines() if line.startswith("P")]
+        for row in rows:
+            bar = row.split("|")[1]
+            assert len(bar) == 30
+
+    def test_width_validation(self, example_schedule):
+        with pytest.raises(ValidationError):
+            schedule_gantt(example_schedule, width=5)
+
+    def test_empty_schedule(self, machine4):
+        from repro.scheduling.schedule import Schedule
+
+        empty = Schedule(mdg=paper_example_mdg(), total_processors=4)
+        assert "empty" in schedule_gantt(empty)
+
+
+class TestTraceGantt:
+    def test_renders_simulation(self, machine4):
+        mdg = paper_example_mdg().normalized()
+        result = compile_mdg(mdg, machine4)
+        sim = measure(result)
+        text = trace_gantt(sim.trace, 4)
+        assert text.count("P ") >= 0
+        assert "legend:" in text
+
+    def test_message_ops_lowercase(self, cm5_16):
+        from repro.programs import complex_matmul_program
+
+        result = compile_mdg(complex_matmul_program(16).mdg, cm5_16)
+        sim = measure(result)
+        text = trace_gantt(sim.trace, 16)
+        bars = "".join(
+            line.split("|")[1] for line in text.splitlines() if line.startswith("P")
+        )
+        assert any(c.islower() for c in bars)  # sends/recvs present
+
+    def test_empty_trace(self):
+        from repro.sim.trace import ExecutionTrace
+
+        assert "empty" in trace_gantt(ExecutionTrace(), 2)
