@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 from scipy.optimize import minimize
 
+from repro import obs
 from repro.allocation.formulation import ConvexAllocationProblem
 from repro.allocation.result import Allocation
 from repro.errors import SolverError
@@ -55,6 +56,44 @@ class ConvexSolverOptions:
         raise SolverError(f"unknown solver method {self.method!r}")
 
 
+def _iteration_callback(problem: ConvexAllocationProblem, method: str):
+    """Per-iteration scipy callback feeding the telemetry layer.
+
+    Built only when telemetry is enabled, so the default path hands scipy
+    ``callback=None`` and pays nothing. trust-constr invokes
+    ``callback(xk, state)`` (state is an ``OptimizeResult`` view); SLSQP
+    invokes ``callback(xk)``.
+    """
+    iterations = obs.histogram(f"solver.callback_iterations.{method}")
+
+    if method == "trust-constr":
+
+        def callback(xk, state) -> bool:
+            iterations.observe(1.0)
+            obs.event(
+                "solver.iteration",
+                method=method,
+                nit=int(getattr(state, "nit", -1)),
+                objective=float(getattr(state, "fun", math.nan)),
+                constr_violation=float(
+                    getattr(state, "constr_violation", math.nan)
+                ),
+            )
+            return False
+
+        return callback
+
+    def slsqp_callback(xk) -> None:
+        iterations.observe(1.0)
+        obs.event(
+            "solver.iteration",
+            method=method,
+            objective=float(problem.objective(np.asarray(xk, dtype=float))),
+        )
+
+    return slsqp_callback
+
+
 def _run_method(
     problem: ConvexAllocationProblem,
     method: str,
@@ -65,6 +104,7 @@ def _run_method(
     lin = problem.linear_constraint()
     if lin is not None:
         constraints.append(lin)
+    callback = _iteration_callback(problem, method) if obs.enabled() else None
     if method == "trust-constr":
         with warnings.catch_warnings():
             # trust-constr emits advisory warnings about its internal
@@ -78,11 +118,13 @@ def _run_method(
                 method="trust-constr",
                 bounds=problem.bounds(),
                 constraints=constraints,
+                callback=callback,
                 options={
                     "maxiter": options.max_iterations,
                     "gtol": options.tolerance,
                     "xtol": options.tolerance,
-                    "verbose": 0,
+                    # 2 = per-iteration progress table on stdout.
+                    "verbose": 2 if options.verbose else 0,
                 },
             )
     # SLSQP wants dict-style inequality constraints h(z) >= 0.
@@ -110,7 +152,12 @@ def _run_method(
         method="SLSQP",
         bounds=list(zip(b.lb, b.ub)),
         constraints=slsqp_constraints,
-        options={"maxiter": options.max_iterations, "ftol": options.tolerance},
+        callback=callback,
+        options={
+            "maxiter": options.max_iterations,
+            "ftol": options.tolerance,
+            "disp": bool(options.verbose),
+        },
     )
 
 
@@ -160,25 +207,40 @@ def solve_allocation(
                 z0 = problem.initial_point_from_allocation(target)  # type: ignore[arg-type]
             else:
                 z0 = problem.initial_point(target)  # type: ignore[arg-type]
-            try:
-                result = _run_method(problem, method, z0, options)
-            except (ValueError, FloatingPointError) as exc:
-                attempts.append(
-                    {"method": method, "start": start_kind, "error": str(exc)}
+            obs.counter("solver.attempts").inc()
+            with obs.span(
+                "solver.attempt",
+                method=method,
+                start=start_kind if start_kind == "warm" else target,
+            ) as attempt_span:
+                try:
+                    result = _run_method(problem, method, z0, options)
+                except (ValueError, FloatingPointError) as exc:
+                    obs.counter("solver.attempt_errors").inc()
+                    attempt_span.set_attr("numerical_error", str(exc))
+                    attempts.append(
+                        {"method": method, "start": start_kind, "error": str(exc)}
+                    )
+                    continue
+                z = np.asarray(result.x, dtype=float)
+                violation = problem.max_violation(z)
+                record = {
+                    "method": method,
+                    "start": start_kind if start_kind == "warm" else target,
+                    "status": getattr(result, "status", None),
+                    "message": str(getattr(result, "message", "")),
+                    "iterations": int(getattr(result, "nit", -1)),
+                    "phi_scaled": problem.objective(z),
+                    "violation": violation,
+                }
+                attempts.append(record)
+                obs.histogram("solver.iterations").observe(record["iterations"])
+                attempt_span.set_attr("iterations", record["iterations"])
+                attempt_span.set_attr("phi_scaled", record["phi_scaled"])
+                attempt_span.set_attr("violation", violation)
+                attempt_span.set_attr(
+                    "feasible", violation <= options.feasibility_tolerance
                 )
-                continue
-            z = np.asarray(result.x, dtype=float)
-            violation = problem.max_violation(z)
-            record = {
-                "method": method,
-                "start": start_kind if start_kind == "warm" else target,
-                "status": getattr(result, "status", None),
-                "message": str(getattr(result, "message", "")),
-                "iterations": int(getattr(result, "nit", -1)),
-                "phi_scaled": problem.objective(z),
-                "violation": violation,
-            }
-            attempts.append(record)
             if violation <= options.feasibility_tolerance:
                 if best is None or problem.objective(z) < best["phi_scaled"]:
                     best = {**record, "z": z}
@@ -191,7 +253,8 @@ def solve_allocation(
     # feasible and improves the objective.
     if best is not None and best["method"] != "slsqp":
         try:
-            polished = _run_method(problem, "slsqp", best["z"].copy(), options)
+            with obs.span("solver.polish", method="slsqp"):
+                polished = _run_method(problem, "slsqp", best["z"].copy(), options)
         except (ValueError, FloatingPointError):
             polished = None
         if polished is not None:
@@ -218,6 +281,18 @@ def solve_allocation(
     processors = problem.allocation_from_point(z)
     a_exact, c_exact = problem.evaluate_allocation(processors)
     phi = problem.phi_seconds(z)
+    if obs.enabled():
+        obs.counter("solver.solves").inc()
+        obs.event(
+            "solver.result",
+            method=best["method"],
+            iterations=best["iterations"],
+            phi=phi,
+            violation=best["violation"],
+            polished=bool(best.get("polished", False)),
+            attempts=len(attempts),
+            nodes=problem.layout.n_nodes,
+        )
     return Allocation(
         processors=processors,
         phi=phi,

@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from repro import obs
 from repro._version import __version__
 from repro.analysis.comparison import (
     phi_vs_tpsa,
@@ -226,15 +227,27 @@ def cmd_export_dot(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.sim.chrome_trace import save_chrome_trace
 
-    bundle = _bundle(args)
-    machine = _machine(args)
-    result = (
-        compile_spmd(bundle.mdg, machine)
-        if args.spmd
-        else compile_mdg(bundle.mdg, machine)
-    )
-    sim = measure(result, _fidelity(args.fidelity))
-    save_chrome_trace(sim.trace, args.output, machine_name=machine.name)
+    # The trace export always includes the compiler-pipeline span track;
+    # collect in-memory telemetry locally if the user didn't ask for any.
+    local_telemetry = None if obs.enabled() else obs.configure()
+    try:
+        bundle = _bundle(args)
+        machine = _machine(args)
+        result = (
+            compile_spmd(bundle.mdg, machine)
+            if args.spmd
+            else compile_mdg(bundle.mdg, machine)
+        )
+        sim = measure(result, _fidelity(args.fidelity))
+        save_chrome_trace(
+            sim.trace,
+            args.output,
+            machine_name=machine.name,
+            pipeline_spans=list(obs.get().spans),
+        )
+    finally:
+        if local_telemetry is not None:
+            obs.shutdown()
     print(
         f"simulated {bundle.name} ({result.style}) in {sim.makespan:.6g} s; "
         f"wrote Chrome trace to {args.output} "
@@ -274,6 +287,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--machine", default="cm5", help="machine preset")
         p.add_argument("--processors", "-p", type=int, default=64)
         p.add_argument("--width", type=int, default=72, help="gantt width")
+        p.add_argument(
+            "--log-json",
+            default=None,
+            metavar="PATH",
+            help="stream structured telemetry events (spans, decisions, "
+            "metrics) to PATH as JSONL",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write the final metrics snapshot (counters/gauges/"
+            "histograms) to PATH as JSON",
+        )
+        p.add_argument(
+            "--obs-report",
+            action="store_true",
+            help="print a human-readable telemetry report after the run",
+        )
 
     p_compile = sub.add_parser("compile", help="allocate + schedule + show Gantt")
     common(p_compile)
@@ -324,7 +356,42 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    log_json = getattr(args, "log_json", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    want_report = getattr(args, "obs_report", False)
+    if not (log_json or metrics_out or want_report):
+        return args.func(args)
+
+    import json
+    from pathlib import Path
+
+    try:
+        telemetry = obs.configure(jsonl_path=log_json)
+    except OSError as exc:
+        raise SystemExit(f"cannot open --log-json path {log_json!r}: {exc}")
+    try:
+        status = args.func(args)
+    finally:
+        # Flush the JSONL sink first, so even a crashed run leaves a
+        # complete telemetry file behind for post-mortems.
+        obs.shutdown()
+        if metrics_out:
+            try:
+                Path(metrics_out).write_text(
+                    json.dumps(telemetry.metrics.snapshot(), indent=2) + "\n"
+                )
+            except OSError as exc:
+                raise SystemExit(
+                    f"cannot write --metrics-out path {metrics_out!r}: {exc}"
+                )
+        if want_report:
+            print()
+            print(obs.render_report(telemetry))
+        if log_json:
+            print(f"wrote telemetry JSONL to {log_json}")
+        if metrics_out:
+            print(f"wrote metrics JSON to {metrics_out}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

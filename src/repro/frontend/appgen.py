@@ -15,6 +15,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.errors import FrontendError
 from repro.frontend.dependence import flow_dependences
 from repro.frontend.ir import LoopNest, LoopProgram
@@ -133,5 +134,8 @@ def compile_loop_program(
     matrices: Mapping[str, np.ndarray] | None = None,
 ) -> ProgramBundle:
     """Both artifacts for a loop program: the MDG and the runnable app."""
-    app = build_app_graph(program, fills, matrices)
+    with obs.span("frontend", program=program.name) as sp:
+        app = build_app_graph(program, fills, matrices)
+        sp.set_attr("loops", len(program.loops))
+        sp.set_attr("edges", app.mdg.n_edges)
     return ProgramBundle(name=program.name, mdg=app.mdg, app=app)

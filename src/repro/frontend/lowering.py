@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import obs
 from repro.costs.processing import ProcessingCostModel
 from repro.costs.transfer import ArrayTransfer, TransferKind
 from repro.errors import FrontendError
@@ -72,4 +73,12 @@ def lower_to_mdg(program: LoopProgram) -> MDG:
             )
     for (source, target), transfers in per_edge.items():
         mdg.add_edge(source, target, transfers)
+    if obs.enabled():
+        obs.event(
+            "frontend.lower",
+            program=program.name,
+            loops=len(program.loops),
+            edges=mdg.n_edges,
+            dependences=sum(len(ts) for ts in per_edge.values()),
+        )
     return mdg

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.costs.extensions import SumProcessingCost
 from repro.costs.processing import ZeroProcessingCost
 from repro.errors import GraphError
@@ -110,31 +111,34 @@ def coarsen_mdg(mdg: MDG, target_nodes: int) -> CoarseningResult:
     current = _merged_graph(mdg, members, merged_name_of)
     internalized = 0.0
 
-    while current.n_nodes > target_nodes:
-        candidates = sorted(
-            current.edges(),
-            key=lambda e: (
-                -e.total_bytes,
-                current.node(e.source).processing.cost(1.0)
-                + current.node(e.target).processing.cost(1.0),
-                e.source,
-                e.target,
-            ),
-        )
-        merged = False
-        for edge in candidates:
-            if _reachable_avoiding_edge(current, edge.source, edge.target):
-                continue  # contraction would create a cycle
-            absorbed = members.pop(edge.target)
-            members[edge.source].extend(absorbed)
-            for name in absorbed:
-                merged_name_of[name] = edge.source
-            internalized += edge.total_bytes
-            current = _merged_graph(mdg, members, merged_name_of)
-            merged = True
-            break
-        if not merged:
-            break  # every remaining edge is cycle-creating
+    with obs.span("coarsen", nodes_before=mdg.n_nodes, target=target_nodes) as sp:
+        while current.n_nodes > target_nodes:
+            candidates = sorted(
+                current.edges(),
+                key=lambda e: (
+                    -e.total_bytes,
+                    current.node(e.source).processing.cost(1.0)
+                    + current.node(e.target).processing.cost(1.0),
+                    e.source,
+                    e.target,
+                ),
+            )
+            merged = False
+            for edge in candidates:
+                if _reachable_avoiding_edge(current, edge.source, edge.target):
+                    continue  # contraction would create a cycle
+                absorbed = members.pop(edge.target)
+                members[edge.source].extend(absorbed)
+                for name in absorbed:
+                    merged_name_of[name] = edge.source
+                internalized += edge.total_bytes
+                current = _merged_graph(mdg, members, merged_name_of)
+                merged = True
+                break
+            if not merged:
+                break  # every remaining edge is cycle-creating
+        sp.set_attr("nodes_after", current.n_nodes)
+        sp.set_attr("internalized_bytes", internalized)
 
     return CoarseningResult(
         coarse=current, members=dict(members), internalized_bytes=internalized

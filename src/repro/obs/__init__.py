@@ -1,0 +1,69 @@
+"""``repro.obs`` — spans, metrics, and structured run telemetry.
+
+The observability layer for the whole allocate -> schedule -> simulate
+pipeline. Disabled by default (every call is a constant-time no-op);
+enable it globally with :func:`configure` or scoped with :func:`use`:
+
+.. code-block:: python
+
+    from repro import obs
+
+    telemetry = obs.configure(jsonl_path="run.jsonl")
+    compile_mdg(mdg, machine)             # instrumented internally
+    print(obs.render_report(telemetry))   # phase timings + metrics
+    obs.shutdown()                        # flush JSONL, restore no-op
+
+Instrumented library code only ever does::
+
+    with obs.span("allocate", nodes=n) as sp:
+        ...
+        sp.set_attr("phi", phi)
+    obs.counter("solver.attempts").inc()
+    obs.event("psa.schedule", node=name, est=est, pst=pst)
+
+On the wire (JSONL / the in-memory collector), everything is a dict with
+a ``type`` of ``run_start``, ``span``, ``event``, or ``metrics``.
+"""
+
+from repro.obs.core import (
+    NullTelemetry,
+    Span,
+    Telemetry,
+    configure,
+    counter,
+    enabled,
+    event,
+    gauge,
+    get,
+    histogram,
+    shutdown,
+    span,
+    use,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import render_report
+from repro.obs.sinks import JsonlSink, MemorySink, read_jsonl
+
+__all__ = [
+    "Span",
+    "Telemetry",
+    "NullTelemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    "render_report",
+    "configure",
+    "shutdown",
+    "use",
+    "get",
+    "enabled",
+    "span",
+    "event",
+    "counter",
+    "gauge",
+    "histogram",
+]

@@ -1,0 +1,295 @@
+"""Spans, the telemetry object, and the global on/off switch.
+
+Design constraints, in order:
+
+1. **Free when off.** The default global telemetry is a null object whose
+   ``span()``/``event()``/``counter()`` are constant-time no-ops, so the
+   instrumentation sprinkled through the allocator, scheduler, and
+   simulator costs nothing measurable in normal library use.
+2. **One object when on.** A :class:`Telemetry` owns the clock, the span
+   stack, the metrics registry, and the sinks; everything an instrumented
+   run produced is reachable from it (``spans``, ``collected_events()``,
+   ``metrics``).
+3. **Structured first.** Spans and events are plain dicts on the wire
+   (JSONL) so downstream tooling needs no imports from this package.
+
+Timestamps are seconds since the telemetry object was created
+(``time.perf_counter`` based, monotonic); the wall-clock epoch is
+recorded once in the ``run_start`` event.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sinks import EventSink, JsonlSink, MemorySink
+
+__all__ = [
+    "Span",
+    "Telemetry",
+    "NullTelemetry",
+    "get",
+    "enabled",
+    "configure",
+    "shutdown",
+    "use",
+    "span",
+    "event",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+
+class Span:
+    """One timed region. Context manager; records itself when it exits."""
+
+    __slots__ = ("name", "attrs", "start", "end", "depth", "parent", "_telemetry")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: dict):
+        self._telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.depth = 0
+        self.parent: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        t = self._telemetry
+        self.depth = len(t._stack)
+        self.parent = t._stack[-1].name if t._stack else None
+        t._stack.append(self)
+        self.start = t.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t = self._telemetry
+        self.end = t.now()
+        t._stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        t.spans.append(self)
+        t.emit(
+            {
+                "type": "span",
+                "name": self.name,
+                "ts": self.start,
+                "dur": self.duration,
+                "depth": self.depth,
+                "parent": self.parent,
+                "attrs": dict(self.attrs),
+            }
+        )
+        return False
+
+
+class Telemetry:
+    """A live telemetry collector: clock + span stack + metrics + sinks."""
+
+    enabled = True
+
+    def __init__(self, sinks: tuple[EventSink, ...] | list[EventSink] = ()):
+        self.sinks: list[EventSink] = list(sinks)
+        self.metrics = MetricsRegistry()
+        self.spans: list[Span] = []  # finished spans, in finish order
+        self._stack: list[Span] = []
+        self._epoch = time.perf_counter()
+        self.emit(
+            {"type": "run_start", "ts": 0.0, "wall_time_unix": time.time()}
+        )
+
+    def now(self) -> float:
+        """Seconds since this telemetry object was created (monotonic)."""
+        return time.perf_counter() - self._epoch
+
+    # -- spans and events --------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def event(self, name: str, **fields) -> None:
+        record = {"type": "event", "name": name, "ts": self.now()}
+        if self._stack:
+            record["span"] = self._stack[-1].name
+        record.update(fields)
+        self.emit(record)
+
+    def emit(self, record: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    # -- metrics -----------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.metrics.histogram(name)
+
+    # -- lifecycle ---------------------------------------------------------
+    def collected_events(self) -> list[dict]:
+        """Events captured by the first in-memory sink (if any)."""
+        for sink in self.sinks:
+            if isinstance(sink, MemorySink):
+                return sink.events
+        return []
+
+    def close(self) -> None:
+        """Emit the final metrics snapshot and release the sinks."""
+        self.emit(
+            {
+                "type": "metrics",
+                "ts": self.now(),
+                "metrics": self.metrics.snapshot(),
+            }
+        )
+        for sink in self.sinks:
+            sink.close()
+
+
+class _NullSpan:
+    """Shared do-nothing span used while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NullTelemetry:
+    """The disabled default: every operation is a constant-time no-op."""
+
+    enabled = False
+    spans: tuple = ()
+
+    _SPAN = _NullSpan()
+    _COUNTER = Counter("null")
+    _GAUGE = Gauge("null")
+    _HISTOGRAM = Histogram("null")
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return self._SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def counter(self, name: str) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return self._GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return self._HISTOGRAM
+
+    def collected_events(self) -> list[dict]:
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+_NULL = NullTelemetry()
+_active: Telemetry | NullTelemetry = _NULL
+
+
+def get() -> Telemetry | NullTelemetry:
+    """The active telemetry (the null object when disabled)."""
+    return _active
+
+
+def enabled() -> bool:
+    """True when a real telemetry collector is installed."""
+    return _active.enabled
+
+
+def configure(
+    jsonl_path: str | None = None,
+    memory: bool = True,
+    sinks: tuple[EventSink, ...] = (),
+) -> Telemetry:
+    """Install (and return) a live global telemetry collector.
+
+    ``memory=True`` (default) adds an in-process :class:`MemorySink` so
+    the run report and the Chrome-trace pipeline track work without a
+    file; ``jsonl_path`` additionally streams events to disk.
+    """
+    global _active
+    all_sinks: list[EventSink] = list(sinks)
+    if memory:
+        all_sinks.append(MemorySink())
+    if jsonl_path is not None:
+        all_sinks.append(JsonlSink(jsonl_path))
+    if isinstance(_active, Telemetry):
+        _active.close()
+    _active = Telemetry(all_sinks)
+    return _active
+
+
+def shutdown() -> Telemetry | NullTelemetry:
+    """Close the active collector and restore the disabled default."""
+    global _active
+    previous = _active
+    previous.close()
+    _active = _NULL
+    return previous
+
+
+@contextmanager
+def use(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Temporarily install ``telemetry`` as the global collector (tests)."""
+    global _active
+    previous = _active
+    _active = telemetry
+    try:
+        yield telemetry
+    finally:
+        _active = previous
+
+
+# -- module-level conveniences: what instrumented code actually calls ------
+def span(name: str, **attrs):
+    return _active.span(name, **attrs)
+
+
+def event(name: str, **fields) -> None:
+    _active.event(name, **fields)
+
+
+def counter(name: str) -> Counter:
+    return _active.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _active.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _active.histogram(name)

@@ -1,0 +1,144 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The registry is deliberately tiny — name -> instrument, get-or-create on
+first touch — so instrumented code never has to pre-declare anything.
+Snapshots are plain nested dicts, directly serializable to JSON, which is
+what ``--metrics-out`` writes and what tests assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Histograms keep raw observations up to this many samples (enough for
+#: per-iteration solver telemetry and PSA queue lengths); beyond it only
+#: the running aggregates stay exact and percentiles become approximate.
+RESERVOIR_SIZE = 4096
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, attempts, bytes)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins instantaneous value (utilization, makespan)."""
+
+    name: str
+    value: float = 0.0
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+@dataclass
+class Histogram:
+    """A stream of observations with exact running aggregates.
+
+    Raw samples are retained up to :data:`RESERVOIR_SIZE` so percentiles
+    can be computed in the report; count/sum/min/max are always exact.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolation percentile over the retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = (len(ordered) - 1) * (q / 100.0)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def as_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every instrument."""
+        return {
+            "counters": {n: c.as_dict() for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.as_dict() for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self.histograms.items())
+            },
+        }

@@ -1,0 +1,96 @@
+"""Human-readable run report from collected telemetry.
+
+Renders the span tree (phase timings, with attributes inline) followed by
+the metrics registry — the terminal-friendly complement to the JSONL
+event stream. ``paradigm-mdg ... --obs-report`` prints this after a run.
+"""
+
+from __future__ import annotations
+
+from repro.obs.core import NullTelemetry, Telemetry
+from repro.utils.tables import format_table
+
+__all__ = ["render_report"]
+
+#: Span attributes small enough to show inline next to the timing bar.
+_MAX_INLINE_ATTRS = 4
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def _format_attrs(attrs: dict) -> str:
+    shown = list(attrs.items())[:_MAX_INLINE_ATTRS]
+    if not shown:
+        return ""
+    parts = []
+    for key, value in shown:
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    suffix = " ..." if len(attrs) > _MAX_INLINE_ATTRS else ""
+    return "  [" + ", ".join(parts) + suffix + "]"
+
+
+def render_report(
+    telemetry: Telemetry | NullTelemetry, title: str = "run report"
+) -> str:
+    """Span tree + metrics tables as monospace text."""
+    lines = [f"== {title} =="]
+
+    spans = list(telemetry.spans)
+    if spans:
+        lines.append("")
+        lines.append("-- phases (wall time) --")
+        # Finish order interleaves siblings and parents; start order reads
+        # as the run actually unfolded.
+        for sp in sorted(spans, key=lambda s: (s.start, -s.depth)):
+            indent = "  " * sp.depth
+            lines.append(
+                f"{indent}{sp.name:<{max(4, 28 - len(indent))}} "
+                f"{_format_duration(sp.duration):>10}{_format_attrs(sp.attrs)}"
+            )
+
+    metrics = getattr(telemetry, "metrics", None)
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        if snapshot["counters"]:
+            rows = [(name, value) for name, value in snapshot["counters"].items()]
+            lines.append("")
+            lines.append(format_table(["counter", "value"], rows))
+        if snapshot["gauges"]:
+            rows = [(name, value) for name, value in snapshot["gauges"].items()]
+            lines.append("")
+            lines.append(format_table(["gauge", "value"], rows))
+        if snapshot["histograms"]:
+            rows = []
+            for name, stats in snapshot["histograms"].items():
+                if stats["count"] == 0:
+                    rows.append((name, 0, "-", "-", "-", "-"))
+                else:
+                    rows.append(
+                        (
+                            name,
+                            stats["count"],
+                            stats["mean"],
+                            stats["min"],
+                            stats["max"],
+                            stats["p95"],
+                        )
+                    )
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["histogram", "count", "mean", "min", "max", "p95"], rows
+                )
+            )
+
+    if len(lines) == 1:
+        lines.append("(no telemetry collected)")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Event sinks: where structured telemetry events go.
+
+Every event is one flat-ish dict; sinks only transport, they never
+interpret. ``MemorySink`` backs in-process inspection (tests, the run
+report); ``JsonlSink`` writes one JSON object per line so runs can be
+post-processed with nothing fancier than ``for line in file``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+__all__ = ["EventSink", "MemorySink", "JsonlSink", "read_jsonl"]
+
+
+class EventSink:
+    """Interface: ``emit`` one event dict, ``close`` when the run ends."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Keeps every event in a list, for tests and reports."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _jsonable(value):
+    """Best-effort coercion so exotic attribute values never kill a run."""
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+class JsonlSink(EventSink):
+    """Appends one JSON line per event to ``path`` (created/truncated)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle: IO[str] | None = self.path.open("w")
+
+    def emit(self, event: dict) -> None:
+        if self._handle is None:
+            raise ValueError(f"JsonlSink {self.path} already closed")
+        try:
+            line = json.dumps(event)
+        except TypeError:
+            line = json.dumps({k: _jsonable(v) for k, v in event.items()})
+        self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL telemetry file back into event dicts."""
+    events = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

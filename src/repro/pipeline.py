@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.allocation.result import Allocation
 from repro.allocation.solver import ConvexSolverOptions, solve_allocation
 from repro.codegen.mpmd import generate_mpmd_program
@@ -63,12 +64,22 @@ def compile_mdg(
     solver_options: ConvexSolverOptions | None = None,
 ) -> CompilationResult:
     """Allocate (convex program), schedule (PSA), and generate MPMD code."""
-    normalized = mdg.normalized()
-    allocation = solve_allocation(normalized, machine, solver_options)
-    schedule = prioritized_schedule(
-        normalized, allocation.processors, machine, psa_options
-    )
-    program = generate_mpmd_program(schedule, machine)
+    with obs.span(
+        "compile", style="MPMD", machine=machine.name, processors=machine.processors
+    ) as compile_span:
+        normalized = mdg.normalized()
+        compile_span.set_attr("nodes", normalized.n_nodes)
+        with obs.span("allocate") as sp:
+            allocation = solve_allocation(normalized, machine, solver_options)
+            sp.set_attr("phi", allocation.phi)
+        with obs.span("schedule") as sp:
+            schedule = prioritized_schedule(
+                normalized, allocation.processors, machine, psa_options
+            )
+            sp.set_attr("makespan", schedule.makespan)
+        with obs.span("codegen") as sp:
+            program = generate_mpmd_program(schedule, machine)
+            sp.set_attr("instructions", program.n_instructions)
     return CompilationResult(
         mdg=normalized,
         machine=machine,
@@ -81,9 +92,15 @@ def compile_mdg(
 
 def compile_spmd(mdg: MDG, machine: MachineParameters) -> CompilationResult:
     """The all-processors SPMD compilation used as the Figure 8 baseline."""
-    normalized = mdg.normalized()
-    schedule = spmd_schedule(normalized, machine)
-    program = generate_spmd_program(normalized, machine)
+    with obs.span(
+        "compile", style="SPMD", machine=machine.name, processors=machine.processors
+    ):
+        normalized = mdg.normalized()
+        with obs.span("schedule") as sp:
+            schedule = spmd_schedule(normalized, machine)
+            sp.set_attr("makespan", schedule.makespan)
+        with obs.span("codegen"):
+            program = generate_spmd_program(normalized, machine)
     allocation = Allocation(
         processors={name: float(w) for name, w in schedule.allocation().items()},
         phi=None,
@@ -137,18 +154,20 @@ def execute_bundle(
     from repro.runtime.executor import ValueExecutor
     from repro.runtime.verify import verify_against_reference
 
-    compilation = compile_mdg(bundle.mdg, machine, psa_options=psa_options)
-    simulation = measure(compilation, fidelity, record_trace=False)
+    with obs.span("execute_bundle", bundle=getattr(bundle, "name", "?")):
+        compilation = compile_mdg(bundle.mdg, machine, psa_options=psa_options)
+        simulation = measure(compilation, fidelity, record_trace=False)
 
-    groups: dict[str, int] = {}
-    placement: dict[str, tuple[int, ...]] = {}
-    for name in bundle.app.computational_nodes():
-        entry = compilation.schedule.entry(name)
-        groups[name] = entry.width
-        placement[name] = entry.processors
-    report = ValueExecutor(bundle.app).run(groups, placement)
-    if verify:
-        verify_against_reference(bundle.app, report)
+        groups: dict[str, int] = {}
+        placement: dict[str, tuple[int, ...]] = {}
+        for name in bundle.app.computational_nodes():
+            entry = compilation.schedule.entry(name)
+            groups[name] = entry.width
+            placement[name] = entry.processors
+        report = ValueExecutor(bundle.app).run(groups, placement)
+        if verify:
+            with obs.span("verify"):
+                verify_against_reference(bundle.app, report)
     return BundleExecution(
         compilation=compilation, simulation=simulation, value_report=report
     )
@@ -167,4 +186,12 @@ def measure(
     for realistic deviations (the Figure 9 configuration).
     """
     simulator = MachineSimulator(fidelity)
-    return simulator.run(result.program, record_trace=record_trace)
+    with obs.span(
+        "simulate",
+        style=result.style,
+        ideal=simulator.fidelity.is_ideal,
+        record_trace=record_trace,
+    ) as sp:
+        sim = simulator.run(result.program, record_trace=record_trace)
+        sp.set_attr("makespan", sim.makespan)
+    return sim

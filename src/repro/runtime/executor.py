@@ -16,6 +16,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.costs.transfer import TransferKind
 from repro.errors import DistributionError, GraphError
 from repro.graph.mdg import MDG
@@ -172,6 +173,7 @@ class ValueExecutor:
         results: dict[str, DistributedArray] = {}
         transfers: list[TransferStats] = []
         used_alloc: dict[str, int] = {}
+        telemetry_on = obs.enabled()
 
         for name in app.computational_nodes():
             if name not in allocation:
@@ -228,6 +230,20 @@ class ValueExecutor:
                         local_bytes=local_bytes,
                     )
                 )
+                if telemetry_on:
+                    obs.counter("runtime.messages").inc(len(messages))
+                    obs.counter("runtime.bytes_moved").inc(moved)
+                    obs.counter("runtime.local_bytes").inc(local_bytes)
+                    obs.event(
+                        "runtime.transfer",
+                        producer=producer,
+                        consumer=name,
+                        input=input_name,
+                        kind=kind.name if kind is not None else None,
+                        messages=len(messages),
+                        bytes=moved,
+                        local_bytes=local_bytes,
+                    )
                 local_inputs[input_name] = source.redistribute(want)
 
             out_dist = kernel.output_distribution(group)
@@ -247,9 +263,20 @@ class ValueExecutor:
             results[name] = DistributedArray(out_dist, blocks)
 
         outputs = {name: results[name].assemble() for name in app.sink_nodes()}
-        return ExecutionReport(
+        report = ExecutionReport(
             outputs=outputs,
             node_results=results,
             transfers=transfers,
             allocation=used_alloc,
         )
+        if telemetry_on:
+            obs.counter("runtime.nodes_executed").inc(len(used_alloc))
+            obs.event(
+                "runtime.execute",
+                nodes=len(used_alloc),
+                transfers=len(transfers),
+                bytes_moved=report.total_bytes_moved(),
+                wire_bytes=report.total_wire_bytes(),
+                locality_fraction=report.locality_fraction(),
+            )
+        return report

@@ -25,6 +25,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro import obs
 from repro.allocation.rounding import (
     bound_allocation,
     optimal_processor_bound,
@@ -131,6 +132,21 @@ def prepare_allocation(
 
     # Step 3: recompute weights for the modified allocation.
     weights = cost_model.bind(bounded)
+    if obs.enabled():
+        rounded_up = sum(
+            1 for name in filled if rounded.get(name, 0) > filled[name]
+        )
+        bounded_down = sum(
+            1 for name in rounded if bounded.get(name, 0) < rounded[name]
+        )
+        obs.event(
+            "psa.prepare",
+            nodes=len(filled),
+            processor_bound=processor_bound,
+            machine_processors=p,
+            rounded_up=rounded_up,
+            bounded_down=bounded_down,
+        )
     return mdg, bounded, weights, processor_bound
 
 
@@ -166,7 +182,14 @@ def prioritized_schedule(
         name: len(mdg.predecessors(name)) for name in mdg.node_names()
     }
 
+    telemetry_on = obs.enabled()
+    if telemetry_on:
+        queue_depth = obs.histogram("psa.ready_queue_length")
+        scheduled_count = obs.counter("psa.nodes_scheduled")
+
     while ready:
+        if telemetry_on:
+            queue_depth.observe(len(ready))
         est, name = heapq.heappop(ready)
         width = bounded[name]
         pst = pool.satisfaction_time(width)
@@ -176,6 +199,18 @@ def prioritized_schedule(
         schedule.add(
             ScheduledNode(name=name, start=start, finish=finish, processors=processors)
         )
+        if telemetry_on:
+            scheduled_count.inc()
+            obs.event(
+                "psa.schedule",
+                node=name,
+                est=est,
+                pst=pst,
+                start=start,
+                finish=finish,
+                width=width,
+                waited=max(0.0, pst - est),
+            )
         if name == stop_node:
             break
         for edge in mdg.out_edges(name):
@@ -205,6 +240,8 @@ def prioritized_schedule(
             "machine": machine.name,
         }
     )
+    if telemetry_on:
+        obs.gauge("psa.makespan").set(schedule.makespan)
     if options.validate:
         schedule.validate(weights)
     return schedule

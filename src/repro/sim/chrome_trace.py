@@ -6,24 +6,97 @@ schedules far wider than an ASCII chart can show.
 
 Format reference: the "Trace Event Format" document (Google). We emit
 complete events (``"ph": "X"``) with microsecond timestamps, one track
-(tid) per simulated processor.
+(tid) per simulated processor, plus metadata events (``"ph": "M"``) so
+Perfetto labels the tracks "proc 0" … "proc p-1" instead of bare tids.
+
+When pipeline-phase spans from :mod:`repro.obs` are supplied, they are
+emitted on a second process track (``pid`` :data:`PIPELINE_PID`), so one
+file shows both the *compiler's* wall time and the *simulated machine's*
+time. The two clocks are unrelated — zoom each track separately.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Iterable, Sequence
 
+from repro.obs.core import Span
 from repro.sim.trace import ExecutionTrace
 
-__all__ = ["trace_to_chrome_json", "save_chrome_trace"]
+__all__ = [
+    "SIMULATION_PID",
+    "PIPELINE_PID",
+    "trace_to_chrome_json",
+    "save_chrome_trace",
+]
 
 _CATEGORY = {"compute": "compute", "send": "message", "recv": "message", "wait": "idle"}
 
+#: ``pid`` of the simulated-machine tracks (one tid per processor).
+SIMULATION_PID = 0
+#: ``pid`` of the compiler-pipeline span track (obs wall time).
+PIPELINE_PID = 1
 
-def trace_to_chrome_json(trace: ExecutionTrace, machine_name: str = "sim") -> str:
-    """Serialize ``trace`` as a Trace Event Format JSON string."""
-    events = []
+
+def _metadata_event(name: str, pid: int, tid: int, label: str) -> dict:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": label},
+    }
+
+
+def _pipeline_events(spans: Iterable[Span]) -> list[dict]:
+    """Compiler-phase spans as complete events on the pipeline track.
+
+    All spans share one tid: the trace viewers render properly nested
+    ``X`` events on the same thread as a flame-graph stack, which is
+    exactly what the obs span tree is.
+    """
+    events = [
+        _metadata_event("process_name", PIPELINE_PID, 0, "compiler pipeline"),
+        _metadata_event("thread_name", PIPELINE_PID, 0, "phases"),
+    ]
+    for span in spans:
+        args = {"depth": span.depth}
+        if span.parent is not None:
+            args["parent"] = span.parent
+        for key, value in span.attrs.items():
+            args[key] = value if isinstance(value, (int, float, str, bool)) else repr(value)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "pipeline",
+                "ph": "X",
+                "ts": span.start * 1e6,  # seconds -> microseconds
+                "dur": span.duration * 1e6,
+                "pid": PIPELINE_PID,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def trace_to_chrome_json(
+    trace: ExecutionTrace,
+    machine_name: str = "sim",
+    pipeline_spans: Sequence[Span] | None = None,
+) -> str:
+    """Serialize ``trace`` (and optional pipeline spans) as Trace Event JSON."""
+    processors = sorted({event.processor for event in trace})
+    events: list[dict] = [
+        _metadata_event(
+            "process_name", SIMULATION_PID, 0, f"simulated {machine_name}"
+        )
+    ]
+    for proc in processors:
+        events.append(
+            _metadata_event("thread_name", SIMULATION_PID, proc, f"proc {proc}")
+        )
     for event in trace:
         events.append(
             {
@@ -32,11 +105,13 @@ def trace_to_chrome_json(trace: ExecutionTrace, machine_name: str = "sim") -> st
                 "ph": "X",
                 "ts": event.start * 1e6,  # seconds -> microseconds
                 "dur": event.duration * 1e6,
-                "pid": 0,
+                "pid": SIMULATION_PID,
                 "tid": event.processor,
                 "args": {"detail": event.detail} if event.detail else {},
             }
         )
+    if pipeline_spans:
+        events.extend(_pipeline_events(pipeline_spans))
     document = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -46,7 +121,12 @@ def trace_to_chrome_json(trace: ExecutionTrace, machine_name: str = "sim") -> st
 
 
 def save_chrome_trace(
-    trace: ExecutionTrace, path: str | Path, machine_name: str = "sim"
+    trace: ExecutionTrace,
+    path: str | Path,
+    machine_name: str = "sim",
+    pipeline_spans: Sequence[Span] | None = None,
 ) -> None:
     """Write the Chrome trace JSON to ``path``."""
-    Path(path).write_text(trace_to_chrome_json(trace, machine_name))
+    Path(path).write_text(
+        trace_to_chrome_json(trace, machine_name, pipeline_spans=pipeline_spans)
+    )

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.codegen.program import ComputeOp, MPMDProgram, RecvOp, SendOp
 from repro.errors import DeadlockError, SimulationError
 from repro.machine.fidelity import HardwareFidelity
@@ -103,7 +104,9 @@ class MachineSimulator:
             post_time[edge] = 0.0
 
         remaining = program.n_instructions
+        sweeps = 0
         while remaining > 0:
+            sweeps += 1
             progressed = False
             for q in procs:
                 ps = state[q]
@@ -213,6 +216,8 @@ class MachineSimulator:
             trace.validate_sequential()
         finish = {q: state[q].clock for q in procs}
         makespan = max(finish.values(), default=0.0)
+        if obs.enabled():
+            self._record_telemetry(program, trace, makespan, sweeps, record_trace)
         return SimulationResult(
             makespan=makespan,
             processor_finish=finish,
@@ -222,6 +227,59 @@ class MachineSimulator:
                 "style": program.info.get("style", "?"),
                 "mdg": program.info.get("mdg", "?"),
             },
+        )
+
+
+    def _record_telemetry(
+        self,
+        program: MPMDProgram,
+        trace: ExecutionTrace,
+        makespan: float,
+        sweeps: int,
+        record_trace: bool,
+    ) -> None:
+        """Post-run accounting (only called when telemetry is enabled).
+
+        Instruction mix and message volume are static per program, so the
+        hot execution loop stays untouched; only utilization needs the
+        recorded trace (wait time is dynamic).
+        """
+        sends = recvs = computes = 0
+        bytes_sent = 0.0
+        for stream in program.streams.values():
+            for op in stream:
+                if isinstance(op, SendOp):
+                    sends += 1
+                    bytes_sent += op.bytes_sent
+                elif isinstance(op, RecvOp):
+                    recvs += 1
+                else:
+                    computes += 1
+        obs.counter("sim.runs").inc()
+        obs.counter("sim.instructions").inc(program.n_instructions)
+        obs.counter("sim.sends").inc(sends)
+        obs.counter("sim.recvs").inc(recvs)
+        obs.counter("sim.bytes_sent").inc(bytes_sent)
+        obs.counter("sim.sweeps").inc(sweeps)
+        obs.gauge("sim.makespan").set(makespan)
+        utilization = None
+        if record_trace and makespan > 0.0:
+            n_procs = len(program.streams)
+            busy = sum(trace.busy_time(q) for q in program.streams)
+            utilization = busy / (n_procs * makespan)
+            obs.gauge("sim.utilization").set(utilization)
+        obs.event(
+            "sim.run",
+            processors=len(program.streams),
+            instructions=program.n_instructions,
+            sends=sends,
+            recvs=recvs,
+            computes=computes,
+            bytes_sent=bytes_sent,
+            sweeps=sweeps,
+            makespan=makespan,
+            utilization=utilization,
+            trace_events=len(trace) if record_trace else 0,
         )
 
 

@@ -90,5 +90,5 @@ class TestTraceExport:
         )
         events = json.loads(path.read_text())["traceEvents"]
         # SPMD: every processor participates in every compute.
-        computes = [e for e in events if e["cat"] == "compute"]
+        computes = [e for e in events if e.get("cat") == "compute"]
         assert {e["tid"] for e in computes} == {0, 1, 2, 3}

@@ -1,0 +1,204 @@
+"""Unit tests for the ``repro.obs`` telemetry layer."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def telemetry():
+    t = obs.Telemetry(sinks=[obs.MemorySink()])
+    with obs.use(t):
+        yield t
+
+
+class TestSpans:
+    def test_nesting_depth_and_parent(self, telemetry):
+        with obs.span("outer"):
+            with obs.span("middle"):
+                with obs.span("inner"):
+                    pass
+        by_name = {s.name: s for s in telemetry.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["outer"].parent is None
+        assert by_name["middle"].depth == 1
+        assert by_name["middle"].parent == "outer"
+        assert by_name["inner"].depth == 2
+        assert by_name["inner"].parent == "middle"
+
+    def test_finish_order_inner_first(self, telemetry):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert [s.name for s in telemetry.spans] == ["inner", "outer"]
+
+    def test_duration_non_negative_and_nested_within(self, telemetry):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        inner, outer = telemetry.spans
+        assert inner.duration >= 0.0
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_attrs_via_kwargs_and_set_attr(self, telemetry):
+        with obs.span("phase", machine="cm5") as sp:
+            sp.set_attr("phi", 1.25)
+        (span,) = telemetry.spans
+        assert span.attrs == {"machine": "cm5", "phi": 1.25}
+
+    def test_exception_recorded_and_propagated(self, telemetry):
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        (span,) = telemetry.spans
+        assert span.attrs["error"] == "ValueError"
+
+    def test_span_event_emitted(self, telemetry):
+        with obs.span("phase", k=1):
+            obs.event("decision", choice="a")
+        events = telemetry.collected_events()
+        kinds = [e["type"] for e in events]
+        assert kinds == ["run_start", "event", "span"]
+        assert events[1]["span"] == "phase"
+        span_event = events[2]
+        assert span_event["name"] == "phase"
+        assert span_event["attrs"] == {"k": 1}
+        assert span_event["dur"] >= 0.0
+
+
+class TestMetrics:
+    def test_counter_aggregates(self, telemetry):
+        obs.counter("c").inc()
+        obs.counter("c").inc(2.5)
+        assert telemetry.metrics.snapshot()["counters"]["c"] == 3.5
+
+    def test_counter_rejects_negative(self, telemetry):
+        with pytest.raises(ValueError):
+            obs.counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self, telemetry):
+        obs.gauge("g").set(1.0)
+        obs.gauge("g").set(0.25)
+        gauge = telemetry.metrics.gauges["g"]
+        assert gauge.value == 0.25
+        assert gauge.updates == 2
+
+    def test_histogram_stats(self, telemetry):
+        for v in (1.0, 2.0, 3.0, 4.0):
+            obs.histogram("h").observe(v)
+        stats = telemetry.metrics.snapshot()["histograms"]["h"]
+        assert stats["count"] == 4
+        assert stats["sum"] == 10.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["mean"] == 2.5
+        assert stats["p50"] == 2.5
+
+    def test_histogram_reservoir_cap_keeps_exact_aggregates(self, telemetry):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        h = obs.histogram("big")
+        for i in range(RESERVOIR_SIZE + 100):
+            h.observe(float(i))
+        assert h.count == RESERVOIR_SIZE + 100
+        assert h.maximum == float(RESERVOIR_SIZE + 99)
+        assert len(h.samples) == RESERVOIR_SIZE
+
+    def test_snapshot_is_json_serializable(self, telemetry):
+        obs.counter("c").inc()
+        obs.gauge("g").set(1.0)
+        obs.histogram("h").observe(2.0)
+        json.dumps(telemetry.metrics.snapshot())
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        telemetry = obs.configure(jsonl_path=str(path), memory=True)
+        try:
+            with obs.span("phase", n=2):
+                obs.event("inner", detail="x")
+            obs.counter("c").inc(3)
+        finally:
+            obs.shutdown()
+        events = obs.read_jsonl(path)
+        types = [e["type"] for e in events]
+        assert types == ["run_start", "event", "span", "metrics"]
+        assert events[2]["attrs"] == {"n": 2}
+        # The closing snapshot carries the metrics.
+        assert events[-1]["metrics"]["counters"]["c"] == 3
+
+    def test_unserializable_attr_degrades_to_repr(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        telemetry = obs.configure(jsonl_path=str(path), memory=False)
+        try:
+            telemetry.event("odd", payload=object())
+        finally:
+            obs.shutdown()
+        events = obs.read_jsonl(path)
+        odd = [e for e in events if e.get("name") == "odd"][0]
+        assert "object" in odd["payload"]
+
+
+class TestGlobalState:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert isinstance(obs.get(), obs.NullTelemetry)
+
+    def test_noop_when_disabled(self):
+        # Everything works and records nothing.
+        with obs.span("phase", k=1) as sp:
+            sp.set_attr("x", 2)
+            obs.event("e", a=1)
+        obs.counter("c").inc()
+        obs.gauge("g").set(1.0)
+        obs.histogram("h").observe(1.0)
+        assert obs.get().collected_events() == []
+        assert obs.get().spans == ()
+
+    def test_configure_and_shutdown(self, tmp_path):
+        telemetry = obs.configure()
+        try:
+            assert obs.enabled()
+            assert obs.get() is telemetry
+        finally:
+            obs.shutdown()
+        assert not obs.enabled()
+
+    def test_use_restores_previous(self):
+        t = obs.Telemetry(sinks=[obs.MemorySink()])
+        with obs.use(t):
+            assert obs.get() is t
+            obs.event("inside")
+        assert not obs.enabled()
+        assert [e["type"] for e in t.collected_events()] == ["run_start", "event"]
+
+    def test_instrumented_library_code_runs_disabled(self, cm5_16):
+        # The whole pipeline must run untouched with telemetry off.
+        from repro.pipeline import compile_mdg
+        from repro.programs import complex_matmul_program
+
+        assert not obs.enabled()
+        result = compile_mdg(complex_matmul_program(16).mdg, cm5_16)
+        assert result.predicted_makespan > 0
+
+
+class TestReport:
+    def test_report_contains_spans_and_metrics(self, telemetry):
+        with obs.span("compile"):
+            with obs.span("allocate"):
+                pass
+        obs.counter("solver.attempts").inc(4)
+        obs.histogram("solver.iterations").observe(29)
+        text = obs.render_report(telemetry)
+        assert "compile" in text
+        assert "  allocate" in text  # indented child
+        assert "solver.attempts" in text
+        assert "solver.iterations" in text
+
+    def test_empty_report(self, telemetry):
+        text = obs.render_report(telemetry)
+        assert "run report" in text

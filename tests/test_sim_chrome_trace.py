@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.sim.chrome_trace import save_chrome_trace, trace_to_chrome_json
+from repro.sim.chrome_trace import (
+    PIPELINE_PID,
+    SIMULATION_PID,
+    save_chrome_trace,
+    trace_to_chrome_json,
+)
 from repro.sim.trace import ExecutionTrace, TraceEvent
 
 
@@ -18,13 +23,21 @@ def trace():
     return t
 
 
+def complete_events(document):
+    return [e for e in document["traceEvents"] if e["ph"] == "X"]
+
+
+def metadata_events(document):
+    return [e for e in document["traceEvents"] if e["ph"] == "M"]
+
+
 class TestChromeTrace:
     def test_valid_json(self, trace):
         document = json.loads(trace_to_chrome_json(trace))
-        assert len(document["traceEvents"]) == 4
+        assert len(complete_events(document)) == 4
 
     def test_event_fields(self, trace):
-        events = json.loads(trace_to_chrome_json(trace))["traceEvents"]
+        events = complete_events(json.loads(trace_to_chrome_json(trace)))
         compute = events[0]
         assert compute["ph"] == "X"
         assert compute["name"] == "a:compute"
@@ -33,14 +46,14 @@ class TestChromeTrace:
         assert compute["tid"] == 0
 
     def test_categories(self, trace):
-        events = json.loads(trace_to_chrome_json(trace))["traceEvents"]
+        events = complete_events(json.loads(trace_to_chrome_json(trace)))
         categories = {e["name"]: e["cat"] for e in events}
         assert categories["a:compute"] == "compute"
         assert categories["a:send"] == "message"
         assert categories["b:wait"] == "idle"
 
     def test_detail_in_args(self, trace):
-        events = json.loads(trace_to_chrome_json(trace))["traceEvents"]
+        events = complete_events(json.loads(trace_to_chrome_json(trace)))
         send = [e for e in events if e["name"] == "a:send"][0]
         assert send["args"]["detail"] == "a->b"
 
@@ -60,6 +73,62 @@ class TestChromeTrace:
         result = compile_mdg(complex_matmul_program(16).mdg, cm5_16)
         sim = measure(result)
         document = json.loads(trace_to_chrome_json(sim.trace))
-        assert len(document["traceEvents"]) == len(sim.trace)
+        assert len(complete_events(document)) == len(sim.trace)
         # All events on valid processor tracks.
-        assert all(0 <= e["tid"] < 16 for e in document["traceEvents"])
+        assert all(0 <= e["tid"] < 16 for e in complete_events(document))
+
+
+class TestTrackMetadata:
+    def test_process_name(self, trace):
+        document = json.loads(trace_to_chrome_json(trace, machine_name="CM-5"))
+        names = [
+            e
+            for e in metadata_events(document)
+            if e["name"] == "process_name" and e["pid"] == SIMULATION_PID
+        ]
+        assert len(names) == 1
+        assert names[0]["args"]["name"] == "simulated CM-5"
+
+    def test_thread_names_cover_every_processor(self, trace):
+        document = json.loads(trace_to_chrome_json(trace))
+        labels = {
+            e["tid"]: e["args"]["name"]
+            for e in metadata_events(document)
+            if e["name"] == "thread_name" and e["pid"] == SIMULATION_PID
+        }
+        assert labels == {0: "proc 0", 1: "proc 1"}
+
+
+class TestPipelineTrack:
+    def test_no_pipeline_track_by_default(self, trace):
+        document = json.loads(trace_to_chrome_json(trace))
+        assert all(e["pid"] == SIMULATION_PID for e in document["traceEvents"])
+
+    def test_spans_on_second_pid(self, trace):
+        from repro import obs
+
+        telemetry = obs.Telemetry()
+        with obs.use(telemetry):
+            with obs.span("compile", nodes=3):
+                with obs.span("allocate"):
+                    pass
+        document = json.loads(
+            trace_to_chrome_json(trace, pipeline_spans=telemetry.spans)
+        )
+        pipeline = [
+            e
+            for e in complete_events(document)
+            if e["pid"] == PIPELINE_PID
+        ]
+        assert {e["name"] for e in pipeline} == {"compile", "allocate"}
+        by_name = {e["name"]: e for e in pipeline}
+        assert by_name["allocate"]["args"]["depth"] == 1
+        assert by_name["allocate"]["args"]["parent"] == "compile"
+        assert by_name["compile"]["args"]["nodes"] == 3
+        # Both tracks coexist and are labelled.
+        labels = {
+            (e["pid"], e["name"]): e["args"]["name"]
+            for e in metadata_events(document)
+        }
+        assert labels[(PIPELINE_PID, "process_name")] == "compiler pipeline"
+        assert (SIMULATION_PID, "process_name") in labels
