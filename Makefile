@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples artifacts clean
+.PHONY: install test test-faults lint bench examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The robustness slice: fault models, schedule repair, solver degradation.
+test-faults:
+	$(PYTHON) -m pytest tests/test_faults.py tests/test_faults_e2e.py
 
 # Config lives in pyproject.toml ([tool.ruff]); CI runs the same check.
 lint:

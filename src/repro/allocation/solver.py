@@ -4,11 +4,22 @@
 the smooth convex problem reliably); SLSQP is the fallback. Because the
 problem is convex, any KKT point is globally optimal — multistart exists
 only to paper over numerical stalls, not local minima.
+
+Degradation ladder (robustness): every attempt can be capped by a
+wall-clock ``timeout_seconds``; if every method x start attempt fails,
+up to ``max_restarts`` perturbed restarts re-try from jittered initial
+points; and if *those* fail too, ``strict=False`` swaps the
+:class:`~repro.errors.SolverError` for a guaranteed-feasible analytic
+fallback — the best uniform allocation ``p_i = t`` over a ladder of
+targets, evaluated with the exact cost model — reported through a
+``solver.fallback`` warning event so the degradation is visible, not
+silent.
 """
 
 from __future__ import annotations
 
 import math
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Sequence
@@ -47,6 +58,27 @@ class ConvexSolverOptions:
     #: baseline). Tried before the uniform multistart targets.
     initial_allocation: dict[str, float] | None = None
     verbose: bool = False
+    #: Wall-clock cap per solver attempt (seconds). ``None`` = unlimited.
+    #: Checked from the per-iteration callback, so a runaway attempt is
+    #: abandoned at the next iteration boundary and counted, not fatal.
+    timeout_seconds: float | None = None
+    #: When every method x start attempt fails, retry this many times from
+    #: multiplicatively jittered initial points (seeded; deterministic).
+    max_restarts: int = 2
+    #: Seed of the restart jitter stream.
+    restart_seed: int = 0
+    #: ``True``: raise :class:`SolverError` when nothing converges (the
+    #: historical behaviour). ``False``: degrade to the analytic uniform
+    #: fallback allocation and emit a ``solver.fallback`` warning event.
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and not self.timeout_seconds > 0.0:
+            raise SolverError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds!r}"
+            )
+        if self.max_restarts < 0:
+            raise SolverError(f"max_restarts must be >= 0, got {self.max_restarts!r}")
 
     def resolved_methods(self) -> list[str]:
         if self.method == "auto":
@@ -94,6 +126,39 @@ def _iteration_callback(problem: ConvexAllocationProblem, method: str):
     return slsqp_callback
 
 
+class _AttemptTimeout(Exception):
+    """One solver attempt overran its wall-clock budget (internal)."""
+
+
+def _deadline_callback(callback, deadline: float | None, method: str):
+    """Wrap a (possibly ``None``) scipy callback with a deadline check.
+
+    Raising from the callback is the only timeout mechanism both
+    ``trust-constr`` and SLSQP honour immediately; the exception unwinds
+    ``minimize`` and is caught per attempt.
+    """
+    if deadline is None:
+        return callback
+    if method == "trust-constr":
+
+        def guarded(xk, state) -> bool:
+            if time.monotonic() > deadline:
+                raise _AttemptTimeout
+            if callback is not None:
+                return callback(xk, state)
+            return False
+
+        return guarded
+
+    def guarded_slsqp(xk) -> None:
+        if time.monotonic() > deadline:
+            raise _AttemptTimeout
+        if callback is not None:
+            callback(xk)
+
+    return guarded_slsqp
+
+
 def _run_method(
     problem: ConvexAllocationProblem,
     method: str,
@@ -104,7 +169,13 @@ def _run_method(
     lin = problem.linear_constraint()
     if lin is not None:
         constraints.append(lin)
+    deadline = (
+        time.monotonic() + options.timeout_seconds
+        if options.timeout_seconds is not None
+        else None
+    )
     callback = _iteration_callback(problem, method) if obs.enabled() else None
+    callback = _deadline_callback(callback, deadline, method)
     if method == "trust-constr":
         with warnings.catch_warnings():
             # trust-constr emits advisory warnings about its internal
@@ -196,6 +267,59 @@ def solve_allocation(
     attempts: list[dict] = []
     best: dict | None = None
 
+    def run_attempt(method: str, start_label, z0: np.ndarray) -> None:
+        """One ``minimize`` attempt; updates ``best``/``attempts`` in place."""
+        nonlocal best
+        obs.counter("solver.attempts").inc()
+        with obs.span(
+            "solver.attempt", method=method, start=start_label
+        ) as attempt_span:
+            try:
+                result = _run_method(problem, method, z0, options)
+            except _AttemptTimeout:
+                obs.counter("solver.timeouts").inc()
+                attempt_span.set_attr("timeout", True)
+                obs.event(
+                    "solver.timeout",
+                    level="warning",
+                    method=method,
+                    start=start_label,
+                    budget_seconds=options.timeout_seconds,
+                )
+                attempts.append(
+                    {"method": method, "start": start_label, "error": "timeout"}
+                )
+                return
+            except (ValueError, FloatingPointError) as exc:
+                obs.counter("solver.attempt_errors").inc()
+                attempt_span.set_attr("numerical_error", str(exc))
+                attempts.append(
+                    {"method": method, "start": start_label, "error": str(exc)}
+                )
+                return
+            z = np.asarray(result.x, dtype=float)
+            violation = problem.max_violation(z)
+            record = {
+                "method": method,
+                "start": start_label,
+                "status": getattr(result, "status", None),
+                "message": str(getattr(result, "message", "")),
+                "iterations": int(getattr(result, "nit", -1)),
+                "phi_scaled": problem.objective(z),
+                "violation": violation,
+            }
+            attempts.append(record)
+            obs.histogram("solver.iterations").observe(record["iterations"])
+            attempt_span.set_attr("iterations", record["iterations"])
+            attempt_span.set_attr("phi_scaled", record["phi_scaled"])
+            attempt_span.set_attr("violation", violation)
+            attempt_span.set_attr(
+                "feasible", violation <= options.feasibility_tolerance
+            )
+        if violation <= options.feasibility_tolerance:
+            if best is None or record["phi_scaled"] < best["phi_scaled"]:
+                best = {**record, "z": z}
+
     starts: list[tuple[str, object]] = []
     if options.initial_allocation is not None:
         starts.append(("warm", options.initial_allocation))
@@ -205,47 +329,37 @@ def solve_allocation(
         for start_kind, target in starts:
             if start_kind == "warm":
                 z0 = problem.initial_point_from_allocation(target)  # type: ignore[arg-type]
+                label: object = "warm"
             else:
                 z0 = problem.initial_point(target)  # type: ignore[arg-type]
-            obs.counter("solver.attempts").inc()
-            with obs.span(
-                "solver.attempt",
-                method=method,
-                start=start_kind if start_kind == "warm" else target,
-            ) as attempt_span:
-                try:
-                    result = _run_method(problem, method, z0, options)
-                except (ValueError, FloatingPointError) as exc:
-                    obs.counter("solver.attempt_errors").inc()
-                    attempt_span.set_attr("numerical_error", str(exc))
-                    attempts.append(
-                        {"method": method, "start": start_kind, "error": str(exc)}
-                    )
-                    continue
-                z = np.asarray(result.x, dtype=float)
-                violation = problem.max_violation(z)
-                record = {
-                    "method": method,
-                    "start": start_kind if start_kind == "warm" else target,
-                    "status": getattr(result, "status", None),
-                    "message": str(getattr(result, "message", "")),
-                    "iterations": int(getattr(result, "nit", -1)),
-                    "phi_scaled": problem.objective(z),
-                    "violation": violation,
-                }
-                attempts.append(record)
-                obs.histogram("solver.iterations").observe(record["iterations"])
-                attempt_span.set_attr("iterations", record["iterations"])
-                attempt_span.set_attr("phi_scaled", record["phi_scaled"])
-                attempt_span.set_attr("violation", violation)
-                attempt_span.set_attr(
-                    "feasible", violation <= options.feasibility_tolerance
-                )
-            if violation <= options.feasibility_tolerance:
-                if best is None or problem.objective(z) < best["phi_scaled"]:
-                    best = {**record, "z": z}
+                label = target
+            run_attempt(method, label, z0)
         if best is not None:
             break  # primary method succeeded; no need for the fallback
+
+    # Every base attempt failed: retry from jittered starts. The jitter is
+    # multiplicative (log-normal around the base target), seeded, and
+    # clipped back into [1, p], so restarts are deterministic and feasible.
+    if best is None and options.max_restarts > 0:
+        rng = np.random.default_rng((options.restart_seed, 0x50A7))
+        base_targets = [float(t) for t in targets] or [math.sqrt(p)]
+        for restart in range(options.max_restarts):
+            base = base_targets[restart % len(base_targets)]
+            jitter = float(np.exp(rng.normal(0.0, 0.35)))
+            target = min(max(base * jitter, 1.0), float(p))
+            obs.counter("solver.restarts").inc()
+            obs.event(
+                "solver.restart",
+                level="warning",
+                round=restart + 1,
+                target=target,
+            )
+            for method in options.resolved_methods():
+                run_attempt(
+                    method, f"restart:{target:.4g}", problem.initial_point(target)
+                )
+            if best is not None:
+                break
 
     # Interior-point methods stop a whisker inside the feasible region;
     # an SLSQP polish from the incumbent closes that gap (it is an
@@ -255,7 +369,7 @@ def solve_allocation(
         try:
             with obs.span("solver.polish", method="slsqp"):
                 polished = _run_method(problem, "slsqp", best["z"].copy(), options)
-        except (ValueError, FloatingPointError):
+        except (_AttemptTimeout, ValueError, FloatingPointError):
             polished = None
         if polished is not None:
             z_polished = np.asarray(polished.x, dtype=float)
@@ -273,9 +387,13 @@ def solve_allocation(
                 }
 
     if best is None:
-        raise SolverError(
-            f"allocation solver failed on {problem.describe()}; attempts: {attempts!r}"
-        )
+        obs.counter("solver.failures").inc()
+        if options.strict:
+            raise SolverError(
+                f"allocation solver failed on {problem.describe()}; "
+                f"attempts: {attempts!r}"
+            )
+        return _fallback_allocation(problem, machine, attempts)
 
     z = best.pop("z")
     processors = problem.allocation_from_point(z)
@@ -301,6 +419,77 @@ def solve_allocation(
         info={
             "solver": best,
             "attempts": attempts,
+            "problem": problem.describe(),
+            "time_scale": problem.time_scale,
+            "machine": machine.name,
+            "total_processors": machine.processors,
+        },
+    )
+
+
+def _fallback_allocation(
+    problem: ConvexAllocationProblem,
+    machine: MachineParameters,
+    attempts: list[dict],
+) -> Allocation:
+    """Guaranteed-feasible analytic allocation when every solve failed.
+
+    Uniform allocations ``p_i = t`` are always inside the GP's feasible
+    cone (1 <= t <= p), so the degraded answer never inherits whatever
+    numerical pathology killed the solver. The ladder of targets — powers
+    of two up to ``p`` plus ``sqrt(p)``, the Amdahl-style balance point
+    between average and critical-path time — is evaluated with the exact
+    (unrelaxed) cost model, and the best ``max(A_p, C_p)`` wins.
+    """
+    p = machine.processors
+    candidates = {1.0, float(p), math.sqrt(p)}
+    t = 2.0
+    while t < p:
+        candidates.add(t)
+        t *= 2.0
+    best_target = None
+    best_cost = math.inf
+    best_eval = (math.inf, math.inf)
+    best_processors: dict[str, float] | None = None
+    for target in sorted(candidates):
+        z = problem.initial_point(target)
+        processors = problem.allocation_from_point(z)
+        a_exact, c_exact = problem.evaluate_allocation(processors)
+        cost = max(a_exact, c_exact)
+        if cost < best_cost:
+            best_target = target
+            best_cost = cost
+            best_eval = (a_exact, c_exact)
+            best_processors = processors
+    assert best_processors is not None  # candidates is never empty
+    obs.counter("solver.fallbacks").inc()
+    obs.event(
+        "solver.fallback",
+        level="warning",
+        target=best_target,
+        phi=best_cost,
+        candidates=len(candidates),
+        attempts=len(attempts),
+        problem=problem.describe(),
+    )
+    solver_record = {
+        "method": "analytic-fallback",
+        "start": best_target,
+        "status": None,
+        "message": "uniform analytic fallback after solver failure",
+        "iterations": 0,
+        "phi_scaled": best_cost / problem.time_scale,
+        "violation": 0.0,
+    }
+    return Allocation(
+        processors=best_processors,
+        phi=best_cost,
+        average_finish_time=best_eval[0],
+        critical_path_time=best_eval[1],
+        info={
+            "solver": solver_record,
+            "attempts": attempts,
+            "fallback": True,
             "problem": problem.describe(),
             "time_scale": problem.time_scale,
             "machine": machine.name,

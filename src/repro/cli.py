@@ -26,6 +26,9 @@ from repro.analysis.comparison import (
     sweep_system_sizes,
 )
 from repro.analysis.reports import comparison_table, deviation_table, prediction_table
+from repro.allocation.solver import ConvexSolverOptions
+from repro.errors import FaultSpecError
+from repro.faults import FaultSpec, load_fault_spec
 from repro.graph.serialization import load_mdg
 from repro.machine.fidelity import HardwareFidelity
 from repro.machine.presets import PRESETS
@@ -78,6 +81,37 @@ def _bundle(args: argparse.Namespace) -> ProgramBundle:
     return factory(n)
 
 
+def _solver_options(args: argparse.Namespace) -> ConvexSolverOptions | None:
+    """Solver options from the robustness flags (None = library defaults)."""
+    timeout = getattr(args, "solver_timeout", None)
+    restarts = getattr(args, "max_retries", None)
+    if timeout is None and restarts is None:
+        return None
+    kwargs: dict = {}
+    if timeout is not None:
+        kwargs["timeout_seconds"] = timeout
+    if restarts is not None:
+        kwargs["max_restarts"] = restarts
+    return ConvexSolverOptions(**kwargs)
+
+
+def _fault_spec(args: argparse.Namespace) -> FaultSpec | None:
+    """Load ``--faults`` (and apply ``--fault-seed``), or None."""
+    path = getattr(args, "faults", None)
+    seed = getattr(args, "fault_seed", None)
+    if path is None:
+        if seed is not None:
+            raise SystemExit("--fault-seed has no effect without --faults")
+        return None
+    try:
+        spec = load_fault_spec(path)
+    except FaultSpecError as exc:
+        raise SystemExit(str(exc))
+    if seed is not None:
+        spec = spec.with_seed(seed)
+    return spec
+
+
 def _fidelity(name: str) -> HardwareFidelity:
     if name == "ideal":
         return HardwareFidelity.ideal()
@@ -99,7 +133,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     result = (
         compile_spmd(bundle.mdg, machine)
         if args.spmd
-        else compile_mdg(bundle.mdg, machine)
+        else compile_mdg(bundle.mdg, machine, solver_options=_solver_options(args))
     )
     print(f"{result.style} compilation of {bundle.name} on {machine.name} "
           f"(p={machine.processors})")
@@ -124,16 +158,37 @@ def cmd_compile(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     bundle = _bundle(args)
     machine = _machine(args)
+    faults = _fault_spec(args)
     result = (
         compile_spmd(bundle.mdg, machine)
         if args.spmd
-        else compile_mdg(bundle.mdg, machine)
+        else compile_mdg(bundle.mdg, machine, solver_options=_solver_options(args))
     )
-    sim = measure(result, _fidelity(args.fidelity))
+    sim = measure(result, _fidelity(args.fidelity), faults=faults)
     print(f"{result.style} {bundle.name} on {machine.name} (p={machine.processors})")
     print(f"predicted : {result.predicted_makespan:.6g} s")
     print(f"measured  : {sim.makespan:.6g} s "
           f"({100 * sim.makespan / result.predicted_makespan:.1f}% of predicted)")
+    if faults is not None:
+        print(f"fault seed: {faults.seed}")
+        if sim.halted:
+            from repro.faults import repair_schedule
+
+            failed = sim.failed_processors
+            print(f"HALTED    : lost processor(s) {list(failed)}; "
+                  f"{len(sim.info['unfinished_nodes'])} node(s) unfinished")
+            repair = repair_schedule(
+                result.schedule,
+                machine,
+                failed_processors=failed,
+                completed_nodes=sim.info["completed_nodes"],
+                failure_time=sim.makespan,
+            )
+            report = repair.report
+            print(f"repaired  : {report.repaired_makespan:.6g} s on "
+                  f"{len(report.survivors)} survivors "
+                  f"({report.degradation:.2f}x nominal, "
+                  f"{len(report.rescheduled_nodes)} node(s) rescheduled)")
     if args.gantt:
         print(trace_gantt(sim.trace, machine.processors, width=args.width))
     return 0
@@ -236,9 +291,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
         result = (
             compile_spmd(bundle.mdg, machine)
             if args.spmd
-            else compile_mdg(bundle.mdg, machine)
+            else compile_mdg(bundle.mdg, machine, solver_options=_solver_options(args))
         )
-        sim = measure(result, _fidelity(args.fidelity))
+        sim = measure(result, _fidelity(args.fidelity), faults=_fault_spec(args))
         save_chrome_trace(
             sim.trace,
             args.output,
@@ -306,6 +361,36 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print a human-readable telemetry report after the run",
         )
+        p.add_argument(
+            "--solver-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock cap per allocation-solver attempt",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="perturbed solver restarts when every attempt fails",
+        )
+
+    def fault_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--faults",
+            default=None,
+            metavar="SPEC.json",
+            help="fault-injection spec (see docs: Robustness & fault injection)",
+        )
+        p.add_argument(
+            "--fault-seed",
+            type=int,
+            default=None,
+            metavar="SEED",
+            help="override the spec's seed (fault decisions are reproducible "
+            "per seed)",
+        )
 
     p_compile = sub.add_parser("compile", help="allocate + schedule + show Gantt")
     common(p_compile)
@@ -315,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="compile then run on the simulator")
     common(p_sim)
+    fault_flags(p_sim)
     p_sim.add_argument("--spmd", action="store_true")
     p_sim.add_argument("--fidelity", default="cm5", help="ideal | cm5")
     p_sim.add_argument("--gantt", action="store_true", help="print the trace Gantt")
@@ -340,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="simulate and export a Chrome/Perfetto trace"
     )
     common(p_trace)
+    fault_flags(p_trace)
     p_trace.add_argument("--spmd", action="store_true")
     p_trace.add_argument("--fidelity", default="cm5", help="ideal | cm5")
     p_trace.add_argument("--output", "-o", default="trace.json")

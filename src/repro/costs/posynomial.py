@@ -257,7 +257,7 @@ class Posynomial:
             return Posynomial(products)
         if isinstance(other, (int, float)):
             scale = float(other)
-            if scale <= 0.0:
+            if not math.isfinite(scale) or scale <= 0.0:
                 raise PosynomialError(f"cannot scale posynomial by {scale!r}")
             return Posynomial([t * scale for t in self._terms.values()])
         return NotImplemented

@@ -25,6 +25,9 @@ __all__ = [
     "DeadlockError",
     "DistributionError",
     "FrontendError",
+    "FaultSpecError",
+    "FaultError",
+    "RecoveryError",
 ]
 
 
@@ -86,3 +89,15 @@ class DistributionError(ReproError):
 
 class FrontendError(ReproError):
     """The loop-nest frontend could not lower a program to an MDG."""
+
+
+class FaultSpecError(ValidationError):
+    """A fault-injection specification is malformed."""
+
+
+class FaultError(ReproError):
+    """Fault injection reached a state the runtime cannot absorb."""
+
+
+class RecoveryError(FaultError):
+    """Schedule repair after a fault could not produce a valid schedule."""

@@ -1,0 +1,46 @@
+"""``repro.faults`` — seeded fault models, injection, and schedule repair.
+
+Three layers:
+
+* :mod:`repro.faults.spec` — declarative, JSON-round-trippable
+  :class:`FaultSpec` (slowdowns, transient failures, link faults,
+  permanent processor losses), all keyed by one seed.
+* :mod:`repro.faults.injector` — :class:`FaultInjector` /
+  :class:`FaultSession`: deterministic per-processor decision streams the
+  simulator and value executor consult during execution.
+* :mod:`repro.faults.recovery` — :func:`repair_schedule`: PSA re-scheduling
+  of the unfinished residual graph on the surviving processor pool, with a
+  :class:`RecoveryReport` comparing repaired vs. nominal makespan.
+
+The pipeline entry point is :func:`repro.pipeline.execute_with_faults`,
+which chains fault-injected simulation, repair, value re-execution and
+numerical verification.
+"""
+
+from repro.faults.injector import (
+    ComputePlan,
+    FaultInjector,
+    FaultSession,
+    MessagePlan,
+)
+from repro.faults.recovery import RecoveryReport, ScheduleRepair, repair_schedule
+from repro.faults.spec import (
+    FaultSpec,
+    ProcessorFailure,
+    load_fault_spec,
+    save_fault_spec,
+)
+
+__all__ = [
+    "FaultSpec",
+    "ProcessorFailure",
+    "load_fault_spec",
+    "save_fault_spec",
+    "FaultInjector",
+    "FaultSession",
+    "ComputePlan",
+    "MessagePlan",
+    "RecoveryReport",
+    "ScheduleRepair",
+    "repair_schedule",
+]

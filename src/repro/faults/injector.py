@@ -1,0 +1,167 @@
+"""Deterministic fault decision streams.
+
+The :class:`FaultInjector` turns a :class:`~repro.faults.spec.FaultSpec`
+into per-run :class:`FaultSession` objects. A session owns one seeded RNG
+per processor — independent of the hardware-fidelity jitter stream — and
+answers, in execution order, every question the simulator (or the value
+executor) asks: does this compute attempt fail, how many times is this
+message retransmitted, is this link spiking?
+
+Determinism contract: each processor's instruction stream executes in
+program order, and every decision draws from that processor's private
+stream, so two runs of the same program under the same spec make
+identical decisions regardless of the interleaving the worklist sweep
+happens to use.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.spec import FaultSpec
+
+__all__ = ["ComputePlan", "MessagePlan", "FaultSession", "FaultInjector"]
+
+#: Domain-separation constants so the simulator, the value executor, and
+#: any future consumer never share a decision stream.
+_SIM_DOMAIN = 0xFA01
+_EXEC_DOMAIN = 0xFA02
+
+
+@dataclass(frozen=True)
+class ComputePlan:
+    """Outcome of the transient-failure draw for one node execution.
+
+    ``failures`` attempts fail before one succeeds (unless ``exhausted``,
+    in which case the retry budget ran out and the processor is lost).
+    ``backoff_total`` is the summed exponential backoff delay.
+    """
+
+    failures: int
+    backoff_total: float
+    exhausted: bool
+
+    @property
+    def clean(self) -> bool:
+        return self.failures == 0 and not self.exhausted
+
+
+@dataclass(frozen=True)
+class MessagePlan:
+    """Outcome of the link draws for one message-processing instruction."""
+
+    spike_factor: float
+    retransmits: int
+
+    @property
+    def clean(self) -> bool:
+        return self.spike_factor == 1.0 and self.retransmits == 0
+
+
+def _stable_hash(name: str) -> int:
+    """Process-independent hash for seeding (``hash()`` is salted)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class FaultSession:
+    """Per-run fault state: seeded streams plus which processors died."""
+
+    def __init__(self, spec: FaultSpec, domain: int = _SIM_DOMAIN):
+        self.spec = spec
+        self._domain = domain
+        self._rngs: dict[int, np.random.Generator] = {}
+        #: processor -> simulated time it was declared permanently lost.
+        self.dead: dict[int, float] = {}
+
+    # ----- streams --------------------------------------------------------
+
+    def rng(self, processor: int) -> np.random.Generator:
+        rng = self._rngs.get(processor)
+        if rng is None:
+            rng = np.random.default_rng((self.spec.seed, self._domain, processor))
+            self._rngs[processor] = rng
+        return rng
+
+    # ----- static lookups -------------------------------------------------
+
+    def slowdown(self, processor: int) -> float:
+        return self.spec.slowdown.get(processor, 1.0)
+
+    def failure_time(self, processor: int) -> float | None:
+        return self.spec.failure_time(processor)
+
+    def mark_dead(self, processor: int, at_time: float) -> None:
+        self.dead.setdefault(processor, at_time)
+
+    def is_dead(self, processor: int) -> bool:
+        return processor in self.dead
+
+    # ----- decision draws -------------------------------------------------
+
+    def compute_plan(self, processor: int) -> ComputePlan:
+        """Draw the transient-failure outcome for one node execution."""
+        spec = self.spec
+        if spec.transient_rate == 0.0:
+            return ComputePlan(0, 0.0, False)
+        rng = self.rng(processor)
+        failures = 0
+        backoff = 0.0
+        while rng.random() < spec.transient_rate:
+            if failures >= spec.max_retries:
+                return ComputePlan(failures, backoff, True)
+            backoff += spec.retry_backoff * (2.0**failures)
+            failures += 1
+        return ComputePlan(failures, backoff, False)
+
+    def message_plan(self, processor: int) -> MessagePlan:
+        """Draw the link outcome (spike + drops) for one message op."""
+        spec = self.spec
+        spike = 1.0
+        if spec.link_spike_rate > 0.0 and self.rng(processor).random() < spec.link_spike_rate:
+            spike = spec.link_spike_factor
+        retransmits = 0
+        if spec.drop_rate > 0.0:
+            rng = self.rng(processor)
+            while retransmits < spec.max_retransmits and rng.random() < spec.drop_rate:
+                retransmits += 1
+        return MessagePlan(spike, retransmits)
+
+    def kernel_plan(self, node: str, rank: int) -> ComputePlan:
+        """Transient-failure draw for one kernel invocation (value executor).
+
+        Keyed by (node, rank) rather than processor order, so the draw is
+        independent of the executor's traversal order.
+        """
+        spec = self.spec
+        if spec.transient_rate == 0.0:
+            return ComputePlan(0, 0.0, False)
+        rng = np.random.default_rng(
+            (spec.seed, _EXEC_DOMAIN, _stable_hash(node), rank)
+        )
+        failures = 0
+        backoff = 0.0
+        while rng.random() < spec.transient_rate:
+            if failures >= spec.max_retries:
+                return ComputePlan(failures, backoff, True)
+            backoff += spec.retry_backoff * (2.0**failures)
+            failures += 1
+        return ComputePlan(failures, backoff, False)
+
+
+class FaultInjector:
+    """Factory of per-run :class:`FaultSession` objects for one spec."""
+
+    def __init__(self, spec: FaultSpec):
+        if not isinstance(spec, FaultSpec):
+            raise TypeError(f"expected FaultSpec, got {type(spec).__name__}")
+        self.spec = spec
+
+    def session(self) -> FaultSession:
+        """A fresh session: same spec, decision streams rewound."""
+        return FaultSession(self.spec)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(seed={self.spec.seed}, benign={self.spec.is_benign})"

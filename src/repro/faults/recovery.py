@@ -1,0 +1,220 @@
+"""Schedule repair after a permanent processor loss.
+
+When the simulator reports that processors died mid-execution, the work
+they (and everyone blocked on them) never finished has to land somewhere.
+:func:`repair_schedule` takes the nominal schedule, the set of completed
+nodes, and the surviving processor pool, and re-runs the PSA on the
+*residual graph* — the induced subgraph of unfinished nodes, re-normalized
+with fresh dummy START/STOP where needed. Completed nodes' results are
+assumed durable (checkpointed or replicated off the failed processor), the
+standard assumption of rollback-free repair.
+
+The repaired residual schedule is produced twice: once on a compact pool
+``0..s-1`` (what the PSA sees) and once remapped onto the surviving
+*physical* processor ids, so code generation and value-execution placement
+line up with the original machine. The :class:`RecoveryReport` compares
+the repaired finish time — failure time plus residual makespan — against
+the nominal makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro import obs
+from repro.errors import RecoveryError
+from repro.graph.mdg import MDG
+from repro.machine.parameters import MachineParameters
+from repro.scheduling.psa import PSAOptions, prioritized_schedule
+from repro.scheduling.schedule import Schedule, ScheduledNode
+
+__all__ = ["RecoveryReport", "ScheduleRepair", "repair_schedule"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Repaired vs. nominal outcome of one schedule-repair episode."""
+
+    nominal_makespan: float
+    failure_time: float
+    failed_processors: tuple[int, ...]
+    survivors: tuple[int, ...]
+    completed_nodes: tuple[str, ...]
+    rescheduled_nodes: tuple[str, ...]
+    residual_makespan: float
+    repair_overhead: float = 0.0
+
+    @property
+    def repaired_makespan(self) -> float:
+        """Total finish time: failure, repair latency, then residual run."""
+        return self.failure_time + self.repair_overhead + self.residual_makespan
+
+    @property
+    def degradation(self) -> float:
+        """Repaired over nominal makespan (1.0 = the fault cost nothing)."""
+        if self.nominal_makespan == 0.0:
+            return 1.0
+        return self.repaired_makespan / self.nominal_makespan
+
+    def to_dict(self) -> dict:
+        return {
+            "nominal_makespan": self.nominal_makespan,
+            "failure_time": self.failure_time,
+            "failed_processors": list(self.failed_processors),
+            "survivors": len(self.survivors),
+            "completed_nodes": len(self.completed_nodes),
+            "rescheduled_nodes": len(self.rescheduled_nodes),
+            "residual_makespan": self.residual_makespan,
+            "repaired_makespan": self.repaired_makespan,
+            "degradation": self.degradation,
+        }
+
+
+@dataclass
+class ScheduleRepair:
+    """Everything :func:`repair_schedule` produced.
+
+    ``residual_schedule`` uses the compact pool ids ``0..s-1``;
+    ``physical_schedule`` is the same schedule remapped onto the surviving
+    physical processors (ids from the original machine). Both are ``None``
+    when there was nothing left to re-schedule.
+    """
+
+    report: RecoveryReport
+    residual_mdg: MDG | None
+    residual_schedule: Schedule | None
+    physical_schedule: Schedule | None
+
+    @property
+    def trivial(self) -> bool:
+        """True when every node had already completed before the failure."""
+        return self.residual_schedule is None
+
+
+def _remap_schedule(
+    schedule: Schedule, survivors: tuple[int, ...], total_processors: int
+) -> Schedule:
+    """The same schedule on physical ids: pool rank ``i`` -> ``survivors[i]``."""
+    physical = Schedule(mdg=schedule.mdg, total_processors=total_processors)
+    for entry in schedule:
+        physical.add(
+            ScheduledNode(
+                name=entry.name,
+                start=entry.start,
+                finish=entry.finish,
+                processors=tuple(sorted(survivors[i] for i in entry.processors)),
+            )
+        )
+    physical.info.update(schedule.info)
+    physical.info["survivor_map"] = dict(enumerate(survivors))
+    return physical
+
+
+def repair_schedule(
+    schedule: Schedule,
+    machine: MachineParameters,
+    failed_processors: Iterable[int],
+    completed_nodes: Iterable[str],
+    failure_time: float,
+    psa_options: PSAOptions | None = None,
+    repair_overhead: float = 0.0,
+    allocation: Mapping[str, float] | None = None,
+) -> ScheduleRepair:
+    """Re-schedule the unfinished part of ``schedule`` on the survivors.
+
+    ``allocation`` defaults to the bounded allocation recorded in
+    ``schedule.info`` (every PSA schedule carries one); counts are clipped
+    to the surviving pool size before the PSA re-bounds them.
+
+    Raises :class:`~repro.errors.RecoveryError` if no processor survives
+    or the nominal schedule carries no allocation to rebuild from.
+    """
+    failed = tuple(sorted(set(int(q) for q in failed_processors)))
+    completed = set(completed_nodes)
+    survivors = tuple(
+        q for q in range(machine.processors) if q not in set(failed)
+    )
+    if not survivors:
+        raise RecoveryError(
+            f"all {machine.processors} processors failed; nothing to repair onto"
+        )
+    if allocation is None:
+        allocation = schedule.info.get("allocation")
+    if allocation is None:
+        raise RecoveryError(
+            "nominal schedule carries no allocation (schedule.info['allocation']) "
+            "and none was supplied"
+        )
+
+    mdg = schedule.mdg
+    residual_names = [n for n in mdg.node_names() if n not in completed]
+    nominal_makespan = schedule.makespan
+    n_survivors = len(survivors)
+
+    with obs.span(
+        "recovery.repair",
+        failed=len(failed),
+        survivors=n_survivors,
+        residual_nodes=len(residual_names),
+    ):
+        if not residual_names or all(
+            mdg.node(n).is_dummy for n in residual_names
+        ):
+            report = RecoveryReport(
+                nominal_makespan=nominal_makespan,
+                failure_time=failure_time,
+                failed_processors=failed,
+                survivors=survivors,
+                completed_nodes=tuple(sorted(completed)),
+                rescheduled_nodes=(),
+                residual_makespan=0.0,
+                repair_overhead=repair_overhead,
+            )
+            _emit_report(report)
+            return ScheduleRepair(
+                report=report,
+                residual_mdg=None,
+                residual_schedule=None,
+                physical_schedule=None,
+            )
+
+        residual_mdg = mdg.subgraph(residual_names).normalized()
+        residual_alloc = {
+            name: min(float(allocation[name]), float(n_survivors))
+            for name in residual_names
+            if name in allocation
+        }
+        surviving_machine = machine.with_processors(n_survivors)
+        residual_schedule = prioritized_schedule(
+            residual_mdg, residual_alloc, surviving_machine, psa_options
+        )
+        physical = _remap_schedule(residual_schedule, survivors, machine.processors)
+
+        report = RecoveryReport(
+            nominal_makespan=nominal_makespan,
+            failure_time=failure_time,
+            failed_processors=failed,
+            survivors=survivors,
+            completed_nodes=tuple(sorted(completed)),
+            rescheduled_nodes=tuple(
+                sorted(n for n in residual_names if not mdg.node(n).is_dummy)
+            ),
+            residual_makespan=residual_schedule.makespan,
+            repair_overhead=repair_overhead,
+        )
+        _emit_report(report)
+    return ScheduleRepair(
+        report=report,
+        residual_mdg=residual_mdg,
+        residual_schedule=residual_schedule,
+        physical_schedule=physical,
+    )
+
+
+def _emit_report(report: RecoveryReport) -> None:
+    if not obs.enabled():
+        return
+    obs.counter("recovery.repairs").inc()
+    obs.gauge("recovery.degradation").set(report.degradation)
+    obs.event("recovery.report", level="warning", **report.to_dict())

@@ -1,0 +1,250 @@
+"""Declarative fault-model specifications.
+
+A :class:`FaultSpec` describes every way the simulated machine may deviate
+from a healthy CM-5: per-processor slowdown factors, transient
+node-execution failures (retried with exponential backoff), link latency
+spikes and message drops (bounded retransmit), and permanent processor
+losses at given simulated times. Specs are plain data — JSON round-trip
+safe — and every random decision derived from one is keyed off ``seed``,
+so a run with the same spec is bit-for-bit reproducible.
+
+JSON schema (all sections optional)::
+
+    {
+      "seed": 7,
+      "slowdown": {"3": 1.5, "5": 2.0},
+      "transient": {"rate": 0.01, "max_retries": 3,
+                    "backoff": 1e-4, "attempt_fraction": 0.5},
+      "link": {"spike_rate": 0.02, "spike_factor": 4.0,
+               "drop_rate": 0.005, "max_retransmits": 3},
+      "processor_failures": [{"processor": 2, "at_time": 0.25}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import FaultSpecError
+
+__all__ = ["ProcessorFailure", "FaultSpec", "load_fault_spec", "save_fault_spec"]
+
+
+@dataclass(frozen=True)
+class ProcessorFailure:
+    """A permanent processor loss at a simulated time.
+
+    The processor executes instructions that start strictly before
+    ``at_time``; at the first instruction boundary at or after it, the
+    processor is dead and everything still assigned to it must be
+    re-scheduled on the survivors.
+    """
+
+    processor: int
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.processor, int) or self.processor < 0:
+            raise FaultSpecError(
+                f"failed processor id must be a non-negative int, "
+                f"got {self.processor!r}"
+            )
+        if not self.at_time >= 0.0:
+            raise FaultSpecError(
+                f"failure time must be >= 0, got {self.at_time!r}"
+            )
+
+
+def _check_rate(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value < 1.0:
+        raise FaultSpecError(f"{name} must be a probability in [0, 1), got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Every fault knob, with healthy defaults (no faults at all).
+
+    Parameters
+    ----------
+    seed:
+        Root seed of every fault decision stream. Two runs with the same
+        spec (same seed) make identical decisions.
+    slowdown:
+        Per-processor multiplicative slowdown (``>= 1``) applied to all
+        local processing (compute, send/recv handling) on that processor.
+    transient_rate:
+        Probability that one node-execution attempt fails and must be
+        retried. Retries back off exponentially; after ``max_retries``
+        consecutive failures the processor is declared permanently lost.
+    max_retries:
+        Retry budget per node execution (also caps kernel retries in the
+        value executor).
+    retry_backoff:
+        Base backoff delay in simulated seconds; the ``k``-th retry waits
+        ``retry_backoff * 2**k``.
+    attempt_fraction:
+        Fraction of the operation's cost charged for each *failed*
+        attempt (1.0 = the failure is detected only at the end).
+    link_spike_rate / link_spike_factor:
+        Probability that a receive sees a congested link, and the factor
+        its network delay is multiplied by when it does.
+    drop_rate / max_retransmits:
+        Probability that a message is dropped and must be retransmitted
+        (charging the full message processing cost again). Retransmits
+        are re-drawn up to ``max_retransmits`` times; the final attempt
+        always succeeds, so delivery is guaranteed but late.
+    processor_failures:
+        Permanent losses, each a :class:`ProcessorFailure`.
+    """
+
+    seed: int = 0
+    slowdown: Mapping[int, float] = field(default_factory=dict)
+    transient_rate: float = 0.0
+    max_retries: int = 3
+    retry_backoff: float = 0.0
+    attempt_fraction: float = 1.0
+    link_spike_rate: float = 0.0
+    link_spike_factor: float = 4.0
+    drop_rate: float = 0.0
+    max_retransmits: int = 3
+    processor_failures: tuple[ProcessorFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seed", int(self.seed))
+        cleaned: dict[int, float] = {}
+        for proc, factor in dict(self.slowdown).items():
+            proc = int(proc)
+            factor = float(factor)
+            if proc < 0:
+                raise FaultSpecError(f"slowdown processor id {proc} is negative")
+            if factor < 1.0:
+                raise FaultSpecError(
+                    f"slowdown factor for processor {proc} must be >= 1, "
+                    f"got {factor!r}"
+                )
+            cleaned[proc] = factor
+        object.__setattr__(self, "slowdown", cleaned)
+        _check_rate("transient_rate", self.transient_rate)
+        _check_rate("link_spike_rate", self.link_spike_rate)
+        _check_rate("drop_rate", self.drop_rate)
+        if self.max_retries < 0 or self.max_retransmits < 0:
+            raise FaultSpecError("retry/retransmit budgets must be >= 0")
+        if self.retry_backoff < 0.0:
+            raise FaultSpecError(f"retry_backoff must be >= 0, got {self.retry_backoff!r}")
+        if not 0.0 <= self.attempt_fraction <= 1.0:
+            raise FaultSpecError(
+                f"attempt_fraction must be in [0, 1], got {self.attempt_fraction!r}"
+            )
+        if self.link_spike_factor < 1.0:
+            raise FaultSpecError(
+                f"link_spike_factor must be >= 1, got {self.link_spike_factor!r}"
+            )
+        failures = tuple(self.processor_failures)
+        seen = [f.processor for f in failures]
+        if len(seen) != len(set(seen)):
+            raise FaultSpecError(f"duplicate processor in failures: {sorted(seen)!r}")
+        object.__setattr__(self, "processor_failures", failures)
+
+    # ----- convenience ----------------------------------------------------
+
+    @property
+    def is_benign(self) -> bool:
+        """True when the spec injects no faults at all."""
+        return (
+            not self.slowdown
+            and self.transient_rate == 0.0
+            and self.link_spike_rate == 0.0
+            and self.drop_rate == 0.0
+            and not self.processor_failures
+        )
+
+    def with_seed(self, seed: int) -> "FaultSpec":
+        """The same fault model under a different decision seed."""
+        return replace(self, seed=int(seed))
+
+    def failure_time(self, processor: int) -> float | None:
+        for failure in self.processor_failures:
+            if failure.processor == processor:
+                return failure.at_time
+        return None
+
+    # ----- (de)serialization ----------------------------------------------
+
+    def to_dict(self) -> dict:
+        out: dict = {"seed": self.seed}
+        if self.slowdown:
+            out["slowdown"] = {str(k): v for k, v in sorted(self.slowdown.items())}
+        if self.transient_rate or self.retry_backoff:
+            out["transient"] = {
+                "rate": self.transient_rate,
+                "max_retries": self.max_retries,
+                "backoff": self.retry_backoff,
+                "attempt_fraction": self.attempt_fraction,
+            }
+        if self.link_spike_rate or self.drop_rate:
+            out["link"] = {
+                "spike_rate": self.link_spike_rate,
+                "spike_factor": self.link_spike_factor,
+                "drop_rate": self.drop_rate,
+                "max_retransmits": self.max_retransmits,
+            }
+        if self.processor_failures:
+            out["processor_failures"] = [
+                {"processor": f.processor, "at_time": f.at_time}
+                for f in self.processor_failures
+            ]
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "FaultSpec":
+        if not isinstance(data, Mapping):
+            raise FaultSpecError(f"fault spec must be an object, got {type(data).__name__}")
+        known = {"seed", "slowdown", "transient", "link", "processor_failures"}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultSpecError(f"unknown fault spec keys {sorted(unknown)!r}")
+        transient = dict(data.get("transient", {}))
+        link = dict(data.get("link", {}))
+        try:
+            failures = tuple(
+                ProcessorFailure(int(f["processor"]), float(f["at_time"]))
+                for f in data.get("processor_failures", ())
+            )
+        except (KeyError, TypeError) as exc:
+            raise FaultSpecError(
+                "each processor failure needs 'processor' and 'at_time'"
+            ) from exc
+        return FaultSpec(
+            seed=int(data.get("seed", 0)),
+            slowdown={int(k): float(v) for k, v in dict(data.get("slowdown", {})).items()},
+            transient_rate=float(transient.get("rate", 0.0)),
+            max_retries=int(transient.get("max_retries", 3)),
+            retry_backoff=float(transient.get("backoff", 0.0)),
+            attempt_fraction=float(transient.get("attempt_fraction", 1.0)),
+            link_spike_rate=float(link.get("spike_rate", 0.0)),
+            link_spike_factor=float(link.get("spike_factor", 4.0)),
+            drop_rate=float(link.get("drop_rate", 0.0)),
+            max_retransmits=int(link.get("max_retransmits", 3)),
+            processor_failures=failures,
+        )
+
+
+def load_fault_spec(path: str | Path) -> FaultSpec:
+    """Parse a fault spec from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise FaultSpecError(f"cannot read fault spec {str(path)!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise FaultSpecError(f"fault spec {str(path)!r} is not valid JSON: {exc}") from exc
+    return FaultSpec.from_dict(data)
+
+
+def save_fault_spec(spec: FaultSpec, path: str | Path) -> None:
+    """Write ``spec`` to ``path`` as JSON (round-trips with ``load_fault_spec``)."""
+    Path(path).write_text(json.dumps(spec.to_dict(), indent=2) + "\n")

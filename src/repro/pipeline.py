@@ -4,6 +4,9 @@
 scheduling (with rounding/bounding), and MPMD code generation — returning
 everything a caller needs to simulate, inspect, or compare the result.
 ``measure`` replays the generated program on the machine simulator.
+``execute_with_faults`` runs the full degraded-machine story: simulate
+under a fault spec, repair the schedule when processors die, re-execute
+values on the survivors, and verify the answer is still right.
 """
 
 from __future__ import annotations
@@ -16,6 +19,9 @@ from repro.allocation.solver import ConvexSolverOptions, solve_allocation
 from repro.codegen.mpmd import generate_mpmd_program
 from repro.codegen.program import MPMDProgram
 from repro.codegen.spmd import generate_spmd_program
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import ScheduleRepair, repair_schedule
+from repro.faults.spec import FaultSpec
 from repro.graph.mdg import MDG
 from repro.machine.fidelity import HardwareFidelity
 from repro.machine.parameters import MachineParameters
@@ -31,6 +37,8 @@ __all__ = [
     "measure",
     "BundleExecution",
     "execute_bundle",
+    "FaultedExecution",
+    "execute_with_faults",
 ]
 
 
@@ -177,21 +185,143 @@ def measure(
     result: CompilationResult,
     fidelity: HardwareFidelity | None = None,
     record_trace: bool = True,
+    faults: FaultSpec | FaultInjector | None = None,
 ) -> SimulationResult:
     """Run the compiled program on the simulated machine.
 
     With default (ideal) fidelity the measured makespan realizes the
     analytic model exactly; pass
     :meth:`HardwareFidelity.cm5_like() <repro.machine.fidelity.HardwareFidelity.cm5_like>`
-    for realistic deviations (the Figure 9 configuration).
+    for realistic deviations (the Figure 9 configuration). ``faults``
+    injects a degraded machine (see :mod:`repro.faults`); a run that loses
+    processors returns a *partial* result with ``info["halted"]`` set.
     """
-    simulator = MachineSimulator(fidelity)
+    simulator = MachineSimulator(fidelity, faults=faults)
     with obs.span(
         "simulate",
         style=result.style,
         ideal=simulator.fidelity.is_ideal,
         record_trace=record_trace,
+        faulted=faults is not None,
     ) as sp:
         sim = simulator.run(result.program, record_trace=record_trace)
         sp.set_attr("makespan", sim.makespan)
+        if sim.halted:
+            sp.set_attr("halted", True)
     return sim
+
+
+@dataclass
+class FaultedExecution:
+    """Outcome of one fault-injected run, after any schedule repair."""
+
+    compilation: CompilationResult
+    simulation: SimulationResult
+    repair: ScheduleRepair | None
+    value_report: object  # repro.runtime.executor.ExecutionReport
+
+    @property
+    def recovered(self) -> bool:
+        """True when processors died and schedule repair was performed."""
+        return self.repair is not None
+
+    @property
+    def nominal_makespan(self) -> float:
+        return self.compilation.predicted_makespan
+
+    @property
+    def repaired_makespan(self) -> float:
+        """Finish time including the fault: the repaired estimate when
+        processors died, otherwise the measured (possibly slowed) makespan."""
+        if self.repair is not None:
+            return self.repair.report.repaired_makespan
+        return self.simulation.makespan
+
+    @property
+    def degradation(self) -> float:
+        if self.repair is not None:
+            return self.repair.report.degradation
+        if self.nominal_makespan == 0.0:
+            return 1.0
+        return self.simulation.makespan / self.nominal_makespan
+
+
+def execute_with_faults(
+    bundle,
+    machine: MachineParameters,
+    faults: FaultSpec | FaultInjector,
+    fidelity: HardwareFidelity | None = None,
+    psa_options: PSAOptions | None = None,
+    verify: bool = True,
+    repair_overhead: float = 0.0,
+    record_trace: bool = False,
+) -> FaultedExecution:
+    """Compile, simulate under ``faults``, repair, re-execute, verify.
+
+    The program bundle is compiled and simulated exactly like
+    :func:`execute_bundle`, but on the fault-injected machine. If the
+    simulation halts (permanent processor losses), the unfinished residual
+    graph is re-scheduled on the survivors via
+    :func:`repro.faults.recovery.repair_schedule`, and the value execution
+    places the rescheduled nodes on their *new* (surviving) processors —
+    completed nodes keep their nominal placement. ``verify=True`` then
+    checks the distributed answer against the sequential reference, so a
+    recovered run is demonstrably still correct.
+    """
+    from repro.runtime.executor import ValueExecutor
+    from repro.runtime.verify import verify_against_reference
+
+    if isinstance(faults, FaultInjector):
+        spec = faults.spec
+    elif isinstance(faults, FaultSpec):
+        spec = faults
+    else:
+        raise TypeError(
+            f"faults must be a FaultSpec or FaultInjector, got "
+            f"{type(faults).__name__}"
+        )
+
+    with obs.span(
+        "execute_with_faults",
+        bundle=getattr(bundle, "name", "?"),
+        fault_seed=spec.seed,
+    ):
+        compilation = compile_mdg(bundle.mdg, machine, psa_options=psa_options)
+        simulation = measure(
+            compilation, fidelity, record_trace=record_trace, faults=faults
+        )
+
+        repair: ScheduleRepair | None = None
+        if simulation.halted:
+            repair = repair_schedule(
+                compilation.schedule,
+                machine,
+                failed_processors=simulation.failed_processors,
+                completed_nodes=simulation.info.get("completed_nodes", ()),
+                failure_time=simulation.makespan,
+                psa_options=psa_options,
+                repair_overhead=repair_overhead,
+            )
+
+        groups: dict[str, int] = {}
+        placement: dict[str, tuple[int, ...]] = {}
+        repaired_names = (
+            set(repair.report.rescheduled_nodes) if repair is not None else set()
+        )
+        for name in bundle.app.computational_nodes():
+            if name in repaired_names and repair.physical_schedule is not None:
+                entry = repair.physical_schedule.entry(name)
+            else:
+                entry = compilation.schedule.entry(name)
+            groups[name] = entry.width
+            placement[name] = entry.processors
+        report = ValueExecutor(bundle.app).run(groups, placement, faults=faults)
+        if verify:
+            with obs.span("verify", recovered=repair is not None):
+                verify_against_reference(bundle.app, report)
+    return FaultedExecution(
+        compilation=compilation,
+        simulation=simulation,
+        repair=repair,
+        value_report=report,
+    )

@@ -18,7 +18,9 @@ import numpy as np
 
 from repro import obs
 from repro.costs.transfer import TransferKind
-from repro.errors import DistributionError, GraphError
+from repro.errors import DistributionError, FaultError, GraphError
+from repro.faults.injector import FaultInjector, FaultSession
+from repro.faults.spec import FaultSpec
 from repro.graph.mdg import MDG
 from repro.runtime.distribution import (
     DistributedArray,
@@ -127,6 +129,12 @@ class ExecutionReport:
     node_results: dict[str, DistributedArray]
     transfers: list[TransferStats]
     allocation: dict[str, int]
+    #: node -> number of failed kernel attempts absorbed by retry (only
+    #: populated when the execution ran under fault injection).
+    kernel_retries: dict[str, int] = field(default_factory=dict)
+
+    def total_retries(self) -> int:
+        return sum(self.kernel_retries.values())
 
     def total_bytes_moved(self) -> int:
         return sum(t.bytes_moved for t in self.transfers)
@@ -160,6 +168,7 @@ class ValueExecutor:
         self,
         allocation: Mapping[str, int],
         placement: Mapping[str, tuple[int, ...]] | None = None,
+        faults: FaultSpec | FaultInjector | None = None,
     ) -> ExecutionReport:
         """Execute under ``allocation`` (node name -> group size).
 
@@ -168,11 +177,24 @@ class ValueExecutor:
         :class:`~repro.scheduling.schedule.Schedule` assigns them); when
         given, per-transfer locality is recorded. Dummy nodes are ignored.
         Raises :class:`~repro.errors.DistributionError` on any mismatch.
+
+        ``faults`` subjects every kernel invocation to the spec's
+        transient-failure model: failed attempts are retried (and counted
+        in :attr:`ExecutionReport.kernel_retries`); a rank whose retry
+        budget is exhausted raises :class:`~repro.errors.FaultError`.
+        Draws are keyed by ``(node, rank)``, so the outcome is independent
+        of traversal order and reproducible for a given spec seed.
         """
         app = self.app
+        if isinstance(faults, FaultSpec):
+            faults = FaultInjector(faults)
+        session: FaultSession | None = (
+            faults.session() if faults is not None else None
+        )
         results: dict[str, DistributedArray] = {}
         transfers: list[TransferStats] = []
         used_alloc: dict[str, int] = {}
+        kernel_retries: dict[str, int] = {}
         telemetry_on = obs.enabled()
 
         for name in app.computational_nodes():
@@ -249,6 +271,38 @@ class ValueExecutor:
             out_dist = kernel.output_distribution(group)
             blocks: dict[int, np.ndarray] = {}
             for rank in range(group):
+                if session is not None:
+                    plan = session.kernel_plan(name, rank)
+                    if plan.exhausted:
+                        if telemetry_on:
+                            obs.counter("runtime.kernel_failures").inc()
+                            obs.event(
+                                "fault.kernel_exhausted",
+                                level="error",
+                                node=name,
+                                rank=rank,
+                                attempts=plan.failures + 1,
+                            )
+                        raise FaultError(
+                            f"kernel for node {name!r} rank {rank} failed "
+                            f"{plan.failures + 1} consecutive attempts "
+                            f"(retry budget {session.spec.max_retries})"
+                        )
+                    if plan.failures:
+                        kernel_retries[name] = (
+                            kernel_retries.get(name, 0) + plan.failures
+                        )
+                        if telemetry_on:
+                            obs.counter("runtime.kernel_retries").inc(
+                                plan.failures
+                            )
+                            obs.event(
+                                "fault.kernel_retry",
+                                node=name,
+                                rank=rank,
+                                failures=plan.failures,
+                                backoff=plan.backoff_total,
+                            )
                 if isinstance(kernel, MatInit):
                     blocks[rank] = kernel.local_region(out_dist.region(rank))
                 else:
@@ -268,6 +322,7 @@ class ValueExecutor:
             node_results=results,
             transfers=transfers,
             allocation=used_alloc,
+            kernel_retries=kernel_retries,
         )
         if telemetry_on:
             obs.counter("runtime.nodes_executed").inc(len(used_alloc))
@@ -278,5 +333,6 @@ class ValueExecutor:
                 bytes_moved=report.total_bytes_moved(),
                 wire_bytes=report.total_wire_bytes(),
                 locality_fraction=report.locality_fraction(),
+                kernel_retries=report.total_retries(),
             )
         return report

@@ -31,7 +31,13 @@ __all__ = [
     "save_chrome_trace",
 ]
 
-_CATEGORY = {"compute": "compute", "send": "message", "recv": "message", "wait": "idle"}
+_CATEGORY = {
+    "compute": "compute",
+    "send": "message",
+    "recv": "message",
+    "wait": "idle",
+    "fault": "fault",
+}
 
 #: ``pid`` of the simulated-machine tracks (one tid per processor).
 SIMULATION_PID = 0

@@ -13,6 +13,8 @@ Progress is driven by a worklist sweep: repeatedly advance every processor
 as far as it can go; if a full sweep advances nothing and instructions
 remain, the program has deadlocked (only possible for hand-built programs —
 generated ones are deadlock-free by construction, which a test asserts).
+The raised :class:`~repro.errors.DeadlockError` lists, per stalled
+processor, exactly which node and message tag it is waiting on.
 
 Fidelity
 --------
@@ -27,6 +29,24 @@ perturbs compute (curvature on the parallel part), start-ups (partial
 serialization of a node's 2nd, 3rd, ... message at the same processor)
 and, optionally, applies seeded multiplicative jitter — producing the
 "actual" times of the Figure 9 experiment.
+
+Faults
+------
+A :class:`~repro.faults.spec.FaultSpec` (or prebuilt
+:class:`~repro.faults.injector.FaultInjector`) adds a degraded-machine
+layer on top of fidelity: per-processor slowdowns scale all local
+processing; transient node-execution failures charge failed attempts plus
+exponential backoff and, when the retry budget is exhausted, escalate to a
+permanent processor loss; receives can see link latency spikes and
+dropped messages (each retransmit recharges the message processing cost);
+and scheduled :class:`~repro.faults.spec.ProcessorFailure` entries kill a
+processor at the first instruction boundary at or after their time. When
+processors die, the run *halts* instead of deadlocking: the returned
+result carries ``info["halted"]``, the completed/unfinished node sets, and
+the failure times — everything
+:func:`repro.faults.recovery.repair_schedule` needs to re-schedule the
+residual graph on the survivors. All fault decisions come from seeded
+per-processor streams, so runs are bit-for-bit reproducible.
 """
 
 from __future__ import annotations
@@ -38,6 +58,8 @@ import numpy as np
 from repro import obs
 from repro.codegen.program import ComputeOp, MPMDProgram, RecvOp, SendOp
 from repro.errors import DeadlockError, SimulationError
+from repro.faults.injector import FaultInjector, FaultSession
+from repro.faults.spec import FaultSpec
 from repro.machine.fidelity import HardwareFidelity
 from repro.sim.trace import ExecutionTrace, TraceEvent
 
@@ -55,6 +77,15 @@ class SimulationResult:
 
     def node_finish_times(self) -> dict[str, float]:
         return self.trace.node_finish_times()
+
+    @property
+    def halted(self) -> bool:
+        """True when a permanent fault stopped the run before completion."""
+        return bool(self.info.get("halted", False))
+
+    @property
+    def failed_processors(self) -> tuple[int, ...]:
+        return tuple(self.info.get("failed_processors", ()))
 
     def busy_fraction(self, total_processors: int) -> float:
         """Machine-wide useful-work fraction over the makespan."""
@@ -78,23 +109,97 @@ class _ProcessorState:
         self.rng = np.random.default_rng((seed, proc))
 
 
-class MachineSimulator:
-    """Executes :class:`~repro.codegen.program.MPMDProgram` instances."""
+def _stall_context(
+    procs: list[int],
+    state: dict[int, "_ProcessorState"],
+    program: MPMDProgram,
+    pending_sends: dict[tuple[str, str], int],
+    limit: int = 8,
+) -> str:
+    """Per-processor description of what each stalled stream is waiting on."""
+    details: list[str] = []
+    for q in procs:
+        ps = state[q]
+        stream = program.streams[q]
+        if ps.pc >= len(stream):
+            continue
+        op = stream[ps.pc]
+        if isinstance(op, RecvOp):
+            waiting = pending_sends.get(op.edge, 0)
+            details.append(
+                f"proc {q}: node {op.target!r} blocked on recv tag "
+                f"{op.source}->{op.target} ({waiting} unposted send(s), "
+                f"pc={ps.pc}, t={ps.clock:.6g})"
+            )
+        elif isinstance(op, SendOp):
+            details.append(
+                f"proc {q}: node {op.source!r} stalled at send tag "
+                f"{op.source}->{op.target} (pc={ps.pc}, t={ps.clock:.6g})"
+            )
+        else:
+            node = getattr(op, "node", "?")
+            details.append(
+                f"proc {q}: node {node!r} stalled at compute "
+                f"(pc={ps.pc}, t={ps.clock:.6g})"
+            )
+    shown = "; ".join(details[:limit])
+    if len(details) > limit:
+        shown += f"; ... {len(details) - limit} more"
+    return shown
 
-    def __init__(self, fidelity: HardwareFidelity | None = None):
+
+class MachineSimulator:
+    """Executes :class:`~repro.codegen.program.MPMDProgram` instances.
+
+    ``faults`` accepts a :class:`~repro.faults.spec.FaultSpec` or a
+    prebuilt :class:`~repro.faults.injector.FaultInjector`; each ``run``
+    gets a fresh, deterministically seeded fault session.
+    """
+
+    def __init__(
+        self,
+        fidelity: HardwareFidelity | None = None,
+        faults: FaultSpec | FaultInjector | None = None,
+    ):
         self.fidelity = fidelity or HardwareFidelity.ideal()
+        if isinstance(faults, FaultSpec):
+            faults = FaultInjector(faults)
+        if faults is not None and not isinstance(faults, FaultInjector):
+            raise SimulationError(
+                f"faults must be a FaultSpec or FaultInjector, got "
+                f"{type(faults).__name__}"
+            )
+        self.faults = faults
 
     def run(self, program: MPMDProgram, record_trace: bool = True) -> SimulationResult:
-        """Simulate ``program`` to completion.
+        """Simulate ``program`` to completion (or to a fault-induced halt).
 
-        Raises :class:`DeadlockError` if no processor can make progress
-        while instructions remain.
+        Raises :class:`DeadlockError` — with per-processor context — if no
+        processor can make progress while instructions remain and no fault
+        explains the stall.
         """
         program.validate()
         fidelity = self.fidelity
         procs = sorted(program.streams)
         state = {q: _ProcessorState(fidelity.seed, q) for q in procs}
         trace = ExecutionTrace()
+
+        session: FaultSession | None = (
+            self.faults.session() if self.faults is not None else None
+        )
+        telemetry_on = obs.enabled()
+        fail_at: dict[int, float | None] = {}
+        expected_computes: dict[str, int] = {}
+        done_computes: dict[str, int] = {}
+        if session is not None:
+            fail_at = {q: session.failure_time(q) for q in procs}
+            for stream in program.streams.values():
+                for op in stream:
+                    if isinstance(op, ComputeOp):
+                        expected_computes[op.node] = (
+                            expected_computes.get(op.node, 0) + 1
+                        )
+            done_computes = dict.fromkeys(expected_computes, 0)
 
         # Per edge: number of sends still unposted, and the latest post time.
         pending_sends: dict[tuple[str, str], int] = {}
@@ -104,19 +209,60 @@ class MachineSimulator:
             post_time[edge] = 0.0
 
         remaining = program.n_instructions
+
+        def kill(q: int, at: float, reason: str) -> None:
+            """Permanently lose processor ``q``: drop its residual stream."""
+            nonlocal remaining
+            session.mark_dead(q, at)
+            remaining -= len(program.streams[q]) - state[q].pc
+            if record_trace:
+                trace.add(
+                    TraceEvent(
+                        processor=q,
+                        kind="fault",
+                        node="",
+                        start=at,
+                        end=at,
+                        detail=f"processor lost ({reason})",
+                    )
+                )
+            if telemetry_on:
+                obs.counter("faults.processors_lost").inc()
+                obs.event(
+                    "fault.processor_lost",
+                    level="warning",
+                    processor=q,
+                    time=at,
+                    reason=reason,
+                )
+
         sweeps = 0
+        halted = False
         while remaining > 0:
             sweeps += 1
             progressed = False
             for q in procs:
                 ps = state[q]
                 stream = program.streams[q]
+                if session is not None and session.is_dead(q):
+                    continue
                 while ps.pc < len(stream):
+                    if session is not None:
+                        deadline = fail_at.get(q)
+                        if deadline is not None and ps.clock >= deadline:
+                            kill(q, ps.clock, "scheduled failure")
+                            progressed = True
+                            break
                     op = stream[ps.pc]
                     if isinstance(op, RecvOp):
                         if pending_sends.get(op.edge, 0) > 0:
                             break  # blocked on matching sends
-                        ready = post_time.get(op.edge, 0.0) + op.network_delay
+                        delay = op.network_delay
+                        plan = None
+                        if session is not None:
+                            plan = session.message_plan(q)
+                            delay *= plan.spike_factor
+                        ready = post_time.get(op.edge, 0.0) + delay
                         start = max(ps.clock, ready)
                         if record_trace and start > ps.clock:
                             trace.add(
@@ -134,6 +280,25 @@ class MachineSimulator:
                             op.startup_cost * fidelity.startup_scale(idx)
                             + op.byte_cost
                         ) * fidelity.jitter_factor(ps.rng)
+                        retransmit_cost = 0.0
+                        if session is not None:
+                            cost *= session.slowdown(q)
+                            if plan is not None and plan.retransmits:
+                                retransmit_cost = plan.retransmits * cost
+                            if telemetry_on and plan is not None and not plan.clean:
+                                if plan.spike_factor != 1.0:
+                                    obs.counter("faults.link_spikes").inc()
+                                if plan.retransmits:
+                                    obs.counter("faults.dropped_messages").inc(
+                                        plan.retransmits
+                                    )
+                                obs.event(
+                                    "fault.link",
+                                    processor=q,
+                                    edge=f"{op.source}->{op.target}",
+                                    spike_factor=plan.spike_factor,
+                                    retransmits=plan.retransmits,
+                                )
                         ps.node_msg_count[op.target] = idx + 1
                         end = start + cost
                         if record_trace:
@@ -147,6 +312,22 @@ class MachineSimulator:
                                     detail=f"{op.source}->{op.target}",
                                 )
                             )
+                        if retransmit_cost > 0.0:
+                            if record_trace:
+                                trace.add(
+                                    TraceEvent(
+                                        processor=q,
+                                        kind="fault",
+                                        node=op.target,
+                                        start=end,
+                                        end=end + retransmit_cost,
+                                        detail=(
+                                            f"retransmit x{plan.retransmits} "
+                                            f"{op.source}->{op.target}"
+                                        ),
+                                    )
+                                )
+                            end += retransmit_cost
                         ps.clock = end
                     elif isinstance(op, SendOp):
                         idx = ps.node_msg_count.get(op.source, 0)
@@ -154,6 +335,8 @@ class MachineSimulator:
                             op.startup_cost * fidelity.startup_scale(idx)
                             + op.byte_cost
                         ) * fidelity.jitter_factor(ps.rng)
+                        if session is not None:
+                            cost *= session.slowdown(q)
                         ps.node_msg_count[op.source] = idx + 1
                         start = ps.clock
                         end = start + cost
@@ -182,8 +365,57 @@ class MachineSimulator:
                             + op.parallel_cost * fidelity.compute_scale(width)
                         ) * fidelity.jitter_factor(ps.rng)
                         start = ps.clock
+                        if session is not None:
+                            cost *= session.slowdown(q)
+                            plan = session.compute_plan(q)
+                            if plan.exhausted:
+                                if telemetry_on:
+                                    obs.counter("faults.retries_exhausted").inc()
+                                    obs.event(
+                                        "fault.retries_exhausted",
+                                        level="warning",
+                                        processor=q,
+                                        node=op.node,
+                                        attempts=plan.failures + 1,
+                                    )
+                                kill(q, start, f"retries exhausted on {op.node!r}")
+                                progressed = True
+                                break
+                            if plan.failures:
+                                retry_cost = (
+                                    plan.failures
+                                    * cost
+                                    * session.spec.attempt_fraction
+                                    + plan.backoff_total
+                                )
+                                if record_trace and retry_cost > 0.0:
+                                    trace.add(
+                                        TraceEvent(
+                                            processor=q,
+                                            kind="fault",
+                                            node=op.node,
+                                            start=start,
+                                            end=start + retry_cost,
+                                            detail=(
+                                                f"{plan.failures} failed "
+                                                f"attempt(s) + backoff"
+                                            ),
+                                        )
+                                    )
+                                start += retry_cost
+                                if telemetry_on:
+                                    obs.counter("faults.transient_failures").inc(
+                                        plan.failures
+                                    )
+                                    obs.event(
+                                        "fault.transient",
+                                        processor=q,
+                                        node=op.node,
+                                        failures=plan.failures,
+                                        backoff=plan.backoff_total,
+                                    )
                         end = start + cost
-                        if record_trace and cost > 0.0:
+                        if record_trace and end > ps.clock:
                             trace.add(
                                 TraceEvent(
                                     processor=q,
@@ -194,6 +426,8 @@ class MachineSimulator:
                                 )
                             )
                         ps.clock = end
+                        if session is not None:
+                            done_computes[op.node] += 1
                         # A new node's messages start a fresh pipeline.
                         ps.node_msg_count[op.node] = 0
                     else:  # pragma: no cover - the IR has exactly 3 op kinds
@@ -202,31 +436,60 @@ class MachineSimulator:
                     remaining -= 1
                     progressed = True
             if not progressed:
-                blocked = {
-                    q: program.streams[q][state[q].pc]
-                    for q in procs
-                    if state[q].pc < len(program.streams[q])
-                }
+                if session is not None and session.dead:
+                    # Survivors are starved by the dead processors; stop
+                    # here and let schedule repair take over.
+                    halted = True
+                    break
                 raise DeadlockError(
                     f"no progress with {remaining} instructions left; "
-                    f"blocked ops: {dict(list(blocked.items())[:4])!r}"
+                    + _stall_context(procs, state, program, pending_sends)
                 )
+        halted = halted or remaining > 0
 
         if record_trace:
             trace.validate_sequential()
         finish = {q: state[q].clock for q in procs}
         makespan = max(finish.values(), default=0.0)
-        if obs.enabled():
+        info = {
+            "fidelity_ideal": fidelity.is_ideal,
+            "style": program.info.get("style", "?"),
+            "mdg": program.info.get("mdg", "?"),
+        }
+        if session is not None:
+            completed = sorted(
+                name
+                for name, done in done_computes.items()
+                if done >= expected_computes[name]
+            )
+            unfinished = sorted(set(expected_computes) - set(completed))
+            info.update(
+                {
+                    "fault_injection": True,
+                    "fault_seed": session.spec.seed,
+                    "halted": halted,
+                    "failed_processors": sorted(session.dead),
+                    "failure_times": dict(sorted(session.dead.items())),
+                    "completed_nodes": completed,
+                    "unfinished_nodes": unfinished,
+                }
+            )
+            if telemetry_on and halted:
+                obs.event(
+                    "fault.halt",
+                    level="warning",
+                    failed_processors=sorted(session.dead),
+                    completed=len(completed),
+                    unfinished=len(unfinished),
+                    time=makespan,
+                )
+        if telemetry_on:
             self._record_telemetry(program, trace, makespan, sweeps, record_trace)
         return SimulationResult(
             makespan=makespan,
             processor_finish=finish,
             trace=trace,
-            info={
-                "fidelity_ideal": fidelity.is_ideal,
-                "style": program.info.get("style", "?"),
-                "mdg": program.info.get("mdg", "?"),
-            },
+            info=info,
         )
 
 

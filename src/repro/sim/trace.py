@@ -19,8 +19,8 @@ class TraceEvent:
     """One executed instruction on one processor."""
 
     processor: int
-    kind: str  # "compute" | "send" | "recv" | "wait"
-    node: str  # owning MDG node ("" for waits)
+    kind: str  # "compute" | "send" | "recv" | "wait" | "fault"
+    node: str  # owning MDG node ("" for waits / processor-level faults)
     start: float
     end: float
     detail: str = ""

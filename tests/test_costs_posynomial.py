@@ -247,6 +247,100 @@ class TestPosynomial:
         )
 
 
+# ----- Cone closure (robustness properties) ----------------------------------
+
+
+def assert_in_cone(p: Posynomial) -> None:
+    """Every term has a finite positive coefficient and finite exponents."""
+    for term in p.terms:
+        assert math.isfinite(term.coefficient), repr(p)
+        assert term.coefficient > 0.0, repr(p)
+        for exponent in term.exponents.values():
+            assert math.isfinite(exponent), repr(p)
+
+
+bad_scalars = st.one_of(
+    st.floats(max_value=0.0),  # includes -inf and 0
+    st.just(math.nan),
+    st.just(math.inf),
+)
+
+
+class TestConeClosure:
+    """The algebra never silently leaves the posynomial cone.
+
+    Closed operations keep all coefficients/exponents finite and positive;
+    out-of-cone inputs raise :class:`PosynomialError` instead of producing
+    NaN/Inf terms that would poison the solver downstream.
+    """
+
+    @given(posynomials(), posynomials())
+    @settings(max_examples=50)
+    def test_addition_stays_in_cone(self, a, b):
+        assert_in_cone(a + b)
+
+    @given(posynomials(), posynomials())
+    @settings(max_examples=50)
+    def test_multiplication_stays_in_cone(self, a, b):
+        assert_in_cone(a * b)
+
+    @given(posynomials(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=50)
+    def test_integer_power_stays_in_cone(self, p, k):
+        assert_in_cone(p**k)
+
+    @given(monomials(), st.floats(min_value=-2.0, max_value=2.0))
+    @settings(max_examples=50)
+    def test_monomial_power_stays_in_cone(self, m, e):
+        assert_in_cone(Posynomial([m]) ** e)
+
+    @given(posynomials(), monomials())
+    @settings(max_examples=50)
+    def test_division_by_monomial_stays_in_cone(self, p, m):
+        assert_in_cone(p / m)
+
+    @given(posynomials(), monomials())
+    @settings(max_examples=50)
+    def test_substitution_stays_in_cone(self, p, m):
+        replacement = Posynomial([m])
+        substituted = p.substitute({v: replacement for v in p.variables()})
+        assert_in_cone(substituted)
+
+    @given(posynomials(), values_strategy)
+    @settings(max_examples=50)
+    def test_evaluation_is_finite_and_nonnegative(self, p, values):
+        result = p.evaluate(values)
+        assert math.isfinite(result)
+        assert result >= 0.0
+
+    @given(bad_scalars)
+    def test_bad_coefficient_rejected(self, c):
+        with pytest.raises(PosynomialError):
+            Monomial(c)
+
+    @given(st.one_of(st.just(math.nan), st.just(math.inf), st.just(-math.inf)))
+    def test_bad_exponent_rejected(self, e):
+        with pytest.raises(PosynomialError):
+            Monomial(1.0, {"p": e})
+
+    @given(posynomials(), bad_scalars)
+    @settings(max_examples=50)
+    def test_bad_scalar_product_rejected(self, p, c):
+        with pytest.raises(PosynomialError):
+            p * c
+
+    @given(st.floats(max_value=-1e-9, allow_nan=False))
+    def test_negative_scalar_addition_rejected(self, c):
+        with pytest.raises(PosynomialError):
+            Posynomial.variable("p1") + c
+
+    @given(st.floats(max_value=0.0))
+    def test_non_positive_evaluation_point_rejected(self, v):
+        p = Posynomial.variable("p1") + 1.0
+        with pytest.raises(PosynomialError):
+            p.evaluate({"p1": v})
+
+
 # ----- CompiledPosynomial -----------------------------------------------------
 
 

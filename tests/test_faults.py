@@ -1,0 +1,397 @@
+"""Fault injection: specs, decision streams, engine integration, repair."""
+
+
+import pytest
+
+from repro import obs
+from repro.codegen.program import ComputeOp, MPMDProgram, RecvOp, SendOp
+from repro.errors import DeadlockError, FaultSpecError, RecoveryError
+from repro.faults import (
+    FaultInjector,
+    FaultSession,
+    FaultSpec,
+    ProcessorFailure,
+    load_fault_spec,
+    repair_schedule,
+    save_fault_spec,
+)
+from repro.machine.presets import cm5
+from repro.pipeline import compile_mdg, measure
+from repro.programs import complex_matmul_program
+from repro.sim.engine import MachineSimulator
+
+
+@pytest.fixture
+def telemetry():
+    t = obs.Telemetry(sinks=[obs.MemorySink()])
+    with obs.use(t):
+        yield t
+
+
+def two_node_program(compute_cost: float = 1.0) -> MPMDProgram:
+    """proc 0 computes a then sends to proc 1, which computes b."""
+    program = MPMDProgram(total_processors=2)
+    program.streams[0] = [
+        ComputeOp("a", compute_cost),
+        SendOp("a", "b", 0.1, 0.0),
+    ]
+    program.streams[1] = [
+        RecvOp("a", "b", 0.1, 0.0),
+        ComputeOp("b", compute_cost),
+    ]
+    program.senders[("a", "b")] = (0,)
+    program.receivers[("a", "b")] = (1,)
+    return program
+
+
+class TestFaultSpec:
+    def test_defaults_are_benign(self):
+        assert FaultSpec().is_benign
+        assert not FaultSpec(transient_rate=0.1).is_benign
+        assert not FaultSpec(
+            processor_failures=(ProcessorFailure(0, 1.0),)
+        ).is_benign
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"transient_rate": 1.5},
+            {"transient_rate": -0.1},
+            {"drop_rate": 1.0},
+            {"link_spike_rate": 2.0},
+            {"link_spike_factor": 0.5},
+            {"slowdown": {0: 0.5}},
+            {"slowdown": {-1: 2.0}},
+            {"retry_backoff": -1.0},
+            {"attempt_fraction": 1.5},
+            {"max_retries": -1},
+            {
+                "processor_failures": (
+                    ProcessorFailure(0, 1.0),
+                    ProcessorFailure(0, 2.0),
+                )
+            },
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(**kwargs)
+
+    def test_processor_failure_validation(self):
+        with pytest.raises(FaultSpecError):
+            ProcessorFailure(-1, 0.0)
+        with pytest.raises(FaultSpecError):
+            ProcessorFailure(0, -1.0)
+
+    def test_round_trip_dict(self):
+        spec = FaultSpec(
+            seed=11,
+            slowdown={3: 1.5},
+            transient_rate=0.01,
+            retry_backoff=1e-4,
+            link_spike_rate=0.02,
+            drop_rate=0.005,
+            processor_failures=(ProcessorFailure(2, 0.25),),
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_file(self, tmp_path):
+        spec = FaultSpec(seed=3, transient_rate=0.2, max_retries=5)
+        path = tmp_path / "faults.json"
+        save_fault_spec(spec, path)
+        assert load_fault_spec(path) == spec
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultSpecError, match="not valid JSON"):
+            load_fault_spec(path)
+        with pytest.raises(FaultSpecError, match="cannot read"):
+            load_fault_spec(tmp_path / "missing.json")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown"):
+            FaultSpec.from_dict({"seed": 1, "typo_section": {}})
+
+    def test_with_seed(self):
+        spec = FaultSpec(seed=1, transient_rate=0.1)
+        reseeded = spec.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.transient_rate == spec.transient_rate
+
+
+class TestFaultSession:
+    def test_decision_streams_are_deterministic(self):
+        spec = FaultSpec(seed=5, transient_rate=0.4, drop_rate=0.3)
+        injector = FaultInjector(spec)
+        draws1 = [
+            (injector.session().compute_plan(q), injector.session().message_plan(q))
+            for q in range(4)
+        ]
+        draws2 = [
+            (injector.session().compute_plan(q), injector.session().message_plan(q))
+            for q in range(4)
+        ]
+        assert draws1 == draws2
+
+    def test_per_processor_streams_are_independent(self):
+        spec = FaultSpec(seed=5, transient_rate=0.4)
+        session = FaultSession(spec)
+        a = [session.compute_plan(0) for _ in range(50)]
+        b = [session.compute_plan(1) for _ in range(50)]
+        assert a != b  # astronomically unlikely to collide
+
+    def test_retransmits_bounded(self):
+        spec = FaultSpec(seed=1, drop_rate=0.9, max_retransmits=2)
+        session = FaultSession(spec)
+        for _ in range(200):
+            assert session.message_plan(0).retransmits <= 2
+
+    def test_exhaustion_after_budget(self):
+        spec = FaultSpec(seed=1, transient_rate=0.999, max_retries=0)
+        session = FaultSession(spec)
+        plans = [session.compute_plan(0) for _ in range(20)]
+        assert any(p.exhausted for p in plans)
+        assert all(p.failures <= 0 for p in plans if not p.exhausted)
+
+    def test_kernel_plan_independent_of_order(self):
+        spec = FaultSpec(seed=2, transient_rate=0.5)
+        session = FaultSession(spec)
+        forward = [session.kernel_plan("node", r) for r in range(8)]
+        backward = [session.kernel_plan("node", r) for r in reversed(range(8))]
+        assert forward == list(reversed(backward))
+
+    def test_backoff_grows_exponentially(self):
+        spec = FaultSpec(seed=0, transient_rate=0.9, max_retries=10, retry_backoff=1.0)
+        session = FaultSession(spec)
+        plan = next(
+            p for p in (session.compute_plan(0) for _ in range(100)) if p.failures >= 3
+        )
+        # 1 + 2 + 4 + ... for the first `failures` retries
+        assert plan.backoff_total == sum(2.0**k for k in range(plan.failures))
+
+
+class TestEngineFaults:
+    def test_benign_spec_matches_fault_free_run(self):
+        program = two_node_program()
+        clean = MachineSimulator().run(program)
+        faulted = MachineSimulator(faults=FaultSpec(seed=1)).run(
+            two_node_program()
+        )
+        assert faulted.makespan == clean.makespan
+        assert not faulted.halted
+        assert faulted.info["completed_nodes"] == ["a", "b"]
+        assert faulted.info["unfinished_nodes"] == []
+
+    def test_slowdown_scales_local_processing(self):
+        base = MachineSimulator().run(two_node_program()).makespan
+        slow = MachineSimulator(
+            faults=FaultSpec(slowdown={0: 2.0, 1: 2.0})
+        ).run(two_node_program())
+        assert slow.makespan == pytest.approx(2.0 * base)
+
+    def test_scheduled_processor_failure_halts(self):
+        spec = FaultSpec(processor_failures=(ProcessorFailure(0, 0.5),))
+        result = MachineSimulator(faults=spec).run(two_node_program())
+        # proc 0 finishes 'a' (started before t=0.5) but dies before the
+        # send, so proc 1 starves and the run halts.
+        assert result.halted
+        assert result.failed_processors == (0,)
+        assert result.info["completed_nodes"] == ["a"]
+        assert result.info["unfinished_nodes"] == ["b"]
+        assert result.info["failure_times"][0] >= 0.5
+
+    def test_failure_after_completion_is_harmless(self):
+        spec = FaultSpec(processor_failures=(ProcessorFailure(0, 100.0),))
+        result = MachineSimulator(faults=spec).run(two_node_program())
+        assert not result.halted
+        assert result.failed_processors == ()
+
+    def test_fault_trace_events_emitted(self):
+        spec = FaultSpec(processor_failures=(ProcessorFailure(0, 0.5),))
+        result = MachineSimulator(faults=spec).run(two_node_program())
+        kinds = {e.kind for e in result.trace}
+        assert "fault" in kinds
+
+    def test_faulted_run_is_reproducible(self):
+        spec = FaultSpec(
+            seed=9,
+            transient_rate=0.2,
+            retry_backoff=0.01,
+            link_spike_rate=0.2,
+            drop_rate=0.2,
+        )
+        r1 = MachineSimulator(faults=spec).run(two_node_program())
+        r2 = MachineSimulator(faults=spec).run(two_node_program())
+        assert r1.makespan == r2.makespan
+        assert r1.info == r2.info
+
+    def test_different_fault_seeds_differ(self):
+        makespans = {
+            MachineSimulator(
+                faults=FaultSpec(seed=s, transient_rate=0.4, retry_backoff=0.05)
+            )
+            .run(two_node_program())
+            .makespan
+            for s in range(6)
+        }
+        assert len(makespans) > 1
+
+    def test_retry_exhaustion_escalates_to_processor_loss(self):
+        spec = FaultSpec(seed=0, transient_rate=0.999, max_retries=0)
+        result = MachineSimulator(faults=spec).run(two_node_program())
+        assert result.halted
+        assert len(result.failed_processors) >= 1
+
+    def test_rejects_bad_faults_argument(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="FaultSpec"):
+            MachineSimulator(faults={"seed": 1})
+
+    def test_fault_counters(self, telemetry):
+        spec = FaultSpec(processor_failures=(ProcessorFailure(0, 0.5),))
+        MachineSimulator(faults=spec).run(two_node_program())
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["faults.processors_lost"] == 1
+
+
+class TestDeadlockContext:
+    def test_message_names_the_stalled_processors(self):
+        """Satellite: the deadlock error explains who waits on which tag."""
+        program = MPMDProgram(total_processors=2)
+        program.streams[0] = [
+            RecvOp("b", "a", 0.0, 0.0),
+            ComputeOp("a", 0.0),
+            SendOp("a", "b", 0.0, 0.0),
+        ]
+        program.streams[1] = [
+            RecvOp("a", "b", 0.0, 0.0),
+            ComputeOp("b", 0.0),
+            SendOp("b", "a", 0.0, 0.0),
+        ]
+        program.senders[("a", "b")] = (0,)
+        program.receivers[("a", "b")] = (1,)
+        program.senders[("b", "a")] = (1,)
+        program.receivers[("b", "a")] = (0,)
+        with pytest.raises(DeadlockError) as excinfo:
+            MachineSimulator().run(program)
+        message = str(excinfo.value)
+        assert "no progress" in message
+        assert "proc 0" in message and "proc 1" in message
+        assert "blocked on recv tag b->a" in message
+        assert "blocked on recv tag a->b" in message
+        assert "unposted send" in message
+
+
+class TestScheduleRepair:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return compile_mdg(complex_matmul_program(16).mdg, cm5(8))
+
+    def test_trivial_when_everything_completed(self, compiled):
+        done = [
+            n
+            for n in compiled.mdg.node_names()
+            if not compiled.mdg.node(n).is_dummy
+        ]
+        repair = repair_schedule(
+            compiled.schedule,
+            compiled.machine,
+            failed_processors=[0],
+            completed_nodes=done,
+            failure_time=1.0,
+        )
+        assert repair.trivial
+        assert repair.report.residual_makespan == 0.0
+        assert repair.report.repaired_makespan == 1.0
+
+    def test_residual_rescheduled_on_survivors(self, compiled):
+        repair = repair_schedule(
+            compiled.schedule,
+            compiled.machine,
+            failed_processors=[0, 1],
+            completed_nodes=[],
+            failure_time=0.0,
+        )
+        assert not repair.trivial
+        survivors = set(repair.report.survivors)
+        assert survivors == set(range(2, 8))
+        for entry in repair.physical_schedule:
+            assert set(entry.processors) <= survivors
+        # every non-dummy node is rescheduled
+        expected = {
+            n
+            for n in compiled.mdg.node_names()
+            if not compiled.mdg.node(n).is_dummy
+        }
+        assert set(repair.report.rescheduled_nodes) == expected
+
+    def test_repair_overhead_included(self, compiled):
+        repair = repair_schedule(
+            compiled.schedule,
+            compiled.machine,
+            failed_processors=[0],
+            completed_nodes=[],
+            failure_time=2.0,
+            repair_overhead=0.5,
+        )
+        report = repair.report
+        assert report.repaired_makespan == pytest.approx(
+            2.0 + 0.5 + report.residual_makespan
+        )
+
+    def test_no_survivors_raises(self, compiled):
+        with pytest.raises(RecoveryError, match="all .* processors failed"):
+            repair_schedule(
+                compiled.schedule,
+                compiled.machine,
+                failed_processors=range(8),
+                completed_nodes=[],
+                failure_time=0.0,
+            )
+
+    def test_missing_allocation_raises(self, compiled):
+        stripped_info = dict(compiled.schedule.info)
+        stripped_info.pop("allocation", None)
+        import copy
+
+        schedule = copy.copy(compiled.schedule)
+        schedule.info = stripped_info
+        with pytest.raises(RecoveryError, match="allocation"):
+            repair_schedule(
+                schedule,
+                compiled.machine,
+                failed_processors=[0],
+                completed_nodes=[],
+                failure_time=0.0,
+            )
+
+    def test_recovery_telemetry(self, compiled, telemetry):
+        repair_schedule(
+            compiled.schedule,
+            compiled.machine,
+            failed_processors=[0],
+            completed_nodes=[],
+            failure_time=0.0,
+        )
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["recovery.repairs"] == 1
+        sink = telemetry.sinks[0]
+        names = {e.get("name") for e in sink.events}
+        assert "recovery.report" in names
+
+
+class TestMeasureWithFaults:
+    def test_measure_passes_faults_through(self):
+        compiled = compile_mdg(complex_matmul_program(16).mdg, cm5(8))
+        nominal = measure(compiled, record_trace=False)
+        spec = FaultSpec(
+            processor_failures=(ProcessorFailure(0, nominal.makespan * 0.3),)
+        )
+        faulted = measure(compiled, record_trace=False, faults=spec)
+        assert faulted.halted
+        assert faulted.failed_processors == (0,)
+        assert set(faulted.info["completed_nodes"]).isdisjoint(
+            faulted.info["unfinished_nodes"]
+        )
