@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults lint bench examples artifacts clean
+.PHONY: install test test-faults test-store lint bench examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -13,6 +13,11 @@ test:
 # The robustness slice: fault models, schedule repair, solver degradation.
 test-faults:
 	$(PYTHON) -m pytest tests/test_faults.py tests/test_faults_e2e.py
+
+# The crash-safety slice: artifact store, ingestion, resume, CLI errors.
+test-store:
+	$(PYTHON) -m pytest tests/test_store.py tests/test_ingest.py \
+		tests/test_store_resume.py tests/test_cli_errors.py
 
 # Config lives in pyproject.toml ([tool.ruff]); CI runs the same check.
 lint:

@@ -5,9 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.errors import AllocationError
+from repro.errors import AllocationError, ValidationError
 
-__all__ = ["Allocation"]
+__all__ = ["Allocation", "ALLOCATION_SCHEMA_VERSION"]
+
+#: Version of the :meth:`Allocation.to_dict` wire format.
+ALLOCATION_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -81,4 +84,49 @@ class Allocation:
             average_finish_time=None,
             critical_path_time=None,
             info=merged,
+        )
+
+    # ----- (de)serialization ----------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable description of this allocation.
+
+        Only JSON-compatible ``info`` entries survive (solver diagnostics
+        sometimes hold live objects); the numeric core round-trips exactly.
+        """
+        safe_info: dict[str, Any] = {}
+        for key, value in self.info.items():
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                safe_info[key] = value
+        return {
+            "schema_version": ALLOCATION_SCHEMA_VERSION,
+            "processors": {k: float(v) for k, v in self.processors.items()},
+            "phi": self.phi,
+            "average_finish_time": self.average_finish_time,
+            "critical_path_time": self.critical_path_time,
+            "info": safe_info,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Allocation":
+        """Rebuild an allocation saved by :meth:`to_dict`."""
+        version = data.get("schema_version")
+        if version != ALLOCATION_SCHEMA_VERSION:
+            raise ValidationError(
+                f"unsupported allocation schema version {version!r} "
+                f"(expected {ALLOCATION_SCHEMA_VERSION})"
+            )
+        processors = data.get("processors")
+        if not isinstance(processors, Mapping):
+            raise ValidationError("allocation 'processors' must be an object")
+        def _opt(key: str) -> float | None:
+            value = data.get(key)
+            return None if value is None else float(value)
+
+        return Allocation(
+            processors={str(k): float(v) for k, v in processors.items()},
+            phi=_opt("phi"),
+            average_finish_time=_opt("average_finish_time"),
+            critical_path_time=_opt("critical_path_time"),
+            info=dict(data.get("info", {})),
         )

@@ -27,12 +27,12 @@ from repro.analysis.comparison import (
 )
 from repro.analysis.reports import comparison_table, deviation_table, prediction_table
 from repro.allocation.solver import ConvexSolverOptions
-from repro.errors import FaultSpecError
+from repro.errors import ReproError
 from repro.faults import FaultSpec, load_fault_spec
 from repro.graph.serialization import load_mdg
 from repro.machine.fidelity import HardwareFidelity
 from repro.machine.presets import PRESETS
-from repro.pipeline import compile_mdg, compile_spmd, measure
+from repro.pipeline import compile_mdg, compile_spmd, measure, run_resumable
 from repro.programs import (
     complex_matmul_program,
     fft2d_program,
@@ -103,13 +103,38 @@ def _fault_spec(args: argparse.Namespace) -> FaultSpec | None:
         if seed is not None:
             raise SystemExit("--fault-seed has no effect without --faults")
         return None
-    try:
-        spec = load_fault_spec(path)
-    except FaultSpecError as exc:
-        raise SystemExit(str(exc))
+    spec = load_fault_spec(path)  # FaultSpecError -> structured exit 2
     if seed is not None:
         spec = spec.with_seed(seed)
     return spec
+
+
+def _cache_options(args: argparse.Namespace) -> dict | None:
+    """Checkpoint-store kwargs for :func:`run_resumable`, or None (no cache).
+
+    ``--cache-dir`` switches the run onto the checkpointed pipeline;
+    ``--no-cache`` wins over it; ``--resume`` additionally *reads* valid
+    artifacts back (without it the run only writes checkpoints).
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    resume = bool(getattr(args, "resume", False))
+    if getattr(args, "no_cache", False):
+        cache_dir = None
+    if resume and cache_dir is None:
+        raise SystemExit("--resume requires --cache-dir (and not --no-cache)")
+    if cache_dir is None:
+        return None
+    return {
+        "cache_dir": cache_dir,
+        "resume": resume,
+        "strict": bool(getattr(args, "strict", False)),
+    }
+
+
+def _print_provenance(run) -> None:
+    resumed = run.resumed_stages
+    if resumed:
+        print(f"resumed from cache   : {', '.join(resumed)}")
 
 
 def _fidelity(name: str) -> HardwareFidelity:
@@ -130,11 +155,26 @@ def cmd_info(_args: argparse.Namespace) -> int:
 def cmd_compile(args: argparse.Namespace) -> int:
     bundle = _bundle(args)
     machine = _machine(args)
-    result = (
-        compile_spmd(bundle.mdg, machine)
-        if args.spmd
-        else compile_mdg(bundle.mdg, machine, solver_options=_solver_options(args))
-    )
+    cache = _cache_options(args)
+    if args.spmd:
+        result = compile_spmd(bundle.mdg, machine)
+    elif cache is not None:
+        run = run_resumable(
+            bundle.mdg,
+            machine,
+            simulate=False,
+            solver_options=_solver_options(args),
+            **cache,
+        )
+        result = run.compilation
+        _print_provenance(run)
+    else:
+        result = compile_mdg(
+            bundle.mdg,
+            machine,
+            solver_options=_solver_options(args),
+            strict=bool(getattr(args, "strict", False)),
+        )
     print(f"{result.style} compilation of {bundle.name} on {machine.name} "
           f"(p={machine.processors})")
     if result.phi is not None:
@@ -159,12 +199,31 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     bundle = _bundle(args)
     machine = _machine(args)
     faults = _fault_spec(args)
-    result = (
-        compile_spmd(bundle.mdg, machine)
-        if args.spmd
-        else compile_mdg(bundle.mdg, machine, solver_options=_solver_options(args))
-    )
-    sim = measure(result, _fidelity(args.fidelity), faults=faults)
+    cache = _cache_options(args)
+    repair = None
+    if args.spmd:
+        result = compile_spmd(bundle.mdg, machine)
+        sim = measure(result, _fidelity(args.fidelity), faults=faults)
+    elif cache is not None:
+        run = run_resumable(
+            bundle.mdg,
+            machine,
+            fidelity=_fidelity(args.fidelity),
+            faults=faults,
+            solver_options=_solver_options(args),
+            record_trace=bool(args.gantt),
+            **cache,
+        )
+        result, sim, repair = run.compilation, run.simulation, run.repair
+        _print_provenance(run)
+    else:
+        result = compile_mdg(
+            bundle.mdg,
+            machine,
+            solver_options=_solver_options(args),
+            strict=bool(getattr(args, "strict", False)),
+        )
+        sim = measure(result, _fidelity(args.fidelity), faults=faults)
     print(f"{result.style} {bundle.name} on {machine.name} (p={machine.processors})")
     print(f"predicted : {result.predicted_makespan:.6g} s")
     print(f"measured  : {sim.makespan:.6g} s "
@@ -172,18 +231,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if faults is not None:
         print(f"fault seed: {faults.seed}")
         if sim.halted:
-            from repro.faults import repair_schedule
-
             failed = sim.failed_processors
             print(f"HALTED    : lost processor(s) {list(failed)}; "
                   f"{len(sim.info['unfinished_nodes'])} node(s) unfinished")
-            repair = repair_schedule(
-                result.schedule,
-                machine,
-                failed_processors=failed,
-                completed_nodes=sim.info["completed_nodes"],
-                failure_time=sim.makespan,
-            )
+            if repair is None:
+                from repro.faults import repair_schedule
+
+                repair = repair_schedule(
+                    result.schedule,
+                    machine,
+                    failed_processors=failed,
+                    completed_nodes=sim.info["completed_nodes"],
+                    failure_time=sim.makespan,
+                )
             report = repair.report
             print(f"repaired  : {report.repaired_makespan:.6g} s on "
                   f"{len(report.survivors)} survivors "
@@ -375,6 +435,31 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="perturbed solver restarts when every attempt fails",
         )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="checkpoint every pipeline stage to a content-addressed "
+            "artifact store under DIR (crash-safe atomic writes)",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="reuse valid stage artifacts from --cache-dir instead of "
+            "recomputing (corrupt/stale ones are quarantined and redone)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="ignore --cache-dir entirely (no reads, no writes)",
+        )
+        p.add_argument(
+            "--strict",
+            action="store_true",
+            help="fail hard: corrupted cache artifacts and failed pipeline "
+            "post-conditions (schedule validation, KKT certificate) raise "
+            "instead of warning and recomputing",
+        )
 
     def fault_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -441,13 +526,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run one subcommand, converting library errors to structured exits.
+
+    A malformed input file, a corrupted artifact under ``--strict``, or a
+    failed post-condition prints a diagnostic (path, field, reason — see
+    :class:`repro.errors.IngestError`) on stderr and exits 2. A traceback
+    reaching the user is a bug.
+    """
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     log_json = getattr(args, "log_json", None)
     metrics_out = getattr(args, "metrics_out", None)
     want_report = getattr(args, "obs_report", False)
     if not (log_json or metrics_out or want_report):
-        return args.func(args)
+        return _dispatch(args)
 
     import json
     from pathlib import Path
@@ -457,15 +557,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     except OSError as exc:
         raise SystemExit(f"cannot open --log-json path {log_json!r}: {exc}")
     try:
-        status = args.func(args)
+        status = _dispatch(args)
     finally:
         # Flush the JSONL sink first, so even a crashed run leaves a
         # complete telemetry file behind for post-mortems.
         obs.shutdown()
         if metrics_out:
+            from repro.store.artifact import atomic_write_text
+
             try:
-                Path(metrics_out).write_text(
-                    json.dumps(telemetry.metrics.snapshot(), indent=2) + "\n"
+                atomic_write_text(
+                    Path(metrics_out),
+                    json.dumps(telemetry.metrics.snapshot(), indent=2) + "\n",
                 )
             except OSError as exc:
                 raise SystemExit(

@@ -28,6 +28,10 @@ __all__ = [
     "FaultSpecError",
     "FaultError",
     "RecoveryError",
+    "IngestError",
+    "ArtifactError",
+    "ArtifactCorruptError",
+    "ArtifactVersionError",
 ]
 
 
@@ -101,3 +105,37 @@ class FaultError(ReproError):
 
 class RecoveryError(FaultError):
     """Schedule repair after a fault could not produce a valid schedule."""
+
+
+class IngestError(ValidationError):
+    """An untrusted input file failed validation.
+
+    Carries structured :attr:`diagnostics` — each one names the JSON path,
+    the offending field, and the reason — so callers (the CLI in
+    particular) can report *where* the input is broken without a
+    traceback. ``diagnostics`` entries stringify to
+    ``"<path>: <field>: <reason>"``.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.diagnostics:
+            return base
+        lines = [base] + [f"  - {d}" for d in self.diagnostics]
+        return "\n".join(lines)
+
+
+class ArtifactError(ReproError):
+    """A checkpoint artifact could not be read or written."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """An artifact file is damaged (bad JSON, bad envelope, bad checksum)."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """An artifact was written under an incompatible schema version."""

@@ -235,16 +235,25 @@ class FaultSpec:
 
 
 def load_fault_spec(path: str | Path) -> FaultSpec:
-    """Parse a fault spec from a JSON file."""
+    """Parse a fault spec from a JSON file (size-capped, untrusted)."""
+    from repro.errors import IngestError
+    from repro.io.ingest import read_json_file
+
     try:
-        data = json.loads(Path(path).read_text())
-    except OSError as exc:
-        raise FaultSpecError(f"cannot read fault spec {str(path)!r}: {exc}") from exc
-    except json.JSONDecodeError as exc:
-        raise FaultSpecError(f"fault spec {str(path)!r} is not valid JSON: {exc}") from exc
-    return FaultSpec.from_dict(data)
+        data = read_json_file(path, what="fault spec")
+    except IngestError as exc:
+        raise FaultSpecError(str(exc)) from exc
+    try:
+        return FaultSpec.from_dict(data)
+    except (ValueError, TypeError) as exc:
+        raise FaultSpecError(
+            f"fault spec {str(path)!r} has malformed values: {exc}"
+        ) from exc
 
 
 def save_fault_spec(spec: FaultSpec, path: str | Path) -> None:
-    """Write ``spec`` to ``path`` as JSON (round-trips with ``load_fault_spec``)."""
-    Path(path).write_text(json.dumps(spec.to_dict(), indent=2) + "\n")
+    """Write ``spec`` to ``path`` as JSON (atomic; round-trips with
+    ``load_fault_spec``)."""
+    from repro.store.artifact import atomic_write_text
+
+    atomic_write_text(path, json.dumps(spec.to_dict(), indent=2) + "\n")

@@ -149,10 +149,18 @@ def mdg_from_dict(data: dict[str, Any]) -> MDG:
 
 
 def save_mdg(mdg: MDG, path: str | Path) -> None:
-    """Write ``mdg`` to ``path`` as pretty-printed JSON."""
-    Path(path).write_text(json.dumps(mdg_to_dict(mdg), indent=2, sort_keys=True))
+    """Write ``mdg`` to ``path`` as pretty-printed JSON (atomically)."""
+    from repro.store.artifact import atomic_write_text
+
+    atomic_write_text(path, json.dumps(mdg_to_dict(mdg), indent=2, sort_keys=True))
 
 
 def load_mdg(path: str | Path) -> MDG:
-    """Read an MDG previously written by :func:`save_mdg`."""
-    return mdg_from_dict(json.loads(Path(path).read_text()))
+    """Read an MDG previously written by :func:`save_mdg`.
+
+    The file is treated as untrusted: size caps, structural validation,
+    and structured diagnostics all apply (see :mod:`repro.io.ingest`).
+    """
+    from repro.io.ingest import load_mdg_checked
+
+    return load_mdg_checked(path)

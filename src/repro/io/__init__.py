@@ -1,5 +1,19 @@
-"""Serialization of compilation artifacts (schedules, traces, reports)."""
+"""Serialization of compilation artifacts (schedules, traces, reports).
 
+Loading is hardened: every file-reading entry point routes through
+:mod:`repro.io.ingest` (size caps, structural validation, structured
+diagnostics); every writer is atomic (tmp file + fsync + rename).
+"""
+
+from repro.io.ingest import (
+    Diagnostic,
+    IngestLimits,
+    load_mdg_checked,
+    load_schedule_checked,
+    read_json_file,
+    validate_mdg_dict,
+    validate_schedule_dict,
+)
 from repro.io.results import (
     schedule_to_dict,
     schedule_from_dict,
@@ -7,6 +21,7 @@ from repro.io.results import (
     load_schedule,
     comparison_to_dict,
     experiment_to_json,
+    save_experiment,
 )
 
 __all__ = [
@@ -16,4 +31,12 @@ __all__ = [
     "load_schedule",
     "comparison_to_dict",
     "experiment_to_json",
+    "save_experiment",
+    "Diagnostic",
+    "IngestLimits",
+    "read_json_file",
+    "validate_mdg_dict",
+    "validate_schedule_dict",
+    "load_mdg_checked",
+    "load_schedule_checked",
 ]

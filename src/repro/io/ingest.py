@@ -1,0 +1,381 @@
+"""Hardened ingestion of untrusted JSON inputs.
+
+Every file the library accepts from outside — MDG JSON, schedule JSON,
+fault specs, cached artifacts — ultimately comes through here. The
+contract: malformed input produces an :class:`~repro.errors.IngestError`
+carrying structured :class:`Diagnostic` entries (JSON path, field,
+reason), **never** a raw ``KeyError``/``TypeError`` traceback; oversized
+input is rejected before it is parsed (``max_bytes``) or materialized
+(``max_nodes`` / ``max_edges``), so a hostile or accidentally huge file
+cannot take the process down.
+
+The validators are deliberately two-phase: a structural pass that collects
+*all* diagnostics (so a user fixes a broken file in one round trip), then
+the ordinary constructors, whose own errors are converted into a final
+diagnostic rather than escaping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import IngestError, ReproError
+
+__all__ = [
+    "Diagnostic",
+    "IngestLimits",
+    "read_json_file",
+    "validate_mdg_dict",
+    "validate_schedule_dict",
+    "load_mdg_checked",
+    "load_schedule_checked",
+]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """Where and why one piece of input is invalid."""
+
+    path: str  # JSON path, e.g. "$.nodes[3].processing"
+    field: str  # offending field name ("" for whole-object problems)
+    reason: str
+
+    def __str__(self) -> str:
+        where = f"{self.path}.{self.field}" if self.field else self.path
+        return f"{where}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class IngestLimits:
+    """Hard ceilings applied to every untrusted input file."""
+
+    max_bytes: int = 32 * 1024 * 1024
+    max_nodes: int = 20_000
+    max_edges: int = 100_000
+
+
+DEFAULT_LIMITS = IngestLimits()
+
+
+def _fail(what: str, diagnostics: list[Diagnostic]) -> IngestError:
+    n = len(diagnostics)
+    noun = "problem" if n == 1 else "problems"
+    return IngestError(f"invalid {what}: {n} {noun}", tuple(diagnostics))
+
+
+def read_json_file(
+    path: str | Path,
+    *,
+    what: str = "input file",
+    limits: IngestLimits | None = None,
+) -> Any:
+    """Parse one JSON file with size caps and structured failure.
+
+    Checks the on-disk size *before* reading, so a runaway file never
+    reaches the parser; unreadable files and invalid JSON (including the
+    truncated writes a crash can leave behind) raise :class:`IngestError`.
+    """
+    limits = limits or DEFAULT_LIMITS
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError as exc:
+        raise IngestError(
+            f"cannot read {what} {str(path)!r}",
+            (Diagnostic("$", "", f"unreadable: {exc}"),),
+        ) from exc
+    if size > limits.max_bytes:
+        raise IngestError(
+            f"{what} {str(path)!r} is too large",
+            (
+                Diagnostic(
+                    "$",
+                    "",
+                    f"file is {size} bytes; the limit is {limits.max_bytes}",
+                ),
+            ),
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise IngestError(
+            f"cannot read {what} {str(path)!r}",
+            (Diagnostic("$", "", f"unreadable: {exc}"),),
+        ) from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise IngestError(
+            f"{what} {str(path)!r} is not valid JSON",
+            (
+                Diagnostic(
+                    f"$ (line {exc.lineno}, column {exc.colno})",
+                    "",
+                    f"{exc.msg} — a truncated or corrupted write looks "
+                    "exactly like this",
+                ),
+            ),
+        ) from exc
+
+
+# ----- structural validators ------------------------------------------------
+
+
+def _expect_object(
+    value: Any, path: str, diags: list[Diagnostic], what: str
+) -> bool:
+    if not isinstance(value, dict):
+        diags.append(
+            Diagnostic(path, "", f"{what} must be an object, got {_kind(value)}")
+        )
+        return False
+    return True
+
+
+def _expect_list(value: Any, path: str, diags: list[Diagnostic], what: str) -> bool:
+    if not isinstance(value, list):
+        diags.append(
+            Diagnostic(path, "", f"{what} must be an array, got {_kind(value)}")
+        )
+        return False
+    return True
+
+
+def _expect_string(
+    obj: dict, field: str, path: str, diags: list[Diagnostic]
+) -> str | None:
+    value = obj.get(field)
+    if not isinstance(value, str) or not value:
+        diags.append(
+            Diagnostic(path, field, f"must be a non-empty string, got {_kind(value)}")
+        )
+        return None
+    return value
+
+
+def _expect_number(
+    obj: dict, field: str, path: str, diags: list[Diagnostic], minimum=None
+) -> float | None:
+    value = obj.get(field)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        diags.append(Diagnostic(path, field, f"must be a number, got {_kind(value)}"))
+        return None
+    if minimum is not None and value < minimum:
+        diags.append(Diagnostic(path, field, f"must be >= {minimum}, got {value!r}"))
+        return None
+    return float(value)
+
+
+def _kind(value: Any) -> str:
+    if value is None:
+        return "nothing (missing or null)"
+    return type(value).__name__
+
+
+_PROCESSING_KINDS = {"amdahl", "zero", "posynomial"}
+
+
+def validate_mdg_dict(
+    data: Any, limits: IngestLimits | None = None
+) -> list[Diagnostic]:
+    """All structural problems in one MDG JSON document (empty = clean)."""
+    limits = limits or DEFAULT_LIMITS
+    diags: list[Diagnostic] = []
+    if not _expect_object(data, "$", diags, "MDG document"):
+        return diags
+    version = data.get("schema_version")
+    if version != 1:
+        diags.append(
+            Diagnostic(
+                "$",
+                "schema_version",
+                f"unsupported version {version!r} (this build reads 1)",
+            )
+        )
+
+    nodes = data.get("nodes", [])
+    if _expect_list(nodes, "$", diags, "'nodes'"):
+        if len(nodes) > limits.max_nodes:
+            diags.append(
+                Diagnostic(
+                    "$",
+                    "nodes",
+                    f"graph has {len(nodes)} nodes; the limit is "
+                    f"{limits.max_nodes}",
+                )
+            )
+            return diags
+        seen: set[str] = set()
+        for i, node in enumerate(nodes):
+            path = f"$.nodes[{i}]"
+            if not _expect_object(node, path, diags, "node"):
+                continue
+            name = _expect_string(node, "name", path, diags)
+            if name is not None:
+                if name in seen:
+                    diags.append(Diagnostic(path, "name", f"duplicate node {name!r}"))
+                seen.add(name)
+            processing = node.get("processing")
+            if _expect_object(processing, f"{path}.processing", diags, "processing"):
+                kind = processing.get("kind")
+                if kind not in _PROCESSING_KINDS:
+                    diags.append(
+                        Diagnostic(
+                            f"{path}.processing",
+                            "kind",
+                            f"unknown processing model {kind!r} "
+                            f"(expected one of {sorted(_PROCESSING_KINDS)})",
+                        )
+                    )
+                elif kind == "amdahl":
+                    _expect_number(processing, "alpha", f"{path}.processing", diags)
+                    _expect_number(processing, "tau", f"{path}.processing", diags)
+                elif kind == "posynomial":
+                    terms = processing.get("terms")
+                    if _expect_list(terms, f"{path}.processing", diags, "'terms'"):
+                        for j, term in enumerate(terms):
+                            tpath = f"{path}.processing.terms[{j}]"
+                            if _expect_object(term, tpath, diags, "term"):
+                                _expect_number(term, "coefficient", tpath, diags)
+    else:
+        seen = set()
+
+    edges = data.get("edges", [])
+    if _expect_list(edges, "$", diags, "'edges'"):
+        if len(edges) > limits.max_edges:
+            diags.append(
+                Diagnostic(
+                    "$",
+                    "edges",
+                    f"graph has {len(edges)} edges; the limit is "
+                    f"{limits.max_edges}",
+                )
+            )
+            return diags
+        for i, edge in enumerate(edges):
+            path = f"$.edges[{i}]"
+            if not _expect_object(edge, path, diags, "edge"):
+                continue
+            for endpoint in ("source", "target"):
+                name = _expect_string(edge, endpoint, path, diags)
+                if name is not None and seen and name not in seen:
+                    diags.append(
+                        Diagnostic(path, endpoint, f"references unknown node {name!r}")
+                    )
+            transfers = edge.get("transfers", [])
+            if _expect_list(transfers, path, diags, "'transfers'"):
+                for j, transfer in enumerate(transfers):
+                    tpath = f"{path}.transfers[{j}]"
+                    if _expect_object(transfer, tpath, diags, "transfer"):
+                        _expect_number(
+                            transfer, "length_bytes", tpath, diags, minimum=0
+                        )
+                        kind = transfer.get("kind")
+                        if not isinstance(kind, str):
+                            diags.append(
+                                Diagnostic(
+                                    tpath,
+                                    "kind",
+                                    f"must be a transfer-kind string, "
+                                    f"got {_kind(kind)}",
+                                )
+                            )
+    return diags
+
+
+def validate_schedule_dict(
+    data: Any, limits: IngestLimits | None = None
+) -> list[Diagnostic]:
+    """All structural problems in one schedule JSON document."""
+    limits = limits or DEFAULT_LIMITS
+    diags: list[Diagnostic] = []
+    if not _expect_object(data, "$", diags, "schedule document"):
+        return diags
+    version = data.get("schema_version")
+    if version != 1:
+        diags.append(
+            Diagnostic(
+                "$",
+                "schema_version",
+                f"unsupported version {version!r} (this build reads 1)",
+            )
+        )
+    _expect_number(data, "total_processors", "$", diags, minimum=1)
+    mdg = data.get("mdg")
+    if _expect_object(mdg, "$.mdg", diags, "embedded MDG"):
+        diags.extend(
+            Diagnostic(f"$.mdg{d.path[1:]}", d.field, d.reason)
+            for d in validate_mdg_dict(mdg, limits)
+        )
+    entries = data.get("entries", [])
+    if _expect_list(entries, "$", diags, "'entries'"):
+        if len(entries) > limits.max_nodes:
+            diags.append(
+                Diagnostic(
+                    "$",
+                    "entries",
+                    f"schedule has {len(entries)} entries; the limit is "
+                    f"{limits.max_nodes}",
+                )
+            )
+            return diags
+        for i, entry in enumerate(entries):
+            path = f"$.entries[{i}]"
+            if not _expect_object(entry, path, diags, "entry"):
+                continue
+            _expect_string(entry, "name", path, diags)
+            _expect_number(entry, "start", path, diags, minimum=0)
+            _expect_number(entry, "finish", path, diags, minimum=0)
+            processors = entry.get("processors")
+            if _expect_list(processors, path, diags, "'processors'"):
+                for j, proc in enumerate(processors):
+                    if isinstance(proc, bool) or not isinstance(proc, int):
+                        diags.append(
+                            Diagnostic(
+                                path,
+                                "processors",
+                                f"entry [{j}] must be an integer processor "
+                                f"id, got {_kind(proc)}",
+                            )
+                        )
+    return diags
+
+
+# ----- checked loaders ------------------------------------------------------
+
+
+def load_mdg_checked(path: str | Path, limits: IngestLimits | None = None):
+    """Load an MDG JSON file through the full validation gauntlet."""
+    from repro.graph.serialization import mdg_from_dict
+
+    data = read_json_file(path, what="MDG file", limits=limits)
+    diags = validate_mdg_dict(data, limits)
+    if diags:
+        raise _fail(f"MDG file {str(path)!r}", diags)
+    try:
+        return mdg_from_dict(data)
+    except ReproError as exc:
+        raise IngestError(
+            f"invalid MDG file {str(path)!r}: 1 problem",
+            (Diagnostic("$", "", str(exc)),),
+        ) from exc
+
+
+def load_schedule_checked(path: str | Path, limits: IngestLimits | None = None):
+    """Load a schedule JSON file through the full validation gauntlet."""
+    from repro.io.results import schedule_from_dict
+
+    data = read_json_file(path, what="schedule file", limits=limits)
+    diags = validate_schedule_dict(data, limits)
+    if diags:
+        raise _fail(f"schedule file {str(path)!r}", diags)
+    try:
+        return schedule_from_dict(data)
+    except ReproError as exc:
+        raise IngestError(
+            f"invalid schedule file {str(path)!r}: 1 problem",
+            (Diagnostic("$", "", str(exc)),),
+        ) from exc

@@ -25,6 +25,7 @@ __all__ = [
     "load_schedule",
     "comparison_to_dict",
     "experiment_to_json",
+    "save_experiment",
 ]
 
 SCHEDULE_SCHEMA_VERSION = 1
@@ -88,11 +89,17 @@ def schedule_from_dict(data: dict[str, Any]) -> Schedule:
 
 
 def save_schedule(schedule: Schedule, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+    """Write ``schedule`` atomically — an interrupt never truncates it."""
+    from repro.store.artifact import atomic_write_text
+
+    atomic_write_text(path, json.dumps(schedule_to_dict(schedule), indent=2))
 
 
 def load_schedule(path: str | Path) -> Schedule:
-    return schedule_from_dict(json.loads(Path(path).read_text()))
+    """Read a schedule as untrusted input (validated, size-capped)."""
+    from repro.io.ingest import load_schedule_checked
+
+    return load_schedule_checked(path)
 
 
 def comparison_to_dict(row: Any) -> dict[str, Any]:
@@ -111,3 +118,10 @@ def experiment_to_json(rows: Iterable[Any], experiment: str) -> str:
         },
         indent=2,
     )
+
+
+def save_experiment(rows: Iterable[Any], experiment: str, path: str | Path) -> None:
+    """Archive experiment rows to ``path`` atomically."""
+    from repro.store.artifact import atomic_write_text
+
+    atomic_write_text(path, experiment_to_json(rows, experiment) + "\n")

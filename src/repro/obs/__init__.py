@@ -23,6 +23,13 @@ Instrumented library code only ever does::
 
 On the wire (JSONL / the in-memory collector), everything is a dict with
 a ``type`` of ``run_start``, ``span``, ``event``, or ``metrics``.
+
+Metric/event namespaces emitted by the library: ``solver.*`` and
+``psa.*`` (compilation), ``sim.*`` (the machine simulator), ``fault.*``
+and ``recovery.*`` (fault injection and repair), ``store.*``
+(checkpoint-cache hits/misses/corruption — see :mod:`repro.store`), and
+``pipeline.postcondition`` (failed re-validation of resumed or strict
+runs).
 """
 
 from repro.obs.core import (

@@ -7,18 +7,25 @@ everything a caller needs to simulate, inspect, or compare the result.
 ``execute_with_faults`` runs the full degraded-machine story: simulate
 under a fault spec, repair the schedule when processors die, re-execute
 values on the survivors, and verify the answer is still right.
+``run_resumable`` is the crash-safe variant: every stage output is frozen
+to a content-addressed artifact store, so a run killed at any point can be
+re-issued and picks up from its last completed stage.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
 from repro import obs
-from repro.allocation.result import Allocation
+from repro.allocation.result import ALLOCATION_SCHEMA_VERSION, Allocation
 from repro.allocation.solver import ConvexSolverOptions, solve_allocation
 from repro.codegen.mpmd import generate_mpmd_program
 from repro.codegen.program import MPMDProgram
 from repro.codegen.spmd import generate_spmd_program
+from repro.errors import ReproError, SchedulingError
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import ScheduleRepair, repair_schedule
 from repro.faults.spec import FaultSpec
@@ -39,6 +46,9 @@ __all__ = [
     "execute_bundle",
     "FaultedExecution",
     "execute_with_faults",
+    "check_postconditions",
+    "ResumableRun",
+    "run_resumable",
 ]
 
 
@@ -65,13 +75,82 @@ class CompilationResult:
         return self.schedule.makespan
 
 
+def check_postconditions(
+    mdg: MDG,
+    machine: MachineParameters,
+    allocation: Allocation,
+    schedule: Schedule,
+    *,
+    strict: bool = False,
+    certify: bool = False,
+    source: str = "fresh",
+) -> list[str]:
+    """Re-check what the pipeline is supposed to guarantee.
+
+    Always re-validates the schedule's structural invariants; with
+    ``certify=True`` (used whenever a stage was *resumed from an artifact*
+    rather than freshly computed, and in strict compilations) the convex
+    allocation is additionally re-certified through its KKT certificate.
+
+    Every failed check emits a ``pipeline.postcondition`` warning event;
+    under ``strict=True`` the first batch of failures raises
+    :class:`~repro.errors.SchedulingError` instead of letting a bad
+    schedule flow downstream. Returns the list of problems found.
+    """
+    problems = [
+        f"schedule.validate: {problem}" for problem in schedule.validation_errors()
+    ]
+
+    convex_methods = {"trust-constr", "slsqp", "auto"}
+    if (
+        certify
+        and allocation.phi is not None
+        and allocation.info.get("method", "trust-constr") in convex_methods
+    ):
+        try:
+            from repro.allocation.certificate import certify_allocation
+            from repro.allocation.formulation import ConvexAllocationProblem
+
+            problem = ConvexAllocationProblem(mdg, machine)
+            cert = certify_allocation(problem, allocation)
+            # 1e-3 matches the loosest tolerance the certificate tests use:
+            # NNLS residuals grow slightly with transfer-heavy graphs.
+            if not cert.is_optimal(stationarity_tol=1e-3):
+                problems.append(
+                    "allocation certificate: stationarity residual "
+                    f"{cert.stationarity_residual:.3g}, max violation "
+                    f"{cert.max_violation:.3g} — not a certified optimum"
+                )
+        except ReproError as exc:
+            problems.append(f"allocation certificate: {exc}")
+
+    if problems:
+        obs.counter("pipeline.postcondition.failed").inc(len(problems))
+        for problem in problems:
+            obs.event(
+                "pipeline.postcondition", ok=False, source=source, problem=problem
+            )
+        if strict:
+            raise SchedulingError(
+                f"pipeline post-conditions failed ({source}): "
+                + "; ".join(problems)
+            )
+    return problems
+
+
 def compile_mdg(
     mdg: MDG,
     machine: MachineParameters,
     psa_options: PSAOptions | None = None,
     solver_options: ConvexSolverOptions | None = None,
+    strict: bool = False,
 ) -> CompilationResult:
-    """Allocate (convex program), schedule (PSA), and generate MPMD code."""
+    """Allocate (convex program), schedule (PSA), and generate MPMD code.
+
+    With ``strict=True`` the pipeline's post-conditions are enforced:
+    the schedule is re-validated and the allocation re-certified (KKT),
+    raising on failure instead of emitting warning events.
+    """
     with obs.span(
         "compile", style="MPMD", machine=machine.name, processors=machine.processors
     ) as compile_span:
@@ -88,6 +167,10 @@ def compile_mdg(
         with obs.span("codegen") as sp:
             program = generate_mpmd_program(schedule, machine)
             sp.set_attr("instructions", program.n_instructions)
+        check_postconditions(
+            normalized, machine, allocation, schedule,
+            strict=strict, certify=strict,
+        )
     return CompilationResult(
         mdg=normalized,
         machine=machine,
@@ -324,4 +407,376 @@ def execute_with_faults(
         simulation=simulation,
         repair=repair,
         value_report=report,
+    )
+
+
+# ----- crash-safe checkpointed pipeline -------------------------------------
+
+#: Stage schema versions. Bump one when its payload shape changes; cached
+#: artifacts written under the old version are treated as stale on resume.
+MDG_STAGE_VERSION = 1
+SIMULATION_STAGE_VERSION = 1
+RECOVERY_STAGE_VERSION = 1
+
+_STALL_ENV = "REPRO_STORE_STALL_AFTER"
+_STALL_SECONDS_ENV = "REPRO_STORE_STALL_SECONDS"
+
+
+def _test_stall(stage: str) -> None:
+    """CI/test hook: sleep after persisting ``stage``'s artifact.
+
+    Lets the kill-and-resume smoke test SIGKILL the process at a
+    deterministic point ("after the allocation stage") instead of racing
+    the scheduler. No-op unless ``REPRO_STORE_STALL_AFTER`` names this
+    stage.
+    """
+    if os.environ.get(_STALL_ENV) == stage:
+        time.sleep(float(os.environ.get(_STALL_SECONDS_ENV, "30")))
+
+
+def _options_fingerprint(options: Any) -> Any:
+    """A canonical-JSON-safe identity for a stage-options dataclass."""
+    if options is None:
+        return None
+    fingerprint = asdict(options)
+    for key, value in fingerprint.items():
+        if isinstance(value, tuple):
+            fingerprint[key] = list(value)
+    return fingerprint
+
+
+def _machine_fingerprint(machine: MachineParameters) -> dict:
+    return {
+        "name": machine.name,
+        "processors": machine.processors,
+        "transfer": asdict(machine.transfer),
+    }
+
+
+@dataclass
+class ResumableRun:
+    """Everything :func:`run_resumable` produced, plus its provenance.
+
+    ``stage_sources`` maps each stage kind to ``"cache"`` (resumed from a
+    valid artifact) or ``"computed"`` (ran this time); ``keys`` holds the
+    content-hash cache key each stage was filed under.
+    """
+
+    compilation: CompilationResult
+    simulation: SimulationResult | None
+    repair: ScheduleRepair | None
+    stage_sources: dict[str, str]
+    keys: dict[str, str]
+    cache_dir: str | None
+
+    @property
+    def resumed_stages(self) -> list[str]:
+        return sorted(k for k, v in self.stage_sources.items() if v == "cache")
+
+
+def _simulation_payload(sim: SimulationResult, record_trace: bool) -> dict:
+    safe_info: dict[str, Any] = {}
+    for key, value in sim.info.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe_info[key] = value
+        elif isinstance(value, (list, tuple, set)):
+            items = sorted(value) if isinstance(value, set) else list(value)
+            if all(isinstance(v, (str, int, float, bool)) for v in items):
+                safe_info[key] = items
+    payload: dict[str, Any] = {
+        "makespan": sim.makespan,
+        "processor_finish": {str(k): v for k, v in sim.processor_finish.items()},
+        "info": safe_info,
+        "trace": None,
+    }
+    if record_trace:
+        payload["trace"] = [
+            {
+                "processor": e.processor,
+                "kind": e.kind,
+                "node": e.node,
+                "start": e.start,
+                "end": e.end,
+                "detail": e.detail,
+            }
+            for e in sim.trace
+        ]
+    return payload
+
+
+def _simulation_from_payload(payload: dict) -> SimulationResult:
+    from repro.sim.trace import ExecutionTrace, TraceEvent
+
+    trace = ExecutionTrace()
+    for event in payload.get("trace") or ():
+        trace.add(
+            TraceEvent(
+                processor=int(event["processor"]),
+                kind=str(event["kind"]),
+                node=str(event["node"]),
+                start=float(event["start"]),
+                end=float(event["end"]),
+                detail=str(event.get("detail", "")),
+            )
+        )
+    info = dict(payload.get("info", {}))
+    info["resumed_from_cache"] = True
+    return SimulationResult(
+        makespan=float(payload["makespan"]),
+        processor_finish={
+            int(k): float(v) for k, v in payload.get("processor_finish", {}).items()
+        },
+        trace=trace,
+        info=info,
+    )
+
+
+def run_resumable(
+    mdg: MDG,
+    machine: MachineParameters,
+    *,
+    cache_dir: str | os.PathLike | None,
+    resume: bool = True,
+    strict: bool = False,
+    simulate: bool = True,
+    fidelity: HardwareFidelity | None = None,
+    faults: FaultSpec | FaultInjector | None = None,
+    psa_options: PSAOptions | None = None,
+    solver_options: ConvexSolverOptions | None = None,
+    record_trace: bool = False,
+    repair_overhead: float = 0.0,
+) -> ResumableRun:
+    """Compile (and optionally simulate) with per-stage checkpointing.
+
+    Every stage output — normalized MDG, allocation, schedule, simulation
+    (with its trace when ``record_trace``), recovery report — is written
+    to ``cache_dir`` as a checksummed artifact keyed by the content hash
+    of its inputs. With ``resume=True`` stages whose valid artifacts
+    already exist are skipped; corrupted or stale artifacts are
+    quarantined and recomputed (``store.corrupt``), never trusted and
+    never fatal — unless ``strict=True``, where they raise.
+
+    A schedule or allocation loaded from an artifact is re-checked before
+    use: :meth:`Schedule.validate` plus the KKT optimality certificate
+    (see :func:`check_postconditions`), so a tampered-but-checksum-valid
+    cache still cannot smuggle an invalid schedule into execution.
+
+    ``cache_dir=None`` degrades to a plain uncached run.
+    """
+    from repro.io.results import (
+        SCHEDULE_SCHEMA_VERSION,
+        schedule_from_dict,
+        schedule_to_dict,
+    )
+    from repro.graph.serialization import mdg_to_dict
+    from repro.store import ArtifactStore, content_hash
+
+    spec: FaultSpec | None
+    if isinstance(faults, FaultInjector):
+        spec = faults.spec
+    else:
+        spec = faults
+
+    store = (
+        ArtifactStore(cache_dir, strict=strict) if cache_dir is not None else None
+    )
+    sources: dict[str, str] = {}
+    keys: dict[str, str] = {}
+
+    with obs.span(
+        "run_resumable",
+        machine=machine.name,
+        processors=machine.processors,
+        cached=store is not None,
+        resume=resume,
+    ):
+        normalized = mdg.normalized()
+        mdg_dict = mdg_to_dict(normalized)
+        base_key = content_hash(
+            {
+                "mdg": mdg_dict,
+                "machine": _machine_fingerprint(machine),
+                "solver": _options_fingerprint(solver_options),
+                "psa": _options_fingerprint(psa_options),
+            }
+        )
+        keys["mdg"] = keys["allocation"] = keys["schedule"] = base_key
+
+        # Stage 0: the lowered/normalized MDG itself (artifact of record;
+        # cheap to recompute, but its presence makes a cache directory
+        # self-describing).
+        sources["mdg"] = "computed"
+        if store is not None:
+            if resume and store.load("mdg", base_key, MDG_STAGE_VERSION) is not None:
+                sources["mdg"] = "cache"
+            else:
+                store.store(
+                    "mdg", base_key, mdg_dict, MDG_STAGE_VERSION,
+                    meta={"stage": "mdg", "name": normalized.name},
+                )
+
+        # Stage 1: convex allocation.
+        allocation: Allocation | None = None
+        sources["allocation"] = "computed"
+        if store is not None and resume:
+            artifact = store.load("allocation", base_key, ALLOCATION_SCHEMA_VERSION)
+            if artifact is not None:
+                try:
+                    allocation = Allocation.from_dict(artifact.payload)
+                    sources["allocation"] = "cache"
+                except ReproError as exc:
+                    if strict:
+                        raise
+                    obs.event(
+                        "store.corrupt",
+                        kind="allocation",
+                        reason=f"payload rejected: {exc}",
+                    )
+        if allocation is None:
+            with obs.span("allocate") as sp:
+                allocation = solve_allocation(normalized, machine, solver_options)
+                sp.set_attr("phi", allocation.phi)
+            if store is not None:
+                store.store(
+                    "allocation",
+                    base_key,
+                    allocation.to_dict(),
+                    ALLOCATION_SCHEMA_VERSION,
+                    meta={"stage": "allocation"},
+                )
+        _test_stall("allocation")
+
+        # Stage 2: PSA schedule.
+        schedule: Schedule | None = None
+        sources["schedule"] = "computed"
+        if store is not None and resume:
+            artifact = store.load("schedule", base_key, SCHEDULE_SCHEMA_VERSION)
+            if artifact is not None:
+                try:
+                    schedule = schedule_from_dict(artifact.payload)
+                    sources["schedule"] = "cache"
+                except ReproError as exc:
+                    if strict:
+                        raise
+                    obs.event(
+                        "store.corrupt",
+                        kind="schedule",
+                        reason=f"payload rejected: {exc}",
+                    )
+        if schedule is None:
+            with obs.span("schedule") as sp:
+                schedule = prioritized_schedule(
+                    normalized, allocation.processors, machine, psa_options
+                )
+                sp.set_attr("makespan", schedule.makespan)
+            if store is not None:
+                store.store(
+                    "schedule",
+                    base_key,
+                    schedule_to_dict(schedule),
+                    SCHEDULE_SCHEMA_VERSION,
+                    meta={"stage": "schedule"},
+                )
+        _test_stall("schedule")
+
+        # Post-conditions: anything resumed from disk is re-certified
+        # before the pipeline builds on it.
+        resumed = [k for k in ("allocation", "schedule") if sources[k] == "cache"]
+        check_postconditions(
+            normalized,
+            machine,
+            allocation,
+            schedule,
+            strict=strict,
+            certify=strict or bool(resumed),
+            source=("resume:" + "+".join(resumed)) if resumed else "fresh",
+        )
+
+        # Codegen is deterministic and cheap — always recomputed.
+        with obs.span("codegen"):
+            program = generate_mpmd_program(schedule, machine)
+        compilation = CompilationResult(
+            mdg=normalized,
+            machine=machine,
+            allocation=allocation,
+            schedule=schedule,
+            program=program,
+            style="MPMD",
+        )
+
+        simulation: SimulationResult | None = None
+        repair: ScheduleRepair | None = None
+        if simulate:
+            sim_key = content_hash(
+                {
+                    "base": base_key,
+                    "fidelity": _options_fingerprint(fidelity),
+                    "faults": spec.to_dict() if spec is not None else None,
+                    "record_trace": bool(record_trace),
+                }
+            )
+            keys["simulation"] = sim_key
+            sources["simulation"] = "computed"
+            if store is not None and resume:
+                artifact = store.load(
+                    "simulation", sim_key, SIMULATION_STAGE_VERSION
+                )
+                if artifact is not None:
+                    try:
+                        simulation = _simulation_from_payload(artifact.payload)
+                        sources["simulation"] = "cache"
+                    except (ReproError, KeyError, TypeError, ValueError) as exc:
+                        if strict:
+                            raise
+                        obs.event(
+                            "store.corrupt",
+                            kind="simulation",
+                            reason=f"payload rejected: {exc}",
+                        )
+                        simulation = None
+            if simulation is None:
+                simulation = measure(
+                    compilation, fidelity, record_trace=record_trace, faults=faults
+                )
+                if store is not None:
+                    store.store(
+                        "simulation",
+                        sim_key,
+                        _simulation_payload(simulation, record_trace),
+                        SIMULATION_STAGE_VERSION,
+                        meta={"stage": "simulation"},
+                    )
+            _test_stall("simulation")
+
+            if simulation.halted:
+                # Repair is recomputed even on resume (it is fast and
+                # needs live Schedule objects); its report is checkpointed
+                # as the run's artifact of record.
+                repair = repair_schedule(
+                    compilation.schedule,
+                    machine,
+                    failed_processors=simulation.failed_processors,
+                    completed_nodes=simulation.info.get("completed_nodes", ()),
+                    failure_time=simulation.makespan,
+                    psa_options=psa_options,
+                    repair_overhead=repair_overhead,
+                )
+                keys["recovery"] = sim_key
+                sources["recovery"] = "computed"
+                if store is not None:
+                    store.store(
+                        "recovery",
+                        sim_key,
+                        repair.report.to_dict(),
+                        RECOVERY_STAGE_VERSION,
+                        meta={"stage": "recovery"},
+                    )
+
+    return ResumableRun(
+        compilation=compilation,
+        simulation=simulation,
+        repair=repair,
+        stage_sources=sources,
+        keys=keys,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
     )

@@ -115,6 +115,60 @@ class Schedule:
 
     # ----- validation ----------------------------------------------------------
 
+    def validation_errors(self, weights: BoundWeights | None = None) -> list[str]:
+        """Every invariant violation as a message, without raising.
+
+        The pipeline's post-condition check uses this to report *all*
+        problems of a (possibly resumed-from-disk) schedule as structured
+        events instead of stopping at the first one. An empty list means
+        the schedule is valid.
+        """
+        problems: list[str] = []
+        if not self.is_complete:
+            missing = sorted(set(self.mdg.node_names()) - set(self.entries))
+            # Timing checks below dereference predecessors, so stop here.
+            return [f"schedule is missing nodes {missing[:5]!r}"]
+
+        # No processor double-booking: sweep each processor's intervals.
+        per_proc: dict[int, list[tuple[float, float, str]]] = {}
+        for e in self.entries.values():
+            for i in e.processors:
+                per_proc.setdefault(i, []).append((e.start, e.finish, e.name))
+        for proc, intervals in sorted(per_proc.items()):
+            intervals.sort()
+            for (s1, f1, n1), (s2, f2, n2) in zip(intervals, intervals[1:]):
+                if not _close_geq(s2, f1):
+                    problems.append(
+                        f"processor {proc} double-booked: {n1!r} [{s1}, {f1}) "
+                        f"overlaps {n2!r} [{s2}, {f2})"
+                    )
+
+        if weights is None:
+            return problems
+
+        for e in self.entries.values():
+            expected = weights.node_weight(e.name)
+            if abs(e.duration - expected) > _REL_TOL * max(1.0, expected):
+                problems.append(
+                    f"node {e.name!r} occupies [{e.start}, {e.finish}) but its "
+                    f"weight is {expected}"
+                )
+            expected_width = weights.allocation[e.name]
+            if e.width != int(expected_width):
+                problems.append(
+                    f"node {e.name!r} uses {e.width} processors but the "
+                    f"allocation says {expected_width}"
+                )
+            for pred_edge in self.mdg.in_edges(e.name):
+                pred = self.entry(pred_edge.source)
+                earliest = pred.finish + weights.edge_weight(pred.name, e.name)
+                if not _close_geq(e.start, earliest):
+                    problems.append(
+                        f"precedence violated: {e.name!r} starts at {e.start} "
+                        f"but {pred.name!r} + network delay ends at {earliest}"
+                    )
+        return problems
+
     def validate(self, weights: BoundWeights | None = None) -> None:
         """Check the schedule's invariants; raise SchedulingError on failure.
 
@@ -124,48 +178,9 @@ class Schedule:
         node occupies its processors for its weight ``T_i`` and starts no
         earlier than ``finish_m + t^D_mi`` for every predecessor ``m``.
         """
-        if not self.is_complete:
-            missing = sorted(set(self.mdg.node_names()) - set(self.entries))
-            raise SchedulingError(f"schedule is missing nodes {missing[:5]!r}")
-
-        # No processor double-booking: sweep each processor's intervals.
-        per_proc: dict[int, list[tuple[float, float, str]]] = {}
-        for e in self.entries.values():
-            for i in e.processors:
-                per_proc.setdefault(i, []).append((e.start, e.finish, e.name))
-        for proc, intervals in per_proc.items():
-            intervals.sort()
-            for (s1, f1, n1), (s2, f2, n2) in zip(intervals, intervals[1:]):
-                if not _close_geq(s2, f1):
-                    raise SchedulingError(
-                        f"processor {proc} double-booked: {n1!r} [{s1}, {f1}) "
-                        f"overlaps {n2!r} [{s2}, {f2})"
-                    )
-
-        if weights is None:
-            return
-
-        for e in self.entries.values():
-            expected = weights.node_weight(e.name)
-            if abs(e.duration - expected) > _REL_TOL * max(1.0, expected):
-                raise SchedulingError(
-                    f"node {e.name!r} occupies [{e.start}, {e.finish}) but its "
-                    f"weight is {expected}"
-                )
-            expected_width = weights.allocation[e.name]
-            if e.width != int(expected_width):
-                raise SchedulingError(
-                    f"node {e.name!r} uses {e.width} processors but the "
-                    f"allocation says {expected_width}"
-                )
-            for pred_edge in self.mdg.in_edges(e.name):
-                pred = self.entry(pred_edge.source)
-                earliest = pred.finish + weights.edge_weight(pred.name, e.name)
-                if not _close_geq(e.start, earliest):
-                    raise SchedulingError(
-                        f"precedence violated: {e.name!r} starts at {e.start} "
-                        f"but {pred.name!r} + network delay ends at {earliest}"
-                    )
+        problems = self.validation_errors(weights)
+        if problems:
+            raise SchedulingError("; ".join(problems))
 
     # ----- metrics -----------------------------------------------------------
 

@@ -132,7 +132,10 @@ def save_chrome_trace(
     machine_name: str = "sim",
     pipeline_spans: Sequence[Span] | None = None,
 ) -> None:
-    """Write the Chrome trace JSON to ``path``."""
-    Path(path).write_text(
-        trace_to_chrome_json(trace, machine_name, pipeline_spans=pipeline_spans)
+    """Write the Chrome trace JSON to ``path`` (atomically)."""
+    from repro.store.artifact import atomic_write_text
+
+    atomic_write_text(
+        Path(path),
+        trace_to_chrome_json(trace, machine_name, pipeline_spans=pipeline_spans),
     )

@@ -1,0 +1,36 @@
+"""``repro.store`` — content-addressed artifacts and crash-safe checkpoints.
+
+Two layers:
+
+* :mod:`repro.store.artifact` — the on-disk unit: a versioned, checksummed
+  JSON envelope written atomically (tmp file + fsync + rename), plus the
+  canonical-JSON hashing helpers every cache key is built from.
+* :mod:`repro.store.cache` — :class:`ArtifactStore`: a directory of
+  artifacts keyed by stage kind + input-content hash, with corruption
+  quarantine and ``store.hit`` / ``store.miss`` / ``store.corrupt``
+  telemetry.
+
+The pipeline entry point is :func:`repro.pipeline.run_resumable`, which
+checkpoints every stage through a store and skips stages whose valid
+artifacts already exist.
+"""
+
+from repro.store.artifact import (
+    Artifact,
+    atomic_write_text,
+    canonical_json,
+    content_hash,
+    read_artifact,
+    write_artifact,
+)
+from repro.store.cache import ArtifactStore
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "atomic_write_text",
+    "canonical_json",
+    "content_hash",
+    "read_artifact",
+    "write_artifact",
+]

@@ -1,0 +1,207 @@
+"""Versioned, checksummed JSON artifacts with atomic writes.
+
+An *artifact* is one pipeline stage's output frozen to disk: a small JSON
+envelope carrying the stage kind, the stage schema version, the cache key
+it was computed under, a SHA-256 checksum of the payload, and the payload
+itself. Envelopes are **deterministic** — no timestamps, sorted keys — so
+the same stage output always serializes to the same bytes, which is what
+lets tests (and the CI kill-and-resume smoke step) assert bit-identical
+results across interrupted and uninterrupted runs.
+
+Writes are crash-safe: content goes to a temporary file in the target
+directory, is flushed and fsynced, then atomically renamed over the final
+path. A reader can therefore never observe a truncated artifact — either
+the old file, the new file, or no file at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ArtifactCorruptError, ArtifactError, ArtifactVersionError
+
+__all__ = [
+    "Artifact",
+    "canonical_json",
+    "content_hash",
+    "atomic_write_text",
+    "write_artifact",
+    "read_artifact",
+]
+
+#: Version of the envelope itself (not of any stage payload).
+ENVELOPE_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical (sorted, compact, NaN-free) JSON encoding of ``obj``.
+
+    ``allow_nan=False`` makes non-finite floats a hard error rather than
+    emitting the non-standard ``NaN``/``Infinity`` tokens that would break
+    round-tripping through strict parsers.
+    """
+    try:
+        return json.dumps(
+            obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise ArtifactError(f"value is not canonically serializable: {exc}") from exc
+
+
+def content_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + fsync + rename).
+
+    On any failure the temporary file is removed and the original ``path``
+    (if it existed) is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    # Make the rename itself durable (best effort: not all filesystems
+    # support fsync on directories).
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One stage output plus the provenance needed to trust it."""
+
+    kind: str
+    schema_version: int
+    key: str
+    payload: Any
+    meta: dict = field(default_factory=dict)
+
+    def checksum(self) -> str:
+        return content_hash(self.payload)
+
+    def to_envelope(self) -> dict:
+        return {
+            "artifact_version": ENVELOPE_VERSION,
+            "kind": self.kind,
+            "schema_version": self.schema_version,
+            "key": self.key,
+            "checksum": self.checksum(),
+            "meta": self.meta,
+            "payload": self.payload,
+        }
+
+
+def write_artifact(path: str | Path, artifact: Artifact) -> Path:
+    """Persist ``artifact`` atomically; returns the final path."""
+    path = Path(path)
+    atomic_write_text(path, canonical_json(artifact.to_envelope()) + "\n")
+    return path
+
+
+def read_artifact(
+    path: str | Path,
+    *,
+    expect_kind: str | None = None,
+    expect_version: int | None = None,
+    expect_key: str | None = None,
+) -> Artifact:
+    """Load and verify an artifact written by :func:`write_artifact`.
+
+    Raises
+    ------
+    ArtifactCorruptError
+        Unreadable file, invalid JSON, malformed envelope, checksum
+        mismatch, or a ``kind``/``key`` that contradicts expectations
+        (the file is not what its location claims it is).
+    ArtifactVersionError
+        Envelope or stage schema version differs from what the current
+        code writes — the artifact is *stale*, not damaged.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ArtifactCorruptError(f"cannot read artifact {path}: {exc}") from exc
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactCorruptError(
+            f"artifact {path} is not valid JSON (truncated write?): {exc}"
+        ) from exc
+    if not isinstance(envelope, dict):
+        raise ArtifactCorruptError(
+            f"artifact {path}: envelope must be an object, "
+            f"got {type(envelope).__name__}"
+        )
+    missing = [
+        k
+        for k in ("artifact_version", "kind", "schema_version", "key", "checksum")
+        if k not in envelope
+    ]
+    if missing or "payload" not in envelope:
+        missing = missing + (["payload"] if "payload" not in envelope else [])
+        raise ArtifactCorruptError(
+            f"artifact {path}: envelope is missing fields {missing!r}"
+        )
+    if envelope["artifact_version"] != ENVELOPE_VERSION:
+        raise ArtifactVersionError(
+            f"artifact {path}: envelope version {envelope['artifact_version']!r} "
+            f"(this build writes {ENVELOPE_VERSION})"
+        )
+    artifact = Artifact(
+        kind=str(envelope["kind"]),
+        schema_version=int(envelope["schema_version"]),
+        key=str(envelope["key"]),
+        payload=envelope["payload"],
+        meta=dict(envelope.get("meta", {})),
+    )
+    actual = artifact.checksum()
+    if actual != envelope["checksum"]:
+        raise ArtifactCorruptError(
+            f"artifact {path}: checksum mismatch "
+            f"(stored {envelope['checksum'][:12]}…, computed {actual[:12]}…)"
+        )
+    if expect_kind is not None and artifact.kind != expect_kind:
+        raise ArtifactCorruptError(
+            f"artifact {path}: kind {artifact.kind!r} where {expect_kind!r} "
+            "was expected"
+        )
+    if expect_version is not None and artifact.schema_version != expect_version:
+        raise ArtifactVersionError(
+            f"artifact {path}: {artifact.kind} schema version "
+            f"{artifact.schema_version} (this build writes {expect_version})"
+        )
+    if expect_key is not None and artifact.key != expect_key:
+        raise ArtifactCorruptError(
+            f"artifact {path}: cache key mismatch — the file does not belong "
+            "to this input"
+        )
+    return artifact

@@ -1,0 +1,150 @@
+"""The content-addressed artifact store backing checkpointed pipelines.
+
+Layout under the cache root::
+
+    <root>/
+      <kind>/<key>.json        one artifact per (stage kind, cache key)
+      quarantine/              damaged/stale artifacts moved aside
+
+Keys are SHA-256 hashes of the canonical JSON of the stage's *inputs*
+(graph content, machine parameters, stage options), so a cache entry is
+valid exactly as long as its inputs are bit-identical — there is no
+mtime-based invalidation to go wrong.
+
+Every lookup emits telemetry through :mod:`repro.obs`: ``store.hit`` /
+``store.miss`` / ``store.corrupt`` counters plus a matching event carrying
+the kind, key prefix, and (for corruption) the reason and quarantine
+destination. A corrupted or stale artifact is never trusted and never
+crashes the pipeline by default: it is moved into ``quarantine/`` and the
+stage recomputes. Under ``strict=True`` the same condition raises instead,
+which is what the CLI's ``--strict`` maps to.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro import obs
+from repro.errors import ArtifactError, ValidationError
+from repro.store.artifact import Artifact, read_artifact, write_artifact
+from repro.utils.validation import check_path_component
+
+__all__ = ["ArtifactStore"]
+
+_KEY_PREFIX_LEN = 12
+
+
+class ArtifactStore:
+    """Read/write access to one artifact cache directory."""
+
+    def __init__(self, root: str | Path, *, strict: bool = False):
+        self.root = Path(root)
+        self.strict = bool(strict)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ----- paths -----------------------------------------------------------
+
+    def path_for(self, kind: str, key: str) -> Path:
+        try:
+            check_path_component("artifact kind", kind)
+            check_path_component("artifact key", key)
+        except ValidationError as exc:
+            raise ArtifactError(str(exc)) from exc
+        return self.root / kind / f"{key}.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    # ----- operations ------------------------------------------------------
+
+    def load(self, kind: str, key: str, schema_version: int) -> Artifact | None:
+        """The cached artifact for ``(kind, key)``, or ``None``.
+
+        ``None`` means either a plain miss or a quarantined (corrupt /
+        stale) entry; in both cases the caller should recompute the stage.
+        With ``strict=True`` a damaged entry raises :class:`ArtifactError`
+        instead of being quarantined.
+        """
+        path = self.path_for(kind, key)
+        if not path.exists():
+            obs.counter("store.miss").inc()
+            obs.event("store.miss", kind=kind, key=key[:_KEY_PREFIX_LEN])
+            return None
+        try:
+            artifact = read_artifact(
+                path, expect_kind=kind, expect_version=schema_version,
+                expect_key=key,
+            )
+        except ArtifactError as exc:
+            if self.strict:
+                raise
+            moved = self.quarantine(path, reason=str(exc))
+            obs.counter("store.corrupt").inc()
+            obs.event(
+                "store.corrupt",
+                kind=kind,
+                key=key[:_KEY_PREFIX_LEN],
+                reason=str(exc),
+                quarantined_to=str(moved) if moved else "",
+            )
+            return None
+        obs.counter("store.hit").inc()
+        obs.event("store.hit", kind=kind, key=key[:_KEY_PREFIX_LEN])
+        return artifact
+
+    def store(
+        self,
+        kind: str,
+        key: str,
+        payload,
+        schema_version: int,
+        meta: dict | None = None,
+    ) -> Path:
+        """Atomically persist one stage output; returns its path."""
+        artifact = Artifact(
+            kind=kind,
+            schema_version=schema_version,
+            key=key,
+            payload=payload,
+            meta=dict(meta or {}),
+        )
+        path = write_artifact(self.path_for(kind, key), artifact)
+        obs.counter("store.write").inc()
+        obs.event("store.write", kind=kind, key=key[:_KEY_PREFIX_LEN])
+        return path
+
+    def quarantine(self, path: Path, reason: str = "") -> Path | None:
+        """Move a damaged artifact aside; returns its new path (or None)."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        base = f"{path.parent.name}-{path.name}"
+        target = self.quarantine_dir / f"{base}.corrupt"
+        n = 0
+        while target.exists():
+            n += 1
+            target = self.quarantine_dir / f"{base}.corrupt.{n}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Racing cleanup or read-only cache: losing the evidence is
+            # acceptable, trusting the artifact is not.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return target
+
+    # ----- introspection ---------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Every artifact file currently in the cache (quarantine excluded)."""
+        return sorted(
+            p
+            for p in self.root.glob("*/*.json")
+            if p.parent.name != "quarantine"
+        )
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r}, strict={self.strict})"

@@ -20,6 +20,7 @@ __all__ = [
     "check_in_range",
     "check_integer",
     "check_probability",
+    "check_path_component",
 ]
 
 
@@ -107,3 +108,29 @@ def check_integer(name: str, value: Any, *, minimum: int | None = None) -> int:
 def check_probability(name: str, value: Any) -> float:
     """Return ``value`` as a float in [0, 1]."""
     return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_path_component(name: str, value: Any) -> str:
+    """Return ``value`` as a single safe filename component.
+
+    Rejects anything that could escape its parent directory when joined
+    onto a path: separators, ``.``/``..``, NUL, other control characters,
+    and names longer than common filesystem limits. Used by the artifact
+    store so cache kinds/keys coming from (possibly corrupted) metadata
+    can never address files outside the store root.
+    """
+    if not isinstance(value, str):
+        raise ValidationError(
+            f"{name} must be a string, got {type(value).__name__}"
+        )
+    if not value:
+        raise ValidationError(f"{name} must be non-empty")
+    if len(value) > 200:
+        raise ValidationError(f"{name} is too long ({len(value)} chars, max 200)")
+    if any(c in value for c in "/\\") or value in (".", ".."):
+        raise ValidationError(f"{name} must not traverse directories, got {value!r}")
+    if "." in value:
+        raise ValidationError(f"{name} must not contain '.', got {value!r}")
+    if any(ord(c) < 0x20 or ord(c) == 0x7F for c in value):
+        raise ValidationError(f"{name} must not contain control characters")
+    return value

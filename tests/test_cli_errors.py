@@ -1,0 +1,134 @@
+"""CLI error-path contract: bad input exits non-zero with a structured
+diagnostic on stderr — never a traceback.
+
+Every test here runs the real ``python -m repro`` entry point in a
+subprocess so a stray traceback (or a zero exit on garbage input) fails
+loudly.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+
+def _run(args, env=None):
+    full_env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parent.parent / "src")
+    full_env["PYTHONPATH"] = repo_src + os.pathsep + full_env.get("PYTHONPATH", "")
+    if env:
+        full_env.update(env)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=full_env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def _assert_structured_failure(result, *needles):
+    assert result.returncode == 2, (result.returncode, result.stderr)
+    assert result.stderr.startswith("error:"), result.stderr
+    assert "Traceback" not in result.stderr
+    assert "Traceback" not in result.stdout
+    for needle in needles:
+        assert needle in result.stderr, (needle, result.stderr)
+
+
+SIM = ["simulate", "--program", "complex", "--n", "8", "-p", "4",
+       "--fidelity", "ideal"]
+
+
+class TestSolveInputErrors:
+    def test_truncated_mdg_json(self, tmp_path):
+        path = tmp_path / "cut.json"
+        path.write_text('{"schema_version": 1, "nodes": [{"name": "a", "proc')
+        result = _run(["solve", str(path)])
+        _assert_structured_failure(result, "not valid JSON", "line 1")
+
+    def test_missing_mdg_file(self, tmp_path):
+        result = _run(["solve", str(tmp_path / "absent.json")])
+        _assert_structured_failure(result, "cannot read")
+
+    def test_structurally_invalid_mdg_lists_every_problem(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "schema_version": 1,
+            "nodes": [
+                {"name": "", "processing": {"kind": "amdahl"}},
+                {"name": "a", "processing": {"kind": "warp-drive"}},
+            ],
+            "edges": [{"source": "a", "target": "ghost"}],
+        }))
+        result = _run(["solve", str(path)])
+        _assert_structured_failure(
+            result, "$.nodes[0]", "warp-drive", "unknown node 'ghost'"
+        )
+
+    def test_oversized_graph_rejected(self, tmp_path):
+        path = tmp_path / "huge.json"
+        path.write_text(json.dumps({
+            "schema_version": 1,
+            "nodes": [
+                {"name": f"n{i}", "processing": {"kind": "zero"}}
+                for i in range(20_001)
+            ],
+            "edges": [],
+        }))
+        result = _run(["solve", str(path)])
+        _assert_structured_failure(result, "limit is 20000")
+
+
+class TestFaultSpecErrors:
+    def test_truncated_fault_spec(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text('{"seed": 1, "crashes": [')
+        result = _run([*SIM, "--faults", str(path)])
+        _assert_structured_failure(result, "not valid JSON")
+
+
+class TestCacheErrors:
+    @pytest.fixture
+    def warm_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        result = _run([*SIM, "--cache-dir", str(cache)])
+        assert result.returncode == 0, result.stderr
+        return cache
+
+    def test_corrupted_artifact_strict(self, warm_cache):
+        for artifact in (warm_cache / "schedule").glob("*.json"):
+            raw = bytearray(artifact.read_bytes())
+            raw[len(raw) // 2] ^= 0x01
+            artifact.write_bytes(bytes(raw))
+        result = _run(
+            [*SIM, "--cache-dir", str(warm_cache), "--resume", "--strict"]
+        )
+        _assert_structured_failure(result, "checksum mismatch")
+
+    def test_stale_artifact_strict(self, warm_cache):
+        from repro.store.artifact import canonical_json
+
+        for artifact in (warm_cache / "allocation").glob("*.json"):
+            envelope = json.loads(artifact.read_text())
+            envelope["schema_version"] = 0
+            artifact.write_text(canonical_json(envelope))
+        result = _run(
+            [*SIM, "--cache-dir", str(warm_cache), "--resume", "--strict"]
+        )
+        _assert_structured_failure(result, "schema version")
+
+    def test_corruption_recovered_without_strict(self, warm_cache):
+        for artifact in (warm_cache / "schedule").glob("*.json"):
+            artifact.write_text("garbage")
+        result = _run([*SIM, "--cache-dir", str(warm_cache), "--resume"])
+        assert result.returncode == 0, result.stderr
+        assert (warm_cache / "quarantine").is_dir()
+
+    def test_resume_requires_cache_dir(self):
+        result = _run([*SIM, "--resume"])
+        assert result.returncode != 0
+        assert "Traceback" not in result.stderr
+        assert "--cache-dir" in result.stderr

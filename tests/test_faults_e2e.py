@@ -328,20 +328,23 @@ class TestCLIFaults:
                 ]
             )
 
-    def test_bad_spec_file_rejected(self, tmp_path):
+    def test_bad_spec_file_rejected(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
         path.write_text("{broken")
-        with pytest.raises(SystemExit, match="not valid JSON"):
-            main(
-                [
-                    "simulate",
-                    "--program",
-                    "complex",
-                    "--n",
-                    "16",
-                    "-p",
-                    "8",
-                    "--faults",
-                    str(path),
-                ]
-            )
+        rc = main(
+            [
+                "simulate",
+                "--program",
+                "complex",
+                "--n",
+                "16",
+                "-p",
+                "8",
+                "--faults",
+                str(path),
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not valid JSON" in err

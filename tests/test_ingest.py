@@ -1,0 +1,223 @@
+"""Unit tests for the hardened ingestion layer (repro.io.ingest)."""
+
+import json
+
+import pytest
+
+from repro.errors import IngestError, ValidationError
+from repro.graph.generators import paper_example_mdg
+from repro.graph.serialization import load_mdg, mdg_to_dict, save_mdg
+from repro.io.ingest import (
+    Diagnostic,
+    IngestLimits,
+    load_mdg_checked,
+    load_schedule_checked,
+    read_json_file,
+    validate_mdg_dict,
+    validate_schedule_dict,
+)
+from repro.io.results import load_schedule, save_schedule, schedule_to_dict
+from repro.machine.parameters import MachineParameters
+from repro.costs.transfer import TransferCostParameters
+from repro.pipeline import compile_mdg
+
+
+@pytest.fixture
+def mdg_file(tmp_path):
+    path = tmp_path / "mdg.json"
+    save_mdg(paper_example_mdg(), path)
+    return path
+
+
+class TestReadJsonFile:
+    def test_valid(self, tmp_path):
+        path = tmp_path / "ok.json"
+        path.write_text('{"a": 1}')
+        assert read_json_file(path) == {"a": 1}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IngestError, match="cannot read"):
+            read_json_file(tmp_path / "absent.json")
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "cut.json"
+        path.write_text('{"a": [1, 2')
+        with pytest.raises(IngestError, match="not valid JSON") as exc:
+            read_json_file(path)
+        (diag,) = exc.value.diagnostics
+        assert "line 1" in diag.path
+        assert "truncated" in diag.reason
+
+    def test_oversized_file_rejected_before_parse(self, tmp_path):
+        path = tmp_path / "big.json"
+        path.write_text("[" + "1," * 2000 + "1]")
+        limits = IngestLimits(max_bytes=100)
+        with pytest.raises(IngestError, match="too large") as exc:
+            read_json_file(path, limits=limits)
+        assert "limit is 100" in str(exc.value)
+
+    def test_non_utf8(self, tmp_path):
+        path = tmp_path / "bin.json"
+        path.write_bytes(b"\xff\xfe\x00\x01")
+        with pytest.raises(IngestError, match="cannot read"):
+            read_json_file(path)
+
+
+class TestValidateMdgDict:
+    def test_clean_document(self):
+        assert validate_mdg_dict(mdg_to_dict(paper_example_mdg())) == []
+
+    def test_not_an_object(self):
+        diags = validate_mdg_dict([1, 2])
+        assert len(diags) == 1
+        assert "must be an object" in diags[0].reason
+
+    def test_collects_all_problems_at_once(self):
+        data = {
+            "schema_version": 7,
+            "nodes": [
+                {"name": "", "processing": {"kind": "amdahl"}},
+                {"name": "a", "processing": {"kind": "warp-drive"}},
+                {"name": "a", "processing": {"kind": "zero"}},
+            ],
+            "edges": [{"source": "a", "target": "ghost"}],
+        }
+        diags = validate_mdg_dict(data)
+        reasons = "\n".join(str(d) for d in diags)
+        assert "unsupported version 7" in reasons
+        assert "non-empty string" in reasons  # empty name
+        assert "alpha" in reasons  # missing amdahl params
+        assert "warp-drive" in reasons  # unknown kind
+        assert "duplicate node 'a'" in reasons
+        assert "unknown node 'ghost'" in reasons
+
+    def test_paths_name_the_location(self):
+        data = {
+            "schema_version": 1,
+            "nodes": [{"name": "a", "processing": {"kind": "bogus"}}],
+            "edges": [],
+        }
+        (diag,) = validate_mdg_dict(data)
+        assert diag.path == "$.nodes[0].processing"
+        assert diag.field == "kind"
+
+    def test_node_count_limit(self):
+        data = {
+            "schema_version": 1,
+            "nodes": [
+                {"name": f"n{i}", "processing": {"kind": "zero"}} for i in range(10)
+            ],
+            "edges": [],
+        }
+        diags = validate_mdg_dict(data, IngestLimits(max_nodes=5))
+        assert any("limit is 5" in d.reason for d in diags)
+
+    def test_edge_count_limit(self):
+        data = {
+            "schema_version": 1,
+            "nodes": [
+                {"name": "a", "processing": {"kind": "zero"}},
+                {"name": "b", "processing": {"kind": "zero"}},
+            ],
+            "edges": [{"source": "a", "target": "b", "transfers": []}] * 10,
+        }
+        diags = validate_mdg_dict(data, IngestLimits(max_edges=3))
+        assert any("limit is 3" in d.reason for d in diags)
+
+    def test_bad_transfer(self):
+        data = {
+            "schema_version": 1,
+            "nodes": [
+                {"name": "a", "processing": {"kind": "zero"}},
+                {"name": "b", "processing": {"kind": "zero"}},
+            ],
+            "edges": [
+                {
+                    "source": "a",
+                    "target": "b",
+                    "transfers": [{"length_bytes": -5, "kind": 3}],
+                }
+            ],
+        }
+        reasons = "\n".join(str(d) for d in validate_mdg_dict(data))
+        assert ">= 0" in reasons
+        assert "transfer-kind" in reasons
+
+
+class TestLoadMdgChecked:
+    def test_roundtrip(self, mdg_file):
+        mdg = load_mdg_checked(mdg_file)
+        assert sorted(mdg.node_names()) == sorted(
+            paper_example_mdg().node_names()
+        )
+
+    def test_load_mdg_entry_point_is_hardened(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 1, "nodes": "nope"}')
+        with pytest.raises(IngestError):
+            load_mdg(path)
+
+    def test_ingest_error_is_a_validation_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{]")
+        with pytest.raises(ValidationError):
+            load_mdg(path)
+
+    def test_oversized_graph_rejected(self, mdg_file):
+        with pytest.raises(IngestError, match="nodes"):
+            load_mdg_checked(mdg_file, IngestLimits(max_nodes=1))
+
+
+class TestScheduleIngestion:
+    @pytest.fixture
+    def schedule_file(self, tmp_path):
+        machine = MachineParameters("m4", 4, TransferCostParameters.zero())
+        result = compile_mdg(paper_example_mdg(), machine)
+        path = tmp_path / "schedule.json"
+        save_schedule(result.schedule, path)
+        return path
+
+    def test_roundtrip(self, schedule_file):
+        schedule = load_schedule(schedule_file)
+        schedule.validate()
+
+    def test_checked_load_rejects_bad_entries(self, schedule_file):
+        data = json.loads(schedule_file.read_text())
+        data["entries"][0]["processors"] = ["zero"]
+        schedule_file.write_text(json.dumps(data))
+        with pytest.raises(IngestError, match="processor"):
+            load_schedule_checked(schedule_file)
+
+    def test_validate_schedule_dict_nested_mdg(self, schedule_file):
+        data = json.loads(schedule_file.read_text())
+        data["mdg"]["nodes"][0]["processing"] = {"kind": "bogus"}
+        diags = validate_schedule_dict(data)
+        assert any(d.path.startswith("$.mdg.nodes[0]") for d in diags)
+
+    def test_truncated_schedule(self, schedule_file):
+        schedule_file.write_text(schedule_file.read_text()[:-40])
+        with pytest.raises(IngestError, match="not valid JSON"):
+            load_schedule(schedule_file)
+
+
+class TestDiagnosticFormatting:
+    def test_str_with_field(self):
+        d = Diagnostic("$.nodes[0]", "name", "must be a string")
+        assert str(d) == "$.nodes[0].name: must be a string"
+
+    def test_str_without_field(self):
+        d = Diagnostic("$", "", "not an object")
+        assert str(d) == "$: not an object"
+
+    def test_ingest_error_message_lists_diagnostics(self):
+        err = IngestError(
+            "invalid input: 2 problems",
+            (
+                Diagnostic("$", "a", "bad"),
+                Diagnostic("$", "b", "worse"),
+            ),
+        )
+        text = str(err)
+        assert "2 problems" in text
+        assert "$.a: bad" in text
+        assert "$.b: worse" in text

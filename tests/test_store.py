@@ -1,0 +1,232 @@
+"""Unit tests for repro.store: artifacts, atomic writes, and the cache."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.errors import ArtifactCorruptError, ArtifactError, ArtifactVersionError
+from repro.store import (
+    Artifact,
+    ArtifactStore,
+    atomic_write_text,
+    canonical_json,
+    content_hash,
+    read_artifact,
+    write_artifact,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_invariant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+        assert content_hash({"b": 1, "a": 2}) == content_hash({"a": 2, "b": 1})
+
+    def test_compact(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ArtifactError, match="serializable"):
+            canonical_json({"x": float("nan")})
+
+    def test_non_json_rejected(self):
+        with pytest.raises(ArtifactError, match="serializable"):
+            canonical_json({"x": object()})
+
+    def test_hash_is_sha256_hex(self):
+        digest = content_hash({"a": 1})
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_float_roundtrip_stability(self):
+        value = {"phi": 0.1 + 0.2}
+        rehydrated = json.loads(canonical_json(value))
+        assert content_hash(rehydrated) == content_hash(value)
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "one")
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+        # No stray temp files left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.json"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+    def test_failure_leaves_original(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "original")
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "replacement")
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+class TestArtifactRoundtrip:
+    def _artifact(self, payload=None):
+        return Artifact(
+            kind="allocation",
+            schema_version=1,
+            key="k" * 16,
+            payload=payload if payload is not None else {"processors": {"n1": 2.0}},
+            meta={"stage": "allocation"},
+        )
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, self._artifact())
+        loaded = read_artifact(path, expect_kind="allocation", expect_version=1)
+        assert loaded.payload == {"processors": {"n1": 2.0}}
+        assert loaded.key == "k" * 16
+        assert loaded.meta == {"stage": "allocation"}
+
+    def test_deterministic_bytes(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_artifact(a, self._artifact())
+        write_artifact(b, self._artifact())
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_flipped_byte_detected(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, self._artifact())
+        raw = bytearray(path.read_bytes())
+        # Flip a byte inside the payload, keeping the JSON parseable.
+        idx = raw.index(b"n1")
+        raw[idx] = ord("m")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            read_artifact(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, self._artifact())
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(ArtifactCorruptError, match="JSON"):
+            read_artifact(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactCorruptError, match="cannot read"):
+            read_artifact(tmp_path / "absent.json")
+
+    def test_version_mismatch_is_stale_not_corrupt(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, self._artifact())
+        envelope = json.loads(path.read_text())
+        envelope["schema_version"] = 99
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(ArtifactVersionError, match="schema version"):
+            read_artifact(path, expect_version=1)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, self._artifact())
+        with pytest.raises(ArtifactCorruptError, match="kind"):
+            read_artifact(path, expect_kind="schedule")
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, self._artifact())
+        with pytest.raises(ArtifactCorruptError, match="key"):
+            read_artifact(path, expect_key="other")
+
+    def test_envelope_missing_fields(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text('{"kind": "x"}')
+        with pytest.raises(ArtifactCorruptError, match="missing fields"):
+            read_artifact(path)
+
+    def test_non_object_envelope(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ArtifactCorruptError, match="object"):
+            read_artifact(path)
+
+
+class TestArtifactStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load("allocation", "deadbeef", 1) is None
+        store.store("allocation", "deadbeef", {"x": 1}, 1)
+        artifact = store.load("allocation", "deadbeef", 1)
+        assert artifact is not None
+        assert artifact.payload == {"x": 1}
+
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.store("schedule", "cafe01", {"x": 1}, 1)
+        path.write_text(path.read_text()[:-10])
+        assert store.load("schedule", "cafe01", 1) is None
+        assert not path.exists()
+        quarantined = list(store.quarantine_dir.iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.startswith("schedule-cafe01")
+        # The slot is free again: a rewrite works.
+        store.store("schedule", "cafe01", {"x": 2}, 1)
+        assert store.load("schedule", "cafe01", 1).payload == {"x": 2}
+
+    def test_stale_version_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("schedule", "cafe02", {"x": 1}, 1)
+        assert store.load("schedule", "cafe02", 2) is None
+        assert list(store.quarantine_dir.iterdir())
+
+    def test_strict_store_raises_on_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path, strict=True)
+        path = store.store("schedule", "cafe03", {"x": 1}, 1)
+        path.write_text(path.read_text()[:-10])
+        with pytest.raises(ArtifactCorruptError):
+            store.load("schedule", "cafe03", 1)
+        # strict mode preserves the evidence in place
+        assert path.exists()
+
+    def test_quarantine_name_collisions(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for _ in range(3):
+            path = store.store("mdg", "feed01", {"x": 1}, 1)
+            path.write_text("not json")
+            assert store.load("mdg", "feed01", 1) is None
+        assert len(list(store.quarantine_dir.iterdir())) == 3
+
+    def test_rejects_path_traversal_keys(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError, match="key"):
+            store.path_for("mdg", "../escape")
+        with pytest.raises(ArtifactError, match="kind"):
+            store.path_for("../mdg", "deadbeef")
+
+    def test_entries_listing(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("mdg", "aaaa", {"x": 1}, 1)
+        store.store("schedule", "bbbb", {"x": 1}, 1)
+        assert len(store.entries()) == 2
+
+    def test_metrics_emitted(self, tmp_path):
+        telemetry = obs.configure()
+        try:
+            store = ArtifactStore(tmp_path)
+            store.load("mdg", "aaaa", 1)  # miss
+            path = store.store("mdg", "aaaa", {"x": 1}, 1)
+            store.load("mdg", "aaaa", 1)  # hit
+            path.write_text("broken")
+            store.load("mdg", "aaaa", 1)  # corrupt
+            counters = {
+                c.name: c.value for c in telemetry.metrics.counters.values()
+            }
+        finally:
+            obs.shutdown()
+        assert counters["store.miss"] == 1
+        assert counters["store.hit"] == 1
+        assert counters["store.corrupt"] == 1
+        assert counters["store.write"] == 1

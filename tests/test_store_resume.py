@@ -1,0 +1,290 @@
+"""Crash-safety tests: run_resumable, quarantine, and kill-and-resume.
+
+The subprocess tests drive the real CLI — including a SIGKILL delivered
+after the allocation stage's artifact lands — and assert the resumed run
+reuses the cached allocation and reproduces the uninterrupted run's
+schedule bit for bit.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.errors import ArtifactCorruptError, SchedulingError
+from repro.graph.generators import paper_example_mdg
+from repro.machine.parameters import MachineParameters
+from repro.costs.transfer import TransferCostParameters
+from repro.pipeline import run_resumable
+from repro.store.artifact import canonical_json, content_hash
+
+
+@pytest.fixture
+def machine():
+    return MachineParameters(
+        "m4",
+        4,
+        TransferCostParameters(
+            t_ss=1.0e-4, t_ps=5.0e-9, t_sr=8.0e-5, t_pr=4.0e-9, t_n=1.0e-9
+        ),
+    )
+
+
+def _artifact_path(cache_dir, kind, key):
+    return Path(cache_dir) / kind / f"{key}.json"
+
+
+class TestRunResumable:
+    def test_uncached_run_works(self, machine):
+        run = run_resumable(paper_example_mdg(), machine, cache_dir=None)
+        assert run.compilation.schedule.makespan > 0
+        assert run.simulation is not None
+        assert run.cache_dir is None
+        assert run.resumed_stages == []
+
+    def test_second_run_hits_every_stage(self, machine, tmp_path):
+        first = run_resumable(paper_example_mdg(), machine, cache_dir=tmp_path)
+        assert first.resumed_stages == []
+        second = run_resumable(paper_example_mdg(), machine, cache_dir=tmp_path)
+        assert set(second.resumed_stages) == {
+            "mdg", "allocation", "schedule", "simulation"
+        }
+        assert (
+            second.compilation.schedule.makespan
+            == first.compilation.schedule.makespan
+        )
+        assert second.simulation.makespan == first.simulation.makespan
+        assert second.simulation.info.get("resumed_from_cache") is True
+
+    def test_resume_false_recomputes_but_rewrites(self, machine, tmp_path):
+        run_resumable(paper_example_mdg(), machine, cache_dir=tmp_path)
+        again = run_resumable(
+            paper_example_mdg(), machine, cache_dir=tmp_path, resume=False
+        )
+        assert again.resumed_stages == []
+
+    def test_different_machine_misses(self, machine, tmp_path):
+        run_resumable(paper_example_mdg(), machine, cache_dir=tmp_path)
+        other = run_resumable(
+            paper_example_mdg(),
+            machine.with_processors(8),
+            cache_dir=tmp_path,
+        )
+        assert other.resumed_stages == []
+
+    def test_flipped_byte_quarantines_and_recomputes(self, machine, tmp_path):
+        first = run_resumable(paper_example_mdg(), machine, cache_dir=tmp_path)
+        path = _artifact_path(tmp_path, "allocation", first.keys["allocation"])
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+
+        telemetry = obs.configure()
+        try:
+            second = run_resumable(
+                paper_example_mdg(), machine, cache_dir=tmp_path
+            )
+            counters = {
+                c.name: c.value for c in telemetry.metrics.counters.values()
+            }
+            events = [
+                e for e in telemetry.collected_events() if e.get("type") == "event"
+            ]
+        finally:
+            obs.shutdown()
+
+        assert second.stage_sources["allocation"] == "computed"
+        assert second.stage_sources["schedule"] == "cache"
+        assert counters.get("store.corrupt") == 1
+        corrupt = [e for e in events if e["name"] == "store.corrupt"]
+        assert corrupt and corrupt[0]["kind"] == "allocation"
+        assert list((Path(tmp_path) / "quarantine").iterdir())
+        # Result identical despite the corruption.
+        assert (
+            second.compilation.schedule.makespan
+            == first.compilation.schedule.makespan
+        )
+
+    def test_strict_raises_on_corruption(self, machine, tmp_path):
+        first = run_resumable(paper_example_mdg(), machine, cache_dir=tmp_path)
+        path = _artifact_path(tmp_path, "allocation", first.keys["allocation"])
+        path.write_text(path.read_text()[:-15])
+        with pytest.raises(ArtifactCorruptError):
+            run_resumable(
+                paper_example_mdg(), machine, cache_dir=tmp_path, strict=True
+            )
+
+    def test_resumed_schedule_is_recertified(self, machine, tmp_path):
+        """A tampered-but-checksum-valid schedule artifact is caught by the
+        post-condition re-validation, not trusted because its bytes add up."""
+        first = run_resumable(paper_example_mdg(), machine, cache_dir=tmp_path)
+        path = _artifact_path(tmp_path, "schedule", first.keys["schedule"])
+        envelope = json.loads(path.read_text())
+        # Sabotage: put every node on the same processor at the same time,
+        # then recompute the checksum so the artifact reads as valid.
+        for entry in envelope["payload"]["entries"]:
+            entry["start"] = 0.0
+            entry["finish"] = 1.0
+            entry["processors"] = [0]
+        envelope["checksum"] = content_hash(envelope["payload"])
+        path.write_text(canonical_json(envelope))
+
+        with pytest.raises(SchedulingError, match="post-conditions"):
+            run_resumable(
+                paper_example_mdg(), machine, cache_dir=tmp_path, strict=True
+            )
+
+        # Non-strict: same detection, but as a warning event.
+        telemetry = obs.configure()
+        try:
+            run_resumable(paper_example_mdg(), machine, cache_dir=tmp_path)
+            events = [
+                e
+                for e in telemetry.collected_events()
+                if e.get("name") == "pipeline.postcondition"
+            ]
+        finally:
+            obs.shutdown()
+        assert events and events[0]["ok"] is False
+        assert "resume" in events[0]["source"]
+
+    def test_simulation_trace_roundtrips_when_recorded(self, machine, tmp_path):
+        first = run_resumable(
+            paper_example_mdg(), machine, cache_dir=tmp_path, record_trace=True
+        )
+        assert len(first.simulation.trace) > 0
+        second = run_resumable(
+            paper_example_mdg(), machine, cache_dir=tmp_path, record_trace=True
+        )
+        assert second.stage_sources["simulation"] == "cache"
+        assert len(second.simulation.trace) == len(first.simulation.trace)
+        assert (
+            second.simulation.node_finish_times()
+            == first.simulation.node_finish_times()
+        )
+
+
+CLI_ARGS = [
+    "simulate",
+    "--program", "complex",
+    "--n", "8",
+    "-p", "4",
+    "--fidelity", "ideal",
+]
+
+
+def _cli(extra, env=None, background=False):
+    cmd = [sys.executable, "-m", "repro", *CLI_ARGS, *extra]
+    full_env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parent.parent / "src")
+    full_env["PYTHONPATH"] = repo_src + os.pathsep + full_env.get("PYTHONPATH", "")
+    if env:
+        full_env.update(env)
+    if background:
+        return subprocess.Popen(
+            cmd, env=full_env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+    return subprocess.run(cmd, env=full_env, capture_output=True, text=True)
+
+
+def _wait_for_artifact(cache_dir, kind, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    stage_dir = Path(cache_dir) / kind
+    while time.monotonic() < deadline:
+        if stage_dir.is_dir() and list(stage_dir.glob("*.json")):
+            return list(stage_dir.glob("*.json"))[0]
+        time.sleep(0.05)
+    raise AssertionError(f"no {kind} artifact appeared within {timeout}s")
+
+
+class TestKillAndResume:
+    def test_sigkill_after_allocation_then_resume(self, tmp_path):
+        """The acceptance scenario: kill after the allocation stage, resume,
+        observe the allocation cache hit, and get a bit-identical schedule."""
+        interrupted = tmp_path / "interrupted"
+        uninterrupted = tmp_path / "uninterrupted"
+
+        # Start a run that stalls right after the allocation artifact is
+        # written, and SIGKILL it there.
+        proc = _cli(
+            ["--cache-dir", str(interrupted)],
+            env={
+                "REPRO_STORE_STALL_AFTER": "allocation",
+                "REPRO_STORE_STALL_SECONDS": "120",
+            },
+            background=True,
+        )
+        try:
+            _wait_for_artifact(interrupted, "allocation")
+        finally:
+            proc.kill()  # SIGKILL: no cleanup, no atexit, nothing.
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        assert not (interrupted / "schedule").exists()
+
+        # Resume: must exit 0, reuse the allocation artifact, and log the
+        # cache hit through obs.
+        log = tmp_path / "resume.jsonl"
+        result = _cli(
+            [
+                "--cache-dir", str(interrupted),
+                "--resume",
+                "--log-json", str(log),
+            ]
+        )
+        assert result.returncode == 0, result.stderr
+        assert "resumed from cache" in result.stdout
+        hits = [
+            json.loads(line)
+            for line in log.read_text().splitlines()
+            if '"store.hit"' in line
+        ]
+        assert any(h.get("kind") == "allocation" for h in hits)
+
+        # Control: one uninterrupted run in a fresh cache.
+        control = _cli(["--cache-dir", str(uninterrupted)])
+        assert control.returncode == 0, control.stderr
+
+        # The schedule artifacts must be bit-identical.
+        resumed_schedule = _wait_for_artifact(interrupted, "schedule", timeout=5)
+        control_schedule = _wait_for_artifact(uninterrupted, "schedule", timeout=5)
+        assert resumed_schedule.name == control_schedule.name  # same cache key
+        assert resumed_schedule.read_bytes() == control_schedule.read_bytes()
+
+        # And the printed makespans must agree exactly.
+        measured = [
+            line
+            for line in (result.stdout + control.stdout).splitlines()
+            if line.startswith("measured")
+        ]
+        assert len(measured) == 2
+        assert measured[0] == measured[1]
+
+    def test_resume_with_stale_cache_strict_exits_nonzero(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = _cli(["--cache-dir", str(cache)])
+        assert first.returncode == 0, first.stderr
+        # Age every allocation artifact to a schema version this build
+        # does not read (payload checksum still valid -> *stale*, not
+        # corrupt).
+        for artifact in (cache / "allocation").glob("*.json"):
+            envelope = json.loads(artifact.read_text())
+            envelope["schema_version"] = 0
+            artifact.write_text(canonical_json(envelope))
+
+        strict = _cli(["--cache-dir", str(cache), "--resume", "--strict"])
+        assert strict.returncode == 2
+        assert "error:" in strict.stderr
+        assert "schema version" in strict.stderr
+        assert "Traceback" not in strict.stderr
+
+        # Non-strict: quarantined, recomputed, exit 0.
+        relaxed = _cli(["--cache-dir", str(cache), "--resume"])
+        assert relaxed.returncode == 0, relaxed.stderr
+        assert (cache / "quarantine").is_dir()

@@ -10,6 +10,7 @@ from repro.utils.validation import (
     check_in_range,
     check_integer,
     check_non_negative,
+    check_path_component,
     check_positive,
     check_probability,
 )
@@ -117,3 +118,34 @@ class TestCheckProbability:
     def test_rejects_negative(self):
         with pytest.raises(ValidationError):
             check_probability("a", -0.1)
+
+
+class TestCheckPathComponent:
+    def test_accepts_hex_keys_and_kinds(self):
+        assert check_path_component("key", "deadbeef01") == "deadbeef01"
+        assert check_path_component("kind", "allocation") == "allocation"
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValidationError, match="must be a string"):
+            check_path_component("key", 42)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_path_component("key", "")
+
+    @pytest.mark.parametrize("value", ["../x", "a/b", "a\\b", ".", ".."])
+    def test_rejects_traversal(self, value):
+        with pytest.raises(ValidationError, match="traverse"):
+            check_path_component("key", value)
+
+    def test_rejects_dots(self):
+        with pytest.raises(ValidationError, match="'\\.'"):
+            check_path_component("key", "a.json")
+
+    def test_rejects_control_characters(self):
+        with pytest.raises(ValidationError, match="control"):
+            check_path_component("key", "a\x00b")
+
+    def test_rejects_overlong(self):
+        with pytest.raises(ValidationError, match="too long"):
+            check_path_component("key", "k" * 201)
