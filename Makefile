@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-store lint bench examples artifacts clean
+.PHONY: install test test-faults test-store check lint bench examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,12 @@ test-faults:
 test-store:
 	$(PYTHON) -m pytest tests/test_store.py tests/test_ingest.py \
 		tests/test_store_resume.py tests/test_cli_errors.py
+
+# Static analysis: lint the shipped example graphs and the built-in
+# program suite with the repro.check analyzer (exit 1 on error findings).
+check:
+	$(PYTHON) -m repro check examples/graphs -p 16
+	$(PYTHON) -m repro check --all-programs --no-compile
 
 # Config lives in pyproject.toml ([tool.ruff]); CI runs the same check.
 lint:

@@ -1,0 +1,65 @@
+"""``repro.check`` — multi-pass static analyzer for the pipeline's inputs.
+
+A diagnostics-driven checker in the spirit of gpkit's GP-compatibility
+rules: four pass families (graph, cost, schedule, ir) enforce the
+invariants the paper's pipeline assumes — DAG-ness, posynomial cost
+models over ``p_i in [1, p]``, precedence- and resource-safe schedules,
+race-free concurrency — and report violations as findings with stable
+rule ids, severities, and JSON-path locations, rendered as text, JSON,
+or SARIF 2.1.0.
+
+Quick use::
+
+    from repro.check import check_mdg
+    report = check_mdg(mdg, machine)
+    report.raise_if()          # CheckError on error-severity findings
+"""
+
+from repro.check.core import (
+    Analyzer,
+    CheckContext,
+    CheckReport,
+    Finding,
+    Pass,
+    Rule,
+    Severity,
+)
+from repro.check.registry import (
+    FAMILIES,
+    all_rules,
+    default_passes,
+    passes_for_families,
+)
+from repro.check.runner import (
+    check_bundle,
+    check_document,
+    check_file,
+    check_mdg,
+    preflight_check,
+    rules_markdown,
+)
+from repro.check.sarif import SARIF_SCHEMA, SARIF_VERSION, render_sarif, sarif_dict
+
+__all__ = [
+    "Severity",
+    "Rule",
+    "Finding",
+    "CheckContext",
+    "Pass",
+    "CheckReport",
+    "Analyzer",
+    "FAMILIES",
+    "default_passes",
+    "passes_for_families",
+    "all_rules",
+    "check_document",
+    "check_mdg",
+    "check_file",
+    "check_bundle",
+    "preflight_check",
+    "rules_markdown",
+    "SARIF_VERSION",
+    "SARIF_SCHEMA",
+    "sarif_dict",
+    "render_sarif",
+]

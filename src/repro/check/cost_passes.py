@@ -1,0 +1,258 @@
+"""Cost-model pass family: gpkit-style posynomiality and domain rules.
+
+The convex allocation (Section 4) needs every node cost ``t_i^C`` to be a
+posynomial in ``p_i`` (positive finite coefficients, finite exponents,
+Lemma 1) and every Amdahl model to have ``alpha in [0, 1]`` and
+``tau > 0``; the program domain is ``p_i in [1, p]``, so the model must
+evaluate to a finite non-negative time at both endpoints. These passes
+reject bad models *before* the solver runs — the same philosophy as
+gpkit's GP-compatibility checker — instead of letting them surface as a
+mid-solve line-search failure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.check.core import CheckContext, Finding, Pass, Rule, Severity
+
+__all__ = [
+    "PosynomialRulesPass",
+    "AmdahlSanityPass",
+    "CostDomainPass",
+    "COST_PASSES",
+]
+
+COST001 = Rule(
+    "COST001",
+    "Cost posynomials need positive finite coefficients",
+    Severity.ERROR,
+    "A monomial term with a zero, negative, NaN or infinite coefficient "
+    "leaves the posynomial cone: the log-transformed problem is no longer "
+    "convex and the solver's convergence guarantees evaporate.",
+    '{"kind": "posynomial", "terms": [{"coefficient": -2.0}]}',
+)
+COST002 = Rule(
+    "COST002",
+    "Cost posynomials need finite exponents",
+    Severity.ERROR,
+    "NaN or infinite exponents make the term undefined over the whole "
+    "allocation domain.",
+    'terms: [{"coefficient": 1.0, "exponents": {"p": NaN}}]',
+)
+COST003 = Rule(
+    "COST003",
+    "Amdahl parameters must satisfy alpha in [0,1], tau > 0",
+    Severity.ERROR,
+    "The serial fraction is a probability and the single-processor time "
+    "is a positive duration (Table 1); anything else is a calibration "
+    "bug, not a model.",
+    '{"kind": "amdahl", "alpha": 1.7, "tau": -3.0}',
+)
+COST004 = Rule(
+    "COST004",
+    "Empty posynomial on a computational node",
+    Severity.ERROR,
+    "A 'posynomial' processing model with no terms evaluates to zero "
+    "everywhere — a free node that should be declared 'zero' (dummy) "
+    "instead, or a generator that dropped its terms.",
+    '{"kind": "posynomial", "terms": []}',
+)
+COST005 = Rule(
+    "COST005",
+    "Cost must be finite and positive over the domain [1, p]",
+    Severity.ERROR,
+    "The convex program constrains p_i to [1, p]; a model that is "
+    "non-finite or non-positive at either endpoint is outside its "
+    "validity range and will wreck the allocation.",
+    "a posynomial that overflows at p = 1",
+)
+COST006 = Rule(
+    "COST006",
+    "Cost should not grow with processors",
+    Severity.WARNING,
+    "t(p) > t(1) means adding processors slows the node down over the "
+    "whole machine; legal (communication-aware models may grow "
+    "eventually) but at the domain boundary it usually indicates a "
+    "mis-fitted model.",
+    "amdahl with alpha ~ 1 plus a large p-superlinear overhead term",
+)
+COST007 = Rule(
+    "COST007",
+    "Unknown processing-model kind",
+    Severity.ERROR,
+    "Only 'amdahl', 'zero' and 'posynomial' models are defined; anything "
+    "else cannot be costed.",
+    '{"kind": "quantum"}',
+)
+
+
+def _number(value) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+class PosynomialRulesPass(Pass):
+    """COST001/COST002/COST004/COST007: term-level posynomiality rules."""
+
+    name = "cost.posynomial"
+    family = "cost"
+    rules = (COST001, COST002, COST004, COST007)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        for i, node in enumerate(ctx.nodes()):
+            if not isinstance(node, dict):
+                continue
+            processing = node.get("processing")
+            if not isinstance(processing, dict):
+                continue
+            location = f"$.nodes[{i}].processing"
+            kind = processing.get("kind")
+            if kind not in ("amdahl", "zero", "posynomial"):
+                yield self.finding(
+                    COST007, f"unknown processing model kind {kind!r}",
+                    location, ctx,
+                )
+                continue
+            if kind != "posynomial":
+                continue
+            terms = processing.get("terms")
+            if not isinstance(terms, list):
+                continue
+            if not terms:
+                yield self.finding(
+                    COST004,
+                    f"node {node.get('name')!r} has a posynomial cost with "
+                    "no terms (evaluates to 0 everywhere)",
+                    location,
+                    ctx,
+                )
+                continue
+            for j, term in enumerate(terms):
+                if not isinstance(term, dict):
+                    continue
+                tloc = f"{location}.terms[{j}]"
+                coefficient = _number(term.get("coefficient"))
+                if coefficient is None or not math.isfinite(coefficient) \
+                        or coefficient <= 0.0:
+                    yield self.finding(
+                        COST001,
+                        "coefficient must be a positive finite number, got "
+                        f"{term.get('coefficient')!r}",
+                        tloc,
+                        ctx,
+                    )
+                exponents = term.get("exponents", {})
+                if not isinstance(exponents, dict):
+                    continue
+                for variable, exponent in exponents.items():
+                    value = _number(exponent)
+                    if value is None or not math.isfinite(value):
+                        yield self.finding(
+                            COST002,
+                            f"exponent of {variable!r} must be finite, got "
+                            f"{exponent!r}",
+                            tloc,
+                            ctx,
+                        )
+
+
+class AmdahlSanityPass(Pass):
+    """COST003: alpha in [0, 1] and tau > 0 for every Amdahl model."""
+
+    name = "cost.amdahl"
+    family = "cost"
+    rules = (COST003,)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        for i, node in enumerate(ctx.nodes()):
+            if not isinstance(node, dict):
+                continue
+            processing = node.get("processing")
+            if not isinstance(processing, dict) or \
+                    processing.get("kind") != "amdahl":
+                continue
+            location = f"$.nodes[{i}].processing"
+            alpha = _number(processing.get("alpha"))
+            tau = _number(processing.get("tau"))
+            if alpha is None or not math.isfinite(alpha) or \
+                    not 0.0 <= alpha <= 1.0:
+                yield self.finding(
+                    COST003,
+                    f"alpha must be in [0, 1], got {processing.get('alpha')!r}",
+                    location,
+                    ctx,
+                )
+            if tau is None or not math.isfinite(tau) or tau <= 0.0:
+                yield self.finding(
+                    COST003,
+                    f"tau must be > 0, got {processing.get('tau')!r}",
+                    location,
+                    ctx,
+                )
+
+
+class CostDomainPass(Pass):
+    """COST005/COST006: evaluate each model at p=1 and p=machine size.
+
+    Only nodes whose document entry is individually clean are evaluated
+    (a negative coefficient already has its COST001 finding; evaluating
+    it would just raise). Needs a constructed MDG; without one the pass
+    yields nothing.
+    """
+
+    name = "cost.domain"
+    family = "cost"
+    rules = (COST005, COST006)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        if ctx.mdg is None:
+            return
+        from repro.errors import ReproError
+
+        p_max = float(ctx.machine.processors) if ctx.machine is not None else 64.0
+        index = {name: i for i, name in enumerate(ctx.node_names())}
+        for node in ctx.mdg.nodes():
+            if node.is_dummy:
+                continue
+            location = f"$.nodes[{index.get(node.name, 0)}].processing"
+            costs: dict[float, float] = {}
+            for point in (1.0, p_max):
+                try:
+                    costs[point] = node.processing.cost(point)
+                except ReproError as exc:
+                    yield self.finding(
+                        COST005,
+                        f"node {node.name!r}: cost({point:g}) raised: {exc}",
+                        location,
+                        ctx,
+                    )
+                    continue
+                if not math.isfinite(costs[point]) or costs[point] < 0.0:
+                    yield self.finding(
+                        COST005,
+                        f"node {node.name!r}: cost({point:g}) = "
+                        f"{costs[point]!r} is outside [0, inf)",
+                        location,
+                        ctx,
+                    )
+            if len(costs) == 2 and all(
+                math.isfinite(c) for c in costs.values()
+            ) and costs[p_max] > costs[1.0] * (1.0 + 1e-9):
+                yield self.finding(
+                    COST006,
+                    f"node {node.name!r}: cost grows from {costs[1.0]:.4g}s "
+                    f"at p=1 to {costs[p_max]:.4g}s at p={p_max:g} — "
+                    "more processors make it slower",
+                    location,
+                    ctx,
+                )
+
+
+COST_PASSES: tuple[type[Pass], ...] = (
+    PosynomialRulesPass,
+    AmdahlSanityPass,
+    CostDomainPass,
+)

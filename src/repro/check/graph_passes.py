@@ -1,0 +1,355 @@
+"""Graph pass family: structural invariants of the MDG document.
+
+The paper requires the MDG to be a DAG (Section 2) with positive, finite
+node and edge weights (Section 4); redistribution patterns along edges
+must describe a consistent distribution per array at each endpoint
+(Figure 4). All passes here work on the JSON-document form so that inputs
+the :class:`~repro.graph.mdg.MDG` constructor rejects outright (self
+loops, duplicate names) still yield precise findings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from repro.check.core import CheckContext, Finding, Pass, Rule, Severity
+
+__all__ = [
+    "GraphStructurePass",
+    "GraphWeightPass",
+    "RedistributionPass",
+    "GRAPH_PASSES",
+]
+
+#: The four transfer kinds Table 2 prices (see repro.costs.transfer).
+KNOWN_TRANSFER_KINDS = frozenset({"row2row", "col2col", "row2col", "col2row"})
+
+MDG001 = Rule(
+    "MDG001",
+    "MDG must be acyclic",
+    Severity.ERROR,
+    "The allocation and scheduling algorithms require a DAG (Section 2); "
+    "a dependence cycle makes every downstream stage undefined.",
+    'edges: [{"source": "a", "target": "b"}, {"source": "b", "target": "a"}]',
+)
+MDG002 = Rule(
+    "MDG002",
+    "No self-loops",
+    Severity.ERROR,
+    "An edge from a node to itself is a dependence of a computation on "
+    "its own output and can never be scheduled.",
+    'edges: [{"source": "a", "target": "a"}]',
+)
+MDG003 = Rule(
+    "MDG003",
+    "No duplicate edges",
+    Severity.WARNING,
+    "Two edge entries with the same source and target; the loader merges "
+    "their transfer lists, but the duplication usually indicates a "
+    "generator bug and double-counts communication volume if intended "
+    "as one edge.",
+    'edges: [{"source": "a", "target": "b"}, {"source": "a", "target": "b"}]',
+)
+MDG004 = Rule(
+    "MDG004",
+    "Edge endpoints must name declared nodes",
+    Severity.ERROR,
+    "An edge referencing an undeclared node (a dangling endpoint) cannot "
+    "be attached to the graph.",
+    'edges: [{"source": "a", "target": "ghost"}]',
+)
+MDG005 = Rule(
+    "MDG005",
+    "No duplicate node names",
+    Severity.ERROR,
+    "Node names key every later stage (allocation variables, schedule "
+    "entries); duplicates make those maps ambiguous.",
+    'nodes: [{"name": "a", ...}, {"name": "a", ...}]',
+)
+MDG006 = Rule(
+    "MDG006",
+    "Isolated nodes are suspicious",
+    Severity.WARNING,
+    "A node with no incoming and no outgoing edges in a multi-node graph "
+    "is usually a wiring mistake; normalization will attach it to both "
+    "START and STOP, executing it concurrently with everything.",
+    "a 5-node graph where node 'e' appears in no edge",
+)
+MDG007 = Rule(
+    "MDG007",
+    "Graph must be non-empty",
+    Severity.ERROR,
+    "An MDG with no nodes has no program to compile.",
+    "nodes: []",
+)
+MDG008 = Rule(
+    "MDG008",
+    "Edge weights must be positive and finite",
+    Severity.ERROR,
+    "Transfer sizes (L in Eqs. 2-3) must be positive finite byte counts; "
+    "zero, negative, NaN or infinite lengths poison the edge-weight "
+    "posynomials.",
+    'transfers: [{"length_bytes": -8192, "kind": "row2row"}]',
+)
+MDG009 = Rule(
+    "MDG009",
+    "Redistribution patterns must be consistent per array",
+    Severity.WARNING,
+    "A node that sends one array both row-distributed (ROW2*) and "
+    "column-distributed (COL2*), or receives one array under conflicting "
+    "target distributions, implies two simultaneous layouts of the same "
+    "array; the cost model prices each edge independently and will "
+    "under-count the extra redistribution.",
+    "node 'a' sends array 'X' as row2row to 'b' and col2col to 'c'",
+)
+
+
+def _edge_key(edge: dict) -> tuple[str, str] | None:
+    source, target = edge.get("source"), edge.get("target")
+    if isinstance(source, str) and isinstance(target, str):
+        return source, target
+    return None
+
+
+def _find_cycle(names: list[str], succ: dict[str, set[str]]) -> list[str]:
+    """One cycle as a node sequence (empty when the graph is acyclic)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {v: WHITE for v in names}
+    parent: dict[str, str] = {}
+    for root in names:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(sorted(succ.get(root, ()))))]
+        color[root] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in color:
+                    continue
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(sorted(succ.get(nxt, ())))))
+                    advanced = True
+                    break
+                if color[nxt] == GRAY:
+                    cycle = [nxt, node]
+                    walk = node
+                    while walk != nxt:
+                        walk = parent[walk]
+                        cycle.append(walk)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+        # continue with the next root
+    return []
+
+
+class GraphStructurePass(Pass):
+    """MDG001-MDG007: DAG-ness, endpoints, duplicates, emptiness."""
+
+    name = "graph.structure"
+    family = "graph"
+    rules = (MDG001, MDG002, MDG003, MDG004, MDG005, MDG006, MDG007)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        nodes = ctx.nodes()
+        if not nodes:
+            yield self.finding(MDG007, "MDG has no nodes", "$.nodes", ctx)
+            return
+
+        seen: set[str] = set()
+        for i, node in enumerate(nodes):
+            if not isinstance(node, dict):
+                continue
+            name = node.get("name")
+            if not isinstance(name, str):
+                continue
+            if name in seen:
+                yield self.finding(
+                    MDG005, f"duplicate node name {name!r}", f"$.nodes[{i}]", ctx
+                )
+            seen.add(name)
+
+        succ: dict[str, set[str]] = {name: set() for name in seen}
+        touched: set[str] = set()
+        counts: dict[tuple[str, str], int] = {}
+        for i, edge in enumerate(ctx.edges()):
+            if not isinstance(edge, dict):
+                continue
+            key = _edge_key(edge)
+            if key is None:
+                continue
+            source, target = key
+            location = f"$.edges[{i}]"
+            dangling = False
+            for endpoint, role in ((source, "source"), (target, "target")):
+                if endpoint not in seen:
+                    dangling = True
+                    yield self.finding(
+                        MDG004,
+                        f"edge {role} references unknown node {endpoint!r}",
+                        location,
+                        ctx,
+                    )
+            if source == target:
+                yield self.finding(
+                    MDG002, f"self-loop on node {source!r}", location, ctx
+                )
+                continue
+            counts[key] = counts.get(key, 0) + 1
+            if counts[key] == 2:  # report each duplicated pair once
+                yield self.finding(
+                    MDG003,
+                    f"duplicate edge {source!r} -> {target!r} "
+                    "(transfer lists will be merged)",
+                    location,
+                    ctx,
+                )
+            if not dangling:
+                succ[source].add(target)
+                touched.add(source)
+                touched.add(target)
+
+        cycle = _find_cycle(sorted(seen), succ)
+        if cycle:
+            yield self.finding(
+                MDG001,
+                "dependence cycle: " + " -> ".join(repr(v) for v in cycle),
+                "$.edges",
+                ctx,
+            )
+
+        if len(seen) > 1:
+            for i, node in enumerate(nodes):
+                if not isinstance(node, dict):
+                    continue
+                name = node.get("name")
+                if isinstance(name, str) and name not in touched:
+                    yield self.finding(
+                        MDG006,
+                        f"node {name!r} has no edges (will run concurrently "
+                        "with the whole program after normalization)",
+                        f"$.nodes[{i}]",
+                        ctx,
+                    )
+
+
+class GraphWeightPass(Pass):
+    """MDG008: positive finite transfer sizes on every edge."""
+
+    name = "graph.weights"
+    family = "graph"
+    rules = (MDG008,)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        for i, edge in enumerate(ctx.edges()):
+            if not isinstance(edge, dict):
+                continue
+            transfers = edge.get("transfers", [])
+            if not isinstance(transfers, list):
+                continue
+            for j, transfer in enumerate(transfers):
+                if not isinstance(transfer, dict):
+                    continue
+                length = transfer.get("length_bytes")
+                location = f"$.edges[{i}].transfers[{j}]"
+                if isinstance(length, bool) or not isinstance(length, (int, float)):
+                    yield self.finding(
+                        MDG008,
+                        f"length_bytes must be a number, got {length!r}",
+                        location,
+                        ctx,
+                    )
+                elif not math.isfinite(float(length)) or float(length) <= 0.0:
+                    yield self.finding(
+                        MDG008,
+                        f"length_bytes must be positive and finite, "
+                        f"got {length!r}",
+                        location,
+                        ctx,
+                    )
+
+
+def _distribution_sides(kind: str) -> tuple[str, str] | None:
+    """(source-side, target-side) distribution implied by a kind string."""
+    if kind not in KNOWN_TRANSFER_KINDS:
+        return None
+    source, _, target = kind.partition("2")
+    return source, target
+
+
+class RedistributionPass(Pass):
+    """MDG009: per-array distribution consistency at each endpoint.
+
+    For every (node, array-label) pair, all outgoing transfers of that
+    array must agree on the source-side distribution and all incoming
+    transfers must agree on the target-side distribution — otherwise the
+    program implicitly keeps two layouts of one array alive at once,
+    which Eq. 2/3 cannot price as a single redistribution.
+    """
+
+    name = "graph.redistribution"
+    family = "graph"
+    rules = (MDG009,)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        outgoing: dict[tuple[str, str], dict[str, list[int]]] = {}
+        incoming: dict[tuple[str, str], dict[str, list[int]]] = {}
+        for i, edge in enumerate(ctx.edges()):
+            if not isinstance(edge, dict):
+                continue
+            key = _edge_key(edge)
+            transfers = edge.get("transfers", [])
+            if key is None or not isinstance(transfers, list):
+                continue
+            source, target = key
+            for transfer in transfers:
+                if not isinstance(transfer, dict):
+                    continue
+                label = transfer.get("label") or ""
+                sides = _distribution_sides(str(transfer.get("kind")))
+                if not label or sides is None:
+                    continue  # unlabeled or unpriceable: other rules cover it
+                src_side, dst_side = sides
+                outgoing.setdefault((source, label), {}).setdefault(
+                    src_side, []
+                ).append(i)
+                incoming.setdefault((target, label), {}).setdefault(
+                    dst_side, []
+                ).append(i)
+
+        yield from self._conflicts(ctx, outgoing, "sends", "source")
+        yield from self._conflicts(ctx, incoming, "receives", "target")
+
+    def _conflicts(
+        self,
+        ctx: CheckContext,
+        table: dict[tuple[str, str], dict[str, list[int]]],
+        verb: str,
+        side: str,
+    ) -> Iterable[Finding]:
+        for (node, label), by_side in sorted(table.items()):
+            if len(by_side) <= 1:
+                continue
+            edges = sorted({i for idxs in by_side.values() for i in idxs})
+            layouts = " vs ".join(sorted(by_side))
+            yield self.finding(
+                MDG009,
+                f"node {node!r} {verb} array {label!r} under conflicting "
+                f"{side} distributions ({layouts}); edges "
+                f"{edges!r} disagree",
+                f"$.edges[{edges[0]}]",
+                ctx,
+            )
+
+
+GRAPH_PASSES: tuple[type[Pass], ...] = (
+    GraphStructurePass,
+    GraphWeightPass,
+    RedistributionPass,
+)

@@ -1,0 +1,128 @@
+"""Frontend/IR pass family: races and unpriceable redistributions.
+
+IR001 cross-checks the frontend's dependence analysis against the MDG:
+every flow (write-read) and output (write-write) dependence between two
+loops must be *ordered* by the graph — if neither endpoint reaches the
+other, the scheduler is free to run both at once and the distributed
+array sees a data race. IR002 flags transfer kinds that Table 2 cannot
+price; they would silently cost zero communication.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.check.core import CheckContext, Finding, Pass, Rule, Severity
+from repro.check.graph_passes import KNOWN_TRANSFER_KINDS
+
+__all__ = ["RaceDetectionPass", "TransferKindPass", "IR_PASSES"]
+
+IR001 = Rule(
+    "IR001",
+    "Dependences must be ordered by the MDG",
+    Severity.ERROR,
+    "A write-read (flow) or write-write (output) dependence between two "
+    "loops with no MDG path between them lets the scheduler overlap "
+    "them; on a distributed array that is a data race.",
+    "loops 'a' and 'b' both write array 'X' but share no MDG path",
+)
+IR002 = Rule(
+    "IR002",
+    "Transfer kinds must be priceable",
+    Severity.ERROR,
+    "Table 2 prices exactly row2row, col2col, row2col and col2row; any "
+    "other kind has no cost model and would be treated as free "
+    "communication.",
+    'transfers: [{"kind": "diag2row", "length_bytes": 4096}]',
+)
+
+
+def _reachable(succ: dict[str, set[str]], source: str, target: str) -> bool:
+    stack, seen = [source], {source}
+    while stack:
+        node = stack.pop()
+        if node == target:
+            return True
+        for nxt in succ.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+class RaceDetectionPass(Pass):
+    """IR001: every frontend dependence has an MDG path (needs a program)."""
+
+    name = "ir.races"
+    family = "ir"
+    rules = (IR001,)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        program = ctx.program
+        if program is None:
+            return
+        from repro.errors import ReproError
+        from repro.frontend.dependence import flow_dependences
+
+        try:
+            dependences = flow_dependences(program)
+        except ReproError:
+            return  # an invalid program cannot be race-checked
+
+        succ: dict[str, set[str]] = {}
+        names: set[str] = set(ctx.node_names())
+        for edge in ctx.edges():
+            if not isinstance(edge, dict):
+                continue
+            source, target = edge.get("source"), edge.get("target")
+            if isinstance(source, str) and isinstance(target, str):
+                succ.setdefault(source, set()).add(target)
+
+        for dep in dependences:
+            if dep.source not in names or dep.target not in names:
+                continue  # lowering dropped the loop; nothing to race
+            if _reachable(succ, dep.source, dep.target):
+                continue
+            hazard = "write-read" if dep.kind == "flow" else "write-write"
+            what = f"array {dep.array!r}" if dep.array else "an array"
+            yield self.finding(
+                IR001,
+                f"{hazard} race: loop {dep.target!r} depends on "
+                f"{dep.source!r} via {what} but the MDG has no path "
+                f"{dep.source!r} -> {dep.target!r}; the scheduler may "
+                "overlap them",
+                "$.edges",
+                ctx,
+            )
+
+
+class TransferKindPass(Pass):
+    """IR002: every transfer kind must appear in Table 2."""
+
+    name = "ir.transfer_kinds"
+    family = "ir"
+    rules = (IR002,)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        for i, edge in enumerate(ctx.edges()):
+            if not isinstance(edge, dict):
+                continue
+            transfers = edge.get("transfers", [])
+            if not isinstance(transfers, list):
+                continue
+            for j, transfer in enumerate(transfers):
+                if not isinstance(transfer, dict):
+                    continue
+                kind = transfer.get("kind")
+                if kind not in KNOWN_TRANSFER_KINDS:
+                    yield self.finding(
+                        IR002,
+                        f"transfer kind {kind!r} is not in Table 2 "
+                        f"({', '.join(sorted(KNOWN_TRANSFER_KINDS))}); "
+                        "its communication cost cannot be modelled",
+                        f"$.edges[{i}].transfers[{j}]",
+                        ctx,
+                    )
+
+
+IR_PASSES: tuple[type[Pass], ...] = (RaceDetectionPass, TransferKindPass)

@@ -1,0 +1,46 @@
+"""The default pass registry.
+
+``default_passes()`` is the single source of truth for what ``repro
+check`` and the pipeline pre-flight gate run. Passes are instantiated
+fresh on every call (they are stateless, but cheap insurance), ordered
+graph -> cost -> schedule -> ir so text output reads from structural to
+semantic problems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.check.core import Pass, Rule
+from repro.check.cost_passes import COST_PASSES
+from repro.check.graph_passes import GRAPH_PASSES
+from repro.check.ir_passes import IR_PASSES
+from repro.check.schedule_passes import SCHEDULE_PASSES
+
+__all__ = ["default_passes", "passes_for_families", "all_rules", "FAMILIES"]
+
+FAMILIES: tuple[str, ...] = ("graph", "cost", "schedule", "ir")
+
+_ALL: tuple[type[Pass], ...] = (
+    GRAPH_PASSES + COST_PASSES + SCHEDULE_PASSES + IR_PASSES
+)
+
+
+def default_passes() -> list[Pass]:
+    """One instance of every registered pass, in canonical order."""
+    return [cls() for cls in _ALL]
+
+
+def passes_for_families(families: Iterable[str]) -> list[Pass]:
+    """Instances of the passes belonging to the given families."""
+    wanted = set(families)
+    return [cls() for cls in _ALL if cls.family in wanted]
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id."""
+    rules: dict[str, Rule] = {}
+    for cls in _ALL:
+        for rule in cls.rules:
+            rules[rule.rule_id] = rule
+    return [rules[k] for k in sorted(rules)]

@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 rendering of a :class:`CheckReport`.
+
+One run, one driver ("repro-check"), rules embedded in
+``tool.driver.rules`` and results referencing them by id and index —
+the shape ``github/codeql-action/upload-sarif`` needs to annotate pull
+requests. JSON-path locations travel as logical locations (SARIF has no
+native JSON-path notion); the physical location carries the artifact URI
+with a 1-based dummy region so GitHub renders the annotation at the top
+of the file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro import __version__
+from repro.check.core import CheckReport, Rule
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "sarif_dict", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-check"
+_TOOL_URI = "https://example.invalid/repro"
+
+
+def _artifact_uri(artifact: str) -> str:
+    if not artifact or artifact == "<memory>":
+        return "in-memory-mdg"
+    return artifact.lstrip("/").replace("\\", "/") or "in-memory-mdg"
+
+
+def _rule_dict(rule: Rule) -> dict[str, Any]:
+    entry: dict[str, Any] = {
+        "id": rule.rule_id,
+        "name": rule.title.replace(" ", ""),
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": rule.severity.value},
+    }
+    if rule.example:
+        entry["help"] = {"text": f"Example violation: {rule.example}"}
+    return entry
+
+
+def sarif_dict(report: CheckReport, rules: list[Rule]) -> dict[str, Any]:
+    """The SARIF log as a plain dict (``render_sarif`` serializes it)."""
+    index = {rule.rule_id: i for i, rule in enumerate(rules)}
+    results = []
+    for finding in report.findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": finding.severity.value,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(finding.artifact),
+                        },
+                        "region": {"startLine": 1, "startColumn": 1},
+                    },
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": finding.location,
+                            "kind": "member",
+                        }
+                    ],
+                }
+            ],
+        }
+        if finding.rule_id in index:
+            result["ruleIndex"] = index[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "version": __version__,
+                        "rules": [_rule_dict(rule) for rule in rules],
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(report: CheckReport, rules: list[Rule]) -> str:
+    return json.dumps(sarif_dict(report, rules), indent=2, sort_keys=False)

@@ -1,0 +1,232 @@
+"""Schedule pass family: invariants of a PSA schedule.
+
+Section 3's processor-subset scheduling promises precedence-safe,
+non-overlapping processor-group assignments within the machine; these
+passes re-derive those guarantees from the schedule itself (they do not
+trust the scheduler), plus an EST-based consistency check: the makespan
+can never beat the critical path recomputed from the scheduled
+durations, and any start later than the earliest possible start is an
+idle gap worth knowing about.
+
+All passes need a :class:`~repro.scheduling.schedule.Schedule` in the
+context; without one they yield nothing (the runner records which passes
+ran so "no findings" is distinguishable from "did not run").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.check.core import CheckContext, Finding, Pass, Rule, Severity
+
+__all__ = [
+    "SchedulePrecedencePass",
+    "ScheduleResourcePass",
+    "ScheduleConsistencyPass",
+    "SCHEDULE_PASSES",
+]
+
+_REL_TOL = 1e-9
+
+
+def _close_geq(a: float, b: float) -> bool:
+    return a >= b - _REL_TOL * max(1.0, abs(a), abs(b))
+
+
+SCHED001 = Rule(
+    "SCHED001",
+    "Schedule must respect precedence",
+    Severity.ERROR,
+    "A node may not start before every predecessor in the MDG has "
+    "finished; violating this executes a computation before its inputs "
+    "exist.",
+    "'b' starts at t=2.0 while its predecessor 'a' finishes at t=5.0",
+)
+SCHED002 = Rule(
+    "SCHED002",
+    "Processor groups may not overlap in time",
+    Severity.ERROR,
+    "Two nodes whose execution intervals overlap must use disjoint "
+    "processor groups; a double-booked processor would have to run two "
+    "tasks at once.",
+    "processor 3 assigned to both 'a' [0, 4) and 'b' [2, 6)",
+)
+SCHED003 = Rule(
+    "SCHED003",
+    "Processor groups must fit the machine",
+    Severity.ERROR,
+    "Every scheduled node needs a non-empty group of distinct processors "
+    "drawn from [0, p); a group wider than the machine or referencing a "
+    "processor the machine does not have cannot execute.",
+    "a 10-processor group on an 8-processor machine",
+)
+SCHED004 = Rule(
+    "SCHED004",
+    "Makespan must be consistent with the critical path",
+    Severity.ERROR,
+    "The schedule's makespan can never be smaller than the critical path "
+    "recomputed from the scheduled durations (EST lower bound); a "
+    "smaller value means durations and start times disagree.",
+    "makespan 3.0 on a chain whose durations sum to 7.0",
+)
+SCHED005 = Rule(
+    "SCHED005",
+    "Idle gap before a node",
+    Severity.NOTE,
+    "The node starts measurably later than its last-finishing "
+    "predecessor; some idle time is inherent to processor-subset "
+    "schedules, but large gaps point at allocation imbalance.",
+    "'c' could start at t=4.0 but is scheduled at t=9.0",
+)
+
+
+def _loc(name: str) -> str:
+    return f"$.schedule[{name!r}]"
+
+
+class SchedulePrecedencePass(Pass):
+    """SCHED001: target.start >= source.finish for every MDG edge."""
+
+    name = "schedule.precedence"
+    family = "schedule"
+    rules = (SCHED001,)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        schedule = ctx.schedule
+        if schedule is None:
+            return
+        for edge in schedule.mdg.edges():
+            src = schedule.entries.get(edge.source)
+            dst = schedule.entries.get(edge.target)
+            if src is None or dst is None:
+                continue  # incompleteness is SCHED003's / validate's turf
+            if not _close_geq(dst.start, src.finish):
+                yield self.finding(
+                    SCHED001,
+                    f"node {dst.name!r} starts at {dst.start:g} before its "
+                    f"predecessor {src.name!r} finishes at {src.finish:g}",
+                    _loc(dst.name),
+                    ctx,
+                )
+
+
+class ScheduleResourcePass(Pass):
+    """SCHED002/SCHED003: disjoint groups, in-range group sizes."""
+
+    name = "schedule.resources"
+    family = "schedule"
+    rules = (SCHED002, SCHED003)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        schedule = ctx.schedule
+        if schedule is None:
+            return
+        total = schedule.total_processors
+        per_proc: dict[int, list[tuple[float, float, str]]] = {}
+        for entry in schedule.entries.values():
+            out_of_range = sorted(
+                i for i in entry.processors if not 0 <= i < total
+            )
+            if out_of_range:
+                yield self.finding(
+                    SCHED003,
+                    f"node {entry.name!r} uses out-of-range processors "
+                    f"{out_of_range!r} on a {total}-processor machine",
+                    _loc(entry.name),
+                    ctx,
+                )
+            if entry.width > total:
+                yield self.finding(
+                    SCHED003,
+                    f"node {entry.name!r} needs {entry.width} processors "
+                    f"but the machine has {total}",
+                    _loc(entry.name),
+                    ctx,
+                )
+            for i in entry.processors:
+                per_proc.setdefault(i, []).append(
+                    (entry.start, entry.finish, entry.name)
+                )
+        for proc, intervals in sorted(per_proc.items()):
+            intervals.sort()
+            for (s1, f1, n1), (s2, f2, n2) in zip(intervals, intervals[1:]):
+                if not _close_geq(s2, f1):
+                    yield self.finding(
+                        SCHED002,
+                        f"processor {proc} double-booked: {n1!r} "
+                        f"[{s1:g}, {f1:g}) overlaps {n2!r} [{s2:g}, {f2:g})",
+                        _loc(n2),
+                        ctx,
+                    )
+
+
+class ScheduleConsistencyPass(Pass):
+    """SCHED004/SCHED005: EST-recomputed makespan bound and idle gaps.
+
+    EST is recomputed from the scheduled durations alone (network delays
+    are not stored on the schedule, so the bound is conservative): the
+    makespan must be at least the longest duration-weighted path, and a
+    node starting well after all its predecessors have finished carries
+    an idle-gap note.
+    """
+
+    name = "schedule.consistency"
+    family = "schedule"
+    rules = (SCHED004, SCHED005)
+
+    #: Gaps below this fraction of the makespan stay unreported.
+    gap_fraction = 0.05
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        schedule = ctx.schedule
+        if schedule is None or not schedule.entries:
+            return
+        mdg = schedule.mdg
+        if not schedule.is_complete:
+            return  # validate()/SCHED passes above already flag this shape
+
+        from repro.errors import GraphError
+
+        try:
+            order = mdg.topological_order()
+        except GraphError:
+            return  # cyclic graphs are MDG001's problem
+
+        est: dict[str, float] = {}
+        for name in order:
+            entry = schedule.entries[name]
+            preds = [e.source for e in mdg.in_edges(name)]
+            est[name] = max(
+                (est[p] + schedule.entries[p].duration for p in preds),
+                default=0.0,
+            )
+            ready = max(
+                (schedule.entries[p].finish for p in preds), default=0.0
+            )
+            gap = entry.start - ready
+            if gap > max(self.gap_fraction * schedule.makespan, _REL_TOL):
+                yield self.finding(
+                    SCHED005,
+                    f"node {name!r} idles for {gap:.4g}s: ready at "
+                    f"{ready:g} but scheduled at {entry.start:g}",
+                    _loc(name),
+                    ctx,
+                )
+
+        bound = max(est[n] + schedule.entries[n].duration for n in order)
+        if not _close_geq(schedule.makespan, bound):
+            yield self.finding(
+                SCHED004,
+                f"makespan {schedule.makespan:g} is below the recomputed "
+                f"critical-path bound {bound:g} — start times and "
+                "durations disagree",
+                "$.schedule",
+                ctx,
+            )
+
+
+SCHEDULE_PASSES: tuple[type[Pass], ...] = (
+    SchedulePrecedencePass,
+    ScheduleResourcePass,
+    ScheduleConsistencyPass,
+)

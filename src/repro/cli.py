@@ -9,6 +9,8 @@ Subcommands
 ``export-dot``  emit a program's MDG as Graphviz DOT
 ``trace``       simulate and export a Chrome/Perfetto trace
 ``solve``       allocate an MDG loaded from a JSON file
+``check``       statically analyze MDG files / built-in programs (text,
+                JSON or SARIF 2.1.0 output; exit 1 on error findings)
 ``info``        list built-in machines and programs
 """
 
@@ -131,6 +133,25 @@ def _cache_options(args: argparse.Namespace) -> dict | None:
     }
 
 
+def _check_flags(args: argparse.Namespace) -> dict:
+    """``check``/``check_strict`` kwargs for the pipeline entry points."""
+    return {
+        "check": bool(getattr(args, "check", False)),
+        "check_strict": bool(getattr(args, "check_strict", False)),
+    }
+
+
+def _preflight_if_requested(args: argparse.Namespace, mdg, machine) -> None:
+    """Run the pre-flight gate for paths that bypass ``compile_mdg``."""
+    flags = _check_flags(args)
+    if flags["check"] or flags["check_strict"]:
+        from repro.check import preflight_check
+
+        preflight_check(
+            mdg, machine, strict=flags["check_strict"], artifact=f"mdg:{mdg.name}"
+        )
+
+
 def _print_provenance(run) -> None:
     resumed = run.resumed_stages
     if resumed:
@@ -157,6 +178,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     machine = _machine(args)
     cache = _cache_options(args)
     if args.spmd:
+        _preflight_if_requested(args, bundle.mdg, machine)
         result = compile_spmd(bundle.mdg, machine)
     elif cache is not None:
         run = run_resumable(
@@ -165,6 +187,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
             simulate=False,
             solver_options=_solver_options(args),
             **cache,
+            **_check_flags(args),
         )
         result = run.compilation
         _print_provenance(run)
@@ -174,6 +197,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
             machine,
             solver_options=_solver_options(args),
             strict=bool(getattr(args, "strict", False)),
+            **_check_flags(args),
         )
     print(f"{result.style} compilation of {bundle.name} on {machine.name} "
           f"(p={machine.processors})")
@@ -202,6 +226,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     cache = _cache_options(args)
     repair = None
     if args.spmd:
+        _preflight_if_requested(args, bundle.mdg, machine)
         result = compile_spmd(bundle.mdg, machine)
         sim = measure(result, _fidelity(args.fidelity), faults=faults)
     elif cache is not None:
@@ -213,6 +238,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             solver_options=_solver_options(args),
             record_trace=bool(args.gantt),
             **cache,
+            **_check_flags(args),
         )
         result, sim, repair = run.compilation, run.simulation, run.repair
         _print_provenance(run)
@@ -222,6 +248,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             machine,
             solver_options=_solver_options(args),
             strict=bool(getattr(args, "strict", False)),
+            **_check_flags(args),
         )
         sim = measure(result, _fidelity(args.fidelity), faults=faults)
     print(f"{result.style} {bundle.name} on {machine.name} (p={machine.processors})")
@@ -383,6 +410,87 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import (
+        Analyzer,
+        CheckReport,
+        Severity,
+        check_bundle,
+        check_file,
+        render_sarif,
+        rules_markdown,
+    )
+
+    if args.list_rules:
+        if args.format == "markdown":
+            print(rules_markdown(), end="")
+        else:
+            for rule in Analyzer().rules():
+                print(f"{rule.rule_id}  {rule.severity.value:<7} {rule.title}")
+        return 0
+
+    machine = _machine(args)
+    compile_schedule = not args.no_compile
+
+    # Expand targets: files are checked directly, directories are scanned
+    # for *.json (recursively), so `repro check examples/` covers every
+    # shipped graph.
+    from pathlib import Path
+
+    files: list[Path] = []
+    for target in args.targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.json")))
+        else:
+            files.append(path)
+
+    programs: list[str] = []
+    if args.all_programs:
+        programs = sorted(PROGRAMS)
+    elif args.program is not None:
+        programs = [args.program]
+    if not files and not programs:
+        programs = sorted(PROGRAMS)  # bare `repro check` audits the built-ins
+
+    report = CheckReport()
+    for path in files:
+        report.merge(check_file(path, machine, compile_schedule=compile_schedule))
+    for name in programs:
+        factory = PROGRAMS.get(name)
+        if factory is None:
+            raise SystemExit(
+                f"unknown program {name!r}; try: {sorted(PROGRAMS)}"
+            )
+        n = args.n if args.n is not None else DEFAULT_SIZES[name]
+        report.merge(
+            check_bundle(factory(n), machine, compile_schedule=compile_schedule)
+        )
+
+    if args.format == "sarif":
+        rendered = render_sarif(report, Analyzer().rules())
+    elif args.format == "json":
+        import json
+
+        rendered = json.dumps(report.to_dict(), indent=2)
+    elif args.format == "markdown":
+        raise SystemExit("--format markdown is only valid with --list-rules")
+    else:
+        rendered = report.render_text()
+
+    if args.output:
+        from repro.store.artifact import atomic_write_text
+
+        atomic_write_text(Path(args.output), rendered + "\n")
+        print(f"wrote {args.format} report to {args.output}")
+        print(report.summary())
+    else:
+        print(rendered)
+
+    threshold = Severity(args.fail_on)
+    return 1 if report.at_least(threshold) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="paradigm-mdg",
@@ -460,6 +568,18 @@ def build_parser() -> argparse.ArgumentParser:
             "post-conditions (schedule validation, KKT certificate) raise "
             "instead of warning and recomputing",
         )
+        p.add_argument(
+            "--check",
+            action="store_true",
+            help="run the static analyzer (graph/cost/ir pass families) as "
+            "a pre-flight gate before the allocation solver; error-severity "
+            "findings abort the run",
+        )
+        p.add_argument(
+            "--check-strict",
+            action="store_true",
+            help="like --check, but warning-severity findings abort too",
+        )
 
     def fault_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -517,6 +637,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--output", "-o", default="trace.json")
     p_trace.set_defaults(func=cmd_trace)
 
+    p_check = sub.add_parser(
+        "check",
+        help="statically analyze MDG files / built-in programs "
+        "(graph, cost, schedule and ir pass families)",
+    )
+    p_check.add_argument(
+        "targets",
+        nargs="*",
+        help="MDG JSON files or directories to scan for *.json "
+        "(no targets and no --program: audit every built-in program)",
+    )
+    p_check.add_argument(
+        "--program", default=None, help="also check one built-in program"
+    )
+    p_check.add_argument(
+        "--all-programs",
+        action="store_true",
+        help="also check every built-in program",
+    )
+    p_check.add_argument("--n", type=int, default=None, help="matrix size")
+    p_check.add_argument("--machine", default="cm5", help="machine preset")
+    p_check.add_argument("--processors", "-p", type=int, default=64)
+    p_check.add_argument(
+        "--format",
+        choices=["text", "json", "sarif", "markdown"],
+        default="text",
+        help="output format (sarif = SARIF 2.1.0 for GitHub code scanning; "
+        "markdown only with --list-rules)",
+    )
+    p_check.add_argument(
+        "--output", "-o", default=None, help="write the report to a file"
+    )
+    p_check.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "note"],
+        default="error",
+        help="lowest severity that makes the command exit 1",
+    )
+    p_check.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="skip compiling clean graphs (disables the schedule pass family)",
+    )
+    p_check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table instead of checking anything",
+    )
+    p_check.set_defaults(func=cmd_check)
+
     p_solve = sub.add_parser("solve", help="allocate an MDG from a JSON file")
     p_solve.add_argument("mdg", help="path to an MDG JSON file")
     p_solve.add_argument("--machine", default="cm5")
@@ -555,7 +725,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         telemetry = obs.configure(jsonl_path=log_json)
     except OSError as exc:
-        raise SystemExit(f"cannot open --log-json path {log_json!r}: {exc}")
+        raise SystemExit(
+            f"cannot open --log-json path {log_json!r}: {exc}"
+        ) from exc
     try:
         status = _dispatch(args)
     finally:
@@ -573,7 +745,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             except OSError as exc:
                 raise SystemExit(
                     f"cannot write --metrics-out path {metrics_out!r}: {exc}"
-                )
+                ) from exc
         if want_report:
             print()
             print(obs.render_report(telemetry))

@@ -221,6 +221,16 @@ class Posynomial:
             out |= term.variables()
         return frozenset(out)
 
+    def degree(self, variable: str) -> float:
+        """Largest exponent of ``variable`` across the terms.
+
+        A variable that appears in no term — including every variable of
+        the zero posynomial — has degree 0.0.
+        """
+        return max(
+            (t.degree(variable) for t in self._terms.values()), default=0.0
+        )
+
     def constant_value(self) -> float:
         """Value if constant; raises otherwise."""
         if not self.is_constant():
@@ -336,8 +346,8 @@ class Posynomial:
     # ----- evaluation ---------------------------------------------------
 
     def evaluate(self, values: Mapping[str, float]) -> float:
-        """Evaluate at positive variable values."""
-        return sum(t.evaluate(values) for t in self._terms.values())
+        """Evaluate at positive variable values (0.0 for the zero posynomial)."""
+        return float(sum(t.evaluate(values) for t in self._terms.values()))
 
     def evaluate_log(self, log_values: Mapping[str, float]) -> float:
         """Evaluate with variables given as logs: ``v_j = exp(x_j)``."""

@@ -29,6 +29,7 @@ __all__ = [
     "FaultError",
     "RecoveryError",
     "IngestError",
+    "CheckError",
     "ArtifactError",
     "ArtifactCorruptError",
     "ArtifactVersionError",
@@ -127,6 +128,11 @@ class IngestError(ValidationError):
             return base
         lines = [base] + [f"  - {d}" for d in self.diagnostics]
         return "\n".join(lines)
+
+
+class CheckError(ReproError):
+    """Static analysis (``repro.check``) rejected an input, or the
+    analyzer itself was misconfigured (duplicate rule ids, bad pass)."""
 
 
 class ArtifactError(ReproError):

@@ -11,6 +11,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.costs.posynomial import Monomial, Posynomial
 from repro.costs.processing import (
     AmdahlProcessingCost,
@@ -139,12 +140,25 @@ def mdg_from_dict(data: dict[str, Any]) -> MDG:
             _processing_from_dict(node["processing"]),
             node.get("description", ""),
         )
+    merged: dict[tuple[str, str], list[ArrayTransfer]] = {}
     for edge in data.get("edges", []):
-        mdg.add_edge(
-            edge["source"],
-            edge["target"],
-            [_transfer_from_dict(t) for t in edge.get("transfers", [])],
-        )
+        key = (edge["source"], edge["target"])
+        transfers = [_transfer_from_dict(t) for t in edge.get("transfers", [])]
+        if key in merged:
+            # Duplicate edge entries are deduplicated (transfer lists
+            # merged) rather than rejected; `repro check` reports the
+            # duplication as a warning-severity MDG003 finding.
+            obs.event(
+                "serialization.duplicate_edge",
+                source=key[0],
+                target=key[1],
+                merged_transfers=len(transfers),
+            )
+            merged[key].extend(transfers)
+        else:
+            merged[key] = transfers
+    for (source, target), transfers in merged.items():
+        mdg.add_edge(source, target, transfers)
     return mdg
 
 

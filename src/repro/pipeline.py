@@ -144,13 +144,26 @@ def compile_mdg(
     psa_options: PSAOptions | None = None,
     solver_options: ConvexSolverOptions | None = None,
     strict: bool = False,
+    check: bool = False,
+    check_strict: bool = False,
 ) -> CompilationResult:
     """Allocate (convex program), schedule (PSA), and generate MPMD code.
 
     With ``strict=True`` the pipeline's post-conditions are enforced:
     the schedule is re-validated and the allocation re-certified (KKT),
     raising on failure instead of emitting warning events.
+
+    With ``check=True`` the static analyzer's graph/cost/ir pass families
+    run as a pre-flight gate *before* the solver is invoked, raising
+    :class:`~repro.errors.CheckError` on error-severity findings
+    (``check_strict=True`` rejects warning-severity findings too).
     """
+    if check or check_strict:
+        from repro.check import preflight_check
+
+        preflight_check(
+            mdg, machine, strict=check_strict, artifact=f"mdg:{mdg.name}"
+        )
     with obs.span(
         "compile", style="MPMD", machine=machine.name, processors=machine.processors
     ) as compile_span:
@@ -545,6 +558,8 @@ def run_resumable(
     solver_options: ConvexSolverOptions | None = None,
     record_trace: bool = False,
     repair_overhead: float = 0.0,
+    check: bool = False,
+    check_strict: bool = False,
 ) -> ResumableRun:
     """Compile (and optionally simulate) with per-stage checkpointing.
 
@@ -561,8 +576,18 @@ def run_resumable(
     (see :func:`check_postconditions`), so a tampered-but-checksum-valid
     cache still cannot smuggle an invalid schedule into execution.
 
-    ``cache_dir=None`` degrades to a plain uncached run.
+    ``cache_dir=None`` degrades to a plain uncached run. ``check=True``
+    runs the static analyzer's pre-flight gate (graph/cost/ir families)
+    before any stage — including before the allocation solver — raising
+    :class:`~repro.errors.CheckError` on error findings;
+    ``check_strict=True`` also rejects warnings.
     """
+    if check or check_strict:
+        from repro.check import preflight_check
+
+        preflight_check(
+            mdg, machine, strict=check_strict, artifact=f"mdg:{mdg.name}"
+        )
     from repro.io.results import (
         SCHEDULE_SCHEMA_VERSION,
         schedule_from_dict,

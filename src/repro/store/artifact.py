@@ -16,6 +16,7 @@ the old file, the new file, or no file at all.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -77,21 +78,17 @@ def atomic_write_text(path: str | Path, text: str) -> None:
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
     except BaseException:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(tmp_name)
-        except OSError:
-            pass
         raise
     # Make the rename itself durable (best effort: not all filesystems
     # support fsync on directories).
-    try:
+    with contextlib.suppress(OSError):
         dir_fd = os.open(path.parent, os.O_RDONLY)
         try:
             os.fsync(dir_fd)
         finally:
             os.close(dir_fd)
-    except OSError:
-        pass
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ which is what the CLI's ``--strict`` maps to.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from pathlib import Path
 
@@ -129,10 +130,8 @@ class ArtifactStore:
         except OSError:
             # Racing cleanup or read-only cache: losing the evidence is
             # acceptable, trusting the artifact is not.
-            try:
+            with contextlib.suppress(OSError):
                 path.unlink()
-            except OSError:
-                pass
             return None
         return target
 

@@ -1,0 +1,162 @@
+"""`repro check` CLI behavior and the pipeline pre-flight gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.costs.processing import AmdahlProcessingCost
+from repro.errors import CheckError
+from repro.graph.generators import paper_example_mdg
+from repro.graph.mdg import MDG
+from repro.graph.serialization import save_mdg
+from repro.pipeline import compile_mdg, run_resumable
+
+
+@pytest.fixture
+def valid_file(tmp_path):
+    path = tmp_path / "valid.json"
+    save_mdg(paper_example_mdg(), path)
+    return path
+
+
+@pytest.fixture
+def invalid_file(tmp_path):
+    path = tmp_path / "invalid.json"
+    path.write_text(json.dumps({
+        "schema_version": 1,
+        "name": "bad",
+        "nodes": [
+            {"name": "a",
+             "processing": {"kind": "amdahl", "alpha": 2.0, "tau": -1.0}},
+            {"name": "b", "processing": {"kind": "zero"}},
+        ],
+        "edges": [
+            {"source": "a", "target": "b", "transfers": []},
+            {"source": "b", "target": "a", "transfers": []},
+        ],
+    }))
+    return path
+
+
+def cyclic_mdg():
+    mdg = MDG("cyclic")
+    for n in "abc":
+        mdg.add_node(n, AmdahlProcessingCost(0.1, 1.0))
+    mdg.add_edge("a", "b", [])
+    mdg.add_edge("b", "c", [])
+    mdg.add_edge("c", "a", [])
+    return mdg
+
+
+class TestCheckCommand:
+    def test_valid_file_exits_zero(self, capsys, valid_file):
+        assert main(["check", str(valid_file), "-p", "8"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_invalid_file_exits_one(self, capsys, invalid_file):
+        assert main(["check", str(invalid_file), "--no-compile"]) == 1
+        out = capsys.readouterr().out
+        assert "MDG001" in out  # the cycle
+        assert "COST003" in out  # the bad Amdahl parameters
+
+    def test_directory_target(self, capsys, tmp_path, invalid_file):
+        assert main(["check", str(tmp_path), "--no-compile"]) == 1
+
+    def test_fail_on_threshold(self, tmp_path, capsys):
+        # A graph with only a warning (isolated node) passes at the
+        # default error threshold but fails at --fail-on warning.
+        path = tmp_path / "warn.json"
+        path.write_text(json.dumps({
+            "schema_version": 1,
+            "name": "warn",
+            "nodes": [
+                {"name": "a", "processing": {"kind": "zero"}},
+                {"name": "b", "processing": {"kind": "zero"}},
+                {"name": "c", "processing": {"kind": "zero"}},
+            ],
+            "edges": [{"source": "a", "target": "b", "transfers": []}],
+        }))
+        assert main(["check", str(path), "--no-compile"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["check", str(path), "--no-compile", "--fail-on", "warning"]
+        ) == 1
+
+    def test_sarif_output(self, capsys, tmp_path, invalid_file):
+        out_path = tmp_path / "report.sarif"
+        assert main([
+            "check", str(invalid_file), "--no-compile",
+            "--format", "sarif", "-o", str(out_path),
+        ]) == 1
+        log = json.loads(out_path.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+        assert any(
+            r["ruleId"] == "MDG001" for r in log["runs"][0]["results"]
+        )
+
+    def test_json_format(self, capsys, invalid_file):
+        assert main(
+            ["check", str(invalid_file), "--no-compile", "--format", "json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] >= 2
+        assert payload["artifacts"] == [str(invalid_file)]
+
+    def test_program_target(self, capsys):
+        assert main([
+            "check", "--program", "complex", "--n", "16", "-p", "4",
+            "--no-compile",
+        ]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("MDG001", "COST003", "SCHED002", "IR001"):
+            assert rule_id in out
+
+    def test_unreadable_file_is_structured_error(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["check", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compile_with_check_flag(self, capsys):
+        assert main([
+            "compile", "--program", "complex", "--n", "16", "-p", "4",
+            "--check",
+        ]) == 0
+
+
+class TestPipelineGate:
+    def test_compile_rejects_cyclic_mdg_before_solver(self, machine4):
+        with pytest.raises(CheckError, match="MDG001"):
+            compile_mdg(cyclic_mdg(), machine4, check=True)
+
+    def test_run_resumable_rejects_cyclic_mdg(self, machine4):
+        with pytest.raises(CheckError, match="MDG001"):
+            run_resumable(cyclic_mdg(), machine4, cache_dir=None, check=True)
+
+    def test_gate_off_by_default_raises_cycle_error_instead(self, machine4):
+        from repro.errors import CycleError
+
+        with pytest.raises(CycleError):
+            compile_mdg(cyclic_mdg(), machine4)
+
+    def test_check_strict_rejects_warnings(self, machine4):
+        mdg = MDG("isolated")
+        for n in "abc":
+            mdg.add_node(n, AmdahlProcessingCost(0.1, 1.0))
+        mdg.add_edge("a", "b", [])  # c is isolated -> MDG006 warning
+        with pytest.raises(CheckError, match="MDG006"):
+            compile_mdg(mdg, machine4, check_strict=True)
+        # Plain check lets warnings through.
+        result = compile_mdg(mdg, machine4, check=True)
+        assert result.schedule.makespan > 0
+
+    def test_clean_mdg_compiles_with_gate(self, machine4):
+        result = compile_mdg(paper_example_mdg(), machine4, check=True)
+        assert result.phi is not None

@@ -1,0 +1,157 @@
+"""Unit tests for the cost pass family (COST001-COST007)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import Severity, check_document, check_mdg
+from repro.costs.posynomial import Monomial, Posynomial
+from repro.costs.processing import (
+    AmdahlProcessingCost,
+    GeneralPosynomialProcessingCost,
+)
+from repro.graph.mdg import MDG
+
+
+def doc_with_processing(processing):
+    return {
+        "schema_version": 1,
+        "name": "t",
+        "nodes": [
+            {"name": "a", "processing": processing},
+            {"name": "b", "processing": {"kind": "zero"}},
+        ],
+        "edges": [{"source": "a", "target": "b", "transfers": []}],
+    }
+
+
+def rule_ids(report):
+    return {f.rule_id for f in report.findings}
+
+
+class TestPosynomialRules:
+    def test_negative_coefficient(self):
+        report = check_document(
+            doc_with_processing(
+                {"kind": "posynomial",
+                 "terms": [{"coefficient": -2.0, "exponents": {"p": 1.0}}]}
+            )
+        )
+        (finding,) = [f for f in report.findings if f.rule_id == "COST001"]
+        assert finding.severity is Severity.ERROR
+        assert finding.location == "$.nodes[0].processing.terms[0]"
+
+    def test_zero_and_nan_coefficients(self):
+        report = check_document(
+            doc_with_processing(
+                {"kind": "posynomial",
+                 "terms": [{"coefficient": 0.0}, {"coefficient": float("nan")}]}
+            )
+        )
+        assert sum(f.rule_id == "COST001" for f in report.findings) == 2
+
+    def test_non_finite_exponent(self):
+        report = check_document(
+            doc_with_processing(
+                {"kind": "posynomial",
+                 "terms": [{"coefficient": 1.0,
+                            "exponents": {"p": float("inf")}}]}
+            )
+        )
+        assert "COST002" in rule_ids(report)
+
+    def test_empty_posynomial(self):
+        report = check_document(
+            doc_with_processing({"kind": "posynomial", "terms": []})
+        )
+        (finding,) = [f for f in report.findings if f.rule_id == "COST004"]
+        assert "no terms" in finding.message
+
+    def test_unknown_kind(self):
+        report = check_document(doc_with_processing({"kind": "quantum"}))
+        assert "COST007" in rule_ids(report)
+
+    def test_valid_posynomial_clean(self):
+        report = check_document(
+            doc_with_processing(
+                {"kind": "posynomial",
+                 "terms": [{"coefficient": 0.5, "exponents": {"p": -1.0}},
+                           {"coefficient": 0.1, "exponents": {}}]}
+            )
+        )
+        assert not rule_ids(report) & {"COST001", "COST002", "COST004", "COST007"}
+
+
+class TestAmdahl:
+    @pytest.mark.parametrize("alpha", [-0.1, 1.7, float("nan"), "x", None])
+    def test_bad_alpha(self, alpha):
+        report = check_document(
+            doc_with_processing({"kind": "amdahl", "alpha": alpha, "tau": 1.0})
+        )
+        assert any(
+            f.rule_id == "COST003" and "alpha" in f.message
+            for f in report.findings
+        )
+
+    @pytest.mark.parametrize("tau", [0.0, -3.0, float("inf")])
+    def test_bad_tau(self, tau):
+        report = check_document(
+            doc_with_processing({"kind": "amdahl", "alpha": 0.5, "tau": tau})
+        )
+        assert any(
+            f.rule_id == "COST003" and "tau" in f.message
+            for f in report.findings
+        )
+
+    def test_boundary_alpha_values_are_legal(self):
+        for alpha in (0.0, 1.0):
+            report = check_document(
+                doc_with_processing(
+                    {"kind": "amdahl", "alpha": alpha, "tau": 1.0}
+                )
+            )
+            assert "COST003" not in rule_ids(report)
+
+
+class TestDomain:
+    def _mdg(self, model):
+        mdg = MDG("t")
+        mdg.add_node("a", model)
+        mdg.add_node("b", AmdahlProcessingCost(0.1, 1.0))
+        mdg.add_edge("a", "b", [])
+        return mdg
+
+    def test_overflow_at_domain_endpoint(self, machine8):
+        # 1e308 * p^3 overflows to inf at p = 8.
+        model = GeneralPosynomialProcessingCost(
+            Posynomial([Monomial(1e308, {"p": 3.0})]), name="huge"
+        )
+        report = check_mdg(self._mdg(model), machine8, compile_schedule=False)
+        assert any(
+            f.rule_id == "COST005" and f.severity is Severity.ERROR
+            for f in report.findings
+        )
+
+    def test_growing_cost_is_warning(self, machine8):
+        # cost(p) = p: monotonically worse with more processors.
+        model = GeneralPosynomialProcessingCost(
+            Posynomial([Monomial(1.0, {"p": 1.0})]), name="grows"
+        )
+        report = check_mdg(self._mdg(model), machine8, compile_schedule=False)
+        (finding,) = [f for f in report.findings if f.rule_id == "COST006"]
+        assert finding.severity is Severity.WARNING
+
+    def test_amdahl_domain_clean(self, machine8):
+        report = check_mdg(
+            self._mdg(AmdahlProcessingCost(0.2, 2.0)),
+            machine8,
+            compile_schedule=False,
+        )
+        assert not rule_ids(report) & {"COST005", "COST006"}
+
+    def test_domain_pass_skipped_without_mdg(self):
+        # Document-only analysis cannot evaluate models; no COST005/6.
+        report = check_document(
+            doc_with_processing({"kind": "amdahl", "alpha": 0.1, "tau": 1.0})
+        )
+        assert not rule_ids(report) & {"COST005", "COST006"}

@@ -1,0 +1,167 @@
+"""Unit tests for the graph pass family (MDG001-MDG009)."""
+
+from __future__ import annotations
+
+from repro.check import Severity, check_document, check_mdg
+from repro.graph.generators import paper_example_mdg
+
+
+def amdahl(alpha=0.1, tau=1.0):
+    return {"kind": "amdahl", "alpha": alpha, "tau": tau}
+
+
+def doc(nodes, edges):
+    return {
+        "schema_version": 1,
+        "name": "t",
+        "nodes": [{"name": n, "processing": amdahl()} for n in nodes],
+        "edges": [
+            {"source": s, "target": t, "transfers": list(transfers)}
+            for s, t, transfers in edges
+        ],
+    }
+
+
+def rule_ids(report):
+    return {f.rule_id for f in report.findings}
+
+
+class TestStructure:
+    def test_clean_graph_has_no_graph_findings(self):
+        report = check_mdg(paper_example_mdg(), compile_schedule=False)
+        assert not rule_ids(report) & {f"MDG00{i}" for i in range(1, 10)}
+
+    def test_cycle(self):
+        report = check_document(
+            doc("ab", [("a", "b", []), ("b", "a", [])])
+        )
+        findings = [f for f in report.findings if f.rule_id == "MDG001"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "'a'" in findings[0].message and "'b'" in findings[0].message
+
+    def test_self_loop(self):
+        report = check_document(doc("ab", [("a", "a", []), ("a", "b", [])]))
+        (finding,) = [f for f in report.findings if f.rule_id == "MDG002"]
+        assert finding.location == "$.edges[0]"
+
+    def test_duplicate_edge_is_warning(self):
+        report = check_document(
+            doc("ab", [("a", "b", []), ("a", "b", [])])
+        )
+        (finding,) = [f for f in report.findings if f.rule_id == "MDG003"]
+        assert finding.severity is Severity.WARNING
+        assert finding.location == "$.edges[1]"
+
+    def test_dangling_endpoint(self):
+        report = check_document(doc("ab", [("a", "ghost", []), ("a", "b", [])]))
+        (finding,) = [f for f in report.findings if f.rule_id == "MDG004"]
+        assert "ghost" in finding.message
+
+    def test_duplicate_node_names(self):
+        bad = doc("ab", [("a", "b", [])])
+        bad["nodes"].append({"name": "a", "processing": amdahl()})
+        report = check_document(bad)
+        (finding,) = [f for f in report.findings if f.rule_id == "MDG005"]
+        assert finding.location == "$.nodes[2]"
+
+    def test_isolated_node(self):
+        report = check_document(doc("abc", [("a", "b", [])]))
+        (finding,) = [f for f in report.findings if f.rule_id == "MDG006"]
+        assert "'c'" in finding.message
+        assert finding.severity is Severity.WARNING
+
+    def test_single_node_not_isolated(self):
+        report = check_document(doc("a", []))
+        assert "MDG006" not in rule_ids(report)
+
+    def test_empty_graph(self):
+        report = check_document(doc("", []))
+        assert "MDG007" in rule_ids(report)
+        assert report.has_errors
+
+
+class TestWeights:
+    def transfer(self, length, kind="row2row"):
+        return {"length_bytes": length, "kind": kind, "label": "X"}
+
+    def test_negative_length(self):
+        report = check_document(
+            doc("ab", [("a", "b", [self.transfer(-8)])])
+        )
+        (finding,) = [f for f in report.findings if f.rule_id == "MDG008"]
+        assert finding.location == "$.edges[0].transfers[0]"
+
+    def test_non_finite_and_non_numeric_lengths(self):
+        report = check_document(
+            doc(
+                "ab",
+                [("a", "b", [self.transfer(float("inf")),
+                             self.transfer("big"),
+                             self.transfer(True),
+                             self.transfer(0)])],
+            )
+        )
+        assert sum(f.rule_id == "MDG008" for f in report.findings) == 4
+
+    def test_positive_length_clean(self):
+        report = check_document(doc("ab", [("a", "b", [self.transfer(64)])]))
+        assert "MDG008" not in rule_ids(report)
+
+
+class TestRedistribution:
+    def transfer(self, kind, label="X"):
+        return {"length_bytes": 64, "kind": kind, "label": label}
+
+    def test_conflicting_source_distributions(self):
+        report = check_document(
+            doc(
+                "abc",
+                [
+                    ("a", "b", [self.transfer("row2row")]),
+                    ("a", "c", [self.transfer("col2col")]),
+                ],
+            )
+        )
+        findings = [f for f in report.findings if f.rule_id == "MDG009"]
+        assert findings and all(f.severity is Severity.WARNING for f in findings)
+        assert any("sends" in f.message for f in findings)
+
+    def test_conflicting_target_distributions(self):
+        report = check_document(
+            doc(
+                "abc",
+                [
+                    ("a", "c", [self.transfer("row2row")]),
+                    ("b", "c", [self.transfer("row2col")]),
+                ],
+            )
+        )
+        assert any(
+            f.rule_id == "MDG009" and "receives" in f.message
+            for f in report.findings
+        )
+
+    def test_different_arrays_do_not_conflict(self):
+        report = check_document(
+            doc(
+                "abc",
+                [
+                    ("a", "b", [self.transfer("row2row", "X")]),
+                    ("a", "c", [self.transfer("col2col", "Y")]),
+                ],
+            )
+        )
+        assert "MDG009" not in rule_ids(report)
+
+    def test_consistent_redistribution_clean(self):
+        report = check_document(
+            doc(
+                "abc",
+                [
+                    ("a", "b", [self.transfer("row2col")]),
+                    ("a", "c", [self.transfer("row2row")]),
+                ],
+            )
+        )
+        assert "MDG009" not in rule_ids(report)

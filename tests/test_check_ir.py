@@ -1,0 +1,107 @@
+"""Unit tests for the frontend/IR pass family (IR001-IR002)."""
+
+from __future__ import annotations
+
+from repro.check import Severity, check_document, check_mdg
+from repro.frontend.ir import LoopProgram
+from repro.frontend.lowering import lower_to_mdg
+
+
+def program_two_writers():
+    """w1 and w2 both write A: an output (write-write) dependence."""
+    p = LoopProgram("two-writers")
+    p.declare("A", 32, 32).declare("B", 32, 32)
+    p.loop("w1", "matinit", writes="A")
+    p.loop("w2", "matinit", writes="A")
+    return p
+
+
+def program_flow():
+    """w writes A, r reads it: a flow (write-read) dependence."""
+    p = LoopProgram("flow")
+    p.declare("A", 32, 32).declare("B", 32, 32)
+    p.loop("w", "matinit", writes="A")
+    p.loop("r", "matadd", writes="B", reads=("A",))
+    return p
+
+
+def doc(nodes, edges):
+    return {
+        "schema_version": 1,
+        "name": "t",
+        "nodes": [
+            {"name": n, "processing": {"kind": "amdahl", "alpha": 0.1, "tau": 1.0}}
+            for n in nodes
+        ],
+        "edges": [{"source": s, "target": t, "transfers": []} for s, t in edges],
+    }
+
+
+def rule_ids(report):
+    return {f.rule_id for f in report.findings}
+
+
+class TestRaceDetection:
+    def test_write_write_race(self):
+        report = check_document(
+            doc(["w1", "w2"], []), program=program_two_writers()
+        )
+        (finding,) = [f for f in report.findings if f.rule_id == "IR001"]
+        assert finding.severity is Severity.ERROR
+        assert "write-write" in finding.message
+
+    def test_write_read_race(self):
+        report = check_document(doc(["w", "r"], []), program=program_flow())
+        (finding,) = [f for f in report.findings if f.rule_id == "IR001"]
+        assert "write-read" in finding.message
+        assert "'A'" in finding.message
+
+    def test_direct_edge_orders_the_dependence(self):
+        report = check_document(
+            doc(["w", "r"], [("w", "r")]), program=program_flow()
+        )
+        assert "IR001" not in rule_ids(report)
+
+    def test_transitive_path_orders_the_dependence(self):
+        report = check_document(
+            doc(["w", "mid", "r"], [("w", "mid"), ("mid", "r")]),
+            program=program_flow(),
+        )
+        assert "IR001" not in rule_ids(report)
+
+    def test_lowered_program_is_race_free(self):
+        # lower_to_mdg materializes every dependence as an edge, so
+        # checking the lowered MDG against its own program must be clean.
+        program = program_flow()
+        report = check_mdg(
+            lower_to_mdg(program), program=program, compile_schedule=False
+        )
+        assert "IR001" not in rule_ids(report)
+        assert not report.has_errors
+
+    def test_no_program_no_race_findings(self):
+        report = check_document(doc(["w1", "w2"], []))
+        assert "IR001" not in rule_ids(report)
+        assert "ir.races" in report.passes_run
+
+
+class TestTransferKinds:
+    def test_unpriceable_kind(self):
+        bad = doc(["a", "b"], [("a", "b")])
+        bad["edges"][0]["transfers"] = [
+            {"length_bytes": 64, "kind": "diag2row", "label": "X"}
+        ]
+        report = check_document(bad)
+        (finding,) = [f for f in report.findings if f.rule_id == "IR002"]
+        assert finding.severity is Severity.ERROR
+        assert "diag2row" in finding.message
+        assert finding.location == "$.edges[0].transfers[0]"
+
+    def test_all_table2_kinds_priceable(self):
+        good = doc(["a", "b"], [("a", "b")])
+        good["edges"][0]["transfers"] = [
+            {"length_bytes": 64, "kind": k, "label": "X"}
+            for k in ("row2row", "col2col", "row2col", "col2row")
+        ]
+        report = check_document(good)
+        assert "IR002" not in rule_ids(report)

@@ -1,0 +1,105 @@
+"""Hypothesis property tests: valid generated graphs check clean,
+mutated-to-invalid graphs always produce at least one error finding."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import check_document, check_mdg
+from repro.graph import generators
+from repro.graph.serialization import mdg_to_dict
+
+GENERATORS = [
+    lambda n, seed: generators.chain_mdg(max(2, n), seed=seed),
+    lambda n, seed: generators.fork_join_mdg(max(2, n), seed=seed),
+    lambda n, seed: generators.diamond_mdg(max(1, n // 2), seed=seed),
+    lambda n, seed: generators.layered_random_mdg(3, max(2, n // 2), seed=seed),
+    lambda n, seed: generators.series_parallel_mdg(max(2, n), seed=seed),
+    lambda n, seed: generators.random_mdg(max(3, n), seed=seed),
+]
+
+graphs = st.builds(
+    lambda idx, n, seed: GENERATORS[idx](n, seed),
+    st.integers(0, len(GENERATORS) - 1),
+    st.integers(2, 8),
+    st.integers(0, 10_000),
+)
+
+
+def _break_cycle(doc):
+    if not doc["edges"]:  # edgeless graph: degrade to a self-loop
+        return _break_self_loop(doc)
+    first = doc["edges"][0]
+    doc["edges"].append(
+        {"source": first["target"], "target": first["source"], "transfers": []}
+    )
+    return doc  # MDG001 (or MDG002 if the reverse closes a 1-edge loop)
+
+
+def _break_self_loop(doc):
+    name = doc["nodes"][0]["name"]
+    doc["edges"].append({"source": name, "target": name, "transfers": []})
+    return doc  # MDG002
+
+
+def _break_dangling(doc):
+    doc["edges"].append(
+        {"source": doc["nodes"][0]["name"], "target": "__ghost__", "transfers": []}
+    )
+    return doc  # MDG004
+
+
+def _break_duplicate_node(doc):
+    doc["nodes"].append(dict(doc["nodes"][0]))
+    return doc  # MDG005
+
+
+def _break_amdahl(doc):
+    doc["nodes"][0]["processing"] = {"kind": "amdahl", "alpha": 2.5, "tau": -1.0}
+    return doc  # COST003
+
+
+def _break_unknown_kind(doc):
+    doc["nodes"][0]["processing"] = {"kind": "quantum"}
+    return doc  # COST007
+
+
+def _break_transfer(doc):
+    if not doc["edges"]:
+        return _break_self_loop(doc)
+    doc["edges"][0]["transfers"] = [
+        {"length_bytes": -64, "kind": "warp", "label": "X"}
+    ]
+    return doc  # MDG008 + IR002
+
+
+MUTATIONS = [
+    _break_cycle,
+    _break_self_loop,
+    _break_dangling,
+    _break_duplicate_node,
+    _break_amdahl,
+    _break_unknown_kind,
+    _break_transfer,
+]
+
+
+@given(graphs)
+@settings(max_examples=30, deadline=None)
+def test_valid_generated_graphs_have_zero_error_findings(mdg):
+    report = check_mdg(mdg, compile_schedule=False)
+    errors = [f for f in report.findings if f.severity.value == "error"]
+    assert errors == [], f"{mdg.name}: {[str(f) for f in errors]}"
+
+
+@given(graphs, st.integers(0, len(MUTATIONS) - 1))
+@settings(max_examples=40, deadline=None)
+def test_mutated_invalid_graphs_have_error_findings(mdg, mutation_index):
+    doc = mdg_to_dict(mdg)
+    doc = MUTATIONS[mutation_index](doc)
+    report = check_document(doc, artifact=f"mutated:{mdg.name}")
+    assert report.has_errors, (
+        f"mutation {MUTATIONS[mutation_index].__name__} on {mdg.name} "
+        "produced no error finding"
+    )

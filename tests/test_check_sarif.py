@@ -1,0 +1,161 @@
+"""SARIF 2.1.0 output shape, rule registry integrity, docs sync."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    Analyzer,
+    CheckContext,
+    Finding,
+    Pass,
+    Rule,
+    SARIF_SCHEMA,
+    Severity,
+    all_rules,
+    check_document,
+    render_sarif,
+    rules_markdown,
+    sarif_dict,
+)
+from repro.errors import CheckError
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+BAD_DOC = {
+    "schema_version": 1,
+    "name": "bad",
+    "nodes": [
+        {"name": "a", "processing": {"kind": "amdahl", "alpha": 2.0, "tau": 1.0}},
+        {"name": "b", "processing": {"kind": "zero"}},
+    ],
+    "edges": [
+        {"source": "a", "target": "b", "transfers": []},
+        {"source": "b", "target": "a", "transfers": []},
+    ],
+}
+
+
+@pytest.fixture
+def report():
+    return check_document(dict(BAD_DOC), artifact="bad.json")
+
+
+class TestSarifShape:
+    def test_log_skeleton(self, report):
+        log = sarif_dict(report, all_rules())
+        assert log["version"] == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        assert isinstance(log["runs"], list) and len(log["runs"]) == 1
+
+    def test_driver_rules(self, report):
+        driver = sarif_dict(report, all_rules())["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-check"
+        assert driver["rules"], "rules must be embedded for GitHub annotation"
+        for rule in driver["rules"]:
+            assert rule["id"]
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "note", "warning", "error",
+            )
+
+    def test_results_reference_rules(self, report):
+        log = sarif_dict(report, all_rules())
+        run = log["runs"][0]
+        ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert run["results"], "the bad document must produce findings"
+        for result in run["results"]:
+            assert result["ruleId"] in ids
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+            assert result["level"] in ("note", "warning", "error")
+            assert result["message"]["text"]
+            location = result["locations"][0]
+            assert location["physicalLocation"]["artifactLocation"]["uri"]
+            region = location["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert location["logicalLocations"][0]["fullyQualifiedName"].startswith("$")
+
+    def test_render_is_valid_json(self, report):
+        parsed = json.loads(render_sarif(report, all_rules()))
+        assert parsed["version"] == "2.1.0"
+
+    def test_memory_artifact_gets_placeholder_uri(self):
+        report = check_document(dict(BAD_DOC))  # artifact defaults to <memory>
+        log = sarif_dict(report, all_rules())
+        for result in log["runs"][0]["results"]:
+            uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            assert "<" not in uri and uri
+
+
+class TestRuleRegistry:
+    def test_rule_ids_are_unique_and_well_formed(self):
+        rules = all_rules()
+        ids = [r.rule_id for r in rules]
+        assert len(ids) == len(set(ids))
+        for rule_id in ids:
+            prefix = rule_id.rstrip("0123456789")
+            assert prefix in ("MDG", "COST", "SCHED", "IR")
+            assert rule_id[len(prefix):].isdigit()
+
+    def test_every_family_contributes_rules(self):
+        analyzer = Analyzer()
+        assert analyzer.families() == ["cost", "graph", "ir", "schedule"]
+        prefixes = {r.rule_id.rstrip("0123456789") for r in analyzer.rules()}
+        assert prefixes == {"MDG", "COST", "SCHED", "IR"}
+
+    def test_duplicate_rule_definition_rejected(self):
+        clash = Rule("MDG001", "different", Severity.NOTE, "clash")
+
+        class Clashing(Pass):
+            name = "clash"
+            family = "graph"
+            rules = (clash,)
+
+            def run(self, ctx: CheckContext):
+                return ()
+
+        from repro.check.registry import default_passes
+
+        with pytest.raises(CheckError, match="MDG001"):
+            Analyzer(default_passes() + [Clashing()])
+
+    def test_bad_rule_id_rejected(self):
+        with pytest.raises(CheckError):
+            Rule("NONUMBER", "t", Severity.NOTE, "d")
+
+
+class TestDocs:
+    def test_rules_markdown_lists_every_rule(self):
+        text = rules_markdown()
+        for rule in all_rules():
+            assert rule.rule_id in text
+
+    def test_docs_rules_md_in_sync(self):
+        # docs/rules.md is generated; regenerate with:
+        #   PYTHONPATH=src python -m repro check --list-rules \
+        #     --format markdown > docs/rules.md
+        on_disk = (DOCS / "rules.md").read_text()
+        assert on_disk == rules_markdown()
+
+    def test_userguide_documents_every_rule(self):
+        guide = (DOCS / "userguide.md").read_text()
+        for rule in all_rules():
+            assert rule.rule_id in guide
+
+
+class TestObsIntegration:
+    def test_findings_counted(self):
+        from repro import obs
+
+        telemetry = obs.configure()
+        try:
+            report = check_document(dict(BAD_DOC), artifact="bad.json")
+            counters = telemetry.metrics.snapshot()["counters"]
+            assert counters["check.findings"] >= len(report.findings)
+            assert "check.findings.COST003.error" in counters
+        finally:
+            obs.shutdown()

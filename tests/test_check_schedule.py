@@ -1,0 +1,128 @@
+"""Unit tests for the schedule pass family (SCHED001-SCHED005)."""
+
+from __future__ import annotations
+
+from repro.check import Severity, check_mdg
+from repro.check.core import Analyzer, CheckContext
+from repro.check.registry import passes_for_families
+from repro.costs.processing import AmdahlProcessingCost
+from repro.graph.generators import paper_example_mdg
+from repro.graph.mdg import MDG
+from repro.graph.serialization import mdg_to_dict
+from repro.scheduling.schedule import Schedule, ScheduledNode
+
+
+def chain(names="ab"):
+    mdg = MDG("chain")
+    for n in names:
+        mdg.add_node(n, AmdahlProcessingCost(0.1, 1.0))
+    for a, b in zip(names, names[1:]):
+        mdg.add_edge(a, b, [])
+    return mdg
+
+
+def run_schedule_passes(schedule):
+    analyzer = Analyzer(passes_for_families(("schedule",)))
+    ctx = CheckContext(
+        doc=mdg_to_dict(schedule.mdg), mdg=schedule.mdg, schedule=schedule
+    )
+    return analyzer.run(ctx)
+
+
+def place(schedule, name, start, finish, processors):
+    # Bypass Schedule.add: these tests build deliberately invalid
+    # schedules that add() would reject.
+    schedule.entries[name] = ScheduledNode(
+        name=name, start=start, finish=finish, processors=tuple(processors)
+    )
+
+
+def rule_ids(report):
+    return {f.rule_id for f in report.findings}
+
+
+class TestPrecedence:
+    def test_violation(self):
+        s = Schedule(chain(), total_processors=4)
+        place(s, "a", 0.0, 5.0, [0])
+        place(s, "b", 2.0, 4.0, [1])
+        report = run_schedule_passes(s)
+        (finding,) = [f for f in report.findings if f.rule_id == "SCHED001"]
+        assert finding.severity is Severity.ERROR
+        assert "'b'" in finding.message
+
+    def test_back_to_back_is_legal(self):
+        s = Schedule(chain(), total_processors=4)
+        place(s, "a", 0.0, 5.0, [0])
+        place(s, "b", 5.0, 6.0, [0])
+        report = run_schedule_passes(s)
+        assert "SCHED001" not in rule_ids(report)
+
+
+class TestResources:
+    def test_double_booked_processor(self):
+        mdg = chain("ab")
+        mdg.add_node("c", AmdahlProcessingCost(0.1, 1.0))
+        mdg.add_edge("a", "c", [])
+        s = Schedule(mdg, total_processors=4)
+        place(s, "a", 0.0, 1.0, [0])
+        place(s, "b", 1.0, 4.0, [2])
+        place(s, "c", 2.0, 5.0, [2, 3])
+        report = run_schedule_passes(s)
+        (finding,) = [f for f in report.findings if f.rule_id == "SCHED002"]
+        assert "processor 2" in finding.message
+
+    def test_out_of_range_processor(self):
+        s = Schedule(chain(), total_processors=2)
+        place(s, "a", 0.0, 1.0, [0])
+        place(s, "b", 1.0, 2.0, [7])
+        report = run_schedule_passes(s)
+        assert "SCHED003" in rule_ids(report)
+
+    def test_group_wider_than_machine(self):
+        s = Schedule(chain("a"), total_processors=2)
+        place(s, "a", 0.0, 1.0, [0, 1, 2, 3])
+        report = run_schedule_passes(s)
+        findings = [f for f in report.findings if f.rule_id == "SCHED003"]
+        assert any("machine has 2" in f.message for f in findings)
+
+
+class TestConsistency:
+    def test_makespan_below_critical_path(self):
+        s = Schedule(chain(), total_processors=4)
+        place(s, "a", 0.0, 5.0, [0])
+        place(s, "b", 2.0, 4.0, [1])  # overlaps its predecessor
+        report = run_schedule_passes(s)
+        assert "SCHED004" in rule_ids(report)
+
+    def test_idle_gap_is_note(self):
+        s = Schedule(chain(), total_processors=4)
+        place(s, "a", 0.0, 1.0, [0])
+        place(s, "b", 5.0, 6.0, [1])
+        report = run_schedule_passes(s)
+        (finding,) = [f for f in report.findings if f.rule_id == "SCHED005"]
+        assert finding.severity is Severity.NOTE
+        assert "idles" in finding.message
+
+    def test_tight_schedule_clean(self):
+        s = Schedule(chain("abc"), total_processors=4)
+        place(s, "a", 0.0, 1.0, [0])
+        place(s, "b", 1.0, 2.0, [0])
+        place(s, "c", 2.0, 3.0, [0])
+        report = run_schedule_passes(s)
+        assert not rule_ids(report)
+
+
+class TestEndToEnd:
+    def test_compiled_schedule_has_no_errors(self, cm5_16):
+        report = check_mdg(paper_example_mdg(), cm5_16)
+        assert "schedule.precedence" in report.passes_run
+        assert "schedule.resources" in report.passes_run
+        assert "schedule.consistency" in report.passes_run
+        assert not report.has_errors
+
+    def test_passes_noop_without_schedule(self):
+        analyzer = Analyzer(passes_for_families(("schedule",)))
+        report = analyzer.run(CheckContext(doc=mdg_to_dict(chain())))
+        assert len(report.findings) == 0
+        assert len(report.passes_run) == 3

@@ -129,6 +129,31 @@ class TestPosynomial:
         assert z.is_zero()
         assert z.evaluate({}) == 0.0
 
+    def test_zero_evaluate_returns_float(self):
+        # Regression (COST passes): the empty sum must be float 0.0, not
+        # int 0, regardless of the variable values supplied.
+        for values in ({}, {"p": 2.0}):
+            result = Posynomial.zero().evaluate(values)
+            assert isinstance(result, float)
+            assert result == 0.0
+
+    def test_degree(self):
+        p = Posynomial([
+            Monomial(2.0, {"p": 3.0}),
+            Monomial(1.0, {"p": 1.0, "q": -2.0}),
+        ])
+        assert p.degree("p") == 3.0
+        # The max runs over all terms, and the first term has q-degree 0.
+        assert p.degree("q") == 0.0
+        only_q = Posynomial([Monomial(1.0, {"q": -2.0})])
+        assert only_q.degree("q") == -2.0
+
+    def test_degree_absent_variable_is_zero(self):
+        p = Posynomial([Monomial(2.0, {"p": 3.0})])
+        assert p.degree("missing") == 0.0
+        assert Posynomial.zero().degree("p") == 0.0
+        assert isinstance(p.degree("missing"), float)
+
     def test_variable(self):
         p = Posynomial.variable("p")
         assert p.evaluate({"p": 4.0}) == pytest.approx(4.0)
@@ -370,15 +395,19 @@ class TestCompiledPosynomial:
         order = ["p1", "p2", "p3"]
         c = p.compile(order)
         x = np.array([math.log(values[v]) for v in order])
-        _, grad = c.value_and_gradient(x)
+        value, grad = c.value_and_gradient(x)
         eps = 1e-6
+        # The FD quotient carries cancellation error proportional to the
+        # function magnitude (~ f * ulp / eps), so the absolute tolerance
+        # must scale with f or large-valued posynomials fail spuriously.
+        abs_tol = 1e-6 * max(1.0, value)
         for k in range(len(order)):
             xp = x.copy()
             xp[k] += eps
             xm = x.copy()
             xm[k] -= eps
             numeric = (c.value(xp) - c.value(xm)) / (2 * eps)
-            assert grad[k] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+            assert grad[k] == pytest.approx(numeric, rel=1e-4, abs=abs_tol)
 
     @given(posynomials(), values_strategy)
     @settings(max_examples=25)

@@ -89,6 +89,56 @@ class TestRoundTrip:
         assert once == twice
 
 
+class TestDuplicateEdges:
+    def duplicated_doc(self):
+        data = mdg_to_dict(build_rich_mdg())
+        data["edges"].append({
+            "source": "amdahl",
+            "target": "poly",
+            "transfers": [
+                {"length_bytes": 4096.0, "kind": "row2row", "label": "C"}
+            ],
+        })
+        return data
+
+    def test_duplicate_edges_are_merged(self):
+        mdg = mdg_from_dict(self.duplicated_doc())
+        edges = [e for e in mdg.edges() if e.source == "amdahl"]
+        assert len(edges) == 1
+        labels = sorted(t.label for t in edges[0].transfers)
+        assert labels == ["A", "B", "C"]
+
+    def test_duplicate_edges_emit_warning_event(self):
+        from repro import obs
+
+        telemetry = obs.configure()
+        try:
+            mdg_from_dict(self.duplicated_doc())
+            events = [
+                e for e in telemetry.collected_events()
+                if e.get("name") == "serialization.duplicate_edge"
+            ]
+            assert len(events) == 1
+            assert events[0]["source"] == "amdahl"
+        finally:
+            obs.shutdown()
+
+    def test_load_mdg_accepts_duplicate_edges(self, tmp_path):
+        import json
+
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps(self.duplicated_doc()))
+        mdg = load_mdg(path)
+        assert sum(1 for e in mdg.edges() if e.source == "amdahl") == 1
+
+    def test_checker_reports_duplicate_as_warning(self):
+        from repro.check import Severity, check_document
+
+        report = check_document(self.duplicated_doc())
+        (finding,) = [f for f in report.findings if f.rule_id == "MDG003"]
+        assert finding.severity is Severity.WARNING
+
+
 class TestErrors:
     def test_unknown_schema_version(self):
         data = mdg_to_dict(build_rich_mdg())
