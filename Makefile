@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-store check lint bench examples artifacts clean
+.PHONY: install test test-faults test-store test-batch check lint bench perf-smoke examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,11 @@ test-faults:
 test-store:
 	$(PYTHON) -m pytest tests/test_store.py tests/test_ingest.py \
 		tests/test_store_resume.py tests/test_cli_errors.py
+
+# The batch slice: worker pools, structural cache, warm starts, manifests.
+test-batch:
+	$(PYTHON) -m pytest tests/test_batch.py tests/test_batch_cache.py \
+		tests/test_check_manifest.py
 
 # Static analysis: lint the shipped example graphs and the built-in
 # program suite with the repro.check analyzer (exit 1 on error findings).
@@ -37,6 +42,15 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Perf smoke: run the scaling + throughput benchmarks and fail on a >2x
+# median regression vs benchmarks/perf_baseline.json (CI runs the same;
+# refresh an intentional change with `check_perf_regression.py --update`).
+perf-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_perf_scaling.py \
+		benchmarks/bench_throughput.py --benchmark-only \
+		--benchmark-json BENCH_perf.json
+	$(PYTHON) benchmarks/check_perf_regression.py BENCH_perf.json --max-ratio 2.0
 
 # Regenerate every paper artifact into benchmarks/results/.
 artifacts: bench

@@ -1,0 +1,98 @@
+"""CI perf-smoke gate: compare pytest-benchmark medians against a baseline.
+
+Usage::
+
+    python -m pytest benchmarks/bench_perf_scaling.py benchmarks/bench_throughput.py \
+        --benchmark-only --benchmark-json BENCH_perf.json
+    python benchmarks/check_perf_regression.py BENCH_perf.json \
+        --baseline benchmarks/perf_baseline.json --max-ratio 2.0
+
+The baseline maps benchmark names to median seconds recorded on a
+reference run (refresh it with ``--update`` after an intentional
+performance change). The gate fails when any baselined benchmark's
+median regresses by more than ``--max-ratio``; absolute machine speed
+differences are absorbed by the generous default ratio — the gate
+exists to catch order-of-magnitude mistakes (an accidentally quadratic
+loop, a cache that stopped hitting), not 10% noise.
+
+Benchmarks present in the run but not in the baseline are reported and
+ignored, so adding a bench does not break CI until it is baselined.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_medians(bench_json: Path) -> dict[str, float]:
+    doc = json.loads(bench_json.read_text())
+    return {
+        b["name"]: float(b["stats"]["median"])
+        for b in doc.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).parent / "perf_baseline.json")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when median > baseline * ratio")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run and exit")
+    args = parser.parse_args(argv)
+
+    medians = load_medians(args.bench_json)
+    if not medians:
+        print(f"error: no benchmarks found in {args.bench_json}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        args.baseline.write_text(
+            json.dumps(dict(sorted(medians.items())), indent=2) + "\n"
+        )
+        print(f"baseline updated: {args.baseline} ({len(medians)} entries)")
+        return 0
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    width = max(len(n) for n in baseline)
+    for name, base in sorted(baseline.items()):
+        median = medians.get(name)
+        if median is None:
+            print(f"MISSING  {name:<{width}}  (baselined but not run)")
+            failures.append(name)
+            continue
+        ratio = median / base if base > 0 else float("inf")
+        status = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"{status:<8} {name:<{width}}  "
+              f"median {median * 1000:9.2f} ms  "
+              f"baseline {base * 1000:9.2f} ms  ratio {ratio:5.2f}")
+        if ratio > args.max_ratio:
+            failures.append(name)
+    for name in sorted(set(medians) - set(baseline)):
+        print(f"NEW      {name:<{width}}  (not baselined; ignored)")
+
+    if failures:
+        print(f"\nperf gate FAILED: {len(failures)} benchmark(s) exceeded "
+              f"{args.max_ratio:.1f}x of baseline", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: {len(baseline)} benchmark(s) within "
+          f"{args.max_ratio:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,6 +112,13 @@ class ConvexAllocationProblem:
         )
         self._log_p = math.log(machine.processors)
         self._build_batched_terms()
+        # The constraint matrices, bounds, and objective gradient are
+        # invariants of the problem; build them once instead of on every
+        # solver query (each solve makes hundreds of such calls).
+        self._cached_linear_constraint = self._build_linear_constraint()
+        self._cached_bounds = self._build_bounds()
+        self._cached_objective_gradient = np.zeros(self.n_vars)
+        self._cached_objective_gradient[self.layout.phi_index] = 1.0
 
     def _build_batched_terms(self) -> None:
         """Pack every constraint's posynomial terms into shared arrays.
@@ -181,12 +188,26 @@ class ConvexAllocationProblem:
             row += 1
         self._bt_linear = linear
         self._bt_n_rows = n_rows
+        self._tw_key: bytes | None = None
+        self._tw_value: np.ndarray = self._bt_coeffs
+
+    def _compute_term_weights(self, xlog: np.ndarray) -> np.ndarray:
+        return np.exp(self._bt_log_coeffs + self._bt_exps @ xlog)
 
     def _term_weights(self, xlog: np.ndarray) -> np.ndarray:
-        """``c_k * exp(a_k . x)`` for every stacked term."""
+        """``c_k * exp(a_k . x)`` for every stacked term.
+
+        Memoized on the last-seen point: within one solver iteration the
+        value, Jacobian, and Hessian callbacks all evaluate at the same
+        ``x``, so one shared ``exp`` serves all three.
+        """
         if self._bt_coeffs.size == 0:
             return self._bt_coeffs
-        return np.exp(self._bt_log_coeffs + self._bt_exps @ xlog)
+        key = xlog.tobytes()
+        if key != self._tw_key:
+            self._tw_value = self._compute_term_weights(xlog)
+            self._tw_key = key
+        return self._tw_value
 
     # ----- dimensions -----------------------------------------------------
 
@@ -204,9 +225,7 @@ class ConvexAllocationProblem:
         return float(z[self.layout.phi_index])
 
     def objective_gradient(self, z: np.ndarray) -> np.ndarray:
-        g = np.zeros(self.n_vars)
-        g[self.layout.phi_index] = 1.0
-        return g
+        return self._cached_objective_gradient
 
     # ----- nonlinear constraints g(z) <= 0 ---------------------------------
 
@@ -266,6 +285,9 @@ class ConvexAllocationProblem:
 
     def linear_constraint(self) -> LinearConstraint | None:
         """Sink epigraph rows plus the max-variable rows, as one matrix."""
+        return self._cached_linear_constraint
+
+    def _build_linear_constraint(self) -> LinearConstraint | None:
         layout = self.layout
         rows: list[np.ndarray] = []
         for t in self._sink_list:
@@ -287,6 +309,9 @@ class ConvexAllocationProblem:
     # ----- bounds ------------------------------------------------------------
 
     def bounds(self) -> Bounds:
+        return self._cached_bounds
+
+    def _build_bounds(self) -> Bounds:
         layout = self.layout
         lower = np.zeros(self.n_vars)
         upper = np.full(self.n_vars, np.inf)

@@ -80,11 +80,62 @@ def sweep_system_sizes(
     machine: MachineParameters,
     sizes: tuple[int, ...] = (16, 32, 64),
     fidelity: HardwareFidelity | None = None,
+    workers: int = 0,
+    cache_dir: str | None = None,
 ) -> list[StyleComparison]:
-    """Figure 8's sweep: the comparison at each partition size."""
-    return [
-        compare_spmd_mpmd(mdg, machine.with_processors(p), fidelity) for p in sizes
-    ]
+    """Figure 8's sweep: the comparison at each partition size.
+
+    The 2x``len(sizes)`` compile+simulate jobs route through the batch
+    compiler, so ``workers`` parallelizes the sweep and ``cache_dir``
+    enables structural solve reuse across repeated invocations.
+    """
+    from repro.batch import BatchCompiler, BatchJob
+    from repro.errors import ReproError
+
+    fidelity = fidelity or HardwareFidelity.cm5_like()
+    normalized = mdg.normalized()
+    jobs = []
+    for p in sizes:
+        for style in ("MPMD", "SPMD"):
+            jobs.append(
+                BatchJob.from_mdg(
+                    normalized,
+                    job_id=f"{normalized.name}-{style}-p{p}",
+                    machine_params=machine.with_processors(p),
+                    simulate=True,
+                    fidelity=fidelity,
+                    style=style,
+                )
+            )
+    report = BatchCompiler(workers=workers, cache_dir=cache_dir).run(jobs)
+    out: list[StyleComparison] = []
+    for i, p in enumerate(sizes):
+        mpmd, spmd = report.results[2 * i], report.results[2 * i + 1]
+        for result in (mpmd, spmd):
+            if not result.ok:
+                raise ReproError(
+                    f"sweep job {result.job_id} failed: {result.error}"
+                )
+        out.append(
+            StyleComparison(
+                program=normalized.name,
+                processors=p,
+                spmd_predicted=spmd.predicted_makespan,
+                spmd_measured=spmd.measured_makespan,
+                mpmd_predicted=mpmd.predicted_makespan,
+                mpmd_measured=mpmd.measured_makespan,
+                spmd_speedup=speedup(normalized, spmd.measured_makespan),
+                mpmd_speedup=speedup(normalized, mpmd.measured_makespan),
+                spmd_efficiency=efficiency(
+                    normalized, spmd.measured_makespan, p
+                ),
+                mpmd_efficiency=efficiency(
+                    normalized, mpmd.measured_makespan, p
+                ),
+                phi=mpmd.phi if mpmd.phi is not None else float("nan"),
+            )
+        )
+    return out
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,38 @@
+"""``repro.batch`` — high-throughput batch compilation.
+
+Runs many pipeline jobs (compile -> allocate -> schedule -> optionally
+simulate) through a process pool, with a structural solve cache (exact
+convex-program reuse, re-certified through the KKT check) and warm-start
+reuse between layout-neighbor programs. See
+:class:`~repro.batch.compiler.BatchCompiler` for the executor and
+:mod:`repro.batch.jobs` for the manifest format.
+"""
+
+from repro.batch.compiler import BatchCompiler, BatchReport
+from repro.batch.jobs import (
+    MANIFEST_SCHEMA_VERSION,
+    BatchJob,
+    JobResult,
+    load_manifest,
+    manifest_problems,
+)
+from repro.batch.structural import (
+    layout_key,
+    layout_signature,
+    structural_key,
+    structural_signature,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "BatchCompiler",
+    "BatchJob",
+    "BatchReport",
+    "JobResult",
+    "layout_key",
+    "layout_signature",
+    "load_manifest",
+    "manifest_problems",
+    "structural_key",
+    "structural_signature",
+]

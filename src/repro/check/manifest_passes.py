@@ -1,0 +1,71 @@
+"""Batch pass family: static validation of ``repro batch`` manifests.
+
+A batch manifest is a JSON document with a top-level ``jobs`` array (see
+:mod:`repro.batch.jobs`). These rules catch the failure mode that hurts
+most in practice — a sweep that dispatches twenty solves and then dies on
+job 21 because a graph path was misspelled — by validating the whole
+manifest before anything runs. ``repro check manifest.json`` and the
+``repro batch`` pre-flight share the same validator
+(:func:`repro.batch.jobs.manifest_problems`), so the static findings and
+the runtime rejections can never disagree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.check.core import CheckContext, Finding, Pass, Rule, Severity
+
+__all__ = ["BatchManifestPass", "MANIFEST_PASSES", "is_batch_manifest"]
+
+BATCH001 = Rule(
+    "BATCH001",
+    "Batch manifest graph files must exist",
+    Severity.ERROR,
+    "A job referencing a graph file that does not exist (resolved "
+    "relative to the manifest) fails at dispatch time, possibly hours "
+    "into a sweep; the reference must point at a readable MDG JSON file.",
+    'jobs: [{"id": "x", "graph": "graphs/typo.json"}]',
+)
+BATCH002 = Rule(
+    "BATCH002",
+    "Batch manifest entries must be well-formed",
+    Severity.ERROR,
+    "Every job needs exactly one of 'program' (a registered built-in) or "
+    "'graph', a unique id, and positive integer sizes; unknown fields, "
+    "unknown machines/fidelities, and duplicate ids are all rejected by "
+    "the loader, so they should fail pre-flight too.",
+    'jobs: [{"program": "complex", "graph": "also.json", "n": -1}]',
+)
+
+
+def is_batch_manifest(doc: object) -> bool:
+    """Whether a JSON document is a batch manifest rather than an MDG."""
+    return (
+        isinstance(doc, dict)
+        and isinstance(doc.get("jobs"), list)
+        and "nodes" not in doc
+    )
+
+
+class BatchManifestPass(Pass):
+    """BATCH001-BATCH002: manifest references and shape."""
+
+    name = "batch.manifest"
+    family = "batch"
+    rules = (BATCH001, BATCH002)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        if not is_batch_manifest(ctx.doc):
+            return
+        from repro.batch.jobs import manifest_problems
+
+        base_dir = Path(ctx.artifact).parent if ctx.artifact else Path(".")
+        for problem in manifest_problems(ctx.doc, base_dir=base_dir):
+            location, _, message = problem.partition(": ")
+            rule = BATCH001 if ": graph: file not found" in problem else BATCH002
+            yield self.finding(rule, message, location or "$", ctx)
+
+
+MANIFEST_PASSES: tuple[type[Pass], ...] = (BatchManifestPass,)

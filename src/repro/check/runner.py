@@ -138,6 +138,14 @@ def check_file(
             f"got {type(doc).__name__}"
         )
 
+    from repro.check.manifest_passes import is_batch_manifest
+
+    if is_batch_manifest(doc):
+        # A batch manifest, not an MDG: only the batch family applies
+        # (graph rules like "MDG must be non-empty" would be noise).
+        analyzer = Analyzer(passes_for_families(("batch",)))
+        return analyzer.run(CheckContext(doc=doc, artifact=str(path)))
+
     mdg = None
     try:
         from repro.graph.serialization import mdg_from_dict

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro import obs
@@ -35,37 +36,15 @@ from repro.graph.serialization import load_mdg
 from repro.machine.fidelity import HardwareFidelity
 from repro.machine.presets import PRESETS
 from repro.pipeline import compile_mdg, compile_spmd, measure, run_resumable
-from repro.programs import (
-    complex_matmul_program,
-    fft2d_program,
-    jacobi_program,
-    pipeline_program,
-    reduction_tree_program,
-    strassen_program,
-)
+from repro.programs import DEFAULT_SIZES, PROGRAM_FACTORIES
 from repro.programs.common import ProgramBundle
 from repro.utils.tables import format_table
 from repro.viz.gantt import schedule_gantt, trace_gantt
 
 __all__ = ["main", "build_parser"]
 
-PROGRAMS: dict[str, Callable[[int], ProgramBundle]] = {
-    "complex": complex_matmul_program,
-    "strassen": strassen_program,
-    "fft2d": fft2d_program,
-    "reduction": lambda n: reduction_tree_program(3, n),
-    "pipeline": lambda n: pipeline_program(4, n),
-    "jacobi": lambda n: jacobi_program(6, n),
-}
-
-DEFAULT_SIZES = {
-    "complex": 64,
-    "strassen": 128,
-    "fft2d": 64,
-    "reduction": 64,
-    "pipeline": 64,
-    "jacobi": 64,
-}
+#: Backwards-compatible alias; the registry itself lives in repro.programs.
+PROGRAMS: dict[str, Callable[[int], ProgramBundle]] = PROGRAM_FACTORIES
 
 
 def _machine(args: argparse.Namespace):
@@ -491,6 +470,53 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if report.at_least(threshold) else 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import BatchCompiler, load_manifest, manifest_problems
+
+    manifest = Path(args.manifest)
+    if not args.no_preflight:
+        # Static manifest validation first: a missing graph file should
+        # fail before any solve starts, not twenty jobs into the sweep.
+        import json as _json
+
+        try:
+            doc = _json.loads(manifest.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read batch manifest {manifest}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = manifest_problems(doc, base_dir=manifest.parent)
+        if problems:
+            for problem in problems:
+                print(f"error: {manifest}: {problem}", file=sys.stderr)
+            return 2
+
+    jobs = load_manifest(
+        manifest, solver=_solver_options(args), psa=None
+    )
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.resume and cache_dir is None:
+        raise SystemExit("--resume requires --cache-dir (and not --no-cache)")
+    compiler = BatchCompiler(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        resume=args.resume,
+        strict=bool(getattr(args, "strict", False)),
+    )
+    report = compiler.run(jobs)
+    print(report.render_text())
+    if args.output:
+        import json as _json
+
+        from repro.store.artifact import atomic_write_text
+
+        atomic_write_text(
+            Path(args.output), _json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote batch report JSON to {args.output}")
+    return 1 if report.n_failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="paradigm-mdg",
@@ -692,6 +718,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--machine", default="cm5")
     p_solve.add_argument("--processors", "-p", type=int, default=64)
     p_solve.set_defaults(func=cmd_solve)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a manifest of pipeline jobs through a worker pool with "
+        "structural solve caching",
+    )
+    p_batch.add_argument("manifest", help="path to a batch manifest JSON file")
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="process-pool size; 0 or 1 runs jobs inline in this process "
+        "(deterministic serial executor)",
+    )
+    p_batch.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="structural solve cache (an artifact store); isomorphic jobs "
+        "reuse finished allocations after KKT re-certification",
+    )
+    p_batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="read cached solves and warm starts back from --cache-dir "
+        "(without it the batch only writes them)",
+    )
+    p_batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir entirely (no reads, no writes)",
+    )
+    p_batch.add_argument(
+        "--strict",
+        action="store_true",
+        help="corrupted cache artifacts raise instead of being "
+        "quarantined and re-solved",
+    )
+    p_batch.add_argument(
+        "--no-preflight",
+        action="store_true",
+        help="skip static manifest validation before dispatching jobs",
+    )
+    p_batch.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="also write the full batch report (per-job results + "
+        "throughput stats) to PATH as JSON",
+    )
+    p_batch.add_argument(
+        "--solver-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock cap per allocation-solver attempt",
+    )
+    p_batch.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="perturbed solver restarts when every attempt fails",
+    )
+    p_batch.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help="stream structured telemetry events to PATH as JSONL",
+    )
+    p_batch.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final metrics snapshot to PATH as JSON",
+    )
+    p_batch.add_argument(
+        "--obs-report", action="store_true",
+        help="print a human-readable telemetry report after the run",
+    )
+    p_batch.set_defaults(func=cmd_batch)
 
     return parser
 

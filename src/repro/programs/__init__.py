@@ -10,6 +10,8 @@ Each program ships in two coupled forms:
 Both are built from the same wiring function, so they cannot drift apart.
 """
 
+from typing import Callable
+
 from repro.programs.common import (
     table1_matadd,
     table1_matmul,
@@ -24,12 +26,36 @@ from repro.programs.synthetic import reduction_tree_program, pipeline_program
 from repro.programs.jacobi import jacobi_program
 from repro.programs.strassen_recursive import strassen_recursive_program
 
+#: Name -> factory registry for everything that accepts one size knob.
+#: The CLI, the batch compiler, and the static analyzer all resolve
+#: built-in program names through this single table.
+PROGRAM_FACTORIES: dict[str, Callable[[int], ProgramBundle]] = {
+    "complex": complex_matmul_program,
+    "strassen": strassen_program,
+    "fft2d": fft2d_program,
+    "reduction": lambda n: reduction_tree_program(3, n),
+    "pipeline": lambda n: pipeline_program(4, n),
+    "jacobi": lambda n: jacobi_program(6, n),
+}
+
+#: Default size per registered program (matrix dimension, roughly).
+DEFAULT_SIZES: dict[str, int] = {
+    "complex": 64,
+    "strassen": 128,
+    "fft2d": 64,
+    "reduction": 64,
+    "pipeline": 64,
+    "jacobi": 64,
+}
+
 __all__ = [
     "table1_matadd",
     "table1_matmul",
     "default_matinit",
     "array_transfer_1d",
     "ProgramBundle",
+    "PROGRAM_FACTORIES",
+    "DEFAULT_SIZES",
     "complex_matmul_program",
     "strassen_program",
     "fft2d_program",

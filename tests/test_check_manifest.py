@@ -1,0 +1,86 @@
+"""Batch manifest pass family (BATCH001-BATCH002)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.check import Severity, check_file
+from repro.check.manifest_passes import is_batch_manifest
+from repro.cli import main
+
+
+def write(tmp_path, doc, name="manifest.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def findings(report, rule_id):
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+def test_is_batch_manifest_discriminates():
+    assert is_batch_manifest({"jobs": []})
+    assert not is_batch_manifest({"nodes": [], "jobs": []})  # MDG-shaped
+    assert not is_batch_manifest({"jobs": "nope"})
+    assert not is_batch_manifest([1, 2])
+
+
+def test_valid_manifest_is_clean(tmp_path):
+    path = write(
+        tmp_path,
+        {"schema_version": 1,
+         "jobs": [{"id": "a", "program": "complex", "n": 16}]},
+    )
+    report = check_file(path)
+    assert not report.findings
+
+
+def test_missing_graph_file_is_batch001(tmp_path):
+    path = write(tmp_path, {"jobs": [{"id": "a", "graph": "nope.json"}]})
+    report = check_file(path)
+    (finding,) = findings(report, "BATCH001")
+    assert finding.severity is Severity.ERROR
+    assert "file not found" in finding.message
+    assert "jobs[0]" in finding.location
+
+
+def test_malformed_entries_are_batch002(tmp_path):
+    path = write(
+        tmp_path,
+        {"jobs": [
+            {"id": "a", "program": "complex", "graph": "also.json"},
+            {"id": "a", "program": "fft2d", "frobnicate": 1},
+        ]},
+    )
+    report = check_file(path)
+    found = findings(report, "BATCH002")
+    assert len(found) >= 3  # both-sources, duplicate id, unknown field
+    assert all(f.severity is Severity.ERROR for f in found)
+
+
+def test_graph_paths_resolve_relative_to_manifest(tmp_path):
+    from repro.graph.generators import layered_random_mdg
+    from repro.graph.serialization import save_mdg
+
+    (tmp_path / "graphs").mkdir()
+    save_mdg(layered_random_mdg(2, 2, seed=7), tmp_path / "graphs" / "g.json")
+    path = write(
+        tmp_path,
+        {"jobs": [{"id": "g", "graph": "graphs/g.json", "processors": 8}]},
+    )
+    assert not check_file(path).findings
+
+
+def test_cli_check_flags_bad_manifest(tmp_path, capsys):
+    path = write(tmp_path, {"jobs": [{"id": "a", "graph": "missing.json"}]})
+    status = main(["check", str(path)])
+    out = capsys.readouterr().out
+    assert status != 0
+    assert "BATCH001" in out
+
+
+def test_batch_rules_are_listed(capsys):
+    main(["check", "--list-rules"])
+    out = capsys.readouterr().out
+    assert "BATCH001" in out and "BATCH002" in out
