@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-store test-batch check lint bench perf-smoke examples artifacts clean
+.PHONY: install test test-faults test-store test-batch check lint bench perf-smoke profile examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -51,6 +51,14 @@ perf-smoke:
 		benchmarks/bench_throughput.py --benchmark-only \
 		--benchmark-json BENCH_perf.json
 	$(PYTHON) benchmarks/check_perf_regression.py BENCH_perf.json --max-ratio 2.0
+
+# Profile one end-to-end run: compile+simulate with telemetry on, then
+# rank the hottest stages from the run log (`repro obs report PROFILE_run.jsonl`
+# for the full span tree / convergence view).
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro simulate --program complex --n 16 -p 8 \
+		--fidelity ideal --log-json PROFILE_run.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro obs top PROFILE_run.jsonl -n 10
 
 # Regenerate every paper artifact into benchmarks/results/.
 artifacts: bench

@@ -28,6 +28,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro import obs
+from repro.obs.prof import HOT_PREFIX as _HOT_PREFIX
 from repro.allocation.formulation import ConvexAllocationProblem
 from repro.allocation.result import Allocation
 from repro.errors import SolverError
@@ -110,6 +111,11 @@ def _iteration_callback(problem: ConvexAllocationProblem, method: str):
                 constr_violation=float(
                     getattr(state, "constr_violation", math.nan)
                 ),
+                # First-order optimality: the KKT stationarity gap scipy
+                # tracks for its own gtol stopping test.
+                kkt_gap=float(getattr(state, "optimality", math.nan)),
+                tr_radius=float(getattr(state, "tr_radius", math.nan)),
+                cg_niter=int(getattr(state, "cg_niter", -1)),
             )
             return False
 
@@ -124,6 +130,30 @@ def _iteration_callback(problem: ConvexAllocationProblem, method: str):
         )
 
     return slsqp_callback
+
+
+def _counted(fn, name: str):
+    """Wrap a problem callable with an eval counter + hot-spot timer.
+
+    Applied only while telemetry is enabled, so the default solve hands
+    scipy the raw callables and pays nothing. The counts answer "how many
+    objective/gradient/Hessian evaluations did this solve really do" —
+    scipy's ``nfev`` misses evaluations from line searches it discards —
+    and the ``prof.hot.solver.*`` histograms put the time they took next
+    to every other hot spot in the run profile.
+    """
+    count = obs.counter(f"solver.evals.{name}")
+    histogram = obs.histogram(f"{_HOT_PREFIX}solver.{name}")
+
+    def wrapped(*args):
+        count.inc()
+        start = time.perf_counter()
+        try:
+            return fn(*args)
+        finally:
+            histogram.observe(time.perf_counter() - start)
+
+    return wrapped
 
 
 class _AttemptTimeout(Exception):
@@ -174,18 +204,26 @@ def _run_method(
         if options.timeout_seconds is not None
         else None
     )
-    callback = _iteration_callback(problem, method) if obs.enabled() else None
+    telemetry_on = obs.enabled()
+    callback = _iteration_callback(problem, method) if telemetry_on else None
     callback = _deadline_callback(callback, deadline, method)
+    objective = problem.objective
+    gradient = problem.objective_gradient
+    hessian = problem.objective_hessian
+    if telemetry_on:
+        objective = _counted(objective, "objective")
+        gradient = _counted(gradient, "gradient")
+        hessian = _counted(hessian, "hessian")
     if method == "trust-constr":
         with warnings.catch_warnings():
             # trust-constr emits advisory warnings about its internal
             # factorization choices; they carry no signal for a convex GP.
             warnings.simplefilter("ignore", UserWarning)
             return minimize(
-                problem.objective,
+                objective,
                 z0,
-                jac=problem.objective_gradient,
-                hess=problem.objective_hessian,
+                jac=gradient,
+                hess=hessian,
                 method="trust-constr",
                 bounds=problem.bounds(),
                 constraints=constraints,
@@ -217,9 +255,9 @@ def _run_method(
         )
     b = problem.bounds()
     return minimize(
-        problem.objective,
+        objective,
         z0,
-        jac=problem.objective_gradient,
+        jac=gradient,
         method="SLSQP",
         bounds=list(zip(b.lb, b.ub)),
         constraints=slsqp_constraints,
@@ -401,6 +439,7 @@ def solve_allocation(
     phi = problem.phi_seconds(z)
     if obs.enabled():
         obs.counter("solver.solves").inc()
+        registry = obs.get().metrics
         obs.event(
             "solver.result",
             method=best["method"],
@@ -410,6 +449,11 @@ def solve_allocation(
             polished=bool(best.get("polished", False)),
             attempts=len(attempts),
             nodes=problem.layout.n_nodes,
+            # Convergence-cost summary: how much work the winning solve
+            # (plus any failed attempts before it) actually performed.
+            evals_objective=registry.counter("solver.evals.objective").value,
+            evals_gradient=registry.counter("solver.evals.gradient").value,
+            evals_hessian=registry.counter("solver.evals.hessian").value,
         )
     return Allocation(
         processors=processors,

@@ -23,9 +23,17 @@ consult neighbors that existed *before* the batch started (the parent
 snapshots the warm-start index), so intra-batch completion races can
 never steer a job's solver trajectory.
 
-Worker processes run with their own (disabled) telemetry; every
-``batch.*`` counter and event is emitted by the parent from the returned
-job records, so metrics are complete regardless of executor choice.
+Telemetry crosses the process boundary by value: when the parent's
+telemetry is enabled, each worker (or the inline executor) runs its job
+under a private in-memory collector and ships the captured spans, events
+(including per-iteration solver convergence records), and metrics back
+inside the job record as an *obs bundle* (:mod:`repro.obs.bundle`). The
+parent merges every bundle under a synthetic per-job ``batch.job`` span,
+so a 4-worker sweep and a serial run of the same jobs produce equivalent
+span and metric sets in the parent run log. Aggregate ``batch.*``
+counters and events are additionally emitted by the parent from the
+returned records, so summary metrics are complete even for crashed
+workers that never shipped a bundle.
 """
 
 from __future__ import annotations
@@ -63,6 +71,9 @@ class _WorkerTask:
     #: only read neighbors from this snapshot (determinism; see module
     #: docstring).
     warm_keys: frozenset[str]
+    #: Capture the job's telemetry into an obs bundle for the parent to
+    #: merge. Set from ``obs.enabled()`` in the parent at submit time.
+    capture_obs: bool = False
 
 
 def _resolve_mdg(source: dict[str, Any]):
@@ -260,7 +271,24 @@ def _execute_job(task: _WorkerTask) -> dict[str, Any]:
     This is the function the process pool pickles — it must stay at
     module level, and it must never raise: any failure becomes an
     ``ok=False`` record so one broken job cannot kill the sweep.
+
+    When ``task.capture_obs`` is set, the job runs under a private
+    in-memory telemetry collector (installed globally *for this process
+    or, inline, for the duration of this call*) and the captured spans,
+    events, and metrics travel back in the record's ``obs_bundle`` for
+    the parent to merge. The same path runs in both executors, which is
+    what makes serial and parallel telemetry equivalent.
     """
+    if task.capture_obs:
+        local = obs.Telemetry(sinks=[obs.MemorySink()])
+        with obs.use(local):
+            record = _execute_job_body(task)
+        record["obs_bundle"] = obs.capture_bundle(local)
+        return record
+    return _execute_job_body(task)
+
+
+def _execute_job_body(task: _WorkerTask) -> dict[str, Any]:
     job = task.job
     result = JobResult(job_id=job.job_id, ok=False)
     start = time.perf_counter()
@@ -467,6 +495,7 @@ class BatchCompiler:
 
     def _tasks(self, jobs: Sequence[BatchJob]) -> list[_WorkerTask]:
         warm_keys = self._snapshot_warm_keys()
+        capture_obs = obs.enabled()
         tasks = []
         for i, job in enumerate(jobs):
             if job.solver is None and self.solver_options is not None:
@@ -481,6 +510,7 @@ class BatchCompiler:
                     resume=self.resume,
                     strict=self.strict,
                     warm_keys=warm_keys,
+                    capture_obs=capture_obs,
                 )
             )
         return tasks
@@ -501,6 +531,7 @@ class BatchCompiler:
                 records = [_execute_job(task) for task in tasks]
             else:
                 records = self._run_pool(tasks)
+            self._merge_bundles(records)
         wall = time.perf_counter() - start
         results = [JobResult(**record) for record in records]
         report = BatchReport(
@@ -545,12 +576,38 @@ class BatchCompiler:
     # ----- telemetry --------------------------------------------------------
 
     @staticmethod
-    def _emit_telemetry(report: BatchReport) -> None:
-        """Replay per-job records into the parent's telemetry.
+    def _merge_bundles(records: list[dict[str, Any]]) -> None:
+        """Merge worker obs bundles into the parent telemetry, then drop
+        them from the records so reports and JSON dumps stay small.
 
-        Worker processes run with their own no-op telemetry, so the
-        parent is the single point of truth for ``batch.*`` metrics in
-        both executors.
+        Runs while the ``batch`` span is still open, so each merged
+        subtree nests under it. Crashed workers have no bundle — their
+        jobs simply contribute no subtree (the aggregate ``batch.*``
+        events still record them).
+        """
+        telemetry = obs.get()
+        for record in records:
+            bundle = record.pop("obs_bundle", None) if record else None
+            if bundle is None or not telemetry.enabled:
+                continue
+            try:
+                obs.merge_bundle(
+                    telemetry, bundle, job_id=str(record.get("job_id", "?"))
+                )
+            except (ValueError, TypeError, KeyError) as exc:
+                obs.event(
+                    "batch.bundle_rejected",
+                    job=str(record.get("job_id", "?")),
+                    error=str(exc),
+                )
+
+    @staticmethod
+    def _emit_telemetry(report: BatchReport) -> None:
+        """Replay per-job summary records into the parent's telemetry.
+
+        Complements the merged worker bundles: these aggregates are
+        derived from the returned records alone, so they are complete
+        even for jobs whose worker crashed before shipping telemetry.
         """
         if not obs.enabled():
             return

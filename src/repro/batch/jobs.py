@@ -136,6 +136,10 @@ class JobResult:
     latency_seconds: float = 0.0
     structural_key: str = ""
     layout_key: str = ""
+    #: Telemetry captured inside the worker (see :mod:`repro.obs.bundle`);
+    #: the compiler merges it into the parent telemetry and then drops it
+    #: so batch reports stay small. None when telemetry was disabled.
+    obs_bundle: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -154,6 +158,7 @@ class JobResult:
             "latency_seconds": self.latency_seconds,
             "structural_key": self.structural_key,
             "layout_key": self.layout_key,
+            "obs_bundle": self.obs_bundle,
         }
 
 

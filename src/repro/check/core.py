@@ -142,7 +142,7 @@ class Pass(ABC):
 
     #: Short machine name, e.g. ``"graph.cycles"``.
     name: str = ""
-    #: One of ``"graph" | "cost" | "schedule" | "ir"``.
+    #: One of ``"graph" | "cost" | "schedule" | "ir" | "batch" | "obs"``.
     family: str = ""
     #: The rules this pass may report against.
     rules: tuple[Rule, ...] = ()

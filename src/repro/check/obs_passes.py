@@ -1,0 +1,89 @@
+"""Obs pass family: static validation of telemetry run-log JSONL files.
+
+A run log is the file ``--log-json`` streams (one JSON event per line;
+see :mod:`repro.obs`). These rules let CI gate on run-log integrity the
+same way it gates on graphs and manifests: a dashboard fed by a log with
+unparseable lines, unbalanced span nesting, or non-monotonic timestamps
+silently renders garbage, and the person debugging it usually isn't the
+person who broke the writer. ``repro check run.jsonl`` shares its
+validator with the ``repro obs report`` footer
+(:func:`repro.obs.runlog.run_log_problems`), so the static findings and
+the report's warnings can never disagree.
+
+``check_file`` parses the file tolerantly and hands this pass the parsed
+events (plus the corrupt-line count) through the context document; the
+pass itself never touches the filesystem.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.check.core import CheckContext, Finding, Pass, Rule, Severity
+
+__all__ = ["ObsRunLogPass", "OBS_PASSES", "is_run_log_doc", "RUNLOG_DOC_KEY"]
+
+#: Key under which ``check_file`` passes the parsed run-log events.
+RUNLOG_DOC_KEY = "runlog_events"
+#: Key carrying the number of lines the tolerant reader had to skip.
+RUNLOG_CORRUPT_KEY = "runlog_corrupt_lines"
+
+OBS001 = Rule(
+    "OBS001",
+    "Run-log records must match the telemetry schema",
+    Severity.ERROR,
+    "Every line must parse as a JSON object with a known 'type' "
+    "(run_start/span/event/metrics) and the numeric fields that type "
+    "requires (ts; dur and depth for spans); unparseable or truncated "
+    "lines and malformed records break every downstream consumer of the "
+    "log, from `repro obs diff` to trace exporters.",
+    '{"type": "span", "name": "allocate"}  (no ts/dur/depth)',
+)
+OBS002 = Rule(
+    "OBS002",
+    "Run-log structure must be coherent",
+    Severity.WARNING,
+    "The first record should be run_start, span durations must be "
+    "non-negative, span nesting must balance (every nested span needs an "
+    "enclosing parent one level up), and emission timestamps must be "
+    "monotonic per job group; violations usually mean interleaved writers "
+    "or clock misuse and make profile attribution unreliable.",
+    'a depth-2 span with no depth-1 span containing it',
+)
+
+
+def is_run_log_doc(doc: object) -> bool:
+    """Whether a context document carries parsed run-log events."""
+    return isinstance(doc, dict) and isinstance(doc.get(RUNLOG_DOC_KEY), list)
+
+
+class ObsRunLogPass(Pass):
+    """OBS001-OBS002: run-log schema and stream structure."""
+
+    name = "obs.runlog"
+    family = "obs"
+    rules = (OBS001, OBS002)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        if not is_run_log_doc(ctx.doc):
+            return
+        from repro.obs.runlog import SCHEMA_PROBLEM, run_log_problems
+
+        corrupt = ctx.doc.get(RUNLOG_CORRUPT_KEY, 0)
+        if corrupt:
+            yield self.finding(
+                OBS001,
+                f"{corrupt} line(s) did not parse as JSON objects "
+                "(truncated write or interleaved writers?)",
+                "$",
+                ctx,
+            )
+        for kind, message in run_log_problems(ctx.doc[RUNLOG_DOC_KEY]):
+            rule = OBS001 if kind == SCHEMA_PROBLEM else OBS002
+            location = "$"
+            if message.startswith("record "):
+                location = "$[" + message[len("record "):].split(":", 1)[0] + "]"
+            yield self.finding(rule, message, location, ctx)
+
+
+OBS_PASSES: tuple[type[Pass], ...] = (ObsRunLogPass,)

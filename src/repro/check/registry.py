@@ -16,14 +16,20 @@ from repro.check.cost_passes import COST_PASSES
 from repro.check.graph_passes import GRAPH_PASSES
 from repro.check.ir_passes import IR_PASSES
 from repro.check.manifest_passes import MANIFEST_PASSES
+from repro.check.obs_passes import OBS_PASSES
 from repro.check.schedule_passes import SCHEDULE_PASSES
 
 __all__ = ["default_passes", "passes_for_families", "all_rules", "FAMILIES"]
 
-FAMILIES: tuple[str, ...] = ("graph", "cost", "schedule", "ir", "batch")
+FAMILIES: tuple[str, ...] = ("graph", "cost", "schedule", "ir", "batch", "obs")
 
 _ALL: tuple[type[Pass], ...] = (
-    GRAPH_PASSES + COST_PASSES + SCHEDULE_PASSES + IR_PASSES + MANIFEST_PASSES
+    GRAPH_PASSES
+    + COST_PASSES
+    + SCHEDULE_PASSES
+    + IR_PASSES
+    + MANIFEST_PASSES
+    + OBS_PASSES
 )
 
 

@@ -2,7 +2,8 @@
 
 ``check_document`` / ``check_mdg`` analyze in-memory objects;
 ``check_file`` loads an MDG JSON file (still producing findings when the
-file is too broken to construct an :class:`MDG`); ``check_bundle``
+file is too broken to construct an :class:`MDG`), a batch manifest, or —
+for ``.jsonl`` paths — a telemetry run log (obs family); ``check_bundle``
 analyzes a built-in program. When a machine is available and the
 document is error-free, the graph is compiled (allocation + PSA) so the
 schedule pass family has something to verify — that is how ``repro
@@ -128,6 +129,23 @@ def check_file(
     constructor's first exception.
     """
     path = Path(path)
+    if path.suffix == ".jsonl":
+        # A telemetry run log, not an MDG: parse tolerantly and run the
+        # obs family (OBS001/OBS002) over the event stream.
+        from repro.check.obs_passes import RUNLOG_CORRUPT_KEY, RUNLOG_DOC_KEY
+        from repro.obs.sinks import read_run_log
+
+        try:
+            events, corrupt = read_run_log(path)
+        except OSError as exc:
+            raise CheckError(f"cannot read run log {path}: {exc}") from exc
+        analyzer = Analyzer(passes_for_families(("obs",)))
+        return analyzer.run(
+            CheckContext(
+                doc={RUNLOG_DOC_KEY: events, RUNLOG_CORRUPT_KEY: corrupt},
+                artifact=str(path),
+            )
+        )
     try:
         doc = json.loads(path.read_text())
     except (OSError, ValueError) as exc:

@@ -11,6 +11,10 @@ Subcommands
 ``solve``       allocate an MDG loaded from a JSON file
 ``check``       statically analyze MDG files / built-in programs (text,
                 JSON or SARIF 2.1.0 output; exit 1 on error findings)
+``batch``       run a manifest of jobs through a worker pool
+``obs``         analyze run-log JSONL files: ``report`` (span tree +
+                convergence + hot spots), ``top`` (hottest stages),
+                ``diff`` (per-stage deltas between two runs)
 ``info``        list built-in machines and programs
 """
 
@@ -412,15 +416,17 @@ def cmd_check(args: argparse.Namespace) -> int:
     compile_schedule = not args.no_compile
 
     # Expand targets: files are checked directly, directories are scanned
-    # for *.json (recursively), so `repro check examples/` covers every
-    # shipped graph.
+    # for *.json and *.jsonl (recursively), so `repro check examples/`
+    # covers every shipped graph and `repro check logs/` every run log.
     from pathlib import Path
 
     files: list[Path] = []
     for target in args.targets:
         path = Path(target)
         if path.is_dir():
-            files.extend(sorted(path.rglob("*.json")))
+            files.extend(
+                sorted([*path.rglob("*.json"), *path.rglob("*.jsonl")])
+            )
         else:
             files.append(path)
 
@@ -468,6 +474,61 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     threshold = Severity(args.fail_on)
     return 1 if report.at_least(threshold) else 0
+
+
+def _load_run_log(path: str) -> list[dict]:
+    """Tolerantly load a run-log JSONL file for the ``obs`` subcommands."""
+    from repro.obs.sinks import read_run_log
+
+    p = Path(path)
+    if not p.is_file():
+        raise SystemExit(f"run log not found: {path}")
+    try:
+        events, corrupt = read_run_log(p)
+    except OSError as exc:
+        raise SystemExit(f"cannot read run log {path}: {exc}") from exc
+    if corrupt:
+        print(
+            f"note: skipped {corrupt} corrupt line(s) in {path}",
+            file=sys.stderr,
+        )
+    return events
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.prof import render_diff, render_profile, render_top
+    from repro.obs.runlog import run_log_problems
+
+    if args.obs_command == "report":
+        events = _load_run_log(args.runlog)
+        print(render_profile(
+            events, title=f"run profile: {args.runlog}", top=args.top
+        ))
+        problems = run_log_problems(events)
+        if problems:
+            print()
+            print(f"{len(problems)} run-log problem(s) detected "
+                  "(see `repro check` rules OBS001/OBS002):")
+            for kind, message in problems[:5]:
+                print(f"  [{kind}] {message}")
+            if len(problems) > 5:
+                print(f"  ... and {len(problems) - 5} more")
+    elif args.obs_command == "top":
+        events = _load_run_log(args.runlog)
+        print(render_top(events, n=args.top, by=args.by))
+    elif args.obs_command == "diff":
+        events_a = _load_run_log(args.runlog_a)
+        events_b = _load_run_log(args.runlog_b)
+        print(render_diff(
+            events_a,
+            events_b,
+            n=args.top,
+            label_a=Path(args.runlog_a).name,
+            label_b=Path(args.runlog_b).name,
+        ))
+    else:  # pragma: no cover - argparse requires a subcommand
+        raise SystemExit(f"unknown obs subcommand {args.obs_command!r}")
+    return 0
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
@@ -548,7 +609,15 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="PATH",
             help="write the final metrics snapshot (counters/gauges/"
-            "histograms) to PATH as JSON",
+            "histograms) to PATH",
+        )
+        p.add_argument(
+            "--metrics-format",
+            choices=["auto", "json", "prometheus", "otlp"],
+            default="auto",
+            help="encoding for --metrics-out: raw JSON snapshot, Prometheus "
+            "text exposition, or OTLP-style JSON (auto infers from the "
+            "extension: .prom/.txt -> prometheus, .otlp -> otlp, else json)",
         )
         p.add_argument(
             "--obs-report",
@@ -784,13 +853,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "--metrics-out", default=None, metavar="PATH",
-        help="write the final metrics snapshot to PATH as JSON",
+        help="write the final metrics snapshot to PATH",
+    )
+    p_batch.add_argument(
+        "--metrics-format",
+        choices=["auto", "json", "prometheus", "otlp"],
+        default="auto",
+        help="encoding for --metrics-out (auto infers from the extension)",
     )
     p_batch.add_argument(
         "--obs-report", action="store_true",
         help="print a human-readable telemetry report after the run",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="analyze run-log JSONL files written with --log-json",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report",
+        help="span tree with self/total time, hot-stage ranking, solver "
+        "convergence traces, and metrics",
+    )
+    p_obs_report.add_argument("runlog", help="run-log JSONL file")
+    p_obs_report.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="stages to show in the hot-stage ranking",
+    )
+    p_obs_report.set_defaults(func=cmd_obs)
+    p_obs_top = obs_sub.add_parser(
+        "top", help="rank the hottest stages of one run"
+    )
+    p_obs_top.add_argument("runlog", help="run-log JSONL file")
+    p_obs_top.add_argument(
+        "-n", "--top", type=int, default=10, dest="top", metavar="N",
+        help="number of stages to show",
+    )
+    p_obs_top.add_argument(
+        "--by", choices=["self", "total"], default="self",
+        help="rank by self time (default) or total time",
+    )
+    p_obs_top.set_defaults(func=cmd_obs)
+    p_obs_diff = obs_sub.add_parser(
+        "diff",
+        help="per-stage time deltas between two run logs (names the "
+        "slowest stage and the biggest regression)",
+    )
+    p_obs_diff.add_argument("runlog_a", help="baseline run-log JSONL file")
+    p_obs_diff.add_argument("runlog_b", help="comparison run-log JSONL file")
+    p_obs_diff.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="stages to show in the delta table",
+    )
+    p_obs_diff.set_defaults(func=cmd_obs)
 
     return parser
 
@@ -818,15 +935,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not (log_json or metrics_out or want_report):
         return _dispatch(args)
 
-    import json
-    from pathlib import Path
-
     try:
         telemetry = obs.configure(jsonl_path=log_json)
     except OSError as exc:
         raise SystemExit(
             f"cannot open --log-json path {log_json!r}: {exc}"
         ) from exc
+    metrics_format = getattr(args, "metrics_format", "auto")
     try:
         status = _dispatch(args)
     finally:
@@ -834,12 +949,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         # complete telemetry file behind for post-mortems.
         obs.shutdown()
         if metrics_out:
-            from repro.store.artifact import atomic_write_text
+            from repro.obs.export import write_metrics
 
             try:
-                atomic_write_text(
-                    Path(metrics_out),
-                    json.dumps(telemetry.metrics.snapshot(), indent=2) + "\n",
+                metrics_format = write_metrics(
+                    metrics_out, telemetry.metrics.snapshot(), metrics_format
                 )
             except OSError as exc:
                 raise SystemExit(
@@ -851,7 +965,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if log_json:
             print(f"wrote telemetry JSONL to {log_json}")
         if metrics_out:
-            print(f"wrote metrics JSON to {metrics_out}")
+            print(f"wrote metrics ({metrics_format}) to {metrics_out}")
     return status
 
 

@@ -27,11 +27,20 @@ a ``type`` of ``run_start``, ``span``, ``event``, or ``metrics``.
 Metric/event namespaces emitted by the library: ``solver.*`` and
 ``psa.*`` (compilation), ``sim.*`` (the machine simulator), ``fault.*``
 and ``recovery.*`` (fault injection and repair), ``store.*``
-(checkpoint-cache hits/misses/corruption — see :mod:`repro.store`), and
+(checkpoint-cache hits/misses/corruption — see :mod:`repro.store`),
 ``pipeline.postcondition`` (failed re-validation of resumed or strict
-runs).
+runs), ``batch.*`` (worker-pool compilation, including per-job subtrees
+merged from worker processes — see :mod:`repro.obs.bundle`), and
+``prof.hot.*`` (explicit hot-spot timers — see :mod:`repro.obs.prof`).
+
+Analysis and export live in submodules: :mod:`repro.obs.prof` (span-tree
+profiles, top-N ranking, two-run diffs, solver convergence traces),
+:mod:`repro.obs.export` (Prometheus / OTLP-JSON metric exporters), and
+:mod:`repro.obs.runlog` (run-log JSONL validation backing the OBS check
+rules).
 """
 
+from repro.obs.bundle import capture_bundle, merge_bundle
 from repro.obs.core import (
     NullTelemetry,
     Span,
@@ -47,9 +56,11 @@ from repro.obs.core import (
     span,
     use,
 )
+from repro.obs.export import to_otlp_json, to_prometheus, write_metrics
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prof import hot, profiled
 from repro.obs.report import render_report
-from repro.obs.sinks import JsonlSink, MemorySink, read_jsonl
+from repro.obs.sinks import JsonlSink, MemorySink, read_jsonl, read_run_log
 
 __all__ = [
     "Span",
@@ -62,7 +73,15 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "read_jsonl",
+    "read_run_log",
     "render_report",
+    "capture_bundle",
+    "merge_bundle",
+    "hot",
+    "profiled",
+    "to_prometheus",
+    "to_otlp_json",
+    "write_metrics",
     "configure",
     "shutdown",
     "use",

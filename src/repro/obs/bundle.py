@@ -1,0 +1,127 @@
+"""Cross-process telemetry bundles: capture in a worker, merge in the parent.
+
+Batch workers run in separate processes, so the parent's global telemetry
+never sees their spans — historically that work was simply invisible in
+run logs. The fix is a two-step protocol:
+
+* **Worker side** — run the job under its own in-memory
+  :class:`~repro.obs.core.Telemetry` and ship
+  :func:`capture_bundle`'s output back with the job result. A bundle is
+  a plain JSON-safe dict (``version`` / ``wall_epoch`` / ``events`` /
+  ``metrics``) that survives pickling across the process boundary.
+* **Parent side** — :func:`merge_bundle` rebases the worker's timeline
+  onto the parent clock (via the wall-clock epochs both sides record at
+  telemetry creation), re-depths the spans under a synthetic per-job
+  ``batch.job`` span, tags every record with the job id, replays it all
+  into the parent's sinks, and folds the worker's metrics into the
+  parent registry.
+
+The same capture/merge path runs for inline (serial) execution too, so a
+serial run and a 4-worker run of the same jobs produce equivalent span
+and metric sets — that equivalence is regression-tested.
+"""
+
+from __future__ import annotations
+
+from repro.obs.core import Span, Telemetry
+
+__all__ = ["BUNDLE_VERSION", "capture_bundle", "merge_bundle"]
+
+BUNDLE_VERSION = 1
+
+#: Per-job synthetic span name the merged subtree hangs under.
+JOB_SPAN = "batch.job"
+
+
+def capture_bundle(telemetry: Telemetry) -> dict:
+    """Freeze a worker telemetry's events + metrics into a JSON-safe dict.
+
+    Only span/event records are shipped — ``run_start`` and ``metrics``
+    records describe the worker's own lifecycle and would corrupt the
+    parent stream; the metrics travel in lossless mergeable form instead.
+    """
+    events = [
+        dict(e)
+        for e in telemetry.collected_events()
+        if e.get("type") in ("span", "event")
+    ]
+    return {
+        "version": BUNDLE_VERSION,
+        "wall_epoch": telemetry.wall_epoch,
+        "events": events,
+        "metrics": telemetry.metrics.state_dict(),
+    }
+
+
+def merge_bundle(telemetry: Telemetry, bundle: dict, job_id: str) -> None:
+    """Replay a worker bundle into the parent telemetry under ``job_id``.
+
+    Expected to run while the parent's ``batch`` span is open: the merged
+    subtree is re-depthed one level below it, wrapped in a synthetic
+    :data:`JOB_SPAN` span so reports and traces show per-job totals, and
+    every record is tagged with the job id (which also keeps per-group
+    timestamp monotonicity intact for the run-log validator).
+
+    Worker timestamps (seconds since the *worker's* telemetry epoch) are
+    rebased via the wall-clock epochs both telemetries record; negative
+    skew is clamped so a worker with a lagging wall clock still lands
+    inside the batch window instead of before the run started.
+    """
+    if not isinstance(bundle, dict) or bundle.get("version") != BUNDLE_VERSION:
+        raise ValueError(
+            f"unsupported obs bundle: {bundle.get('version') if isinstance(bundle, dict) else bundle!r}"
+        )
+    offset = max(float(bundle.get("wall_epoch", 0.0)) - telemetry.wall_epoch, 0.0)
+    enclosing = telemetry.current_span()
+    job_depth = (enclosing.depth + 1) if enclosing is not None else 0
+    child_base = job_depth + 1
+
+    first_start = None
+    last_end = 0.0
+    for record in bundle.get("events", ()):
+        merged = dict(record)
+        ts = float(merged.get("ts", 0.0)) + offset
+        merged["ts"] = ts
+        merged["job"] = job_id
+        if merged.get("type") == "span":
+            merged["depth"] = int(merged.get("depth", 0)) + child_base
+            if merged.get("parent") is None:
+                merged["parent"] = JOB_SPAN
+            attrs = dict(merged.get("attrs", {}))
+            attrs["job"] = job_id
+            merged["attrs"] = attrs
+            end = ts + max(float(merged.get("dur", 0.0)), 0.0)
+            first_start = ts if first_start is None else min(first_start, ts)
+            last_end = max(last_end, end)
+            telemetry.spans.append(_rehydrate_span(telemetry, merged))
+        else:
+            first_start = ts if first_start is None else min(first_start, ts)
+            last_end = max(last_end, ts)
+        telemetry.emit(merged)
+
+    start = first_start if first_start is not None else offset
+    job_record = {
+        "type": "span",
+        "name": JOB_SPAN,
+        "ts": start,
+        "dur": max(last_end - start, 0.0),
+        "depth": job_depth,
+        "parent": enclosing.name if enclosing is not None else None,
+        "attrs": {"job": job_id},
+        "job": job_id,
+    }
+    telemetry.spans.append(_rehydrate_span(telemetry, job_record))
+    telemetry.emit(job_record)
+
+    telemetry.metrics.merge_state(bundle.get("metrics", {}))
+
+
+def _rehydrate_span(telemetry: Telemetry, record: dict) -> Span:
+    """Build a finished Span object from a merged record (for the Chrome
+    trace exporter and in-memory reports, which walk ``telemetry.spans``)."""
+    span = Span(telemetry, str(record["name"]), dict(record.get("attrs", {})))
+    span.start = float(record["ts"])
+    span.end = span.start + max(float(record.get("dur", 0.0)), 0.0)
+    span.depth = int(record.get("depth", 0))
+    span.parent = record.get("parent")
+    return span

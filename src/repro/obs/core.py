@@ -105,8 +105,11 @@ class Telemetry:
         self.spans: list[Span] = []  # finished spans, in finish order
         self._stack: list[Span] = []
         self._epoch = time.perf_counter()
+        #: Wall-clock time of ts == 0, used to rebase telemetry captured
+        #: in another process onto this collector's timeline.
+        self.wall_epoch = time.time()
         self.emit(
-            {"type": "run_start", "ts": 0.0, "wall_time_unix": time.time()}
+            {"type": "run_start", "ts": 0.0, "wall_time_unix": self.wall_epoch}
         )
 
     def now(self) -> float:

@@ -1,0 +1,176 @@
+"""Metrics exporters: Prometheus text exposition and OTLP-style JSON.
+
+Both consume the plain :meth:`MetricsRegistry.snapshot` dict, so they
+work on a live registry, on the trailing ``metrics`` record of a run-log
+JSONL file, and on a previously written ``--metrics-out`` JSON dump —
+any of the three round-trips into scrape-able / ingest-able form.
+
+* :func:`to_prometheus` renders the text exposition format (one
+  ``# TYPE`` header per metric; histograms become summaries with p50/p95
+  quantile series plus ``_sum``/``_count``).
+* :func:`to_otlp_json` renders the OpenTelemetry OTLP/JSON resource →
+  scope → metrics shape (counters as monotonic cumulative sums, gauges
+  as gauges, histograms as summaries) so the dump can be posted to any
+  OTLP/HTTP collector without translation.
+
+:func:`write_metrics` is the CLI entry point behind ``--metrics-out`` /
+``--metrics-format``; with the default ``auto`` format the file
+extension picks the encoder (``.prom``/``.txt`` → Prometheus, ``.otlp``
+→ OTLP JSON, anything else → the raw snapshot JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.store.artifact import atomic_write_text
+
+__all__ = [
+    "METRIC_FORMATS",
+    "to_prometheus",
+    "to_otlp_json",
+    "resolve_format",
+    "render_metrics",
+    "write_metrics",
+]
+
+#: Formats accepted by ``--metrics-format``.
+METRIC_FORMATS = ("auto", "json", "prometheus", "otlp")
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    safe = _NAME_OK.sub("_", prefix + name)
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return safe
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict, prefix: str = "repro_") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _prom_name(name, prefix)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, stats in sorted(snapshot.get("histograms", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        count = stats.get("count", 0)
+        if count:
+            for q, key in ((0.5, "p50"), (0.95, "p95")):
+                if key in stats:
+                    lines.append(
+                        f'{metric}{{quantile="{q}"}} '
+                        f"{_prom_value(stats[key])}"
+                    )
+        lines.append(f"{metric}_sum {_prom_value(stats.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _number_point(value: float) -> dict:
+    if isinstance(value, float) and not value.is_integer():
+        return {"asDouble": value}
+    return {"asDouble": float(value)}
+
+
+def to_otlp_json(snapshot: dict, service_name: str = "repro") -> dict:
+    """Render a metrics snapshot in the OTLP/JSON metrics shape."""
+    metrics: list[dict] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metrics.append(
+            {
+                "name": name,
+                "sum": {
+                    "dataPoints": [_number_point(value)],
+                    "aggregationTemporality": 2,  # cumulative
+                    "isMonotonic": True,
+                },
+            }
+        )
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metrics.append(
+            {"name": name, "gauge": {"dataPoints": [_number_point(value)]}}
+        )
+    for name, stats in sorted(snapshot.get("histograms", {}).items()):
+        count = int(stats.get("count", 0))
+        point: dict = {"count": count, "sum": stats.get("sum", 0.0)}
+        quantiles = []
+        for q, key in ((0.5, "p50"), (0.95, "p95")):
+            if key in stats:
+                quantiles.append({"quantile": q, "value": stats[key]})
+        if quantiles:
+            point["quantileValues"] = quantiles
+        metrics.append({"name": name, "summary": {"dataPoints": [point]}})
+    return {
+        "resourceMetrics": [
+            {
+                "resource": {
+                    "attributes": [
+                        {
+                            "key": "service.name",
+                            "value": {"stringValue": service_name},
+                        }
+                    ]
+                },
+                "scopeMetrics": [
+                    {"scope": {"name": "repro.obs"}, "metrics": metrics}
+                ],
+            }
+        ]
+    }
+
+
+def resolve_format(path: str | Path, fmt: str = "auto") -> str:
+    """Map an ``--metrics-format`` choice (+ path extension) to an encoder."""
+    if fmt not in METRIC_FORMATS:
+        raise ValueError(
+            f"unknown metrics format {fmt!r}; expected one of {METRIC_FORMATS}"
+        )
+    if fmt != "auto":
+        return fmt
+    suffix = Path(path).suffix.lower()
+    if suffix in (".prom", ".txt"):
+        return "prometheus"
+    if suffix == ".otlp":
+        return "otlp"
+    return "json"
+
+
+def render_metrics(snapshot: dict, fmt: str) -> str:
+    """Encode a snapshot as text in the given (resolved) format."""
+    if fmt == "prometheus":
+        return to_prometheus(snapshot)
+    if fmt == "otlp":
+        return json.dumps(to_otlp_json(snapshot), indent=2) + "\n"
+    if fmt == "json":
+        return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    raise ValueError(f"unknown resolved metrics format {fmt!r}")
+
+
+def write_metrics(path: str | Path, snapshot: dict, fmt: str = "auto") -> str:
+    """Write a snapshot to ``path``; returns the resolved format used."""
+    resolved = resolve_format(path, fmt)
+    atomic_write_text(Path(path), render_metrics(snapshot, resolved))
+    return resolved

@@ -81,15 +81,32 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolation percentile over the retained samples."""
+        """Percentile over the retained samples.
+
+        Uses linear interpolation (numpy's default) when the sample set is
+        large enough to resolve the requested tail. When it is not — fewer
+        than ``100 / (100 - q)`` samples, e.g. a p95 over fewer than 20
+        observations — interpolation systematically *underestimates* the
+        tail, so the conservative nearest-rank-higher value is returned
+        instead (for an unresolvable upper tail that is the maximum). A
+        tail-latency figure computed from a handful of samples should
+        never look better than the worst sample actually seen.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        pos = (len(ordered) - 1) * (q / 100.0)
+        n = len(ordered)
+        if n == 1 or q >= 100.0:
+            return ordered[-1] if q > 0.0 else ordered[0]
+        # Samples expected beyond q; < 1 means the tail is unresolvable
+        # and nearest-rank-higher (== ordered[-1] exactly then) applies.
+        if q > 50.0 and n * (100.0 - q) / 100.0 < 1.0:
+            return ordered[-1]
+        pos = (n - 1) * (q / 100.0)
         lo = int(pos)
-        hi = min(lo + 1, len(ordered) - 1)
+        hi = min(lo + 1, n - 1)
         frac = pos - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
@@ -105,6 +122,30 @@ class Histogram:
             "p50": self.percentile(50.0),
             "p95": self.percentile(95.0),
         }
+
+    def state_dict(self) -> dict:
+        """Raw, lossless, JSON-safe state (for cross-process merging)."""
+        state: dict = {"count": self.count, "total": self.total,
+                       "samples": list(self.samples)}
+        if self.count:
+            state["min"] = self.minimum
+            state["max"] = self.maximum
+        return state
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state_dict` into this one."""
+        count = int(state.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(state.get("total", 0.0))
+        self.minimum = min(self.minimum, float(state.get("min", float("inf"))))
+        self.maximum = max(self.maximum, float(state.get("max", float("-inf"))))
+        room = RESERVOIR_SIZE - len(self.samples)
+        if room > 0:
+            self.samples.extend(
+                float(v) for v in state.get("samples", ())[:room]
+            )
 
 
 class MetricsRegistry:
@@ -142,3 +183,39 @@ class MetricsRegistry:
                 n: h.as_dict() for n, h in sorted(self.histograms.items())
             },
         }
+
+    def state_dict(self) -> dict:
+        """Lossless JSON-safe state of every instrument.
+
+        Unlike :meth:`snapshot` (which pre-computes percentiles), this
+        form can be *merged* into another registry without bias — it is
+        what batch workers ship back to the parent process.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "updates": g.updates}
+                for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: h.state_dict() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`state_dict` from another registry into this one.
+
+        Counters add, histograms pool their observations, and gauges keep
+        last-write-wins semantics in merge order (a gauge that was never
+        set in ``state`` does not clobber a live value here).
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, g in state.get("gauges", {}).items():
+            updates = int(g.get("updates", 0))
+            if updates > 0:
+                gauge = self.gauge(name)
+                gauge.set(float(g.get("value", 0.0)))
+                gauge.updates += updates - 1
+        for name, h in state.get("histograms", {}).items():
+            self.histogram(name).merge_state(h)

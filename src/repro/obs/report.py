@@ -1,8 +1,12 @@
 """Human-readable run report from collected telemetry.
 
-Renders the span tree (phase timings, with attributes inline) followed by
-the metrics registry — the terminal-friendly complement to the JSONL
-event stream. ``paradigm-mdg ... --obs-report`` prints this after a run.
+Renders the span tree (phase timings with *self* time — wall time minus
+time attributed to child spans — and attributes inline), a solver
+convergence summary when per-iteration records were captured, and the
+metrics registry: the terminal-friendly complement to the JSONL event
+stream. ``paradigm-mdg ... --obs-report`` prints this after a run; for
+offline analysis of a run-log *file*, see :mod:`repro.obs.prof` and the
+``repro obs`` CLI.
 """
 
 from __future__ import annotations
@@ -38,6 +42,16 @@ def _format_attrs(attrs: dict) -> str:
     return "  [" + ", ".join(parts) + suffix + "]"
 
 
+def _render_convergence(telemetry: Telemetry | NullTelemetry) -> str | None:
+    """Solver convergence summary from captured per-iteration events."""
+    events = telemetry.collected_events()
+    if not events:
+        return None
+    from repro.obs.prof import render_convergence
+
+    return render_convergence(events)
+
+
 def render_report(
     telemetry: Telemetry | NullTelemetry, title: str = "run report"
 ) -> str:
@@ -46,16 +60,38 @@ def render_report(
 
     spans = list(telemetry.spans)
     if spans:
+        # Self time = duration minus the time spent in direct children
+        # (matched by depth in start order), the quantity that actually
+        # ranks a phase's own cost.
+        ordered = sorted(spans, key=lambda s: (s.start, s.depth))
+        child_total: dict[int, float] = {}
+        stack: list = []
+        for sp in ordered:
+            while stack and stack[-1].depth >= sp.depth:
+                stack.pop()
+            if stack:
+                parent = stack[-1]
+                child_total[id(parent)] = (
+                    child_total.get(id(parent), 0.0) + sp.duration
+                )
+            stack.append(sp)
         lines.append("")
-        lines.append("-- phases (wall time) --")
+        lines.append("-- phases (total / self wall time) --")
         # Finish order interleaves siblings and parents; start order reads
         # as the run actually unfolded.
         for sp in sorted(spans, key=lambda s: (s.start, -s.depth)):
             indent = "  " * sp.depth
+            self_time = max(0.0, sp.duration - child_total.get(id(sp), 0.0))
             lines.append(
                 f"{indent}{sp.name:<{max(4, 28 - len(indent))}} "
-                f"{_format_duration(sp.duration):>10}{_format_attrs(sp.attrs)}"
+                f"{_format_duration(sp.duration):>10} "
+                f"{_format_duration(self_time):>10}{_format_attrs(sp.attrs)}"
             )
+
+    convergence = _render_convergence(telemetry)
+    if convergence is not None:
+        lines.append("")
+        lines.append(convergence)
 
     metrics = getattr(telemetry, "metrics", None)
     if metrics is not None:

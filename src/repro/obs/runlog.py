@@ -1,0 +1,214 @@
+"""Run-log JSONL validation: the contract a telemetry stream must obey.
+
+A run log is a sequence of event dicts (see ``repro.obs.core`` for the
+writer side). This module checks the *reader-side* contract that every
+downstream consumer — the span-tree builder, the Chrome-trace exporter,
+``repro obs diff`` — silently relies on:
+
+**Schema (OBS001-grade problems)**
+
+* every record is a JSON object with a string ``type`` drawn from the
+  known set (``run_start`` / ``span`` / ``event`` / ``metrics``);
+* spans carry a string ``name`` and numeric ``ts`` / ``dur`` / ``depth``;
+* events carry a string ``name`` and numeric ``ts``.
+
+**Structure (OBS002-grade problems)**
+
+* the first record is ``run_start``;
+* no span has a negative duration;
+* span nesting balances: a span recorded below its group's root depth
+  must be enclosed by some span one level shallower whose
+  ``[ts, ts+dur]`` interval contains it (with a small tolerance for
+  clock granularity);
+* timestamps are monotonic **per job group**: spans are recorded in
+  finish order, so the monotonic key is ``ts + dur`` for spans and
+  ``ts`` for point events. Grouping by the ``job`` field keeps the rule
+  valid for logs merged from parallel batch workers, whose per-job time
+  ranges legitimately interleave in file order.
+
+:func:`run_log_problems` returns ``(code, message)`` pairs; the check
+pass in ``repro.check`` maps them onto findings, and the obs CLI prints
+them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "KNOWN_TYPES",
+    "SCHEMA_PROBLEM",
+    "STRUCTURE_PROBLEM",
+    "run_log_problems",
+]
+
+#: Record types the writer in ``repro.obs.core`` can produce.
+KNOWN_TYPES = ("run_start", "span", "event", "metrics")
+
+#: Problem-class tags attached to each finding.
+SCHEMA_PROBLEM = "schema"
+STRUCTURE_PROBLEM = "structure"
+
+#: Slack for interval containment / monotonicity, in seconds. Spans time
+#: themselves with separate perf_counter reads, so parent/child edges can
+#: disagree by a few clock ticks.
+_EPSILON = 1e-6
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _schema_problems(index: int, record: dict) -> Iterable[tuple[str, str]]:
+    rtype = record.get("type")
+    if not isinstance(rtype, str):
+        yield SCHEMA_PROBLEM, f"record {index}: missing string 'type' field"
+        return
+    if rtype not in KNOWN_TYPES:
+        yield (
+            SCHEMA_PROBLEM,
+            f"record {index}: unknown record type {rtype!r} "
+            f"(expected one of {', '.join(KNOWN_TYPES)})",
+        )
+        return
+    if rtype in ("span", "event") and not isinstance(record.get("name"), str):
+        yield SCHEMA_PROBLEM, f"record {index}: {rtype} missing string 'name'"
+    required = {
+        "run_start": ("ts",),
+        "span": ("ts", "dur", "depth"),
+        "event": ("ts",),
+        "metrics": ("ts",),
+    }[rtype]
+    for key in required:
+        if not _is_number(record.get(key)):
+            yield (
+                SCHEMA_PROBLEM,
+                f"record {index}: {rtype} field {key!r} is not numeric "
+                f"(got {record.get(key)!r})",
+            )
+
+
+def _group_key(record: dict) -> str:
+    job = record.get("job")
+    if job is None:
+        job = record.get("attrs", {}).get("job") if record.get("type") == "span" else None
+    return str(job) if job is not None else ""
+
+
+def _structure_problems(events: Sequence[dict]) -> Iterable[tuple[str, str]]:
+    if events and events[0].get("type") != "run_start":
+        yield (
+            STRUCTURE_PROBLEM,
+            "first record is not 'run_start' (log may be truncated at the "
+            "front or concatenated from multiple runs)",
+        )
+    if sum(1 for e in events if e.get("type") == "run_start") > 1:
+        yield (
+            STRUCTURE_PROBLEM,
+            "multiple 'run_start' records: file contains more than one run",
+        )
+
+    # Negative durations and nesting containment.
+    spans = [
+        (i, e)
+        for i, e in enumerate(events)
+        if e.get("type") == "span"
+        and _is_number(e.get("ts"))
+        and _is_number(e.get("dur"))
+        and _is_number(e.get("depth"))
+    ]
+    for index, span in spans:
+        if span["dur"] < 0:
+            yield (
+                STRUCTURE_PROBLEM,
+                f"record {index}: span {span.get('name')!r} has negative "
+                f"duration {span['dur']!r}",
+            )
+
+    by_group: dict[str, list[tuple[int, dict]]] = {}
+    for index, span in spans:
+        by_group.setdefault(_group_key(span), []).append((index, span))
+    for group, members in by_group.items():
+        label = f" (job {group!r})" if group else ""
+        by_depth: dict[int, list[dict]] = {}
+        for _, span in members:
+            by_depth.setdefault(int(span["depth"]), []).append(span)
+        # A merged batch-worker subtree starts below depth 0 (its root is
+        # the synthetic per-job span); spans at the group's own minimum
+        # depth are roots of that group and exempt from containment.
+        root_depth = min(by_depth) if by_depth else 0
+        for index, span in members:
+            depth = int(span["depth"])
+            if depth <= root_depth:
+                continue
+            lo = span["ts"] - _EPSILON
+            hi = span["ts"] + max(span["dur"], 0.0) + _EPSILON
+            parents = by_depth.get(depth - 1, ())
+            enclosed = any(
+                p["ts"] - _EPSILON <= lo and hi <= p["ts"] + p["dur"] + _EPSILON
+                for p in parents
+            )
+            if not enclosed:
+                yield (
+                    STRUCTURE_PROBLEM,
+                    f"record {index}: span {span.get('name')!r} at depth "
+                    f"{depth} has no enclosing depth-{depth - 1} span"
+                    f"{label} — span nesting is unbalanced",
+                )
+            declared = span.get("parent")
+            if declared is not None and not any(
+                p.get("name") == declared for p in parents
+            ):
+                yield (
+                    STRUCTURE_PROBLEM,
+                    f"record {index}: span {span.get('name')!r} declares "
+                    f"parent {declared!r} but no such span exists at depth "
+                    f"{depth - 1}{label}",
+                )
+
+    # Per-group monotonic emission order (finish time for spans).
+    last_key: dict[str, tuple[float, int]] = {}
+    for index, record in enumerate(events):
+        rtype = record.get("type")
+        if rtype == "span":
+            if not (_is_number(record.get("ts")) and _is_number(record.get("dur"))):
+                continue
+            key = record["ts"] + max(record["dur"], 0.0)
+        elif rtype in ("event", "metrics"):
+            if not _is_number(record.get("ts")):
+                continue
+            key = record["ts"]
+        else:
+            continue
+        group = _group_key(record)
+        previous = last_key.get(group)
+        if previous is not None and key < previous[0] - _EPSILON:
+            label = f" (job {group!r})" if group else ""
+            yield (
+                STRUCTURE_PROBLEM,
+                f"record {index}: timestamp went backwards{label} — "
+                f"emission key {key:.6f} after {previous[0]:.6f} "
+                f"(record {previous[1]})",
+            )
+        if previous is None or key > previous[0]:
+            last_key[group] = (key, index)
+
+
+def run_log_problems(events: Sequence[dict]) -> list[tuple[str, str]]:
+    """Validate a parsed run log; returns ``(problem_class, message)``.
+
+    ``problem_class`` is :data:`SCHEMA_PROBLEM` for per-record schema
+    violations and :data:`STRUCTURE_PROBLEM` for whole-stream structural
+    ones (nesting balance, monotonicity, run_start placement).
+    """
+    problems: list[tuple[str, str]] = []
+    for index, record in enumerate(events):
+        if not isinstance(record, dict):
+            problems.append(
+                (SCHEMA_PROBLEM, f"record {index}: not a JSON object")
+            )
+            continue
+        problems.extend(_schema_problems(index, record))
+    dict_events = [e for e in events if isinstance(e, dict)]
+    problems.extend(_structure_problems(dict_events))
+    return problems

@@ -4,15 +4,24 @@ Every event is one flat-ish dict; sinks only transport, they never
 interpret. ``MemorySink`` backs in-process inspection (tests, the run
 report); ``JsonlSink`` writes one JSON object per line so runs can be
 post-processed with nothing fancier than ``for line in file``.
+
+Robustness contract: ``JsonlSink.emit`` is thread-safe (one lock, one
+``write`` call per event, so concurrent emitters never interleave bytes
+mid-line), and the readers come in two strengths — :func:`read_jsonl`
+raises on the first malformed line, while :func:`read_run_log` skips
+truncated or corrupt lines and reports how many it dropped, which is what
+``repro obs report`` uses so a crashed run's partial log is still
+analyzable.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import IO
 
-__all__ = ["EventSink", "MemorySink", "JsonlSink", "read_jsonl"]
+__all__ = ["EventSink", "MemorySink", "JsonlSink", "read_jsonl", "read_run_log"]
 
 
 class EventSink:
@@ -48,29 +57,37 @@ def _jsonable(value):
 
 
 class JsonlSink(EventSink):
-    """Appends one JSON line per event to ``path`` (created/truncated)."""
+    """Appends one JSON line per event to ``path`` (created/truncated).
+
+    Emit is thread-safe: the line is serialized outside the lock, then
+    written with a single ``write`` call under it, so events from
+    concurrent threads land whole — never interleaved byte-by-byte.
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._handle: IO[str] | None = self.path.open("w")
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        if self._handle is None:
-            raise ValueError(f"JsonlSink {self.path} already closed")
         try:
             line = json.dumps(event)
         except TypeError:
             line = json.dumps({k: _jsonable(v) for k, v in event.items()})
-        self._handle.write(line + "\n")
+        with self._lock:
+            if self._handle is None:
+                raise ValueError(f"JsonlSink {self.path} already closed")
+            self._handle.write(line + "\n")
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
 
 def read_jsonl(path: str | Path) -> list[dict]:
-    """Parse a JSONL telemetry file back into event dicts."""
+    """Parse a JSONL telemetry file back into event dicts (strict)."""
     events = []
     with Path(path).open() as handle:
         for line in handle:
@@ -78,3 +95,32 @@ def read_jsonl(path: str | Path) -> list[dict]:
             if line:
                 events.append(json.loads(line))
     return events
+
+
+def read_run_log(path: str | Path) -> tuple[list[dict], int]:
+    """Tolerantly parse a run-log JSONL file.
+
+    Returns ``(events, corrupt_lines)``: lines that fail to parse as a
+    JSON object — typically the torn final line of a killed run, or a
+    line clobbered by a concurrent non-locking writer — are counted and
+    skipped rather than aborting the read. Non-object lines (a bare
+    number or string) count as corrupt too: every well-formed event is a
+    dict.
+    """
+    events: list[dict] = []
+    corrupt = 0
+    with Path(path).open(errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                corrupt += 1
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+            else:
+                corrupt += 1
+    return events, corrupt

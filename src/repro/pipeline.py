@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro import obs
+from repro.obs.prof import hot as _hot
 from repro.allocation.result import ALLOCATION_SCHEMA_VERSION, Allocation
 from repro.allocation.solver import ConvexSolverOptions, solve_allocation
 from repro.codegen.mpmd import generate_mpmd_program
@@ -167,7 +168,8 @@ def compile_mdg(
     with obs.span(
         "compile", style="MPMD", machine=machine.name, processors=machine.processors
     ) as compile_span:
-        normalized = mdg.normalized()
+        with _hot("mdg.normalize"):
+            normalized = mdg.normalized()
         compile_span.set_attr("nodes", normalized.n_nodes)
         with obs.span("allocate") as sp:
             allocation = solve_allocation(normalized, machine, solver_options)
@@ -180,10 +182,11 @@ def compile_mdg(
         with obs.span("codegen") as sp:
             program = generate_mpmd_program(schedule, machine)
             sp.set_attr("instructions", program.n_instructions)
-        check_postconditions(
-            normalized, machine, allocation, schedule,
-            strict=strict, certify=strict,
-        )
+        with _hot("pipeline.postconditions"):
+            check_postconditions(
+                normalized, machine, allocation, schedule,
+                strict=strict, certify=strict,
+            )
     return CompilationResult(
         mdg=normalized,
         machine=machine,

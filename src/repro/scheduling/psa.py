@@ -22,10 +22,12 @@ bound weights, the effective PB and the rounded allocation in ``info``.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import Mapping
 
 from repro import obs
+from repro.obs.prof import HOT_PREFIX as _HOT_PREFIX, hot as _hot
 from repro.allocation.rounding import (
     bound_allocation,
     optimal_processor_bound,
@@ -164,9 +166,10 @@ def prioritized_schedule(
     default to one processor.
     """
     options = options or PSAOptions()
-    mdg, bounded, weights, processor_bound = prepare_allocation(
-        mdg, allocation, machine, options
-    )
+    with _hot("psa.prepare"):
+        mdg, bounded, weights, processor_bound = prepare_allocation(
+            mdg, allocation, machine, options
+        )
     p = machine.processors
 
     schedule = Schedule(mdg=mdg, total_processors=p)
@@ -186,16 +189,22 @@ def prioritized_schedule(
     if telemetry_on:
         queue_depth = obs.histogram("psa.ready_queue_length")
         scheduled_count = obs.counter("psa.nodes_scheduled")
+        # Hot-spot timer over the processor-pool operations, the PSA's
+        # dominant per-node cost (interval bookkeeping, not graph walks).
+        pool_time = obs.histogram(_HOT_PREFIX + "psa.pool")
 
     while ready:
         if telemetry_on:
             queue_depth.observe(len(ready))
+            pool_t0 = time.perf_counter()
         est, name = heapq.heappop(ready)
         width = bounded[name]
         pst = pool.satisfaction_time(width)
         start = max(est, pst)
         finish = start + weights.node_weight(name)
         processors = pool.acquire(width, start, finish)
+        if telemetry_on:
+            pool_time.observe(time.perf_counter() - pool_t0)
         schedule.add(
             ScheduledNode(name=name, start=start, finish=finish, processors=processors)
         )

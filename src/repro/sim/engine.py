@@ -51,11 +51,13 @@ per-processor streams, so runs are bit-for-bit reproducible.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
+from repro.obs.prof import HOT_PREFIX as _HOT_PREFIX
 from repro.codegen.program import ComputeOp, MPMDProgram, RecvOp, SendOp
 from repro.errors import DeadlockError, SimulationError
 from repro.faults.injector import FaultInjector, FaultSession
@@ -238,8 +240,14 @@ class MachineSimulator:
 
         sweeps = 0
         halted = False
+        if telemetry_on:
+            # Hot-spot timer per worklist sweep: the simulator's unit of
+            # forward progress, and where all its time goes.
+            sweep_time = obs.histogram(_HOT_PREFIX + "sim.sweep")
         while remaining > 0:
             sweeps += 1
+            if telemetry_on:
+                sweep_t0 = time.perf_counter()
             progressed = False
             for q in procs:
                 ps = state[q]
@@ -435,6 +443,8 @@ class MachineSimulator:
                     ps.pc += 1
                     remaining -= 1
                     progressed = True
+            if telemetry_on:
+                sweep_time.observe(time.perf_counter() - sweep_t0)
             if not progressed:
                 if session is not None and session.dead:
                     # Survivors are starved by the dead processors; stop

@@ -1,0 +1,186 @@
+"""The obs rule family: OBS001/OBS002 run-log findings via repro.check."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.check import Severity, check_file
+from repro.check.obs_passes import (
+    OBS_PASSES,
+    RUNLOG_CORRUPT_KEY,
+    RUNLOG_DOC_KEY,
+    ObsRunLogPass,
+    is_run_log_doc,
+)
+from repro.check.core import Analyzer, CheckContext
+from repro.check.registry import FAMILIES, all_rules, passes_for_families
+from repro.cli import main
+from repro.errors import CheckError
+
+
+def span(name, ts, dur, depth, parent=None):
+    return {
+        "type": "span",
+        "name": name,
+        "ts": ts,
+        "dur": dur,
+        "depth": depth,
+        "parent": parent,
+        "attrs": {},
+    }
+
+
+CLEAN = [
+    {"type": "run_start", "ts": 0.0},
+    span("allocate", 0.1, 0.4, 1, "compile"),
+    span("compile", 0.0, 1.0, 0),
+    {"type": "metrics", "ts": 1.0, "metrics": {}},
+]
+
+
+def write_log(tmp_path, records, name="run.jsonl"):
+    path = tmp_path / name
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+class TestRegistry:
+    def test_obs_family_registered(self):
+        assert "obs" in FAMILIES
+        assert passes_for_families(("obs",)) != []
+        assert all(isinstance(p, ObsRunLogPass) for p in passes_for_families(("obs",)))
+
+    def test_rules_present_with_expected_severities(self):
+        rules = {r.rule_id: r for r in all_rules()}
+        assert rules["OBS001"].severity is Severity.ERROR
+        assert rules["OBS002"].severity is Severity.WARNING
+
+    def test_is_run_log_doc(self):
+        assert is_run_log_doc({RUNLOG_DOC_KEY: []})
+        assert not is_run_log_doc({"nodes": []})
+        assert not is_run_log_doc(None)
+
+    def test_pass_skips_non_runlog_documents(self):
+        analyzer = Analyzer([cls() for cls in OBS_PASSES])
+        report = analyzer.run(CheckContext(doc={"nodes": [], "edges": []}))
+        assert len(report) == 0
+        assert "obs.runlog" in report.passes_run
+
+
+class TestCheckFile:
+    def test_clean_log_has_no_findings(self, tmp_path):
+        report = check_file(write_log(tmp_path, CLEAN))
+        assert len(report) == 0
+        assert report.passes_run == ["obs.runlog"]
+        assert not report.has_errors
+
+    def test_schema_problem_is_obs001_error_with_location(self, tmp_path):
+        records = [
+            {"type": "run_start", "ts": 0.0},
+            {"type": "span", "name": "allocate"},  # no ts/dur/depth
+        ]
+        report = check_file(write_log(tmp_path, records))
+        findings = [f for f in report if f.rule_id == "OBS001"]
+        assert findings, report.render_text()
+        assert all(f.severity is Severity.ERROR for f in findings)
+        assert any(f.location == "$[1]" for f in findings)
+
+    def test_structure_problem_is_obs002_warning(self, tmp_path):
+        records = [
+            {"type": "run_start", "ts": 0.0},
+            span("orphan", 0.1, 0.1, 2),
+            span("root", 0.0, 1.0, 0),
+        ]
+        report = check_file(write_log(tmp_path, records))
+        findings = [f for f in report if f.rule_id == "OBS002"]
+        assert findings
+        assert all(f.severity is Severity.WARNING for f in findings)
+        assert not report.has_errors
+
+    def test_corrupt_lines_reported_under_obs001(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps({"type": "run_start", "ts": 0.0}) + "\n"
+            + '{"type": "span", "nam'
+        )
+        report = check_file(path)
+        assert any(
+            f.rule_id == "OBS001" and "did not parse" in f.message
+            for f in report
+        )
+
+    def test_unreadable_log_raises_check_error(self, tmp_path):
+        with pytest.raises(CheckError, match="cannot read run log"):
+            check_file(tmp_path / "missing.jsonl")
+
+    def test_corrupt_key_zero_is_quiet(self):
+        analyzer = Analyzer([cls() for cls in OBS_PASSES])
+        report = analyzer.run(
+            CheckContext(doc={RUNLOG_DOC_KEY: CLEAN, RUNLOG_CORRUPT_KEY: 0})
+        )
+        assert len(report) == 0
+
+    def test_merged_batch_log_validates_clean(self, tmp_path):
+        """A parent log with merged worker subtrees must not be flagged:
+        the per-job grouping and root-depth rules exist exactly for it."""
+        from repro.obs.bundle import capture_bundle, merge_bundle
+
+        worker = obs.Telemetry(sinks=[obs.MemorySink()])
+        with obs.use(worker):
+            with obs.span("compile"):
+                with obs.span("allocate"):
+                    obs.event("solver.iteration", nit=1, objective=1.0)
+        bundle = capture_bundle(worker)
+
+        path = tmp_path / "parent.jsonl"
+        parent = obs.Telemetry(sinks=[obs.JsonlSink(path)])
+        with obs.use(parent):
+            with obs.span("batch"):
+                merge_bundle(parent, bundle, job_id="j1")
+                merge_bundle(parent, bundle, job_id="j2")
+        parent.close()
+
+        report = check_file(path)
+        assert len(report) == 0, report.render_text()
+
+
+class TestCli:
+    def test_check_jsonl_exit_codes(self, tmp_path, capsys):
+        clean = write_log(tmp_path, CLEAN, "clean.jsonl")
+        assert main(["check", str(clean)]) == 0
+        capsys.readouterr()
+
+        bad = write_log(
+            tmp_path,
+            [{"type": "run_start", "ts": 0.0}, {"type": "span", "name": "x"}],
+            "bad.jsonl",
+        )
+        assert main(["check", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "OBS001" in out
+
+    def test_check_directory_scans_jsonl(self, tmp_path, capsys):
+        logs = tmp_path / "logs"
+        logs.mkdir()
+        write_log(logs, CLEAN, "a.jsonl")
+        write_log(
+            logs,
+            [{"type": "run_start", "ts": 0.0}, span("neg", 0.0, -1.0, 0)],
+            "b.jsonl",
+        )
+        # Warnings only: exit 0 by default, 1 with --fail-on warning.
+        assert main(["check", str(logs)]) == 0
+        capsys.readouterr()
+        assert main(["check", str(logs), "--fail-on", "warning"]) == 1
+        out = capsys.readouterr().out
+        assert "OBS002" in out
+        assert "negative" in out
+
+    def test_list_rules_includes_obs(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "OBS001" in out
+        assert "OBS002" in out

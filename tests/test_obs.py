@@ -114,6 +114,73 @@ class TestMetrics:
         json.dumps(telemetry.metrics.snapshot())
 
 
+class TestPercentileSmallSamples:
+    """Tail percentiles over few samples must never undersell the tail.
+
+    With n samples, interpolation can only resolve quantiles up to
+    1 - 1/n; a p95 over 4 observations computed by interpolation reads
+    *below* the worst sample seen, which is exactly the wrong direction
+    for a tail-latency figure. The policy: unresolvable upper tails
+    return the maximum (nearest-rank-higher); resolvable quantiles keep
+    numpy-style linear interpolation.
+    """
+
+    def _hist(self, values):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("h")
+        for v in values:
+            h.observe(float(v))
+        return h
+
+    def test_p95_with_four_samples_returns_max(self):
+        h = self._hist([1.0, 2.0, 3.0, 10.0])
+        assert h.percentile(95.0) == 10.0
+
+    def test_p95_with_nineteen_samples_returns_max(self):
+        # 19 * 0.05 < 1: the top 5% contains less than one sample.
+        h = self._hist(range(1, 20))
+        assert h.percentile(95.0) == 19.0
+
+    def test_p95_with_twenty_samples_interpolates(self):
+        # 20 * 0.05 == 1: the tail is (just) resolvable.
+        h = self._hist(range(1, 21))
+        assert h.percentile(95.0) == pytest.approx(19.05)
+        assert h.percentile(95.0) < h.maximum
+
+    def test_p75_with_three_samples_returns_max(self):
+        h = self._hist([1.0, 2.0, 4.0])
+        assert h.percentile(75.0) == 4.0
+
+    def test_p50_interpolation_unchanged(self):
+        # The median is always resolvable; small n keeps interpolating.
+        assert self._hist([1.0, 2.0, 3.0, 4.0]).percentile(50.0) == 2.5
+        assert self._hist([1.0, 3.0]).percentile(50.0) == 2.0
+
+    def test_extremes_and_single_sample(self):
+        h = self._hist([5.0])
+        assert h.percentile(50.0) == 5.0
+        many = self._hist([1.0, 2.0, 3.0])
+        assert many.percentile(0.0) == 1.0
+        assert many.percentile(100.0) == 3.0
+
+    def test_empty_histogram_is_zero(self):
+        assert self._hist([]).percentile(95.0) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        h = self._hist([1.0])
+        with pytest.raises(ValueError):
+            h.percentile(-1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101.0)
+
+    def test_snapshot_p95_never_below_max_for_small_n(self):
+        for n in range(1, 20):
+            h = self._hist(range(n))
+            stats = h.as_dict()
+            assert stats["p95"] == stats["max"], f"n={n}"
+
+
 class TestJsonl:
     def test_round_trip(self, tmp_path):
         path = tmp_path / "run.jsonl"

@@ -1,0 +1,208 @@
+"""Tests for the metrics exporters (``repro.obs.export``) and their CLI."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import (
+    METRIC_FORMATS,
+    render_metrics,
+    resolve_format,
+    to_otlp_json,
+    to_prometheus,
+    write_metrics,
+)
+
+SNAPSHOT = {
+    "counters": {"solver.evals.objective": 42.0, "9-weird name!": 1.0},
+    "gauges": {"psa.queue.depth": 3.0},
+    "histograms": {
+        "prof.hot.solver.objective": {
+            "count": 4,
+            "sum": 10.0,
+            "min": 1.0,
+            "max": 4.0,
+            "mean": 2.5,
+            "p50": 2.5,
+            "p95": 4.0,
+        },
+        "empty": {"count": 0},
+    },
+}
+
+_PROM_LINE = re.compile(
+    r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)"
+    r'|[a-zA-Z_:][a-zA-Z0-9_:]*(\{quantile="0\.\d+"\})? \S+)$'
+)
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        text = to_prometheus(SNAPSHOT)
+        assert "# TYPE repro_solver_evals_objective_total counter" in text
+        assert "repro_solver_evals_objective_total 42.0" in text
+
+    def test_gauge(self):
+        text = to_prometheus(SNAPSHOT)
+        assert "# TYPE repro_psa_queue_depth gauge" in text
+        assert "repro_psa_queue_depth 3.0" in text
+
+    def test_histogram_becomes_summary_with_quantiles(self):
+        text = to_prometheus(SNAPSHOT)
+        assert "# TYPE repro_prof_hot_solver_objective summary" in text
+        assert 'repro_prof_hot_solver_objective{quantile="0.5"} 2.5' in text
+        assert 'repro_prof_hot_solver_objective{quantile="0.95"} 4.0' in text
+        assert "repro_prof_hot_solver_objective_sum 10.0" in text
+        assert "repro_prof_hot_solver_objective_count 4" in text
+
+    def test_empty_histogram_emits_no_quantiles(self):
+        text = to_prometheus(SNAPSHOT)
+        assert 'repro_empty{quantile' not in text
+        assert "repro_empty_count 0" in text
+
+    def test_names_are_sanitized(self):
+        text = to_prometheus(SNAPSHOT)
+        for line in text.splitlines():
+            assert _PROM_LINE.match(line), line
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus({}) == ""
+
+    def test_non_finite_values(self):
+        text = to_prometheus({"gauges": {"g": float("inf")}})
+        assert "repro_g +Inf" in text
+
+
+class TestOtlp:
+    def test_resource_scope_shape(self):
+        doc = to_otlp_json(SNAPSHOT, service_name="svc")
+        (resource,) = doc["resourceMetrics"]
+        assert resource["resource"]["attributes"][0]["value"] == {
+            "stringValue": "svc"
+        }
+        (scope,) = resource["scopeMetrics"]
+        assert scope["scope"]["name"] == "repro.obs"
+        names = [m["name"] for m in scope["metrics"]]
+        assert "solver.evals.objective" in names
+        assert "psa.queue.depth" in names
+
+    def test_counters_are_monotonic_cumulative_sums(self):
+        doc = to_otlp_json(SNAPSHOT)
+        metrics = doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        counter = next(
+            m for m in metrics if m["name"] == "solver.evals.objective"
+        )
+        assert counter["sum"]["isMonotonic"] is True
+        assert counter["sum"]["aggregationTemporality"] == 2
+        assert counter["sum"]["dataPoints"] == [{"asDouble": 42.0}]
+
+    def test_histograms_are_summaries_with_quantiles(self):
+        doc = to_otlp_json(SNAPSHOT)
+        metrics = doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        summary = next(
+            m for m in metrics if m["name"] == "prof.hot.solver.objective"
+        )
+        (point,) = summary["summary"]["dataPoints"]
+        assert point["count"] == 4
+        assert point["sum"] == 10.0
+        assert {"quantile": 0.95, "value": 4.0} in point["quantileValues"]
+
+    def test_json_serializable(self):
+        json.dumps(to_otlp_json(SNAPSHOT))
+
+
+class TestFormatResolution:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("m.prom", "prometheus"),
+            ("m.TXT", "prometheus"),
+            ("m.otlp", "otlp"),
+            ("m.json", "json"),
+            ("m", "json"),
+        ],
+    )
+    def test_auto_by_extension(self, path, expected):
+        assert resolve_format(path, "auto") == expected
+
+    def test_explicit_format_wins_over_extension(self):
+        assert resolve_format("m.prom", "json") == "json"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            resolve_format("m.json", "xml")
+        assert "xml" not in METRIC_FORMATS
+
+    def test_render_metrics_json_round_trips(self):
+        assert json.loads(render_metrics(SNAPSHOT, "json")) == SNAPSHOT
+
+
+class TestWriteMetrics:
+    def test_write_prometheus_by_extension(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert write_metrics(path, SNAPSHOT) == "prometheus"
+        assert path.read_text().startswith("# TYPE ")
+
+    def test_write_otlp(self, tmp_path):
+        path = tmp_path / "metrics.otlp"
+        assert write_metrics(path, SNAPSHOT) == "otlp"
+        assert "resourceMetrics" in json.loads(path.read_text())
+
+    def test_write_default_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert write_metrics(path, SNAPSHOT) == "json"
+        assert json.loads(path.read_text()) == SNAPSHOT
+
+
+class TestCli:
+    def test_metrics_out_prometheus(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "compile",
+                    "--program",
+                    "complex",
+                    "--n",
+                    "16",
+                    "-p",
+                    "4",
+                    "--metrics-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert f"wrote metrics (prometheus) to {out}" in stdout
+        text = out.read_text()
+        assert "# TYPE " in text
+        assert "repro_" in text
+
+    def test_metrics_format_flag_overrides_extension(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "compile",
+                    "--program",
+                    "complex",
+                    "--n",
+                    "16",
+                    "-p",
+                    "4",
+                    "--metrics-out",
+                    str(out),
+                    "--metrics-format",
+                    "otlp",
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "wrote metrics (otlp)" in stdout
+        assert "resourceMetrics" in json.loads(out.read_text())
