@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-store test-batch check lint bench perf-smoke profile examples artifacts clean
+.PHONY: install test test-faults test-store test-batch test-resilience check lint bench perf-smoke profile examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -23,6 +23,14 @@ test-store:
 test-batch:
 	$(PYTHON) -m pytest tests/test_batch.py tests/test_batch_cache.py \
 		tests/test_check_manifest.py
+
+# The crash-tolerance slice: leases, deadlines, circuit breaker, chaos
+# engine. Per-test wall caps come from pytest-timeout (pyproject.toml);
+# without it installed the caps are simply not enforced.
+test-resilience:
+	$(PYTHON) -m pytest tests/test_resilience_deadline.py \
+		tests/test_resilience_lease.py tests/test_resilience_engine.py \
+		tests/test_check_resilience.py
 
 # Static analysis: lint the shipped example graphs and the built-in
 # program suite with the repro.check analyzer (exit 1 on error findings).

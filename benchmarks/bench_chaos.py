@@ -1,0 +1,120 @@
+"""P3 — chaos recovery overhead: crash tolerance must stay cheap.
+
+A 16-job sweep through the resilient executor, measured twice:
+
+* **resilient clean** — lease-claiming workers, no faults injected (the
+  steady-state cost of leases + heartbeats);
+* **resilient chaos** — the same sweep with two injected worker SIGKILLs
+  and one forced lease expiry (a tiny-ttl claim plus a stall so the job
+  is reclaimed mid-run).
+
+Two contracts are asserted, not just reported: the chaos run's per-job
+results are bit-identical to the clean run's (fault recovery never
+changes an answer), and the recovery overhead stays under 2x the clean
+wall time (the issue's acceptance bar — crashing a third of the fleet
+must not double the batch).
+"""
+
+import os
+import tempfile
+import time
+
+from _helpers import emit, series_table
+from repro.batch import BatchCompiler, BatchJob
+from repro.resilience import ChaosSpec, ResilienceOptions, count_executions
+
+N_JOBS = 24
+WORKERS = 3
+#: Small ttl: recovery latency after a SIGKILL is bounded by one ttl, so
+#: this is the knob that keeps the injected crashes cheap to survive.
+LEASE_TTL = 0.5
+CHAOS = ChaosSpec(
+    seed=7,
+    kill_jobs=("j3", "j11"),
+    expire_jobs=("j7",),
+    stall_jobs=("j7",),
+    stall_seconds=0.3,
+    expire_ttl=0.05,
+)
+
+
+def make_jobs():
+    return [
+        BatchJob(
+            job_id=f"j{i}",
+            source={"kind": "program", "name": "complex", "n": 16},
+            processors=8,
+        )
+        for i in range(N_JOBS)
+    ]
+
+
+def _run(jobs, chaos):
+    with tempfile.TemporaryDirectory() as coord:
+        options = ResilienceOptions(
+            workers=WORKERS, lease_ttl=LEASE_TTL, chaos=chaos
+        )
+        start = time.perf_counter()
+        report = BatchCompiler(workers=WORKERS, cache_dir=coord) \
+            .run_resilient(jobs, options)
+        wall = time.perf_counter() - start
+        executions = sum(count_executions(coord).values())
+    assert report.n_failed == 0, [r.error for r in report.results if not r.ok]
+    return report, wall, executions
+
+
+def _strip(results):
+    return {
+        r.job_id: (r.phi, r.predicted_makespan, r.processors)
+        for r in results
+    }
+
+
+def test_chaos_recovery_overhead(benchmark):
+    jobs = make_jobs()
+
+    def experiment():
+        clean = _run(jobs, None)
+        chaos = _run(jobs, CHAOS)
+        return clean, chaos
+
+    (clean, t_clean, x_clean), (chaos, t_chaos, x_chaos) = (
+        benchmark.pedantic(experiment, rounds=1)
+    )
+
+    # Fault recovery never changes an answer.
+    assert _strip(chaos.results) == _strip(clean.results)
+    assert x_clean == N_JOBS  # exactly one execution per job, no faults
+    assert chaos.resilience["worker_crashes"] >= 2
+    assert chaos.resilience["lost_jobs"] == 0
+
+    overhead = t_chaos / t_clean
+    emit(
+        "chaos_recovery",
+        series_table(
+            f"P3 — chaos recovery overhead, {N_JOBS} jobs, {WORKERS} "
+            f"workers (cpu_count={os.cpu_count()})",
+            {
+                "configuration": [
+                    "resilient clean",
+                    "resilient chaos (2 kills + 1 expiry)",
+                ],
+                "wall (s)": [f"{t_clean:.2f}", f"{t_chaos:.2f}"],
+                "executions": [str(x_clean), str(x_chaos)],
+                "crashes": [
+                    str(clean.resilience["worker_crashes"]),
+                    str(chaos.resilience["worker_crashes"]),
+                ],
+                "reclaims": [
+                    str(clean.resilience["reclaims"]),
+                    str(chaos.resilience["reclaims"]),
+                ],
+                "overhead vs clean": ["1.00", f"{overhead:.2f}"],
+            },
+        ),
+    )
+    benchmark.extra_info["recovery_overhead"] = overhead
+
+    assert overhead < 2.0, (
+        f"chaos recovery cost {overhead:.2f}x the clean run (budget: <2x)"
+    )

@@ -7,13 +7,27 @@ only to paper over numerical stalls, not local minima.
 
 Degradation ladder (robustness): every attempt can be capped by a
 wall-clock ``timeout_seconds``; if every method x start attempt fails,
-up to ``max_restarts`` perturbed restarts re-try from jittered initial
-points; and if *those* fail too, ``strict=False`` swaps the
-:class:`~repro.errors.SolverError` for a guaranteed-feasible analytic
+the restart schedule (a :class:`repro.resilience.RetryPolicy` — seeded,
+jittered exponential backoff; the legacy ``max_restarts`` /
+``restart_seed`` knobs map onto a zero-delay policy) re-tries from
+jittered initial points; and if *those* fail too, ``strict=False`` swaps
+the :class:`~repro.errors.SolverError` for a guaranteed-feasible analytic
 fallback — the best uniform allocation ``p_i = t`` over a ladder of
 targets, evaluated with the exact cost model — reported through a
 ``solver.fallback`` warning event so the degradation is visible, not
 silent.
+
+Two ambient controls from :mod:`repro.resilience` cut across the ladder:
+
+* an active :class:`~repro.resilience.Deadline` is checked before every
+  attempt and inside every iteration callback, and aborts the whole solve
+  with :class:`~repro.errors.DeadlineExceeded` (never absorbed into the
+  ladder — a spent budget must not degrade into a fallback answer);
+* a :class:`~repro.resilience.CircuitBreaker` installed under the name
+  ``"solver"`` short-circuits the scipy ladder entirely while open,
+  routing straight to the analytic fallback (regardless of ``strict`` —
+  an operator who installs a breaker chooses availability over
+  strictness), and is fed the outcome of every completed ladder.
 """
 
 from __future__ import annotations
@@ -34,6 +48,8 @@ from repro.allocation.result import Allocation
 from repro.errors import SolverError
 from repro.graph.mdg import MDG
 from repro.machine.parameters import MachineParameters
+from repro.resilience.breaker import maybe_breaker
+from repro.resilience.deadline import RetryPolicy, check_deadline, current_deadline
 
 __all__ = ["ConvexSolverOptions", "solve_allocation"]
 
@@ -65,9 +81,17 @@ class ConvexSolverOptions:
     timeout_seconds: float | None = None
     #: When every method x start attempt fails, retry this many times from
     #: multiplicatively jittered initial points (seeded; deterministic).
+    #: Legacy knob: folded into :meth:`resolved_retry` unless ``retry``
+    #: is set explicitly.
     max_restarts: int = 2
-    #: Seed of the restart jitter stream.
+    #: Seed of the restart jitter stream (legacy; see ``retry``).
     restart_seed: int = 0
+    #: Full restart schedule. ``None`` derives a zero-delay policy from
+    #: ``max_restarts`` / ``restart_seed`` (the historical behaviour); an
+    #: explicit :class:`repro.resilience.RetryPolicy` additionally spaces
+    #: restarts with seeded jittered exponential backoff, which is what a
+    #: batch under a flaky numeric backend wants.
+    retry: RetryPolicy | None = None
     #: ``True``: raise :class:`SolverError` when nothing converges (the
     #: historical behaviour). ``False``: degrade to the analytic uniform
     #: fallback allocation and emit a ``solver.fallback`` warning event.
@@ -80,6 +104,17 @@ class ConvexSolverOptions:
             )
         if self.max_restarts < 0:
             raise SolverError(f"max_restarts must be >= 0, got {self.max_restarts!r}")
+
+    def resolved_retry(self) -> RetryPolicy:
+        """The restart schedule: ``retry``, or the legacy knobs as a
+        zero-delay policy (bit-identical to the historical ladder)."""
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy(
+            max_attempts=self.max_restarts,
+            base_delay=0.0,
+            seed=self.restart_seed,
+        )
 
     def resolved_methods(self) -> list[str]:
         if self.method == "auto":
@@ -160,20 +195,32 @@ class _AttemptTimeout(Exception):
     """One solver attempt overran its wall-clock budget (internal)."""
 
 
-def _deadline_callback(callback, deadline: float | None, method: str):
-    """Wrap a (possibly ``None``) scipy callback with a deadline check.
+def _deadline_callback(callback, deadline: float | None, method: str,
+                       ambient=None):
+    """Wrap a (possibly ``None``) scipy callback with budget checks.
 
     Raising from the callback is the only timeout mechanism both
     ``trust-constr`` and SLSQP honour immediately; the exception unwinds
-    ``minimize`` and is caught per attempt.
+    ``minimize``. Two budgets apply with different blast radii: the
+    per-attempt ``timeout_seconds`` raises :class:`_AttemptTimeout`
+    (caught per attempt — the ladder continues), while the ambient
+    job :class:`~repro.resilience.Deadline` raises
+    :class:`~repro.errors.DeadlineExceeded` (never caught here — the
+    whole solve aborts).
     """
-    if deadline is None:
+    if deadline is None and ambient is None:
         return callback
+
+    def _check() -> None:
+        if ambient is not None:
+            ambient.check("allocate")
+        if deadline is not None and time.monotonic() > deadline:
+            raise _AttemptTimeout
+
     if method == "trust-constr":
 
         def guarded(xk, state) -> bool:
-            if time.monotonic() > deadline:
-                raise _AttemptTimeout
+            _check()
             if callback is not None:
                 return callback(xk, state)
             return False
@@ -181,8 +228,7 @@ def _deadline_callback(callback, deadline: float | None, method: str):
         return guarded
 
     def guarded_slsqp(xk) -> None:
-        if time.monotonic() > deadline:
-            raise _AttemptTimeout
+        _check()
         if callback is not None:
             callback(xk)
 
@@ -206,7 +252,8 @@ def _run_method(
     )
     telemetry_on = obs.enabled()
     callback = _iteration_callback(problem, method) if telemetry_on else None
-    callback = _deadline_callback(callback, deadline, method)
+    callback = _deadline_callback(callback, deadline, method,
+                                  ambient=current_deadline())
     objective = problem.objective
     gradient = problem.objective_gradient
     hessian = problem.objective_hessian
@@ -295,6 +342,17 @@ def solve_allocation(
     normalized = mdg.normalized()
     problem = ConvexAllocationProblem(normalized, machine)
 
+    breaker = maybe_breaker("solver")
+    if breaker is not None and not breaker.allow():
+        # Backend circuit open: shed load to the analytic fallback without
+        # burning a timeout ladder per job (regardless of ``strict`` — an
+        # installed breaker is an explicit availability-over-strictness
+        # choice; see the module docstring).
+        return _fallback_allocation(
+            problem, machine,
+            [{"method": "none", "start": None, "error": "circuit-open"}],
+        )
+
     p = machine.processors
     targets = options.multistart_targets
     if targets is None:
@@ -308,6 +366,7 @@ def solve_allocation(
     def run_attempt(method: str, start_label, z0: np.ndarray) -> None:
         """One ``minimize`` attempt; updates ``best``/``attempts`` in place."""
         nonlocal best
+        check_deadline("allocate")
         obs.counter("solver.attempts").inc()
         with obs.span(
             "solver.attempt", method=method, start=start_label
@@ -375,13 +434,19 @@ def solve_allocation(
         if best is not None:
             break  # primary method succeeded; no need for the fallback
 
-    # Every base attempt failed: retry from jittered starts. The jitter is
-    # multiplicative (log-normal around the base target), seeded, and
-    # clipped back into [1, p], so restarts are deterministic and feasible.
-    if best is None and options.max_restarts > 0:
-        rng = np.random.default_rng((options.restart_seed, 0x50A7))
+    # Every base attempt failed: retry from jittered starts on the
+    # RetryPolicy schedule (zero-delay under the legacy knobs, spaced
+    # exponential backoff under an explicit policy). The start-point
+    # jitter is multiplicative (log-normal around the base target),
+    # seeded, and clipped back into [1, p], so restarts are deterministic
+    # and feasible.
+    policy = options.resolved_retry()
+    if best is None and policy.max_attempts > 0:
+        rng = np.random.default_rng((policy.seed, 0x50A7))
         base_targets = [float(t) for t in targets] or [math.sqrt(p)]
-        for restart in range(options.max_restarts):
+        for restart, delay in enumerate(policy.delays()):
+            check_deadline("allocate")
+            policy.sleep(delay)
             base = base_targets[restart % len(base_targets)]
             jitter = float(np.exp(rng.normal(0.0, 0.35)))
             target = min(max(base * jitter, 1.0), float(p))
@@ -391,6 +456,7 @@ def solve_allocation(
                 level="warning",
                 round=restart + 1,
                 target=target,
+                backoff_seconds=delay,
             )
             for method in options.resolved_methods():
                 run_attempt(
@@ -404,6 +470,7 @@ def solve_allocation(
     # active-set method, exact on the boundary). Keep it only if it is
     # feasible and improves the objective.
     if best is not None and best["method"] != "slsqp":
+        check_deadline("allocate")
         try:
             with obs.span("solver.polish", method="slsqp"):
                 polished = _run_method(problem, "slsqp", best["z"].copy(), options)
@@ -426,6 +493,8 @@ def solve_allocation(
 
     if best is None:
         obs.counter("solver.failures").inc()
+        if breaker is not None:
+            breaker.record_failure()
         if options.strict:
             raise SolverError(
                 f"allocation solver failed on {problem.describe()}; "
@@ -433,6 +502,8 @@ def solve_allocation(
             )
         return _fallback_allocation(problem, machine, attempts)
 
+    if breaker is not None:
+        breaker.record_success()
     z = best.pop("z")
     processors = problem.allocation_from_point(z)
     a_exact, c_exact = problem.evaluate_allocation(processors)

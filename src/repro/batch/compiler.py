@@ -74,6 +74,10 @@ class _WorkerTask:
     #: Capture the job's telemetry into an obs bundle for the parent to
     #: merge. Set from ``obs.enabled()`` in the parent at submit time.
     capture_obs: bool = False
+    #: Per-job wall-clock budget (seconds). Installed as the ambient
+    #: :class:`repro.resilience.Deadline` around the job body, where the
+    #: solver, PSA, and simulator check it cooperatively.
+    deadline_seconds: float | None = None
 
 
 def _resolve_mdg(source: dict[str, Any]):
@@ -265,7 +269,7 @@ def _load_or_solve(task: _WorkerTask, problem, normalized, machine, result):
     return allocation
 
 
-def _execute_job(task: _WorkerTask) -> dict[str, Any]:
+def _execute_job(task: _WorkerTask, on_stage=None) -> dict[str, Any]:
     """Run one job end to end; always returns a JSON-safe record.
 
     This is the function the process pool pickles — it must stay at
@@ -278,68 +282,98 @@ def _execute_job(task: _WorkerTask) -> dict[str, Any]:
     events, and metrics travel back in the record's ``obs_bundle`` for
     the parent to merge. The same path runs in both executors, which is
     what makes serial and parallel telemetry equivalent.
+
+    ``on_stage`` (resilient executor only) is called with each stage name
+    as the job enters it, so the heartbeat thread can stamp the current
+    stage into the lease record.
     """
     if task.capture_obs:
         local = obs.Telemetry(sinks=[obs.MemorySink()])
         with obs.use(local):
-            record = _execute_job_body(task)
+            record = _execute_job_body(task, on_stage)
         record["obs_bundle"] = obs.capture_bundle(local)
         return record
-    return _execute_job_body(task)
+    return _execute_job_body(task, on_stage)
 
 
-def _execute_job_body(task: _WorkerTask) -> dict[str, Any]:
+def _execute_job_body(task: _WorkerTask, on_stage=None) -> dict[str, Any]:
+    from repro.resilience.deadline import Deadline, deadline_scope
+
     job = task.job
     result = JobResult(job_id=job.job_id, ok=False)
     start = time.perf_counter()
+
+    def enter(stage: str) -> None:
+        result.stage = stage
+        if on_stage is not None:
+            on_stage(stage)
+
+    deadline = (
+        Deadline(task.deadline_seconds)
+        if task.deadline_seconds is not None
+        else None
+    )
     try:
-        mdg = _resolve_mdg(job.source)
-        machine = _resolve_machine(job)
-        normalized = mdg.normalized()
+        with deadline_scope(deadline):
+            enter("resolve")
+            mdg = _resolve_mdg(job.source)
+            machine = _resolve_machine(job)
+            normalized = mdg.normalized()
 
-        if job.style == "SPMD":
-            from repro.pipeline import compile_spmd
+            if job.style == "SPMD":
+                from repro.pipeline import compile_spmd
 
-            compilation = compile_spmd(normalized, machine)
-            allocation = compilation.allocation
-            schedule = compilation.schedule
-            program = compilation.program
-        else:
-            from repro.allocation.formulation import ConvexAllocationProblem
-            from repro.codegen.mpmd import generate_mpmd_program
-            from repro.scheduling.psa import prioritized_schedule
+                enter("allocate")
+                compilation = compile_spmd(normalized, machine)
+                allocation = compilation.allocation
+                schedule = compilation.schedule
+                program = compilation.program
+            else:
+                from repro.allocation.formulation import ConvexAllocationProblem
+                from repro.codegen.mpmd import generate_mpmd_program
+                from repro.scheduling.psa import prioritized_schedule
 
-            problem = ConvexAllocationProblem(normalized, machine)
-            allocation = _load_or_solve(
-                task, problem, normalized, machine, result
-            )
-            schedule = prioritized_schedule(
-                normalized, allocation.processors, machine, job.psa
-            )
-            program = generate_mpmd_program(schedule, machine)
+                problem = ConvexAllocationProblem(normalized, machine)
+                enter("allocate")
+                allocation = _load_or_solve(
+                    task, problem, normalized, machine, result
+                )
+                enter("schedule")
+                schedule = prioritized_schedule(
+                    normalized, allocation.processors, machine, job.psa
+                )
+                enter("codegen")
+                program = generate_mpmd_program(schedule, machine)
 
-        result.phi = allocation.phi
-        result.predicted_makespan = schedule.makespan
-        result.processors = {
-            k: float(v) for k, v in allocation.processors.items()
-        }
-        solver_info = allocation.info.get("solver", {})
-        if isinstance(solver_info, dict):
-            result.solver_iterations = int(solver_info.get("iterations", -1))
-        attempts = allocation.info.get("attempts")
-        if isinstance(attempts, (list, tuple)):
-            result.solver_attempts = len(attempts)
+            result.phi = allocation.phi
+            result.predicted_makespan = schedule.makespan
+            result.processors = {
+                k: float(v) for k, v in allocation.processors.items()
+            }
+            solver_info = allocation.info.get("solver", {})
+            if isinstance(solver_info, dict):
+                result.solver_iterations = int(solver_info.get("iterations", -1))
+            attempts = allocation.info.get("attempts")
+            if isinstance(attempts, (list, tuple)):
+                result.solver_attempts = len(attempts)
 
-        if job.simulate:
-            from repro.sim.engine import MachineSimulator
+            if job.simulate:
+                from repro.sim.engine import MachineSimulator
 
-            simulator = MachineSimulator(_resolve_fidelity(job.fidelity))
-            sim = simulator.run(program, record_trace=False)
-            result.measured_makespan = sim.makespan
-        result.ok = True
+                enter("simulate")
+                simulator = MachineSimulator(_resolve_fidelity(job.fidelity))
+                sim = simulator.run(program, record_trace=False)
+                result.measured_makespan = sim.makespan
+            result.ok = True
+            result.stage = "done"
     except Exception as exc:  # noqa: BLE001 - per-job isolation by design
         result.error = str(exc)
         result.error_type = type(exc).__name__
+        # A deadline may expire in a deeper stage than the one this body
+        # last entered (e.g. inside the simulator loop); trust it.
+        exc_stage = getattr(exc, "stage", "")
+        if exc_stage:
+            result.stage = exc_stage
     result.latency_seconds = time.perf_counter() - start
     return result.to_dict()
 
@@ -352,6 +386,9 @@ class BatchReport:
     wall_seconds: float
     workers: int
     cache_dir: str | None = None
+    #: Crash/recovery summary from the resilient executor (worker crashes,
+    #: respawns, lease reclaims, executions); None for the plain executors.
+    resilience: dict[str, Any] | None = None
 
     @property
     def n_ok(self) -> int:
@@ -405,12 +442,15 @@ class BatchReport:
             "cache_misses": self.cache_count("miss"),
             "cache_poisoned": self.cache_count("poisoned"),
             "warm_starts": self.warm_starts,
+            "resilience": self.resilience,
         }
 
     def render_text(self) -> str:
         rows = []
         for r in self.results:
             status = "ok" if r.ok else f"ERROR ({r.error_type})"
+            if not r.ok and r.stage:
+                status += f" @{r.stage}"
             rows.append(
                 (
                     r.job_id,
@@ -438,6 +478,16 @@ class BatchReport:
             f"{self.warm_starts} warm start(s) | "
             f"{self.n_failed} failed"
         )
+        if self.resilience is not None:
+            res = self.resilience
+            summary += (
+                f"\nresilience: {res.get('worker_crashes', 0)} worker "
+                f"crash(es), {res.get('respawns', 0)} respawn(s), "
+                f"{res.get('reclaims', 0)} lease reclaim(s), "
+                f"{res.get('executions', 0)} execution(s) for "
+                f"{len(self.results)} job(s), "
+                f"{res.get('lost_jobs', 0)} lost"
+            )
         return f"{table}\n{summary}"
 
 
@@ -460,6 +510,11 @@ class BatchCompiler:
     strict:
         Propagated to the store: damaged artifacts raise instead of being
         quarantined and recomputed.
+    deadline_seconds:
+        Per-job wall-clock budget enforced cooperatively inside the
+        worker (solver attempts, PSA, simulation); an over-budget job
+        becomes an ``ok=False`` record with ``error_type``
+        ``DeadlineExceeded``. ``None`` disables budgets.
     """
 
     def __init__(
@@ -470,6 +525,7 @@ class BatchCompiler:
         strict: bool = False,
         solver_options: Any = None,
         psa_options: Any = None,
+        deadline_seconds: float | None = None,
     ):
         if workers < 0:
             raise ReproError(f"workers must be >= 0, got {workers!r}")
@@ -479,6 +535,9 @@ class BatchCompiler:
         self.strict = bool(strict)
         self.solver_options = solver_options
         self.psa_options = psa_options
+        self.deadline_seconds = (
+            float(deadline_seconds) if deadline_seconds is not None else None
+        )
 
     # ----- task construction ----------------------------------------------
 
@@ -511,6 +570,7 @@ class BatchCompiler:
                     strict=self.strict,
                     warm_keys=warm_keys,
                     capture_obs=capture_obs,
+                    deadline_seconds=self.deadline_seconds,
                 )
             )
         return tasks
@@ -547,6 +607,7 @@ class BatchCompiler:
         """Dispatch to a process pool; collect ordered, crash-tolerant."""
         records: list[dict[str, Any] | None] = [None] * len(tasks)
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            submitted_at = time.perf_counter()
             pending = {pool.submit(_execute_job, task): task for task in tasks}
             while pending:
                 done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
@@ -560,6 +621,11 @@ class BatchCompiler:
                             ok=False,
                             error=f"worker crashed: {exc}",
                             error_type=type(exc).__name__,
+                            # The pool cannot say which stage died (the
+                            # resilient executor can, via the lease), but
+                            # wall time since submit bounds the triage.
+                            stage="worker",
+                            latency_seconds=time.perf_counter() - submitted_at,
                         ).to_dict()
         # ``None`` can only remain if the executor lost track of a future
         # entirely (broken pool); surface it as an error record.
@@ -572,6 +638,67 @@ class BatchCompiler:
                     error_type="WorkerCrash",
                 ).to_dict()
         return records  # type: ignore[return-value]
+
+    def run_resilient(self, jobs: Sequence[BatchJob], options=None) -> BatchReport:
+        """Execute the batch under the crash-tolerant executor.
+
+        Jobs are claimed through expiring lease records in the
+        coordination directory (``cache_dir``, or a private temporary
+        directory when caching is off), worker processes that die are
+        respawned, and completed jobs are recorded as idempotent result
+        artifacts — see :mod:`repro.resilience.engine`. ``options`` is a
+        :class:`repro.resilience.ResilienceOptions`; its worker count
+        defaults to this compiler's.
+        """
+        import tempfile
+
+        from repro.resilience.engine import ResilienceOptions, execute_resilient
+
+        if options is None:
+            options = ResilienceOptions()
+        if options.workers is None:
+            options = replace(options, workers=max(2, self.workers))
+        if options.deadline_seconds is None and self.deadline_seconds is not None:
+            options = replace(options, deadline_seconds=self.deadline_seconds)
+
+        # Worker obs bundles cannot cross the artifact boundary (they are
+        # merged live in the pool executor); the resilient executor trades
+        # per-job span subtrees for crash tolerance.
+        tasks = [
+            replace(task, capture_obs=False,
+                    deadline_seconds=options.deadline_seconds)
+            for task in self._tasks(jobs)
+        ]
+        start = time.perf_counter()
+        tmp_dir = None
+        if self.cache_dir is not None:
+            coord_root = self.cache_dir
+        else:
+            tmp_dir = tempfile.TemporaryDirectory(prefix="repro-batch-coord-")
+            coord_root = tmp_dir.name
+        try:
+            with obs.span(
+                "batch.resilient",
+                jobs=len(tasks),
+                workers=options.workers,
+                lease_ttl=options.lease_ttl,
+                chaos=options.chaos is not None,
+            ):
+                records, summary = execute_resilient(tasks, options, coord_root)
+        finally:
+            if tmp_dir is not None:
+                tmp_dir.cleanup()
+        wall = time.perf_counter() - start
+        results = [JobResult(**record) for record in records]
+        report = BatchReport(
+            results=results,
+            wall_seconds=wall,
+            workers=options.workers,
+            cache_dir=self.cache_dir,
+            resilience=summary,
+        )
+        self._emit_telemetry(report)
+        return report
 
     # ----- telemetry --------------------------------------------------------
 

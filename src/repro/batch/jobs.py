@@ -129,6 +129,15 @@ class JobResult:
     predicted_makespan: float | None = None
     measured_makespan: float | None = None
     processors: dict[str, float] = field(default_factory=dict)
+    #: Pipeline stage the job was in when it finished or failed
+    #: ("resolve", "allocate", "schedule", "codegen", "simulate", or
+    #: "done"). Crash triage from the report alone needs this: a sweep of
+    #: worker deaths in "allocate" points at the solver, in "simulate" at
+    #: the machine model.
+    stage: str = ""
+    #: Execution attempt that produced this record (> 1 after a lease
+    #: reclaim in the resilient executor).
+    attempt: int = 1
     cache: str = "off"
     warm_start: bool = False
     solver_iterations: int = -1
@@ -147,6 +156,8 @@ class JobResult:
             "ok": self.ok,
             "error": self.error,
             "error_type": self.error_type,
+            "stage": self.stage,
+            "attempt": self.attempt,
             "phi": self.phi,
             "predicted_makespan": self.predicted_makespan,
             "measured_makespan": self.measured_makespan,

@@ -142,7 +142,8 @@ class Pass(ABC):
 
     #: Short machine name, e.g. ``"graph.cycles"``.
     name: str = ""
-    #: One of ``"graph" | "cost" | "schedule" | "ir" | "batch" | "obs"``.
+    #: One of ``"graph" | "cost" | "schedule" | "ir" | "batch" | "obs" |
+    #: "resilience"``.
     family: str = ""
     #: The rules this pass may report against.
     rules: tuple[Rule, ...] = ()

@@ -1,0 +1,185 @@
+"""Resilience pass family: lease records and chaos specs.
+
+Two document shapes route here from ``check_file``: a lease artifact
+envelope (kind ``batch-lease`` — what :class:`~repro.resilience.lease.
+LeaseManager` writes into the batch coordination directory) and a chaos
+spec (kind ``chaos`` — the fault-injection plan behind ``repro batch
+--chaos``). Both are operational inputs that humans edit or inspect
+during incident triage, which is exactly when a silently-malformed file
+costs the most: a lease with ``expires_at`` before ``claimed_at`` never
+expires *or* always expires depending on the reader, and a chaos spec
+with a typo'd field injects nothing while the test asserting recovery
+passes vacuously.
+
+The chaos validator is shared with :func:`repro.resilience.chaos.
+load_chaos_spec` (same :func:`chaos_problems` core), so the static
+findings and the loader's exception can never disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.check.core import CheckContext, Finding, Pass, Rule, Severity
+
+__all__ = [
+    "ResilienceLeasePass",
+    "ResilienceChaosPass",
+    "RESILIENCE_PASSES",
+    "is_lease_doc",
+]
+
+#: Attempt count above which a lease probably records a crash loop.
+_CRASH_LOOP_ATTEMPTS = 4
+
+RES001 = Rule(
+    "RES001",
+    "Lease records must match the lease schema",
+    Severity.ERROR,
+    "A batch-lease payload needs job_id/owner/nonce strings, a state of "
+    "'active' or 'released', an attempt count >= 1, numeric "
+    "claimed_at/expires_at/ttl with ttl > 0 and expires_at >= claimed_at, "
+    "and a heartbeat count >= 0; a malformed record makes ownership "
+    "undecidable, so a crashed worker's job is either never reclaimed or "
+    "reclaimed while still running.",
+    '{"state": "active", "expires_at": 10.0, "claimed_at": 20.0}',
+)
+RES002 = Rule(
+    "RES002",
+    "Lease lifecycle should be plausible",
+    Severity.WARNING,
+    "An attempt counter above "
+    f"{_CRASH_LOOP_ATTEMPTS} means the job was reclaimed repeatedly — a "
+    "crash loop, a ttl shorter than the job's runtime, or chaos injection "
+    "left enabled in production; an active lease that never heartbeat "
+    "despite multiple attempts points the same way.",
+    '{"attempt": 9, "state": "active", "heartbeats": 0}',
+)
+RES003 = Rule(
+    "RES003",
+    "Chaos specs must be well-formed",
+    Severity.ERROR,
+    "A chaos document needs kind 'chaos', a supported schema_version, an "
+    "integer seed, job-id string arrays for "
+    "kill_jobs/expire_jobs/corrupt_jobs/stall_jobs, stall_seconds >= 0 "
+    "and expire_ttl > 0, with no unknown fields; a misspelled field "
+    "injects no faults, so the recovery path under test silently never "
+    "runs.",
+    '{"kind": "chaos", "kill_job": ["complex-3"]}  (kill_job vs kill_jobs)',
+)
+
+_LEASE_STATES = ("active", "released")
+
+
+def is_lease_doc(doc: object) -> bool:
+    """Whether a JSON document is a lease artifact envelope."""
+    return (
+        isinstance(doc, dict)
+        and doc.get("kind") == "batch-lease"
+        and isinstance(doc.get("payload"), dict)
+    )
+
+
+class ResilienceLeasePass(Pass):
+    """RES001-RES002: lease-record schema and lifecycle plausibility."""
+
+    name = "resilience.lease"
+    family = "resilience"
+    rules = (RES001, RES002)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        if not is_lease_doc(ctx.doc):
+            return
+        payload = ctx.doc["payload"]
+
+        def bad(field: str, why: str) -> Finding:
+            return self.finding(RES001, f"{field}: {why}", f"$.payload.{field}", ctx)
+
+        for field in ("job_id", "owner"):
+            value = payload.get(field)
+            if not isinstance(value, str) or not value:
+                yield bad(field, f"must be a non-empty string, got {value!r}")
+        state = payload.get("state")
+        if state not in _LEASE_STATES:
+            yield bad(
+                "state",
+                f"must be one of {list(_LEASE_STATES)}, got {state!r}",
+            )
+        attempt = payload.get("attempt")
+        if isinstance(attempt, bool) or not isinstance(attempt, int) or attempt < 1:
+            yield bad("attempt", f"must be an integer >= 1, got {attempt!r}")
+            attempt = None
+        heartbeats = payload.get("heartbeats", 0)
+        if (
+            isinstance(heartbeats, bool)
+            or not isinstance(heartbeats, int)
+            or heartbeats < 0
+        ):
+            yield bad(
+                "heartbeats", f"must be an integer >= 0, got {heartbeats!r}"
+            )
+            heartbeats = None
+        numbers: dict[str, float | None] = {}
+        for field in ("claimed_at", "expires_at", "ttl"):
+            value = payload.get(field)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                yield bad(field, f"must be a number, got {value!r}")
+                numbers[field] = None
+            else:
+                numbers[field] = float(value)
+        ttl = numbers.get("ttl")
+        if ttl is not None and ttl <= 0:
+            yield bad("ttl", f"must be > 0, got {ttl!r}")
+        claimed = numbers.get("claimed_at")
+        expires = numbers.get("expires_at")
+        if claimed is not None and expires is not None and expires < claimed:
+            yield bad(
+                "expires_at",
+                f"precedes claimed_at ({expires!r} < {claimed!r})",
+            )
+
+        if attempt is not None and attempt > _CRASH_LOOP_ATTEMPTS:
+            yield self.finding(
+                RES002,
+                f"attempt {attempt} exceeds {_CRASH_LOOP_ATTEMPTS} — "
+                "crash loop, under-sized ttl, or chaos injection left on",
+                "$.payload.attempt",
+                ctx,
+            )
+        elif (
+            attempt is not None
+            and heartbeats is not None
+            and state == "active"
+            and attempt > 1
+            and heartbeats == 0
+        ):
+            yield self.finding(
+                RES002,
+                f"active lease on attempt {attempt} with zero heartbeats — "
+                "the owner keeps dying before its first heartbeat",
+                "$.payload.heartbeats",
+                ctx,
+            )
+
+
+class ResilienceChaosPass(Pass):
+    """RES003: chaos-spec schema validation (shared with the loader)."""
+
+    name = "resilience.chaos"
+    family = "resilience"
+    rules = (RES003,)
+
+    def run(self, ctx: CheckContext) -> Iterator[Finding]:
+        from repro.resilience.chaos import chaos_problems, is_chaos_doc
+
+        if not is_chaos_doc(ctx.doc):
+            return
+        for problem in chaos_problems(ctx.doc):
+            location, _, message = problem.partition(": ")
+            yield self.finding(RES003, message, location or "$", ctx)
+
+
+RESILIENCE_PASSES: tuple[type[Pass], ...] = (
+    ResilienceLeasePass,
+    ResilienceChaosPass,
+)

@@ -2,9 +2,10 @@
 
 ``check_document`` / ``check_mdg`` analyze in-memory objects;
 ``check_file`` loads an MDG JSON file (still producing findings when the
-file is too broken to construct an :class:`MDG`), a batch manifest, or —
-for ``.jsonl`` paths — a telemetry run log (obs family); ``check_bundle``
-analyzes a built-in program. When a machine is available and the
+file is too broken to construct an :class:`MDG`), a batch manifest, a
+chaos spec or lease artifact (resilience family), or — for ``.jsonl``
+paths — a telemetry run log (obs family); ``check_bundle`` analyzes a
+built-in program. When a machine is available and the
 document is error-free, the graph is compiled (allocation + PSA) so the
 schedule pass family has something to verify — that is how ``repro
 check`` exercises all four families on a plain ``.json`` graph.
@@ -162,6 +163,14 @@ def check_file(
         # A batch manifest, not an MDG: only the batch family applies
         # (graph rules like "MDG must be non-empty" would be noise).
         analyzer = Analyzer(passes_for_families(("batch",)))
+        return analyzer.run(CheckContext(doc=doc, artifact=str(path)))
+
+    from repro.check.resilience_passes import is_lease_doc
+    from repro.resilience.chaos import is_chaos_doc
+
+    if is_chaos_doc(doc) or is_lease_doc(doc):
+        # A chaos spec or lease artifact: resilience family only.
+        analyzer = Analyzer(passes_for_families(("resilience",)))
         return analyzer.run(CheckContext(doc=doc, artifact=str(path)))
 
     mdg = None

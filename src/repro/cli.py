@@ -476,8 +476,16 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if report.at_least(threshold) else 0
 
 
-def _load_run_log(path: str) -> list[dict]:
-    """Tolerantly load a run-log JSONL file for the ``obs`` subcommands."""
+def _load_run_log(path: str) -> tuple[list[dict], int]:
+    """Tolerantly load a run-log JSONL file for the ``obs`` subcommands.
+
+    Returns ``(events, corrupt)``. Skipped lines are never silent: they
+    bump the ``runlog.skipped_lines`` counter (when telemetry is on) and
+    print a stderr note; ``repro obs report`` additionally renders a
+    prominent data-loss warning so truncation cannot masquerade as a
+    short run.
+    """
+    from repro import obs
     from repro.obs.sinks import read_run_log
 
     p = Path(path)
@@ -488,11 +496,15 @@ def _load_run_log(path: str) -> list[dict]:
     except OSError as exc:
         raise SystemExit(f"cannot read run log {path}: {exc}") from exc
     if corrupt:
+        obs.counter("runlog.skipped_lines").inc(corrupt)
+        obs.event(
+            "runlog.skipped_lines", level="warning", path=str(p), lines=corrupt
+        )
         print(
             f"note: skipped {corrupt} corrupt line(s) in {path}",
             file=sys.stderr,
         )
-    return events
+    return events, corrupt
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
@@ -500,7 +512,14 @@ def cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.runlog import run_log_problems
 
     if args.obs_command == "report":
-        events = _load_run_log(args.runlog)
+        events, corrupt = _load_run_log(args.runlog)
+        if corrupt:
+            print(
+                f"WARNING: {corrupt} corrupt/torn line(s) skipped in "
+                f"{args.runlog} — the profile below is incomplete "
+                "(counter: runlog.skipped_lines)"
+            )
+            print()
         print(render_profile(
             events, title=f"run profile: {args.runlog}", top=args.top
         ))
@@ -514,11 +533,11 @@ def cmd_obs(args: argparse.Namespace) -> int:
             if len(problems) > 5:
                 print(f"  ... and {len(problems) - 5} more")
     elif args.obs_command == "top":
-        events = _load_run_log(args.runlog)
+        events, _ = _load_run_log(args.runlog)
         print(render_top(events, n=args.top, by=args.by))
     elif args.obs_command == "diff":
-        events_a = _load_run_log(args.runlog_a)
-        events_b = _load_run_log(args.runlog_b)
+        events_a, _ = _load_run_log(args.runlog_a)
+        events_b, _ = _load_run_log(args.runlog_b)
         print(render_diff(
             events_a,
             events_b,
@@ -563,8 +582,21 @@ def cmd_batch(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         resume=args.resume,
         strict=bool(getattr(args, "strict", False)),
+        deadline_seconds=args.deadline,
     )
-    report = compiler.run(jobs)
+    resilient = bool(args.resilient or args.chaos is not None)
+    if resilient:
+        from repro.resilience import ResilienceOptions, load_chaos_spec
+
+        chaos = load_chaos_spec(args.chaos) if args.chaos else None
+        options = ResilienceOptions(
+            lease_ttl=args.lease_ttl,
+            deadline_seconds=args.deadline,
+            chaos=chaos,
+        )
+        report = compiler.run_resilient(jobs, options)
+    else:
+        report = compiler.run(jobs)
     print(report.render_text())
     if args.output:
         import json as _json
@@ -674,6 +706,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--check-strict",
             action="store_true",
             help="like --check, but warning-severity findings abort too",
+        )
+        p.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget for the whole run, enforced "
+            "cooperatively at stage boundaries and inside solver/PSA/"
+            "simulator loops (exit 2 with the failing stage on overrun)",
         )
 
     def fault_flags(p: argparse.ArgumentParser) -> None:
@@ -832,6 +873,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip static manifest validation before dispatching jobs",
     )
     p_batch.add_argument(
+        "--resilient",
+        action="store_true",
+        help="run under the crash-tolerant executor: lease-claiming worker "
+        "processes that survive SIGKILL (crashed workers are respawned, "
+        "their jobs reclaimed after lease expiry and re-run exactly once)",
+    )
+    p_batch.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="lease time-to-live for --resilient; recovery after a worker "
+        "crash takes at most one ttl (default: 5)",
+    )
+    p_batch.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget, enforced cooperatively across "
+        "solver attempts, PSA, and simulation; over-budget jobs fail "
+        "with error_type DeadlineExceeded",
+    )
+    p_batch.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PATH",
+        help="chaos-spec JSON (kind \"chaos\"): deterministic fault "
+        "injection — worker kills, forced lease expiries, artifact "
+        "corruption, stalls. Implies --resilient",
+    )
+    p_batch.add_argument(
         "--output",
         "-o",
         default=None,
@@ -919,9 +992,34 @@ def _dispatch(args: argparse.Namespace) -> int:
     failed post-condition prints a diagnostic (path, field, reason — see
     :class:`repro.errors.IngestError`) on stderr and exits 2. A traceback
     reaching the user is a bug.
+
+    ``--deadline`` on the single-run commands installs an ambient
+    :class:`~repro.resilience.Deadline` around the whole command (the
+    ``batch`` subcommand interprets its own ``--deadline`` per job
+    instead, so it is excluded here).
     """
+    from contextlib import nullcontext
+
+    from repro.errors import DeadlineExceeded
+    from repro.resilience import Deadline, deadline_scope
+
+    budget = getattr(args, "deadline", None)
+    scope = (
+        deadline_scope(Deadline(budget))
+        if budget is not None and args.command != "batch"
+        else nullcontext()
+    )
     try:
-        return args.func(args)
+        with scope:
+            return args.func(args)
+    except DeadlineExceeded as exc:
+        stage = exc.stage or "unknown"
+        print(
+            f"error: deadline exceeded after {exc.elapsed:.2f} s "
+            f"(stage {stage!r})",
+            file=sys.stderr,
+        )
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

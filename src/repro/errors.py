@@ -30,6 +30,8 @@ __all__ = [
     "RecoveryError",
     "IngestError",
     "CheckError",
+    "DeadlineExceeded",
+    "ChaosSpecError",
     "ArtifactError",
     "ArtifactCorruptError",
     "ArtifactVersionError",
@@ -128,6 +130,24 @@ class IngestError(ValidationError):
             return base
         lines = [base] + [f"  - {d}" for d in self.diagnostics]
         return "\n".join(lines)
+
+
+class ChaosSpecError(IngestError):
+    """A chaos-injection specification is malformed."""
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative wall-clock budget ran out mid-pipeline.
+
+    Carries the :attr:`stage` that noticed the expiry and the
+    :attr:`elapsed` seconds since the deadline started, so batch error
+    records can say *where* the budget went without a traceback.
+    """
+
+    def __init__(self, message: str, *, stage: str = "", elapsed: float = 0.0):
+        super().__init__(message)
+        self.stage = stage
+        self.elapsed = float(elapsed)
 
 
 class CheckError(ReproError):

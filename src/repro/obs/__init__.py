@@ -30,8 +30,11 @@ and ``recovery.*`` (fault injection and repair), ``store.*``
 (checkpoint-cache hits/misses/corruption — see :mod:`repro.store`),
 ``pipeline.postcondition`` (failed re-validation of resumed or strict
 runs), ``batch.*`` (worker-pool compilation, including per-job subtrees
-merged from worker processes — see :mod:`repro.obs.bundle`), and
-``prof.hot.*`` (explicit hot-spot timers — see :mod:`repro.obs.prof`).
+merged from worker processes — see :mod:`repro.obs.bundle`),
+``resilience.*`` (lease claims/reclaims, circuit-breaker transitions,
+worker crashes and respawns, chaos injections — see
+:mod:`repro.resilience`), and ``prof.hot.*`` (explicit hot-spot timers —
+see :mod:`repro.obs.prof`).
 
 Analysis and export live in submodules: :mod:`repro.obs.prof` (span-tree
 profiles, top-N ranking, two-run diffs, solver convergence traces),
@@ -47,6 +50,7 @@ from repro.obs.core import (
     Telemetry,
     configure,
     counter,
+    detach,
     enabled,
     event,
     gauge,
@@ -84,6 +88,7 @@ __all__ = [
     "write_metrics",
     "configure",
     "shutdown",
+    "detach",
     "use",
     "get",
     "enabled",

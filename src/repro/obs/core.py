@@ -265,6 +265,20 @@ def shutdown() -> Telemetry | NullTelemetry:
     return previous
 
 
+def detach() -> None:
+    """Drop the active collector *without* closing its sinks.
+
+    For processes forked mid-run (resilient batch workers): the child
+    inherits the parent's collector, including duplicated file
+    descriptors for any JSONL sink. Closing it from the child would
+    write a final metrics snapshot into the parent's log; keeping it
+    would interleave two processes' events in one file. Detaching just
+    restores the disabled default in this process.
+    """
+    global _active
+    _active = _NULL
+
+
 @contextmanager
 def use(telemetry: Telemetry) -> Iterator[Telemetry]:
     """Temporarily install ``telemetry`` as the global collector (tests)."""

@@ -33,6 +33,7 @@ from repro.faults.spec import FaultSpec
 from repro.graph.mdg import MDG
 from repro.machine.fidelity import HardwareFidelity
 from repro.machine.parameters import MachineParameters
+from repro.resilience.deadline import check_deadline
 from repro.scheduling.baselines import spmd_schedule
 from repro.scheduling.psa import PSAOptions, prioritized_schedule
 from repro.scheduling.schedule import Schedule
@@ -171,14 +172,17 @@ def compile_mdg(
         with _hot("mdg.normalize"):
             normalized = mdg.normalized()
         compile_span.set_attr("nodes", normalized.n_nodes)
+        check_deadline("allocate")
         with obs.span("allocate") as sp:
             allocation = solve_allocation(normalized, machine, solver_options)
             sp.set_attr("phi", allocation.phi)
+        check_deadline("schedule")
         with obs.span("schedule") as sp:
             schedule = prioritized_schedule(
                 normalized, allocation.processors, machine, psa_options
             )
             sp.set_attr("makespan", schedule.makespan)
+        check_deadline("codegen")
         with obs.span("codegen") as sp:
             program = generate_mpmd_program(schedule, machine)
             sp.set_attr("instructions", program.n_instructions)
@@ -295,6 +299,7 @@ def measure(
     injects a degraded machine (see :mod:`repro.faults`); a run that loses
     processors returns a *partial* result with ``info["halted"]`` set.
     """
+    check_deadline("simulate")
     simulator = MachineSimulator(fidelity, faults=faults)
     with obs.span(
         "simulate",
@@ -661,6 +666,7 @@ def run_resumable(
                         reason=f"payload rejected: {exc}",
                     )
         if allocation is None:
+            check_deadline("allocate")
             with obs.span("allocate") as sp:
                 allocation = solve_allocation(normalized, machine, solver_options)
                 sp.set_attr("phi", allocation.phi)
@@ -692,6 +698,7 @@ def run_resumable(
                         reason=f"payload rejected: {exc}",
                     )
         if schedule is None:
+            check_deadline("schedule")
             with obs.span("schedule") as sp:
                 schedule = prioritized_schedule(
                     normalized, allocation.processors, machine, psa_options
@@ -721,6 +728,7 @@ def run_resumable(
         )
 
         # Codegen is deterministic and cheap — always recomputed.
+        check_deadline("codegen")
         with obs.span("codegen"):
             program = generate_mpmd_program(schedule, machine)
         compilation = CompilationResult(

@@ -1,0 +1,196 @@
+"""Circuit breakers around failure-prone backends (the convex solver).
+
+A breaker watches consecutive failures of one named backend. While
+*closed* (healthy) it admits every call. After ``failure_threshold``
+consecutive failures it *trips* to *open*: calls are short-circuited —
+the solver routes straight to the analytic-fallback ladder instead of
+burning a full timeout ladder per job while the backend is sick. After
+``reset_seconds`` it becomes *half-open* and admits a limited number of
+probe calls; one success closes it, one failure re-opens it.
+
+Breakers are opt-in: :func:`maybe_breaker` returns ``None`` until
+something — the CLI, the resilient batch engine, or a test — installs one
+via :func:`install_breaker`. That keeps cross-test/process-global state
+out of the default solver path, where a tripped breaker left over from an
+unrelated run would silently change results.
+
+Every transition and short-circuit emits ``resilience.breaker.*``
+telemetry so operators can see a sick backend from ``repro obs report``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro import obs
+from repro.errors import ValidationError
+
+__all__ = [
+    "CircuitBreaker",
+    "install_breaker",
+    "maybe_breaker",
+    "reset_breakers",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open probe state."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_seconds < 0:
+            raise ValidationError(
+                f"reset_seconds must be >= 0, got {reset_seconds}"
+            )
+        if half_open_probes < 1:
+            raise ValidationError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_seconds = float(reset_seconds)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+
+    # ----- state machine ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._transition(HALF_OPEN)
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt the backend right now.
+
+        In the half-open state each ``allow() -> True`` reserves one probe
+        slot; the caller must follow up with :meth:`record_success` or
+        :meth:`record_failure` to release it.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    obs.counter("resilience.breaker.probe").inc()
+                    return True
+                return False
+            obs.counter("resilience.breaker.short_circuit").inc()
+            obs.event(
+                "resilience.breaker.short_circuit",
+                breaker=self.name,
+                failures=self._failures,
+            )
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+                obs.counter("resilience.breaker.reset").inc()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                if self._state != OPEN:
+                    self._transition(OPEN)
+                    obs.counter("resilience.breaker.trip").inc()
+
+    def _transition(self, new_state: str) -> None:
+        # Caller holds the lock.
+        old, self._state = self._state, new_state
+        obs.event(
+            "resilience.breaker.state",
+            breaker=self.name,
+            from_state=old,
+            to_state=new_state,
+            failures=self._failures,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state!r}, "
+            f"failures={self._failures})"
+        )
+
+
+_REGISTRY: dict[str, CircuitBreaker] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def install_breaker(
+    name: str,
+    *,
+    failure_threshold: int = 5,
+    reset_seconds: float = 30.0,
+    half_open_probes: int = 1,
+    clock: Callable[[], float] = time.monotonic,
+) -> CircuitBreaker:
+    """Create (or replace) the breaker registered under ``name``."""
+    breaker = CircuitBreaker(
+        name,
+        failure_threshold=failure_threshold,
+        reset_seconds=reset_seconds,
+        half_open_probes=half_open_probes,
+        clock=clock,
+    )
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = breaker
+    return breaker
+
+
+def maybe_breaker(name: str) -> CircuitBreaker | None:
+    """The breaker registered under ``name``, or ``None`` (breakers are
+    opt-in — see the module docstring)."""
+    with _REGISTRY_LOCK:
+        return _REGISTRY.get(name)
+
+
+def reset_breakers() -> None:
+    """Drop every registered breaker (test isolation)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()

@@ -1,0 +1,251 @@
+"""Deterministic, seeded fault injection for batch runs.
+
+A chaos *spec* is a small JSON document naming, per fault class, the job
+ids to hit::
+
+    {
+      "kind": "chaos",
+      "schema_version": 1,
+      "seed": 7,
+      "kill_jobs": ["complex-3", "fft-1"],
+      "expire_jobs": ["complex-5"],
+      "corrupt_jobs": ["fft-0"],
+      "stall_jobs": ["complex-7"],
+      "stall_seconds": 0.25,
+      "expire_ttl": 0.05
+    }
+
+The harness is deliberately *targeted* rather than probabilistic: naming
+jobs (instead of rolling dice per job) makes every chaos run exactly
+reproducible and lets tests assert the precise recovery path for each
+fault class. Faults fire only on a job's **first** execution attempt —
+the attempt counter lives in the lease record and survives reclaims, so a
+SIGKILL'd job is killed once and then allowed to complete, instead of
+dying on every retry forever.
+
+Fault classes:
+
+``kill``    SIGKILL the worker process mid-job (after claiming, before
+            executing) — exercises lease expiry and parent respawn.
+``expire``  Claim with a tiny ttl (``expire_ttl``) so the lease expires
+            while the job is still running — exercises the reclaim race
+            and result idempotence (the job executes twice, results must
+            stay bit-identical).
+``corrupt`` Truncate the job's result artifact right after writing it —
+            exercises checksum verification, quarantine, and re-run.
+``stall``   Sleep ``stall_seconds`` before executing — exercises
+            deadlines and straggler visibility.
+
+Validation mirrors the batch-manifest pattern: :func:`chaos_problems`
+returns path-prefixed diagnostics shared by :func:`load_chaos_spec`
+(raises :class:`~repro.errors.ChaosSpecError`) and the static analyzer's
+RES003 rule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+from repro.errors import ChaosSpecError
+
+__all__ = [
+    "CHAOS_SCHEMA_VERSION",
+    "ChaosSpec",
+    "ChaosInjector",
+    "chaos_problems",
+    "load_chaos_spec",
+    "is_chaos_doc",
+]
+
+CHAOS_SCHEMA_VERSION = 1
+
+_JOB_LIST_FIELDS = ("kill_jobs", "expire_jobs", "corrupt_jobs", "stall_jobs")
+_KNOWN_FIELDS = frozenset(
+    ("kind", "schema_version", "seed", "stall_seconds", "expire_ttl")
+    + _JOB_LIST_FIELDS
+)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One validated chaos plan (picklable into worker processes)."""
+
+    seed: int = 0
+    kill_jobs: tuple[str, ...] = ()
+    expire_jobs: tuple[str, ...] = ()
+    corrupt_jobs: tuple[str, ...] = ()
+    stall_jobs: tuple[str, ...] = ()
+    stall_seconds: float = 0.25
+    #: ttl used when claiming an ``expire_jobs`` member, small enough that
+    #: the lease lapses while the job runs.
+    expire_ttl: float = 0.05
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "chaos",
+            "schema_version": CHAOS_SCHEMA_VERSION,
+            "seed": self.seed,
+            "kill_jobs": list(self.kill_jobs),
+            "expire_jobs": list(self.expire_jobs),
+            "corrupt_jobs": list(self.corrupt_jobs),
+            "stall_jobs": list(self.stall_jobs),
+            "stall_seconds": self.stall_seconds,
+            "expire_ttl": self.expire_ttl,
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "ChaosSpec":
+        problems = chaos_problems(doc)
+        if problems:
+            raise ChaosSpecError(
+                f"chaos spec is invalid ({len(problems)} problem(s))",
+                diagnostics=tuple(problems),
+            )
+        return ChaosSpec(
+            seed=int(doc.get("seed", 0)),
+            kill_jobs=tuple(doc.get("kill_jobs", ())),
+            expire_jobs=tuple(doc.get("expire_jobs", ())),
+            corrupt_jobs=tuple(doc.get("corrupt_jobs", ())),
+            stall_jobs=tuple(doc.get("stall_jobs", ())),
+            stall_seconds=float(doc.get("stall_seconds", 0.25)),
+            expire_ttl=float(doc.get("expire_ttl", 0.05)),
+        )
+
+    def targets(self) -> set[str]:
+        """Every job id any fault class names."""
+        return (
+            set(self.kill_jobs)
+            | set(self.expire_jobs)
+            | set(self.corrupt_jobs)
+            | set(self.stall_jobs)
+        )
+
+
+def is_chaos_doc(doc: object) -> bool:
+    """Whether a JSON document claims to be a chaos spec."""
+    return isinstance(doc, dict) and doc.get("kind") == "chaos"
+
+
+def chaos_problems(doc: Any) -> list[str]:
+    """Every problem in a chaos document, as ``"<path>: <field>: <why>"``.
+
+    Shared by :func:`load_chaos_spec` (raises) and the static analyzer's
+    RES003 rule (reports findings).
+    """
+    if not isinstance(doc, dict):
+        return [f"$: spec: must be a JSON object, got {type(doc).__name__}"]
+    problems: list[str] = []
+    if doc.get("kind") != "chaos":
+        problems.append(
+            f"$.kind: kind: must be 'chaos', got {doc.get('kind')!r}"
+        )
+    version = doc.get("schema_version", CHAOS_SCHEMA_VERSION)
+    if version != CHAOS_SCHEMA_VERSION:
+        problems.append(
+            f"$.schema_version: schema_version: unsupported value {version!r} "
+            f"(expected {CHAOS_SCHEMA_VERSION})"
+        )
+    for key in sorted(set(doc) - _KNOWN_FIELDS):
+        problems.append(f"$.{key}: {key}: unknown chaos field")
+    seed = doc.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        problems.append(f"$.seed: seed: must be an integer, got {seed!r}")
+    for key in _JOB_LIST_FIELDS:
+        value = doc.get(key, [])
+        if not isinstance(value, list):
+            problems.append(
+                f"$.{key}: {key}: must be an array of job ids, got {value!r}"
+            )
+            continue
+        for i, job in enumerate(value):
+            if not isinstance(job, str) or not job:
+                problems.append(
+                    f"$.{key}[{i}]: {key}: job ids must be non-empty "
+                    f"strings, got {job!r}"
+                )
+    for key, minimum in (("stall_seconds", 0.0), ("expire_ttl", None)):
+        value = doc.get(key)
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append(f"$.{key}: {key}: must be a number, got {value!r}")
+        elif minimum is not None and value < minimum:
+            problems.append(f"$.{key}: {key}: must be >= {minimum}, got {value!r}")
+        elif minimum is None and value <= 0:
+            problems.append(f"$.{key}: {key}: must be > 0, got {value!r}")
+    return problems
+
+
+def load_chaos_spec(path: str | Path) -> ChaosSpec:
+    """Load and validate a chaos spec file."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ChaosSpecError(f"cannot read chaos spec {path}: {exc}") from exc
+    problems = chaos_problems(doc)
+    if problems:
+        raise ChaosSpecError(
+            f"chaos spec {path} is invalid ({len(problems)} problem(s))",
+            diagnostics=tuple(problems),
+        )
+    return ChaosSpec.from_dict(doc)
+
+
+class ChaosInjector:
+    """Applies a :class:`ChaosSpec` inside one worker process.
+
+    Every predicate takes the lease's ``attempt`` counter and fires only
+    on attempt 1, so each injected fault happens exactly once per job.
+    """
+
+    def __init__(self, spec: ChaosSpec):
+        self.spec = spec
+
+    def _armed(self, jobs: tuple[str, ...], job_id: str, attempt: int) -> bool:
+        return attempt == 1 and job_id in jobs
+
+    def claim_ttl(self, job_id: str) -> float | None:
+        """A tiny ttl for ``expire_jobs`` members (None = manager default).
+
+        Expiry injection happens at *claim* time (before the attempt
+        counter exists), so it keys on the job alone; the reclaimer's
+        attempt 2 claims with the normal ttl.
+        """
+        if job_id in self.spec.expire_jobs:
+            return self.spec.expire_ttl
+        return None
+
+    def stall(self, job_id: str, attempt: int) -> None:
+        if not self._armed(self.spec.stall_jobs, job_id, attempt):
+            return
+        obs.event(
+            "resilience.chaos.stall", job=job_id,
+            seconds=self.spec.stall_seconds,
+        )
+        time.sleep(self.spec.stall_seconds)
+
+    def should_kill(self, job_id: str, attempt: int) -> bool:
+        return self._armed(self.spec.kill_jobs, job_id, attempt)
+
+    def kill_self(self, job_id: str) -> None:
+        """SIGKILL the current process — no cleanup, no goodbye."""
+        obs.event("resilience.chaos.kill", job=job_id, pid=os.getpid())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def maybe_corrupt(self, job_id: str, attempt: int, path: Path) -> bool:
+        """Truncate the artifact at ``path`` (simulating a torn write)."""
+        if not self._armed(self.spec.corrupt_jobs, job_id, attempt):
+            return False
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, len(data) // 2)])
+        obs.counter("resilience.chaos.corrupted").inc()
+        obs.event("resilience.chaos.corrupt", job=job_id, path=str(path))
+        return True

@@ -1,0 +1,191 @@
+"""Cooperative wall-clock budgets and deterministic retry schedules.
+
+A :class:`Deadline` is a per-job (or per-call) wall-clock budget. It is
+*cooperative*: nothing preempts a stage, but every long-running loop in
+the pipeline — solver iteration callbacks, the PSA ready queue, the
+simulator event loop — periodically calls :func:`check_deadline`, which
+raises :class:`~repro.errors.DeadlineExceeded` once the budget is spent.
+The deadline travels as ambient context (a :class:`contextvars.ContextVar`
+installed by :func:`deadline_scope`), so stage code never threads a
+deadline argument through a dozen signatures, and the check is a near
+no-op (one context-variable read) when no deadline is active.
+
+:class:`RetryPolicy` is the companion: a frozen, seeded description of a
+jittered exponential-backoff schedule. It exists so every retry ladder in
+the system — solver multistart restarts, lease-claim conflicts, transient
+store errors — is driven by the same deterministic schedule instead of
+ad-hoc ``max_restarts``-style knobs, and so two runs with the same seed
+back off identically (bit-reproducibility extends to the retry path).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import DeadlineExceeded, ValidationError
+
+__all__ = [
+    "Deadline",
+    "RetryPolicy",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+]
+
+
+class Deadline:
+    """One wall-clock budget, started at construction time.
+
+    ``clock`` is injectable (tests drive a virtual clock); production code
+    uses ``time.monotonic`` so suspends/clock-steps cannot fire a budget
+    early.
+    """
+
+    __slots__ = ("budget", "_clock", "_start")
+
+    def __init__(
+        self,
+        budget_seconds: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        budget = float(budget_seconds)
+        if not budget > 0:
+            raise ValidationError(
+                f"deadline budget must be positive, got {budget_seconds!r}"
+            )
+        self.budget = budget
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.budget - self.elapsed())
+
+    def expired(self) -> bool:
+        return self.elapsed() >= self.budget
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        elapsed = self.elapsed()
+        if elapsed >= self.budget:
+            where = f" in stage {stage!r}" if stage else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget:.3f}s exceeded{where} "
+                f"({elapsed:.3f}s elapsed)",
+                stage=stage,
+                elapsed=elapsed,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline(budget={self.budget:.3f}s, "
+            f"remaining={self.remaining():.3f}s)"
+        )
+
+
+_CURRENT: contextvars.ContextVar[Deadline | None] = contextvars.ContextVar(
+    "repro-deadline", default=None
+)
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Install ``deadline`` as the ambient deadline for the with-block.
+
+    ``None`` is accepted and installs nothing, so callers can write
+    ``with deadline_scope(maybe_deadline):`` without branching.
+    """
+    if deadline is None:
+        yield None
+        return
+    token = _CURRENT.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _CURRENT.reset(token)
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient deadline, or ``None`` when no budget is active."""
+    return _CURRENT.get()
+
+
+def check_deadline(stage: str = "") -> None:
+    """Check the ambient deadline (no-op when none is installed).
+
+    This is the hook pipeline loops call; it must stay cheap enough to
+    sit inside the simulator event loop.
+    """
+    deadline = _CURRENT.get()
+    if deadline is not None:
+        deadline.check(stage)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A deterministic jittered exponential-backoff schedule.
+
+    ``max_attempts`` counts *retries* after the initial attempt (so the
+    total number of tries is ``max_attempts + 1``). Delays grow as
+    ``base_delay * multiplier**i`` capped at ``max_delay``, each scaled by
+    a seeded multiplicative jitter in ``[1 - jitter, 1 + jitter]`` — the
+    same seed always yields the same schedule, which keeps retry timing
+    out of the reproducibility surface.
+    """
+
+    max_attempts: int = 2
+    base_delay: float = 0.0
+    max_delay: float = 30.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValidationError(
+                f"max_attempts must be >= 0, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValidationError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValidationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delays(self) -> tuple[float, ...]:
+        """The full backoff schedule, one delay per retry."""
+        import numpy as np
+
+        if self.max_attempts == 0:
+            return ()
+        rng = np.random.default_rng((int(self.seed), 0xBACC0FF))
+        out = []
+        for i in range(self.max_attempts):
+            delay = min(self.base_delay * self.multiplier**i, self.max_delay)
+            if self.jitter and delay > 0:
+                delay *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+            out.append(delay)
+        return tuple(out)
+
+    def sleep(self, delay: float) -> None:
+        """Sleep ``delay`` seconds, never past the ambient deadline."""
+        if delay <= 0:
+            return
+        deadline = current_deadline()
+        if deadline is not None:
+            delay = min(delay, deadline.remaining())
+            if delay <= 0:
+                return
+        time.sleep(delay)

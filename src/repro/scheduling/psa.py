@@ -37,6 +37,7 @@ from repro.costs.node_weights import MDGCostModel
 from repro.errors import SchedulingError
 from repro.graph.mdg import MDG
 from repro.machine.parameters import MachineParameters
+from repro.resilience.deadline import check_deadline
 from repro.scheduling.processor_pool import ProcessorPool
 from repro.scheduling.schedule import Schedule, ScheduledNode
 from repro.utils.intmath import is_power_of_two, prev_power_of_two
@@ -193,7 +194,12 @@ def prioritized_schedule(
         # dominant per-node cost (interval bookkeeping, not graph walks).
         pool_time = obs.histogram(_HOT_PREFIX + "psa.pool")
 
+    scheduled = 0
     while ready:
+        scheduled += 1
+        if not scheduled & 0xFF:
+            # Cooperative deadline check, off the per-node hot path.
+            check_deadline("schedule")
         if telemetry_on:
             queue_depth.observe(len(ready))
             pool_t0 = time.perf_counter()

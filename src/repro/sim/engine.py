@@ -63,6 +63,7 @@ from repro.errors import DeadlockError, SimulationError
 from repro.faults.injector import FaultInjector, FaultSession
 from repro.faults.spec import FaultSpec
 from repro.machine.fidelity import HardwareFidelity
+from repro.resilience.deadline import check_deadline
 from repro.sim.trace import ExecutionTrace, TraceEvent
 
 __all__ = ["MachineSimulator", "SimulationResult"]
@@ -246,6 +247,11 @@ class MachineSimulator:
             sweep_time = obs.histogram(_HOT_PREFIX + "sim.sweep")
         while remaining > 0:
             sweeps += 1
+            if not sweeps & 0xFF:
+                # Cooperative deadline check (ambient, near-free when no
+                # deadline is active); every 256 sweeps keeps it off the
+                # hot path of small programs.
+                check_deadline("simulate")
             if telemetry_on:
                 sweep_t0 = time.perf_counter()
             progressed = False

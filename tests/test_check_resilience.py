@@ -1,0 +1,202 @@
+"""Resilience pass family (RES001-RES003): leases and chaos specs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.check import Severity, all_rules, check_file, rules_markdown
+from repro.check.resilience_passes import is_lease_doc
+from repro.resilience import LeaseManager
+from repro.resilience.chaos import is_chaos_doc
+
+
+def write(tmp_path, doc, name="doc.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def findings(report, rule_id):
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+def lease_doc(**payload_overrides):
+    payload = {
+        "job_id": "j0",
+        "owner": "worker-1-pid42",
+        "state": "active",
+        "attempt": 1,
+        "claimed_at": 100.0,
+        "expires_at": 105.0,
+        "ttl": 5.0,
+        "heartbeats": 3,
+        "stage": "simulate",
+        "nonce": "42-0",
+    }
+    payload.update(payload_overrides)
+    return {
+        "kind": "batch-lease",
+        "schema_version": 1,
+        "key": "j0",
+        "payload": payload,
+    }
+
+
+def chaos_doc(**overrides):
+    doc = {"kind": "chaos", "schema_version": 1, "seed": 7,
+           "kill_jobs": ["j2"]}
+    doc.update(overrides)
+    return doc
+
+
+# ----- routing --------------------------------------------------------------
+
+
+def test_is_lease_doc_discriminates():
+    assert is_lease_doc(lease_doc())
+    assert not is_lease_doc({"kind": "chaos"})
+    assert not is_lease_doc({"kind": "batch-lease", "payload": "nope"})
+    assert not is_lease_doc([1])
+
+
+def test_is_chaos_doc_discriminates():
+    assert is_chaos_doc(chaos_doc())
+    assert not is_chaos_doc(lease_doc())
+
+
+def test_check_file_routes_chaos_and_lease_docs(tmp_path):
+    clean_chaos = check_file(write(tmp_path, chaos_doc(), "chaos.json"))
+    assert not clean_chaos.findings
+    clean_lease = check_file(write(tmp_path, lease_doc(), "lease.json"))
+    assert not clean_lease.findings
+    # Only the resilience family ran (no MDG/manifest false positives).
+    assert all(
+        p.startswith("resilience.") for p in clean_chaos.passes_run
+    )
+
+
+def test_real_lease_artifact_is_clean(tmp_path):
+    leases = LeaseManager(tmp_path, owner="w1", ttl=5.0)
+    leases.claim("job-a")
+    leases.heartbeat("job-a", stage="schedule")
+    report = check_file(leases.path_for("job-a"))
+    assert not report.findings
+
+
+# ----- RES001: lease schema -------------------------------------------------
+
+
+def test_res001_flags_schema_violations(tmp_path):
+    path = write(
+        tmp_path,
+        lease_doc(
+            owner="", state="zombie", attempt=0, heartbeats=-1,
+            ttl=0.0, claimed_at="noon",
+        ),
+    )
+    report = check_file(path)
+    found = findings(report, "RES001")
+    assert len(found) == 6
+    assert all(f.severity is Severity.ERROR for f in found)
+    locations = {f.location for f in found}
+    assert "$.payload.state" in locations
+    assert "$.payload.attempt" in locations
+
+
+def test_res001_expiry_before_claim(tmp_path):
+    path = write(tmp_path, lease_doc(claimed_at=20.0, expires_at=10.0))
+    report = check_file(path)
+    (finding,) = findings(report, "RES001")
+    assert "precedes claimed_at" in finding.message
+    assert finding.location == "$.payload.expires_at"
+
+
+# ----- RES002: lifecycle plausibility ---------------------------------------
+
+
+def test_res002_crash_loop_attempts(tmp_path):
+    path = write(tmp_path, lease_doc(attempt=9))
+    report = check_file(path)
+    (finding,) = findings(report, "RES002")
+    assert finding.severity is Severity.WARNING
+    assert "crash loop" in finding.message
+    assert not findings(report, "RES001")
+
+
+def test_res002_reclaimed_but_never_heartbeat(tmp_path):
+    path = write(tmp_path, lease_doc(attempt=3, heartbeats=0))
+    report = check_file(path)
+    (finding,) = findings(report, "RES002")
+    assert "zero heartbeats" in finding.message
+
+
+def test_res002_silent_for_released_tombstones(tmp_path):
+    path = write(
+        tmp_path, lease_doc(state="released", attempt=2, heartbeats=0)
+    )
+    report = check_file(path)
+    assert not findings(report, "RES002")
+
+
+# ----- RES003: chaos specs --------------------------------------------------
+
+
+def test_res003_unknown_field_and_bad_seed(tmp_path):
+    path = write(
+        tmp_path, chaos_doc(seed="seven", kill_job=["j2"])
+    )
+    report = check_file(path)
+    found = findings(report, "RES003")
+    assert len(found) == 2
+    messages = " | ".join(f.message for f in found)
+    assert "unknown chaos field" in messages
+    assert "seed" in messages
+    locations = {f.location for f in found}
+    assert "$.kill_job" in locations
+    assert "$.seed" in locations
+
+
+def test_res003_bad_job_lists_and_numbers(tmp_path):
+    path = write(
+        tmp_path,
+        chaos_doc(
+            expire_jobs=["", 3], stall_seconds=-1.0, expire_ttl=0.0
+        ),
+    )
+    report = check_file(path)
+    found = findings(report, "RES003")
+    assert len(found) == 4
+    locations = {f.location for f in found}
+    assert "$.expire_jobs[0]" in locations
+    assert "$.expire_jobs[1]" in locations
+    assert "$.stall_seconds" in locations
+    assert "$.expire_ttl" in locations
+
+
+def test_res003_matches_loader_diagnostics(tmp_path):
+    """The static findings and the loader's exception share one core."""
+    import pytest
+
+    from repro.errors import ChaosSpecError
+    from repro.resilience import load_chaos_spec
+
+    path = write(tmp_path, chaos_doc(frobnicate=1))
+    static = findings(check_file(path), "RES003")
+    with pytest.raises(ChaosSpecError) as excinfo:
+        load_chaos_spec(path)
+    assert len(excinfo.value.diagnostics) == len(static) == 1
+    assert "frobnicate" in excinfo.value.diagnostics[0]
+
+
+# ----- registry & docs ------------------------------------------------------
+
+
+def test_res_rules_registered():
+    ids = {rule.rule_id for rule in all_rules()}
+    assert {"RES001", "RES002", "RES003"} <= ids
+
+
+def test_res_rules_in_markdown():
+    table = rules_markdown()
+    for rule_id in ("RES001", "RES002", "RES003"):
+        assert rule_id in table

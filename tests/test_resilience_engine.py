@@ -1,0 +1,288 @@
+"""The crash-tolerant batch executor, end to end.
+
+Covers the recovery path for every chaos fault class (worker SIGKILL,
+forced lease expiry, artifact corruption), the exactly-once completion
+guarantee with bit-identical results, WorkerLost triage records, the
+SIGKILL-the-whole-CLI-mid-batch scenario (mirroring
+``test_store_resume``), and the issue's 32-job acceptance run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.batch import BatchCompiler, BatchJob
+from repro.resilience import ChaosSpec, ResilienceOptions, count_executions
+from repro.resilience.lease import LeaseManager
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def jobs_for(n, *, simulate=False, size=8):
+    return [
+        BatchJob(
+            job_id=f"j{i}",
+            source={"kind": "program", "name": "complex", "n": size},
+            processors=8,
+            simulate=simulate,
+        )
+        for i in range(n)
+    ]
+
+
+def strip(results):
+    """The deterministic per-job payload that must be bit-identical."""
+    return {
+        r.job_id: (
+            r.ok, r.phi, r.predicted_makespan, r.measured_makespan,
+            None if r.processors is None else tuple(sorted(r.processors.items())),
+        )
+        for r in results
+    }
+
+
+class TestResilientExecutor:
+    def test_clean_run_matches_serial_bit_for_bit(self, tmp_path):
+        jobs = jobs_for(4, simulate=True, size=12)
+        serial = BatchCompiler(workers=0).run(jobs)
+        resilient = BatchCompiler(workers=2, cache_dir=str(tmp_path)) \
+            .run_resilient(jobs, ResilienceOptions(lease_ttl=2.0))
+        assert strip(resilient.results) == strip(serial.results)
+        assert resilient.resilience["worker_crashes"] == 0
+        assert resilient.resilience["lost_jobs"] == 0
+        # Exactly one execution per job on the happy path.
+        assert count_executions(tmp_path) == {f"j{i}": 1 for i in range(4)}
+
+    def test_results_in_submission_order(self, tmp_path):
+        jobs = jobs_for(5)
+        report = BatchCompiler(workers=2, cache_dir=str(tmp_path)) \
+            .run_resilient(jobs, ResilienceOptions(lease_ttl=2.0))
+        assert [r.job_id for r in report.results] == [j.job_id for j in jobs]
+
+    def test_worker_kill_is_recovered(self, tmp_path):
+        jobs = jobs_for(4)
+        chaos = ChaosSpec(seed=1, kill_jobs=("j1",))
+        report = BatchCompiler(workers=2, cache_dir=str(tmp_path)) \
+            .run_resilient(
+                jobs, ResilienceOptions(lease_ttl=1.0, chaos=chaos)
+            )
+        assert all(r.ok for r in report.results)
+        assert report.resilience["worker_crashes"] == 1
+        assert report.resilience["respawns"] == 1
+        assert report.resilience["lost_jobs"] == 0
+        # The kill fires after claiming but before executing, so the
+        # killed job still executes exactly once (on attempt 2).
+        assert count_executions(tmp_path)["j1"] == 1
+
+    def test_corrupt_result_is_quarantined_and_rerun(self, tmp_path):
+        jobs = jobs_for(3)
+        chaos = ChaosSpec(seed=1, corrupt_jobs=("j0",))
+        report = BatchCompiler(workers=2, cache_dir=str(tmp_path)) \
+            .run_resilient(
+                jobs, ResilienceOptions(lease_ttl=1.0, chaos=chaos)
+            )
+        assert all(r.ok for r in report.results)
+        # Attempt 1's artifact was truncated post-write; verification
+        # quarantined it and the job ran again.
+        assert count_executions(tmp_path)["j0"] == 2
+        serial = BatchCompiler(workers=0).run(jobs)
+        assert strip(report.results) == strip(serial.results)
+
+    def test_forced_expiry_double_executes_identically(self, tmp_path):
+        jobs = jobs_for(3)
+        # The stall keeps attempt 1 alive well past its injected 50 ms
+        # ttl so a second worker reclaims and re-runs concurrently.
+        chaos = ChaosSpec(
+            seed=1, expire_jobs=("j2",), stall_jobs=("j2",),
+            stall_seconds=1.0, expire_ttl=0.05,
+        )
+        report = BatchCompiler(workers=2, cache_dir=str(tmp_path)) \
+            .run_resilient(
+                jobs, ResilienceOptions(lease_ttl=1.0, chaos=chaos)
+            )
+        assert all(r.ok for r in report.results)
+        assert report.resilience["lost_jobs"] == 0
+        assert count_executions(tmp_path)["j2"] >= 1
+        serial = BatchCompiler(workers=0).run(jobs)
+        assert strip(report.results) == strip(serial.results)
+
+    def test_lost_job_record_carries_stage_and_elapsed(self, tmp_path):
+        # One worker, zero respawns: the SIGKILL'd job can never finish,
+        # and its error record must triage from the lease black box.
+        jobs = jobs_for(1)
+        chaos = ChaosSpec(seed=1, kill_jobs=("j0",))
+        report = BatchCompiler(workers=1, cache_dir=str(tmp_path)) \
+            .run_resilient(
+                jobs,
+                ResilienceOptions(
+                    workers=1, lease_ttl=1.0, max_respawns=0, chaos=chaos
+                ),
+            )
+        record = report.results[0]
+        assert not record.ok
+        assert record.error_type == "WorkerLost"
+        assert record.stage == "claimed"
+        assert "last stage 'claimed'" in record.error
+        assert record.latency_seconds >= 0.0
+        assert report.resilience["lost_jobs"] == 1
+
+    def test_duplicate_job_ids_rejected(self, tmp_path):
+        from repro.errors import ReproError
+
+        jobs = [jobs_for(1)[0], jobs_for(1)[0]]
+        with pytest.raises(ReproError, match="unique job ids"):
+            BatchCompiler(workers=2, cache_dir=str(tmp_path)) \
+                .run_resilient(jobs, ResilienceOptions(lease_ttl=1.0))
+
+    def test_report_renders_resilience_summary(self, tmp_path):
+        jobs = jobs_for(2)
+        report = BatchCompiler(workers=2, cache_dir=str(tmp_path)) \
+            .run_resilient(jobs, ResilienceOptions(lease_ttl=2.0))
+        text = report.render_text()
+        assert "resilience:" in text
+        assert "0 lost" in text
+        doc = report.to_dict()
+        assert doc["resilience"]["executions"] == 2
+
+
+class TestAcceptance32:
+    """The issue's acceptance bar: 32 jobs, >= 3 SIGKILLs, one forced
+    lease expiry — everything completes exactly once, bit-identical to a
+    crash-free serial run."""
+
+    def test_32_jobs_3_kills_1_expiry(self, tmp_path):
+        jobs = jobs_for(32)
+        chaos = ChaosSpec(
+            seed=7,
+            kill_jobs=("j5", "j13", "j27"),
+            expire_jobs=("j20",),
+            stall_jobs=("j20",),
+            stall_seconds=1.0,
+            expire_ttl=0.05,
+        )
+        resilient = BatchCompiler(workers=3, cache_dir=str(tmp_path)) \
+            .run_resilient(
+                jobs, ResilienceOptions(lease_ttl=1.0, chaos=chaos)
+            )
+        assert all(r.ok for r in resilient.results)
+        summary = resilient.resilience
+        assert summary["worker_crashes"] >= 3
+        assert summary["lost_jobs"] == 0
+
+        # Exactly-once completion: one valid result artifact per job...
+        executions = count_executions(tmp_path)
+        assert set(executions) == {f"j{i}" for i in range(32)}
+        assert all(n >= 1 for n in executions.values())
+        # ...and every SIGKILL'd job executed exactly once (the kill
+        # fires pre-execution; the reclaimed attempt does the work).
+        for job_id in chaos.kill_jobs:
+            assert executions[job_id] == 1, (job_id, executions)
+        # The forced-expiry job's lease shows the reclaim (attempt > 1).
+        leases = LeaseManager(tmp_path, owner="inspect", ttl=1.0)
+        expired = leases.read("j20")
+        assert expired is not None and expired.attempt >= 2
+
+        serial = BatchCompiler(workers=0).run(jobs)
+        assert all(r.ok for r in serial.results)
+        assert strip(resilient.results) == strip(serial.results)
+
+
+# --------------------------------------------------------------------------
+# SIGKILL the whole CLI mid-batch (parent + workers), then finish the
+# batch with a second invocation — mirroring test_store_resume's
+# kill-and-resume scenario at the batch level.
+# --------------------------------------------------------------------------
+
+
+def _cli(extra, *, cwd, background=False):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    cmd = [sys.executable, "-m", "repro", *extra]
+    if background:
+        # Own process group so the SIGKILL takes out the daemon workers
+        # too, not just the parent.
+        return subprocess.Popen(
+            cmd, cwd=cwd, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True, start_new_session=True,
+        )
+    return subprocess.run(
+        cmd, cwd=cwd, env=env, capture_output=True, text=True, timeout=300
+    )
+
+
+def _wait_for(predicate, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def test_cli_sigkill_mid_batch_then_finish(tmp_path):
+    manifest = tmp_path / "sweep.json"
+    manifest.write_text(json.dumps({
+        "schema_version": 1,
+        "jobs": [
+            {"id": f"j{i}", "program": "complex", "n": 12, "processors": 8}
+            for i in range(8)
+        ],
+    }))
+    coord = tmp_path / "coord"
+    batch_args = [
+        "batch", str(manifest), "--resilient", "--workers", "2",
+        "--lease-ttl", "1.0", "--cache-dir", str(coord),
+    ]
+
+    proc = _cli(batch_args, cwd=tmp_path, background=True)
+    try:
+        results_dir = coord / "batch-result"
+        # Let real work land, then SIGKILL parent + workers mid-batch.
+        assert _wait_for(
+            lambda: len(list(results_dir.glob("*.json"))) >= 2
+        ), "no results appeared before the kill"
+        assert len(list(results_dir.glob("*.json"))) < 8, (
+            "batch finished before the kill; make the jobs bigger"
+        )
+        os.killpg(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=30)
+        proc.stdout.close()
+    assert proc.returncode == -signal.SIGKILL
+
+    before = {p.name: p.read_bytes() for p in results_dir.glob("*.json")}
+    report_path = tmp_path / "report.json"
+    rerun = _cli(
+        batch_args + ["--output", str(report_path)], cwd=tmp_path
+    )
+    assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+
+    report = json.loads(report_path.read_text())
+    assert report["ok"] == 8
+    assert report["resilience"]["lost_jobs"] == 0
+    # Results completed before the kill were adopted, not recomputed.
+    for name, blob in before.items():
+        assert (results_dir / name).read_bytes() == blob
+
+    # And the whole interrupted-then-finished batch matches a clean
+    # serial run bit for bit.
+    clean_path = tmp_path / "clean.json"
+    clean = _cli(
+        ["batch", str(manifest), "--workers", "0", "--no-cache",
+         "--output", str(clean_path)],
+        cwd=tmp_path,
+    )
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    keep = ("job_id", "ok", "phi", "predicted_makespan", "processors")
+    rows = lambda doc: {  # noqa: E731
+        r["job_id"]: {k: r[k] for k in keep} for r in doc["results"]
+    }
+    assert rows(report) == rows(json.loads(clean_path.read_text()))
