@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-store test-batch test-resilience check lint bench perf-smoke profile examples artifacts clean
+.PHONY: install test test-faults test-store test-batch test-resilience check check-programs lint bench perf-smoke profile examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -37,6 +37,19 @@ test-resilience:
 check:
 	$(PYTHON) -m repro check examples/graphs -p 16
 	$(PYTHON) -m repro check --all-programs --no-compile
+
+# Program verification: emit MPMD program artifacts for the corpus and
+# run the comm pass family over them (send/recv matching, deadlock
+# freedom, byte consistency), failing on warnings too.
+check-programs:
+	@mkdir -p build/programs
+	@for prog in complex strassen fft2d jacobi; do \
+		PYTHONPATH=src $(PYTHON) -m repro compile --program $$prog -p 16 \
+			--emit-program build/programs/$$prog.prog.json \
+			--verify-program >/dev/null || exit 1; \
+		echo "emitted build/programs/$$prog.prog.json"; \
+	done
+	PYTHONPATH=src $(PYTHON) -m repro check build/programs --fail-on warning
 
 # Config lives in pyproject.toml ([tool.ruff]); CI runs the same check.
 lint:

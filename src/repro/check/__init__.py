@@ -1,12 +1,13 @@
 """``repro.check`` — multi-pass static analyzer for the pipeline's inputs.
 
 A diagnostics-driven checker in the spirit of gpkit's GP-compatibility
-rules: four pass families (graph, cost, schedule, ir) enforce the
-invariants the paper's pipeline assumes — DAG-ness, posynomial cost
-models over ``p_i in [1, p]``, precedence- and resource-safe schedules,
-race-free concurrency — and report violations as findings with stable
-rule ids, severities, and JSON-path locations, rendered as text, JSON,
-or SARIF 2.1.0.
+rules: the pass families (graph, cost, schedule, ir, comm, batch, obs,
+resilience) enforce the invariants the paper's pipeline assumes —
+DAG-ness, posynomial cost models over ``p_i in [1, p]``, precedence- and
+resource-safe schedules, race-free concurrency, deadlock-free
+send/recv-matched MPMD programs — and report violations as findings
+with stable rule ids, severities, and JSON-path locations, rendered as
+text, JSON, markdown, or SARIF 2.1.0.
 
 Quick use::
 
@@ -30,11 +31,13 @@ from repro.check.registry import (
     default_passes,
     passes_for_families,
 )
+from repro.check.markdown import render_markdown
 from repro.check.runner import (
     check_bundle,
     check_document,
     check_file,
     check_mdg,
+    check_program,
     preflight_check,
     rules_markdown,
 )
@@ -56,8 +59,10 @@ __all__ = [
     "check_mdg",
     "check_file",
     "check_bundle",
+    "check_program",
     "preflight_check",
     "rules_markdown",
+    "render_markdown",
     "SARIF_VERSION",
     "SARIF_SCHEMA",
     "sarif_dict",

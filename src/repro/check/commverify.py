@@ -1,0 +1,433 @@
+"""Abstract message-passing interpreter over MPMD program documents.
+
+The ``comm`` check family needs to reason about a program artifact that
+may be arbitrarily broken, so this module provides a tolerant *view*
+layer (:func:`view_from_doc`) that parses the document form produced by
+:func:`repro.codegen.serialization.program_to_dict` into plain frozen
+records, collecting structural problems instead of raising, plus an
+*abstract executor* (:func:`abstract_execute`) that mirrors the
+simulator's message-matching semantics without any notion of time:
+
+* a send is nonblocking — executing it posts one message on its edge;
+* a receive blocks until every registered sender of its edge has posted
+  (receives do not consume posts, matching
+  :class:`repro.sim.engine.Simulator`);
+* compute ops always execute.
+
+Either every stream runs to completion (the program is deadlock-free
+under the abstract semantics) or execution reaches a fixpoint with
+blocked processors, in which case the executor reconstructs the
+wait-for graph and reports the exact cycle — processors and instruction
+indices — like an MPI deadlock checker would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.codegen.serialization import (
+    PROGRAM_DOC_KIND,
+    PROGRAM_SCHEMA_VERSION,
+    is_program_doc,
+)
+
+__all__ = [
+    "OpView",
+    "ProgramView",
+    "BlockedAt",
+    "AbstractExecution",
+    "view_from_doc",
+    "view_from_program",
+    "abstract_execute",
+    "is_program_doc",
+]
+
+_OP_KINDS = ("compute", "send", "recv")
+
+#: Fields that must parse as non-negative numbers, per op kind.
+_NUMERIC_FIELDS = {
+    "compute": ("cost", "parallel_cost"),
+    "send": ("startup_cost", "byte_cost", "bytes_sent"),
+    "recv": ("startup_cost", "byte_cost", "network_delay", "bytes_received"),
+}
+
+
+@dataclass(frozen=True)
+class OpView:
+    """One instruction in tolerant, kind-tagged form."""
+
+    kind: str  # "compute" | "send" | "recv"
+    node: str = ""  # compute only
+    source: str = ""  # send/recv only
+    target: str = ""  # send/recv only
+    startup_cost: float = 0.0
+    byte_cost: float = 0.0
+    network_delay: float = 0.0
+    payload_bytes: float = 0.0  # bytes_sent / bytes_received
+    cost: float = 0.0  # compute only
+    parallel_cost: float = 0.0  # compute only
+
+    @property
+    def edge(self) -> tuple[str, str]:
+        return (self.source, self.target)
+
+    @property
+    def block_node(self) -> str:
+        """The node whose codegen block this op belongs to.
+
+        Sends are emitted by their source node's block, receives by their
+        target node's block.
+        """
+        if self.kind == "compute":
+            return self.node
+        return self.source if self.kind == "send" else self.target
+
+    def describe(self) -> str:
+        if self.kind == "compute":
+            return f"compute {self.node!r}"
+        return f"{self.kind} {self.source}->{self.target}"
+
+
+@dataclass
+class ProgramView:
+    """Tolerantly parsed program document plus collected problems."""
+
+    total_processors: int = 0
+    streams: dict[int, tuple[OpView, ...]] = field(default_factory=dict)
+    senders: dict[tuple[str, str], tuple[int, ...]] = field(default_factory=dict)
+    receivers: dict[tuple[str, str], tuple[int, ...]] = field(default_factory=dict)
+    edge_index: dict[tuple[str, str], int] = field(default_factory=dict)
+    info: dict = field(default_factory=dict)
+    problems: list[tuple[str, str]] = field(default_factory=list)  # (location, msg)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All edges named anywhere: registries or message ops."""
+        seen: dict[tuple[str, str], None] = {}
+        for edge in self.senders:
+            seen.setdefault(edge)
+        for edge in self.receivers:
+            seen.setdefault(edge)
+        for _, _, op in self.message_ops():
+            seen.setdefault(op.edge)
+        return sorted(seen)
+
+    def message_ops(self) -> Iterator[tuple[int, int, OpView]]:
+        """All (processor, index, op) triples for send/recv ops."""
+        for proc in sorted(self.streams):
+            for index, op in enumerate(self.streams[proc]):
+                if op.kind in ("send", "recv"):
+                    yield proc, index, op
+
+    def edge_location(self, edge: tuple[str, str]) -> str:
+        """JSON path of the edge's registry entry, or the document root."""
+        index = self.edge_index.get(edge)
+        return f"$.edges[{index}]" if index is not None else "$"
+
+
+@dataclass(frozen=True)
+class BlockedAt:
+    """One processor stuck at one receive in the abstract execution."""
+
+    processor: int
+    index: int
+    edge: tuple[str, str]
+    #: Processors whose outstanding sends this receive is waiting for
+    #: (empty when every expected sender already finished without posting
+    #: — a dropped send rather than a cycle).
+    waiting_on: tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"proc {self.processor} at instruction {self.index} "
+            f"(recv {self.edge[0]}->{self.edge[1]})"
+        )
+
+
+@dataclass(frozen=True)
+class AbstractExecution:
+    """Outcome of one abstract run over a :class:`ProgramView`."""
+
+    completed: bool
+    executed: int
+    total: int
+    blocked: tuple[BlockedAt, ...] = ()
+    wait_cycle: tuple[BlockedAt, ...] = ()
+
+
+def _parse_float(value: Any) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _parse_op(
+    entry: Any, location: str, problems: list[tuple[str, str]]
+) -> OpView | None:
+    if not isinstance(entry, dict):
+        problems.append((location, "instruction must be an object"))
+        return None
+    kind = entry.get("op")
+    if kind not in _OP_KINDS:
+        problems.append((location, f"unknown op kind {kind!r}"))
+        return None
+    fields: dict[str, float] = {}
+    for name in _NUMERIC_FIELDS[kind]:
+        raw = entry.get(name, 0.0)
+        value = _parse_float(raw)
+        if value is None or value < 0:
+            problems.append(
+                (f"{location}.{name}", f"must be a non-negative number, got {raw!r}")
+            )
+            return None
+        fields[name] = value
+    if kind == "compute":
+        node = entry.get("node")
+        if not isinstance(node, str) or not node:
+            problems.append((f"{location}.node", "compute op needs a node name"))
+            return None
+        return OpView(
+            kind="compute",
+            node=node,
+            cost=fields["cost"],
+            parallel_cost=fields["parallel_cost"],
+        )
+    source, target = entry.get("source"), entry.get("target")
+    if not isinstance(source, str) or not isinstance(target, str):
+        problems.append((location, f"{kind} op needs string source/target"))
+        return None
+    payload = fields["bytes_sent"] if kind == "send" else fields["bytes_received"]
+    return OpView(
+        kind=kind,
+        source=source,
+        target=target,
+        startup_cost=fields["startup_cost"],
+        byte_cost=fields["byte_cost"],
+        network_delay=fields.get("network_delay", 0.0),
+        payload_bytes=payload,
+    )
+
+
+def _parse_registry(
+    raw: Any, location: str, total: int, problems: list[tuple[str, str]]
+) -> tuple[int, ...]:
+    if not isinstance(raw, list):
+        problems.append((location, "must be a list of processor ids"))
+        return ()
+    procs: list[int] = []
+    for k, value in enumerate(raw):
+        if isinstance(value, bool) or not isinstance(value, int):
+            problems.append((f"{location}[{k}]", f"processor id must be an integer, got {value!r}"))
+            continue
+        if not 0 <= value < total:
+            problems.append(
+                (f"{location}[{k}]", f"processor {value} out of range [0, {total})")
+            )
+            continue
+        procs.append(value)
+    if len(set(procs)) != len(procs):
+        problems.append((location, "duplicate processor ids in registry"))
+    return tuple(procs)
+
+
+def view_from_doc(doc: Any) -> ProgramView:
+    """Parse a program document tolerantly, collecting problems."""
+    view = ProgramView()
+    problems = view.problems
+    if not isinstance(doc, dict):
+        problems.append(("$", "program document must be a JSON object"))
+        return view
+    if doc.get("kind") != PROGRAM_DOC_KIND:
+        problems.append(
+            ("$.kind", f"expected {PROGRAM_DOC_KIND!r}, got {doc.get('kind')!r}")
+        )
+    version = doc.get("schema_version")
+    if version != PROGRAM_SCHEMA_VERSION:
+        problems.append(
+            (
+                "$.schema_version",
+                f"unsupported schema version {version!r} "
+                f"(this build reads {PROGRAM_SCHEMA_VERSION})",
+            )
+        )
+    total_raw = doc.get("total_processors")
+    if isinstance(total_raw, bool) or not isinstance(total_raw, int) or total_raw <= 0:
+        problems.append(
+            ("$.total_processors", f"must be a positive integer, got {total_raw!r}")
+        )
+        total = 0
+    else:
+        total = total_raw
+    view.total_processors = total
+
+    raw_streams = doc.get("streams", {})
+    if not isinstance(raw_streams, dict):
+        problems.append(("$.streams", "must be an object keyed by processor id"))
+        raw_streams = {}
+    for key, ops in raw_streams.items():
+        try:
+            proc = int(key)
+        except (TypeError, ValueError):
+            problems.append((f"$.streams.{key}", f"stream key {key!r} is not an integer"))
+            continue
+        if not 0 <= proc < total:
+            problems.append(
+                (f"$.streams.{key}", f"processor {proc} out of range [0, {total})")
+            )
+            continue
+        if proc in view.streams:
+            problems.append((f"$.streams.{key}", f"duplicate stream for processor {proc}"))
+            continue
+        if not isinstance(ops, list):
+            problems.append((f"$.streams.{key}", "stream must be a list of instructions"))
+            continue
+        parsed: list[OpView] = []
+        clean = True
+        for i, entry in enumerate(ops):
+            op = _parse_op(entry, f"$.streams.{key}[{i}]", problems)
+            if op is None:
+                clean = False
+                continue
+            parsed.append(op)
+        if clean:
+            view.streams[proc] = tuple(parsed)
+
+    raw_edges = doc.get("edges", [])
+    if not isinstance(raw_edges, list):
+        problems.append(("$.edges", "must be a list"))
+        raw_edges = []
+    for i, entry in enumerate(raw_edges):
+        location = f"$.edges[{i}]"
+        if not isinstance(entry, dict):
+            problems.append((location, "edge entry must be an object"))
+            continue
+        source, target = entry.get("source"), entry.get("target")
+        if not isinstance(source, str) or not isinstance(target, str):
+            problems.append((location, "edge entry needs string source/target"))
+            continue
+        edge = (source, target)
+        if edge in view.edge_index:
+            problems.append((location, f"duplicate edge entry {source}->{target}"))
+            continue
+        view.edge_index[edge] = i
+        view.senders[edge] = _parse_registry(
+            entry.get("senders", []), f"{location}.senders", total, problems
+        )
+        view.receivers[edge] = _parse_registry(
+            entry.get("receivers", []), f"{location}.receivers", total, problems
+        )
+
+    info = doc.get("info", {})
+    view.info = info if isinstance(info, dict) else {}
+    return view
+
+
+def view_from_program(program: Any) -> ProgramView:
+    """A view of a constructed :class:`MPMDProgram` (never has problems)."""
+    from repro.codegen.serialization import program_to_dict
+
+    return view_from_doc(program_to_dict(program))
+
+
+def _expected_posts(view: ProgramView) -> dict[tuple[str, str], int]:
+    """Posts each edge's receives wait for, mirroring the simulator.
+
+    ``pending_sends[edge] = len(senders[edge])`` when the registry knows
+    the edge; otherwise fall back to the number of send ops actually
+    present so abstract execution still makes progress on partially
+    broken programs (the registry gap itself is COMM003's finding).
+    """
+    expected = {edge: len(procs) for edge, procs in view.senders.items()}
+    for _, _, op in view.message_ops():
+        if op.kind == "send" and op.edge not in view.senders:
+            expected[op.edge] = expected.get(op.edge, 0) + 1
+    return expected
+
+
+def abstract_execute(view: ProgramView) -> AbstractExecution:
+    """Drive every stream to completion or a blocked fixpoint."""
+    pending = _expected_posts(view)
+    pcs = {proc: 0 for proc in view.streams}
+    total = sum(len(s) for s in view.streams.values())
+    executed = 0
+
+    progress = True
+    while progress:
+        progress = False
+        for proc in sorted(pcs):
+            stream = view.streams[proc]
+            while pcs[proc] < len(stream):
+                op = stream[pcs[proc]]
+                if op.kind == "recv" and pending.get(op.edge, 0) > 0:
+                    break
+                if op.kind == "send":
+                    pending[op.edge] = pending.get(op.edge, 0) - 1
+                pcs[proc] += 1
+                executed += 1
+                progress = True
+
+    blocked_procs = [p for p in sorted(pcs) if pcs[p] < len(view.streams[p])]
+    if not blocked_procs:
+        return AbstractExecution(completed=True, executed=executed, total=total)
+
+    # Who still has an unexecuted send for each edge?
+    remaining_senders: dict[tuple[str, str], set[int]] = {}
+    for proc in sorted(pcs):
+        stream = view.streams[proc]
+        for op in stream[pcs[proc] :]:
+            if op.kind == "send":
+                remaining_senders.setdefault(op.edge, set()).add(proc)
+
+    blocked: list[BlockedAt] = []
+    by_proc: dict[int, BlockedAt] = {}
+    for proc in blocked_procs:
+        op = view.streams[proc][pcs[proc]]
+        waiting = tuple(sorted(remaining_senders.get(op.edge, set()) - {proc}))
+        entry = BlockedAt(
+            processor=proc, index=pcs[proc], edge=op.edge, waiting_on=waiting
+        )
+        blocked.append(entry)
+        by_proc[proc] = entry
+
+    # Wait-for cycle: blocked proc -> blocked proc holding an outstanding
+    # send it needs. DFS with a stack recovers the first cycle found.
+    cycle: tuple[BlockedAt, ...] = ()
+    color: dict[int, int] = {}  # 0/absent=white, 1=on stack, 2=done
+    stack: list[int] = []
+
+    def visit(p: int) -> tuple[int, ...]:
+        color[p] = 1
+        stack.append(p)
+        for q in by_proc[p].waiting_on:
+            if q not in by_proc:
+                continue
+            state = color.get(q, 0)
+            if state == 1:
+                return tuple(stack[stack.index(q) :])
+            if state == 0:
+                found = visit(q)
+                if found:
+                    return found
+        stack.pop()
+        color[p] = 2
+        return ()
+
+    for p in blocked_procs:
+        if color.get(p, 0) == 0:
+            found = visit(p)
+            if found:
+                cycle = tuple(by_proc[q] for q in found)
+                break
+        stack.clear()
+
+    return AbstractExecution(
+        completed=False,
+        executed=executed,
+        total=total,
+        blocked=tuple(blocked),
+        wait_cycle=cycle,
+    )

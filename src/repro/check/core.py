@@ -142,8 +142,8 @@ class Pass(ABC):
 
     #: Short machine name, e.g. ``"graph.cycles"``.
     name: str = ""
-    #: One of ``"graph" | "cost" | "schedule" | "ir" | "batch" | "obs" |
-    #: "resilience"``.
+    #: One of ``"graph" | "cost" | "schedule" | "ir" | "comm" | "batch" |
+    #: "obs" | "resilience"``.
     family: str = ""
     #: The rules this pass may report against.
     rules: tuple[Rule, ...] = ()

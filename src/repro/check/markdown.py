@@ -1,0 +1,36 @@
+"""Markdown rendering of a :class:`CheckReport`.
+
+The third output format next to text and SARIF: a findings table plus a
+summary line, suitable for pasting into a PR description or a CI job
+summary. ``repro check --format markdown`` uses this for reports (and
+:func:`repro.check.runner.rules_markdown` for ``--list-rules``).
+"""
+
+from __future__ import annotations
+
+from repro.check.core import CheckReport
+
+__all__ = ["render_markdown"]
+
+
+def _cell(text: str) -> str:
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def render_markdown(report: CheckReport) -> str:
+    """``report`` as a GitHub-flavored markdown document."""
+    lines = ["# Static-analysis report", "", report.summary(), ""]
+    if report.findings:
+        lines += [
+            "| severity | rule | artifact | location | message |",
+            "|----------|------|----------|----------|---------|",
+        ]
+        for f in report.findings:
+            lines.append(
+                f"| {f.severity.value} | {f.rule_id} | {_cell(f.artifact) or '—'} "
+                f"| `{_cell(f.location)}` | {_cell(f.message)} |"
+            )
+    else:
+        lines.append("No findings.")
+    lines.append("")
+    return "\n".join(lines)

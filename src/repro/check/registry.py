@@ -17,13 +17,14 @@ from repro.check.graph_passes import GRAPH_PASSES
 from repro.check.ir_passes import IR_PASSES
 from repro.check.manifest_passes import MANIFEST_PASSES
 from repro.check.obs_passes import OBS_PASSES
+from repro.check.program_passes import PROGRAM_PASSES
 from repro.check.resilience_passes import RESILIENCE_PASSES
 from repro.check.schedule_passes import SCHEDULE_PASSES
 
 __all__ = ["default_passes", "passes_for_families", "all_rules", "FAMILIES"]
 
 FAMILIES: tuple[str, ...] = (
-    "graph", "cost", "schedule", "ir", "batch", "obs", "resilience",
+    "graph", "cost", "schedule", "ir", "comm", "batch", "obs", "resilience",
 )
 
 _ALL: tuple[type[Pass], ...] = (
@@ -31,6 +32,7 @@ _ALL: tuple[type[Pass], ...] = (
     + COST_PASSES
     + SCHEDULE_PASSES
     + IR_PASSES
+    + PROGRAM_PASSES
     + MANIFEST_PASSES
     + OBS_PASSES
     + RESILIENCE_PASSES

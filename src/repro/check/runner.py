@@ -2,13 +2,15 @@
 
 ``check_document`` / ``check_mdg`` analyze in-memory objects;
 ``check_file`` loads an MDG JSON file (still producing findings when the
-file is too broken to construct an :class:`MDG`), a batch manifest, a
-chaos spec or lease artifact (resilience family), or — for ``.jsonl``
-paths — a telemetry run log (obs family); ``check_bundle`` analyzes a
-built-in program. When a machine is available and the
-document is error-free, the graph is compiled (allocation + PSA) so the
-schedule pass family has something to verify — that is how ``repro
-check`` exercises all four families on a plain ``.json`` graph.
+file is too broken to construct an :class:`MDG`), a serialized MPMD
+program (comm family), a batch manifest, a chaos spec or lease artifact
+(resilience family), or — for ``.jsonl`` paths — a telemetry run log
+(obs family); ``check_bundle`` analyzes a built-in program. When a
+machine is available and the document is error-free, the graph is
+compiled (allocation + PSA) so the schedule pass family has something to
+verify — and the generated MPMD program is verified by the comm family
+(``check_program``) in the same sweep — that is how ``repro check``
+exercises the full rule set on a plain ``.json`` graph.
 
 ``preflight_check`` is the pipeline gate: graph/cost/ir families on the
 un-normalized MDG, raising :class:`~repro.errors.CheckError` at the
@@ -31,6 +33,7 @@ __all__ = [
     "check_mdg",
     "check_file",
     "check_bundle",
+    "check_program",
     "preflight_check",
     "rules_markdown",
 ]
@@ -93,7 +96,52 @@ def _with_schedule(
         )
     )
     report.merge(schedule_report)
+    program = getattr(compilation, "program", None)
+    if program is not None:
+        report.merge(
+            check_program(
+                program,
+                schedule=compilation.schedule,
+                mdg=compilation.schedule.mdg,
+                machine=machine,
+                artifact=artifact,
+            )
+        )
     return report
+
+
+def check_program(
+    program_or_doc: Any,
+    *,
+    schedule: Any = None,
+    mdg: Any = None,
+    machine: Any = None,
+    artifact: str = "<program>",
+) -> CheckReport:
+    """Run the comm family over one MPMD program (object or document).
+
+    ``schedule``/``mdg``/``machine`` unlock the cross-artifact rules
+    (COMM007 placement/width agreement, COMM008 cost-model byte
+    reconciliation); without them only the intra-program rules run.
+    """
+    if isinstance(program_or_doc, dict):
+        doc = program_or_doc
+    else:
+        from repro.codegen.serialization import program_to_dict
+
+        doc = program_to_dict(program_or_doc)
+        if mdg is None and schedule is not None:
+            mdg = getattr(schedule, "mdg", None)
+    analyzer = Analyzer(passes_for_families(("comm",)))
+    return analyzer.run(
+        CheckContext(
+            doc=doc,
+            mdg=mdg,
+            machine=machine,
+            schedule=schedule,
+            artifact=artifact,
+        )
+    )
 
 
 def check_mdg(
@@ -156,6 +204,15 @@ def check_file(
             f"MDG file {path} must contain a JSON object, "
             f"got {type(doc).__name__}"
         )
+
+    from repro.codegen.serialization import is_program_doc
+
+    if is_program_doc(doc):
+        # A serialized MPMD program: comm family only. Offline artifacts
+        # carry no schedule/MDG, so the intra-program rules
+        # (COMM001-COMM006) do the heavy lifting here; the cross-artifact
+        # rules run in the pipeline gate where those objects exist.
+        return check_program(doc, machine=machine, artifact=str(path))
 
     from repro.check.manifest_passes import is_batch_manifest
 

@@ -121,7 +121,19 @@ def _check_flags(args: argparse.Namespace) -> dict:
     return {
         "check": bool(getattr(args, "check", False)),
         "check_strict": bool(getattr(args, "check_strict", False)),
+        "verify_program": bool(getattr(args, "verify_program", False)),
     }
+
+
+def _emit_program_if_requested(args: argparse.Namespace, result) -> None:
+    """Write the compiled MPMD/SPMD program as a canonical JSON artifact."""
+    path = getattr(args, "emit_program", None)
+    if not path:
+        return
+    from repro.codegen.serialization import save_program
+
+    save_program(result.program, path)
+    print(f"wrote program artifact to {path}")
 
 
 def _preflight_if_requested(args: argparse.Namespace, mdg, machine) -> None:
@@ -162,7 +174,11 @@ def cmd_compile(args: argparse.Namespace) -> int:
     cache = _cache_options(args)
     if args.spmd:
         _preflight_if_requested(args, bundle.mdg, machine)
-        result = compile_spmd(bundle.mdg, machine)
+        result = compile_spmd(
+            bundle.mdg,
+            machine,
+            verify_program=bool(getattr(args, "verify_program", False)),
+        )
     elif cache is not None:
         run = run_resumable(
             bundle.mdg,
@@ -182,6 +198,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
             strict=bool(getattr(args, "strict", False)),
             **_check_flags(args),
         )
+    _emit_program_if_requested(args, result)
     print(f"{result.style} compilation of {bundle.name} on {machine.name} "
           f"(p={machine.processors})")
     if result.phi is not None:
@@ -210,7 +227,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     repair = None
     if args.spmd:
         _preflight_if_requested(args, bundle.mdg, machine)
-        result = compile_spmd(bundle.mdg, machine)
+        result = compile_spmd(
+            bundle.mdg,
+            machine,
+            verify_program=bool(getattr(args, "verify_program", False)),
+        )
         sim = measure(result, _fidelity(args.fidelity), faults=faults)
     elif cache is not None:
         run = run_resumable(
@@ -234,6 +255,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             **_check_flags(args),
         )
         sim = measure(result, _fidelity(args.fidelity), faults=faults)
+    _emit_program_if_requested(args, result)
     print(f"{result.style} {bundle.name} on {machine.name} (p={machine.processors})")
     print(f"predicted : {result.predicted_makespan:.6g} s")
     print(f"measured  : {sim.makespan:.6g} s "
@@ -418,24 +440,34 @@ def cmd_check(args: argparse.Namespace) -> int:
     # Expand targets: files are checked directly, directories are scanned
     # for *.json and *.jsonl (recursively), so `repro check examples/`
     # covers every shipped graph and `repro check logs/` every run log.
+    # A target that does not exist, or a directory with nothing checkable
+    # in it, is a usage error (exit 2) — never silently skipped and never
+    # a silent fallback to the built-in audit.
     from pathlib import Path
+
+    from repro.errors import CheckError
 
     files: list[Path] = []
     for target in args.targets:
         path = Path(target)
         if path.is_dir():
-            files.extend(
-                sorted([*path.rglob("*.json"), *path.rglob("*.jsonl")])
-            )
-        else:
+            matched = sorted([*path.rglob("*.json"), *path.rglob("*.jsonl")])
+            if not matched:
+                raise CheckError(
+                    f"directory {target} contains no *.json or *.jsonl files"
+                )
+            files.extend(matched)
+        elif path.is_file():
             files.append(path)
+        else:
+            raise CheckError(f"no such file or directory: {target}")
 
     programs: list[str] = []
     if args.all_programs:
         programs = sorted(PROGRAMS)
     elif args.program is not None:
         programs = [args.program]
-    if not files and not programs:
+    if not files and not programs and not args.targets:
         programs = sorted(PROGRAMS)  # bare `repro check` audits the built-ins
 
     report = CheckReport()
@@ -459,14 +491,21 @@ def cmd_check(args: argparse.Namespace) -> int:
 
         rendered = json.dumps(report.to_dict(), indent=2)
     elif args.format == "markdown":
-        raise SystemExit("--format markdown is only valid with --list-rules")
+        from repro.check import render_markdown
+
+        rendered = render_markdown(report)
     else:
         rendered = report.render_text()
 
     if args.output:
         from repro.store.artifact import atomic_write_text
 
-        atomic_write_text(Path(args.output), rendered + "\n")
+        try:
+            atomic_write_text(Path(args.output), rendered + "\n")
+        except OSError as exc:
+            raise CheckError(
+                f"cannot write report to {args.output}: {exc}"
+            ) from exc
         print(f"wrote {args.format} report to {args.output}")
         print(report.summary())
     else:
@@ -733,14 +772,32 @@ def build_parser() -> argparse.ArgumentParser:
             "per seed)",
         )
 
+    def program_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--emit-program",
+            default=None,
+            metavar="PATH",
+            help="write the generated MPMD/SPMD program as a canonical JSON "
+            "artifact (checkable offline with `repro check PATH`)",
+        )
+        p.add_argument(
+            "--verify-program",
+            action="store_true",
+            help="statically verify the generated program with the comm pass "
+            "family (send/recv matching, deadlock-freedom, schedule and "
+            "cost consistency) after codegen; error findings abort the run",
+        )
+
     p_compile = sub.add_parser("compile", help="allocate + schedule + show Gantt")
     common(p_compile)
+    program_flags(p_compile)
     p_compile.add_argument("--spmd", action="store_true", help="SPMD baseline")
     p_compile.add_argument("--svg", default=None, help="also write an SVG Gantt")
     p_compile.set_defaults(func=cmd_compile)
 
     p_sim = sub.add_parser("simulate", help="compile then run on the simulator")
     common(p_sim)
+    program_flags(p_sim)
     fault_flags(p_sim)
     p_sim.add_argument("--spmd", action="store_true")
     p_sim.add_argument("--fidelity", default="cm5", help="ideal | cm5")
@@ -775,13 +832,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser(
         "check",
-        help="statically analyze MDG files / built-in programs "
-        "(graph, cost, schedule and ir pass families)",
+        help="statically analyze MDG files, program artifacts and built-in "
+        "programs (graph, cost, schedule, ir and comm pass families)",
     )
     p_check.add_argument(
         "targets",
         nargs="*",
-        help="MDG JSON files or directories to scan for *.json "
+        help="MDG JSON files, emitted program artifacts, or directories to "
+        "scan for *.json/*.jsonl "
         "(no targets and no --program: audit every built-in program)",
     )
     p_check.add_argument(
@@ -800,7 +858,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["text", "json", "sarif", "markdown"],
         default="text",
         help="output format (sarif = SARIF 2.1.0 for GitHub code scanning; "
-        "markdown only with --list-rules)",
+        "markdown = findings table, or the rule table with --list-rules)",
     )
     p_check.add_argument(
         "--output", "-o", default=None, help="write the report to a file"

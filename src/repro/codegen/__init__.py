@@ -23,6 +23,15 @@ from repro.codegen.datapar import (
     plan_node,
     estimate_intra_comm_time,
 )
+from repro.codegen.serialization import (
+    PROGRAM_DOC_KIND,
+    PROGRAM_SCHEMA_VERSION,
+    program_to_dict,
+    program_from_dict,
+    save_program,
+    load_program,
+    is_program_doc,
+)
 
 __all__ = [
     "ComputeOp",
@@ -39,4 +48,11 @@ __all__ = [
     "IntraNodePlan",
     "plan_node",
     "estimate_intra_comm_time",
+    "PROGRAM_DOC_KIND",
+    "PROGRAM_SCHEMA_VERSION",
+    "program_to_dict",
+    "program_from_dict",
+    "save_program",
+    "load_program",
+    "is_program_doc",
 ]

@@ -135,6 +135,22 @@ class MPMDProgram:
 
     def validate(self) -> None:
         """Check message-matching consistency; raise CodegenError on failure."""
+        bad_streams = sorted(
+            q for q in self.streams if not 0 <= q < self.total_processors
+        )
+        if bad_streams:
+            raise CodegenError(
+                f"stream processor ids {bad_streams} out of range "
+                f"[0, {self.total_processors})"
+            )
+        for label, registry in (("sender", self.senders), ("receiver", self.receivers)):
+            for edge, procs in registry.items():
+                bad = sorted(q for q in procs if not 0 <= q < self.total_processors)
+                if bad:
+                    raise CodegenError(
+                        f"{label} registry for edge {edge!r} names processors "
+                        f"{bad} out of range [0, {self.total_processors})"
+                    )
         send_edges = {
             op.edge for _, op in self.instructions() if isinstance(op, SendOp)
         }

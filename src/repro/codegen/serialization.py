@@ -1,0 +1,222 @@
+"""Canonical JSON serialization of :class:`MPMDProgram`.
+
+The on-disk form (kind ``"mpmd_program"``) is what ``repro compile
+--emit-program`` writes and what ``repro check`` consumes for offline
+program verification: one op dict per instruction, streams keyed by
+processor id, and the sender/receiver registries flattened into an
+``edges`` list. The format is deliberately flat and explicit so the
+``comm`` check family can analyze it tolerantly in document form even
+when it is too broken to reconstruct an :class:`MPMDProgram`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.codegen.program import (
+    ComputeOp,
+    Instruction,
+    MPMDProgram,
+    RecvOp,
+    SendOp,
+)
+from repro.errors import CodegenError
+
+__all__ = [
+    "PROGRAM_SCHEMA_VERSION",
+    "PROGRAM_DOC_KIND",
+    "program_to_dict",
+    "program_from_dict",
+    "save_program",
+    "load_program",
+    "is_program_doc",
+]
+
+#: Bumped on incompatible changes to the program document layout.
+PROGRAM_SCHEMA_VERSION = 1
+
+#: The ``kind`` discriminator that routes a JSON file to the comm family.
+PROGRAM_DOC_KIND = "mpmd_program"
+
+
+def _op_to_dict(op: Instruction) -> dict[str, Any]:
+    if isinstance(op, ComputeOp):
+        return {
+            "op": "compute",
+            "node": op.node,
+            "cost": op.cost,
+            "parallel_cost": op.parallel_cost,
+        }
+    if isinstance(op, SendOp):
+        return {
+            "op": "send",
+            "source": op.source,
+            "target": op.target,
+            "startup_cost": op.startup_cost,
+            "byte_cost": op.byte_cost,
+            "bytes_sent": op.bytes_sent,
+        }
+    if isinstance(op, RecvOp):
+        return {
+            "op": "recv",
+            "source": op.source,
+            "target": op.target,
+            "startup_cost": op.startup_cost,
+            "byte_cost": op.byte_cost,
+            "network_delay": op.network_delay,
+            "bytes_received": op.bytes_received,
+        }
+    raise CodegenError(f"unknown instruction type {type(op).__name__}")
+
+
+def _op_from_dict(entry: Any, where: str) -> Instruction:
+    if not isinstance(entry, dict):
+        raise CodegenError(f"{where}: instruction must be an object")
+    kind = entry.get("op")
+    try:
+        if kind == "compute":
+            return ComputeOp(
+                node=entry["node"],
+                cost=float(entry.get("cost", 0.0)),
+                parallel_cost=float(entry.get("parallel_cost", 0.0)),
+            )
+        if kind == "send":
+            return SendOp(
+                source=entry["source"],
+                target=entry["target"],
+                startup_cost=float(entry.get("startup_cost", 0.0)),
+                byte_cost=float(entry.get("byte_cost", 0.0)),
+                bytes_sent=float(entry.get("bytes_sent", 0.0)),
+            )
+        if kind == "recv":
+            return RecvOp(
+                source=entry["source"],
+                target=entry["target"],
+                startup_cost=float(entry.get("startup_cost", 0.0)),
+                byte_cost=float(entry.get("byte_cost", 0.0)),
+                network_delay=float(entry.get("network_delay", 0.0)),
+                bytes_received=float(entry.get("bytes_received", 0.0)),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodegenError(f"{where}: malformed {kind!r} instruction: {exc}") from exc
+    raise CodegenError(f"{where}: unknown op kind {kind!r}")
+
+
+def program_to_dict(program: MPMDProgram) -> dict[str, Any]:
+    """The canonical JSON-serializable document form of ``program``."""
+    edges = sorted(set(program.senders) | set(program.receivers))
+    return {
+        "schema_version": PROGRAM_SCHEMA_VERSION,
+        "kind": PROGRAM_DOC_KIND,
+        "total_processors": program.total_processors,
+        "streams": {
+            str(proc): [_op_to_dict(op) for op in program.streams[proc]]
+            for proc in sorted(program.streams)
+        },
+        "edges": [
+            {
+                "source": source,
+                "target": target,
+                "senders": list(program.senders.get((source, target), ())),
+                "receivers": list(program.receivers.get((source, target), ())),
+            }
+            for source, target in edges
+        ],
+        "info": dict(program.info),
+    }
+
+
+def program_from_dict(doc: dict[str, Any]) -> MPMDProgram:
+    """Rebuild an :class:`MPMDProgram` from its document form.
+
+    Strict by design: unknown kinds, bad schema versions and malformed
+    instructions raise :class:`CodegenError`. Tolerant, finding-producing
+    analysis of broken documents is the comm check family's job, not this
+    constructor's.
+    """
+    if not isinstance(doc, dict):
+        raise CodegenError("program document must be a JSON object")
+    if doc.get("kind") != PROGRAM_DOC_KIND:
+        raise CodegenError(
+            f"not a program document: kind={doc.get('kind')!r} "
+            f"(expected {PROGRAM_DOC_KIND!r})"
+        )
+    version = doc.get("schema_version")
+    if version != PROGRAM_SCHEMA_VERSION:
+        raise CodegenError(
+            f"unsupported program schema version {version!r} "
+            f"(this build reads version {PROGRAM_SCHEMA_VERSION})"
+        )
+    try:
+        total = int(doc["total_processors"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodegenError(f"bad total_processors: {exc}") from exc
+
+    streams: dict[int, list[Instruction]] = {}
+    raw_streams = doc.get("streams", {})
+    if not isinstance(raw_streams, dict):
+        raise CodegenError("streams must be an object keyed by processor id")
+    for key, ops in raw_streams.items():
+        try:
+            proc = int(key)
+        except (TypeError, ValueError) as exc:
+            raise CodegenError(f"bad stream key {key!r}: {exc}") from exc
+        if not isinstance(ops, list):
+            raise CodegenError(f"stream {key!r} must be a list of instructions")
+        streams[proc] = [
+            _op_from_dict(op, f"streams[{key}][{i}]") for i, op in enumerate(ops)
+        ]
+
+    senders: dict[tuple[str, str], tuple[int, ...]] = {}
+    receivers: dict[tuple[str, str], tuple[int, ...]] = {}
+    raw_edges = doc.get("edges", [])
+    if not isinstance(raw_edges, list):
+        raise CodegenError("edges must be a list")
+    for i, entry in enumerate(raw_edges):
+        if not isinstance(entry, dict):
+            raise CodegenError(f"edges[{i}] must be an object")
+        try:
+            edge = (entry["source"], entry["target"])
+            senders[edge] = tuple(int(q) for q in entry.get("senders", []))
+            receivers[edge] = tuple(int(q) for q in entry.get("receivers", []))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CodegenError(f"edges[{i}] malformed: {exc}") from exc
+
+    info = doc.get("info", {})
+    program = MPMDProgram(
+        total_processors=total,
+        streams=streams,
+        senders=senders,
+        receivers=receivers,
+        info=dict(info) if isinstance(info, dict) else {},
+    )
+    program.validate()
+    return program
+
+
+def save_program(program: MPMDProgram, path: str | Path) -> Path:
+    """Write ``program`` to ``path`` as canonical JSON (atomic)."""
+    from repro.store.artifact import atomic_write_text
+
+    path = Path(path)
+    atomic_write_text(
+        path, json.dumps(program_to_dict(program), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_program(path: str | Path) -> MPMDProgram:
+    """Read a program document from ``path`` and reconstruct it."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CodegenError(f"cannot read program file {path}: {exc}") from exc
+    return program_from_dict(doc)
+
+
+def is_program_doc(doc: Any) -> bool:
+    """True when ``doc`` looks like a serialized MPMD program."""
+    return isinstance(doc, dict) and doc.get("kind") == PROGRAM_DOC_KIND

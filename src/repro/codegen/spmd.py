@@ -24,9 +24,24 @@ def generate_spmd_program(mdg: MDG, machine: MachineParameters) -> MPMDProgram:
     program = generate_mpmd_program(schedule, machine)
     program.info["style"] = "SPMD"
     # Every participating processor must run the same instruction stream.
-    streams = [program.streams[q] for q in sorted(program.streams)]
-    first = streams[0]
-    for stream in streams[1:]:
-        if stream != first:
-            raise CodegenError("SPMD generation produced divergent streams")
+    procs = sorted(program.streams)
+    reference_proc = procs[0]
+    reference = program.streams[reference_proc]
+    for proc in procs[1:]:
+        stream = program.streams[proc]
+        if stream == reference:
+            continue
+        for index, (expected, actual) in enumerate(zip(reference, stream)):
+            if expected != actual:
+                raise CodegenError(
+                    f"SPMD generation produced divergent streams: processor "
+                    f"{proc} diverges from processor {reference_proc} at "
+                    f"instruction {index} ({actual!r} != {expected!r})"
+                )
+        raise CodegenError(
+            f"SPMD generation produced divergent streams: processor {proc} "
+            f"has {len(stream)} instruction(s) but processor "
+            f"{reference_proc} has {len(reference)} (streams agree up to "
+            f"instruction {min(len(stream), len(reference))})"
+        )
     return program

@@ -140,6 +140,30 @@ def check_postconditions(
     return problems
 
 
+def _verify_program(
+    program: MPMDProgram,
+    schedule,
+    machine: MachineParameters,
+    artifact: str,
+) -> None:
+    """The opt-in post-codegen gate: comm family over the fresh program.
+
+    Raises :class:`~repro.errors.CheckError` on error-severity findings
+    so a miscompiled program never reaches the simulator or executor.
+    """
+    from repro.check import Severity, check_program
+
+    with obs.span("check.program", artifact=artifact):
+        report = check_program(
+            program,
+            schedule=schedule,
+            mdg=schedule.mdg,
+            machine=machine,
+            artifact=artifact,
+        )
+    report.raise_if(Severity.ERROR)
+
+
 def compile_mdg(
     mdg: MDG,
     machine: MachineParameters,
@@ -148,6 +172,7 @@ def compile_mdg(
     strict: bool = False,
     check: bool = False,
     check_strict: bool = False,
+    verify_program: bool = False,
 ) -> CompilationResult:
     """Allocate (convex program), schedule (PSA), and generate MPMD code.
 
@@ -159,6 +184,12 @@ def compile_mdg(
     run as a pre-flight gate *before* the solver is invoked, raising
     :class:`~repro.errors.CheckError` on error-severity findings
     (``check_strict=True`` rejects warning-severity findings too).
+
+    With ``verify_program=True`` the comm pass family statically verifies
+    the generated MPMD program (send/recv matching, deadlock-freedom,
+    schedule and cost-model consistency) *after* codegen, raising
+    :class:`~repro.errors.CheckError` on error-severity findings before
+    the program reaches the simulator or executor.
     """
     if check or check_strict:
         from repro.check import preflight_check
@@ -186,6 +217,8 @@ def compile_mdg(
         with obs.span("codegen") as sp:
             program = generate_mpmd_program(schedule, machine)
             sp.set_attr("instructions", program.n_instructions)
+        if verify_program:
+            _verify_program(program, schedule, machine, f"mdg:{mdg.name}")
         with _hot("pipeline.postconditions"):
             check_postconditions(
                 normalized, machine, allocation, schedule,
@@ -201,7 +234,11 @@ def compile_mdg(
     )
 
 
-def compile_spmd(mdg: MDG, machine: MachineParameters) -> CompilationResult:
+def compile_spmd(
+    mdg: MDG,
+    machine: MachineParameters,
+    verify_program: bool = False,
+) -> CompilationResult:
     """The all-processors SPMD compilation used as the Figure 8 baseline."""
     with obs.span(
         "compile", style="SPMD", machine=machine.name, processors=machine.processors
@@ -212,6 +249,8 @@ def compile_spmd(mdg: MDG, machine: MachineParameters) -> CompilationResult:
             sp.set_attr("makespan", schedule.makespan)
         with obs.span("codegen"):
             program = generate_spmd_program(normalized, machine)
+        if verify_program:
+            _verify_program(program, schedule, machine, f"mdg:{mdg.name}")
     allocation = Allocation(
         processors={name: float(w) for name, w in schedule.allocation().items()},
         phi=None,
@@ -568,6 +607,7 @@ def run_resumable(
     repair_overhead: float = 0.0,
     check: bool = False,
     check_strict: bool = False,
+    verify_program: bool = False,
 ) -> ResumableRun:
     """Compile (and optionally simulate) with per-stage checkpointing.
 
@@ -588,7 +628,10 @@ def run_resumable(
     runs the static analyzer's pre-flight gate (graph/cost/ir families)
     before any stage — including before the allocation solver — raising
     :class:`~repro.errors.CheckError` on error findings;
-    ``check_strict=True`` also rejects warnings.
+    ``check_strict=True`` also rejects warnings. ``verify_program=True``
+    adds the post-codegen gate: the comm family statically verifies the
+    generated program (send/recv matching, deadlock-freedom, schedule
+    and cost consistency) before simulation.
     """
     if check or check_strict:
         from repro.check import preflight_check
@@ -731,6 +774,8 @@ def run_resumable(
         check_deadline("codegen")
         with obs.span("codegen"):
             program = generate_mpmd_program(schedule, machine)
+        if verify_program:
+            _verify_program(program, schedule, machine, f"mdg:{mdg.name}")
         compilation = CompilationResult(
             mdg=normalized,
             machine=machine,

@@ -124,6 +124,36 @@ class TestCheckCommand:
         assert main(["check", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_nonexistent_target_is_structured_error(self, capsys, tmp_path):
+        assert main(["check", str(tmp_path / "missing.json")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "missing.json" in err
+
+    def test_empty_directory_target_is_structured_error(self, capsys, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["check", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "no *.json" in err
+
+    def test_nonexistent_target_does_not_fall_back_to_builtins(
+        self, capsys, tmp_path
+    ):
+        # A typo'd path must never silently audit the built-in corpus.
+        assert main(["check", str(tmp_path / "nope")]) == 2
+        out = capsys.readouterr().out
+        assert "artifact(s)" not in out
+
+    def test_markdown_report_format(self, capsys, invalid_file):
+        assert main(
+            ["check", str(invalid_file), "--no-compile", "--format", "markdown"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "# Static-analysis report" in out
+        assert "MDG001" in out
+
     def test_compile_with_check_flag(self, capsys):
         assert main([
             "compile", "--program", "complex", "--n", "16", "-p", "4",

@@ -99,18 +99,19 @@ class TestRuleRegistry:
         for rule_id in ids:
             prefix = rule_id.rstrip("0123456789")
             assert prefix in (
-                "MDG", "COST", "SCHED", "IR", "BATCH", "OBS", "RES"
+                "MDG", "COST", "SCHED", "IR", "COMM", "BATCH", "OBS", "RES"
             )
             assert rule_id[len(prefix):].isdigit()
 
     def test_every_family_contributes_rules(self):
         analyzer = Analyzer()
         assert analyzer.families() == [
-            "batch", "cost", "graph", "ir", "obs", "resilience", "schedule"
+            "batch", "comm", "cost", "graph", "ir", "obs", "resilience",
+            "schedule"
         ]
         prefixes = {r.rule_id.rstrip("0123456789") for r in analyzer.rules()}
         assert prefixes == {
-            "MDG", "COST", "SCHED", "IR", "BATCH", "OBS", "RES"
+            "MDG", "COST", "SCHED", "IR", "COMM", "BATCH", "OBS", "RES"
         }
 
     def test_duplicate_rule_definition_rejected(self):

@@ -1,0 +1,199 @@
+"""MPMDProgram.validate() edge cases and the canonical JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.codegen.program import ComputeOp, MPMDProgram, RecvOp, SendOp
+from repro.codegen.serialization import (
+    PROGRAM_DOC_KIND,
+    PROGRAM_SCHEMA_VERSION,
+    is_program_doc,
+    load_program,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+)
+from repro.errors import CodegenError
+from repro.graph.generators import paper_example_mdg
+from repro.pipeline import compile_mdg
+
+
+def two_proc_program() -> MPMDProgram:
+    """Minimal valid program: a -> b over a zero-byte sync message."""
+    return MPMDProgram(
+        total_processors=2,
+        streams={
+            0: [
+                ComputeOp(node="a", cost=1.0),
+                SendOp(source="a", target="b", startup_cost=0.1, byte_cost=0.0),
+            ],
+            1: [
+                RecvOp(source="a", target="b", startup_cost=0.1, byte_cost=0.0),
+                ComputeOp(node="b", cost=2.0),
+            ],
+        },
+        senders={("a", "b"): (0,)},
+        receivers={("a", "b"): (1,)},
+    )
+
+
+class TestValidate:
+    def test_valid_program_passes(self):
+        two_proc_program().validate()
+
+    def test_empty_streams_are_valid(self):
+        # A program with no instructions at all has nothing to mismatch.
+        MPMDProgram(total_processors=4).validate()
+        MPMDProgram(total_processors=4, streams={0: [], 3: []}).validate()
+
+    def test_zero_byte_sync_messages_are_valid(self):
+        program = two_proc_program()
+        assert program.streams[0][1].bytes_sent == 0.0
+        program.validate()
+
+    def test_stream_key_out_of_range(self):
+        program = two_proc_program()
+        program.streams[9] = []
+        with pytest.raises(CodegenError, match=r"\[9\] out of range"):
+            program.validate()
+
+    def test_negative_stream_key_rejected(self):
+        program = two_proc_program()
+        program.streams[-1] = []
+        with pytest.raises(CodegenError, match="out of range"):
+            program.validate()
+
+    def test_sender_registry_out_of_range(self):
+        program = two_proc_program()
+        program.senders[("a", "b")] = (0, 7)
+        with pytest.raises(CodegenError, match="sender registry"):
+            program.validate()
+
+    def test_receiver_registry_out_of_range(self):
+        program = two_proc_program()
+        program.receivers[("a", "b")] = (-2,)
+        with pytest.raises(CodegenError, match="receiver registry"):
+            program.validate()
+
+    def test_send_without_recv_rejected(self):
+        program = two_proc_program()
+        program.streams[1] = [op for op in program.streams[1]
+                              if not isinstance(op, RecvOp)]
+        with pytest.raises(CodegenError, match="unmatched transfers"):
+            program.validate()
+
+    def test_recv_without_send_rejected(self):
+        program = two_proc_program()
+        program.streams[0] = [op for op in program.streams[0]
+                              if not isinstance(op, SendOp)]
+        with pytest.raises(CodegenError, match="unmatched transfers"):
+            program.validate()
+
+    def test_missing_registry_rejected(self):
+        program = two_proc_program()
+        del program.senders[("a", "b")]
+        with pytest.raises(CodegenError, match="registry"):
+            program.validate()
+
+    def test_stream_accessor_range(self):
+        program = two_proc_program()
+        assert program.stream(1)
+        with pytest.raises(CodegenError, match="out of range"):
+            program.stream(2)
+
+
+class TestSerialization:
+    def test_round_trip_minimal(self):
+        program = two_proc_program()
+        doc = program_to_dict(program)
+        assert doc["kind"] == PROGRAM_DOC_KIND
+        assert doc["schema_version"] == PROGRAM_SCHEMA_VERSION
+        rebuilt = program_from_dict(doc)
+        assert program_to_dict(rebuilt) == doc
+        assert rebuilt.streams[0] == program.streams[0]
+        assert rebuilt.streams[1] == program.streams[1]
+        assert rebuilt.senders == program.senders
+        assert rebuilt.receivers == program.receivers
+
+    def test_round_trip_compiled_program(self, cm5_16):
+        compilation = compile_mdg(paper_example_mdg(), cm5_16)
+        doc = program_to_dict(compilation.program)
+        rebuilt = program_from_dict(doc)
+        assert program_to_dict(rebuilt) == doc
+        assert rebuilt.n_instructions == compilation.program.n_instructions
+
+    def test_save_and_load(self, tmp_path):
+        program = two_proc_program()
+        path = save_program(program, tmp_path / "prog.json")
+        assert is_program_doc(json.loads(path.read_text()))
+        rebuilt = load_program(path)
+        assert program_to_dict(rebuilt) == program_to_dict(program)
+
+    def test_is_program_doc(self):
+        assert is_program_doc(program_to_dict(two_proc_program()))
+        assert not is_program_doc({"kind": "other"})
+        assert not is_program_doc({"nodes": [], "edges": []})
+        assert not is_program_doc(None)
+        assert not is_program_doc([])
+
+    def test_wrong_kind_rejected(self):
+        doc = program_to_dict(two_proc_program())
+        doc["kind"] = "mdg"
+        with pytest.raises(CodegenError, match="not a program document"):
+            program_from_dict(doc)
+
+    def test_wrong_schema_version_rejected(self):
+        doc = program_to_dict(two_proc_program())
+        doc["schema_version"] = 999
+        with pytest.raises(CodegenError, match="schema version"):
+            program_from_dict(doc)
+
+    def test_unknown_op_kind_rejected(self):
+        doc = program_to_dict(two_proc_program())
+        doc["streams"]["0"].append({"op": "barrier"})
+        with pytest.raises(CodegenError, match="unknown op kind"):
+            program_from_dict(doc)
+
+    def test_out_of_range_stream_rejected(self):
+        doc = program_to_dict(two_proc_program())
+        doc["streams"]["5"] = []
+        with pytest.raises(CodegenError, match="out of range"):
+            program_from_dict(doc)
+
+    def test_unreadable_file_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(CodegenError, match="cannot read"):
+            load_program(path)
+        with pytest.raises(CodegenError, match="cannot read"):
+            load_program(tmp_path / "missing.json")
+
+
+class TestSPMDDivergenceError:
+    def test_divergence_error_names_processor_and_instruction(self):
+        # Forge a divergent pair of streams through the private check by
+        # calling the generator on a hand-broken program path: simplest is
+        # to monkeypatch generate_mpmd_program's output via the public
+        # generate_spmd_program contract.
+        import repro.codegen.spmd as spmd_mod
+
+        program = two_proc_program()
+        program.info["style"] = "SPMD"
+
+        real_gen = spmd_mod.generate_mpmd_program
+        real_sched = spmd_mod.spmd_schedule
+        try:
+            spmd_mod.spmd_schedule = lambda mdg, machine: None
+            spmd_mod.generate_mpmd_program = lambda schedule, machine: program
+            with pytest.raises(CodegenError) as exc_info:
+                spmd_mod.generate_spmd_program(object(), object())
+        finally:
+            spmd_mod.generate_mpmd_program = real_gen
+            spmd_mod.spmd_schedule = real_sched
+        message = str(exc_info.value)
+        assert "processor 1" in message
+        assert "processor 0" in message
+        assert "instruction 0" in message
